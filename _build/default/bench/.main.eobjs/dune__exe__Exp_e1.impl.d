@@ -1,0 +1,1 @@
+bench/exp_e1.ml: Int64 Printf Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e10.ml: Array Int64 List Printf Sl_engine Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e11.ml: Int64 List Sl_engine Sl_util Switchless

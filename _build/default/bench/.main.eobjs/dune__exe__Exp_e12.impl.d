@@ -1,0 +1,1 @@
+bench/exp_e12.ml: Hashtbl Int64 List Sl_engine Sl_util Sl_workload Switchless

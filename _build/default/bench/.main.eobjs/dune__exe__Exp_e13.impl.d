@@ -1,0 +1,1 @@
+bench/exp_e13.ml: List Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e15.ml: Int64 List Sl_os Sl_util Switchless

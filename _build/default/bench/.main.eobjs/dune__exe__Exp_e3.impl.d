@@ -1,0 +1,1 @@
+bench/exp_e3.ml: Int64 List Printf Sl_baseline Sl_engine Sl_mem Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e4.ml: Int64 Sl_baseline Sl_engine Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e5.ml: Int64 List Sl_baseline Sl_engine Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e6.ml: Int64 Printf Sl_baseline Sl_engine Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e7.ml: List Sl_dist Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_e9.ml: Int64 List Sl_engine Sl_util Switchless

@@ -1,0 +1,1 @@
+bench/exp_t1.ml: Format Int64 List Printf Sl_engine Sl_util Switchless

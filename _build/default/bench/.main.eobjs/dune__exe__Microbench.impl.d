@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Hashtbl Instance Int64 List Measure Printf Sl_dist Sl_engine Sl_os Sl_util Staged Switchless Test Time Toolkit

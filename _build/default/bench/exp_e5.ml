@@ -1,0 +1,168 @@
+(* E5 — "Faster Microkernels and Container Proxies": service round trips.
+
+   A client invokes an isolated service that performs [work] cycles, via:
+   - a monolithic kernel (trap around the work: no isolation);
+   - classic microkernel IPC (scheduler-mediated software threads);
+   - direct hardware-thread IPC (the paper's XPC-equivalent).
+
+   Expected shape: hw IPC ≈ work + ~70 cycles — within a small constant
+   of the monolithic kernel while keeping microkernel isolation, and
+   several times cheaper than scheduler-based IPC.  The container-proxy
+   row chains TWO hops (app → proxy → service), where the scheduler-based
+   design pays the tax twice. *)
+
+module Sim = Sl_engine.Sim
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Swsched = Sl_baseline.Swsched
+module Microkernel = Sl_os.Microkernel
+module Hw_channel = Sl_os.Hw_channel
+module Tablefmt = Sl_util.Tablefmt
+
+let p = Params.default
+let calls = 100
+
+let measure_monolithic work =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
+  let client = Swsched.thread sched () in
+  let total = ref 0L in
+  Sim.spawn sim (fun () ->
+      Swsched.exec client 10L;
+      let t0 = Sim.now () in
+      for _ = 1 to calls do
+        Microkernel.monolithic_call client p ~service_work:work
+      done;
+      total := Int64.sub (Sim.now ()) t0);
+  Sim.run sim;
+  Int64.to_float !total /. float_of_int calls
+
+let measure_sw_ipc work =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
+  let service = Microkernel.Sw_service.create sim sched p in
+  let client = Swsched.thread sched () in
+  let total = ref 0L in
+  Sim.spawn sim (fun () ->
+      Swsched.exec client 10L;
+      let t0 = Sim.now () in
+      for _ = 1 to calls do
+        Microkernel.Sw_service.call service ~client ~service_work:work
+      done;
+      total := Int64.sub (Sim.now ()) t0);
+  Sim.run sim;
+  Int64.to_float !total /. float_of_int calls
+
+let measure_hw_ipc work =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:2 in
+  let service = Microkernel.Hw_service.create chip ~core:1 ~server_ptid:100 () in
+  let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Hw_channel.grant service ~client ~vtid:7;
+  let total = ref 0L in
+  Chip.attach client (fun th ->
+      let t0 = Sim.now () in
+      for _ = 1 to calls do
+        Microkernel.Hw_service.call service ~client:th ~via:7 ~service_work:work ()
+      done;
+      total := Int64.sub (Sim.now ()) t0);
+  Chip.boot client;
+  Sim.run sim;
+  Int64.to_float !total /. float_of_int calls
+
+(* Container proxy: app -> proxy (work 200) -> service (work).  The proxy
+   is itself an isolated hardware thread that calls the service. *)
+let measure_proxy_chain_hw work =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:2 in
+  let service = Microkernel.Hw_service.create chip ~core:1 ~server_ptid:100 () in
+  let proxy =
+    Hw_channel.create chip ~core:1 ~server_ptid:101 ~mode:Ptid.User
+      ~on_request:(fun th w ->
+        Isa.exec th 200L;
+        (* The proxy forwards to the backing service. *)
+        Microkernel.Hw_service.call service ~client:th ~via:9 ~service_work:w ())
+      ()
+  in
+  (* The proxy thread needs rights on the service. *)
+  let proxy_thread = Chip.find_thread chip ~ptid:101 in
+  Hw_channel.grant service ~client:proxy_thread ~vtid:9;
+  let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Hw_channel.grant proxy ~client ~vtid:7;
+  let total = ref 0L in
+  Chip.attach client (fun th ->
+      let t0 = Sim.now () in
+      for _ = 1 to calls do
+        Hw_channel.call proxy ~client:th ~via:7 ~work ()
+      done;
+      total := Int64.sub (Sim.now ()) t0);
+  Chip.boot client;
+  Sim.run sim;
+  Int64.to_float !total /. float_of_int calls
+
+let measure_proxy_chain_sw work =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
+  let service = Microkernel.Sw_service.create sim sched p in
+  (* Proxy as a second software service that forwards. *)
+  let inbox = Sl_engine.Mailbox.create () in
+  let proxy_thread = Swsched.thread sched () in
+  Sim.spawn sim (fun () ->
+      let rec serve () =
+        let (w, reply) = Sl_engine.Mailbox.recv inbox in
+        Swsched.exec proxy_thread ~kind:Switchless.Smt_core.Overhead
+          (Int64.of_int p.Params.trap_exit_cycles);
+        Swsched.exec proxy_thread 200L;
+        Microkernel.Sw_service.call service ~client:proxy_thread ~service_work:w;
+        Swsched.exec proxy_thread ~kind:Switchless.Smt_core.Overhead
+          (Int64.of_int (p.Params.trap_entry_cycles + p.Params.sched_decision_cycles));
+        Sl_engine.Ivar.fill reply ();
+        serve ()
+      in
+      serve ());
+  let client = Swsched.thread sched () in
+  let total = ref 0L in
+  Sim.spawn sim (fun () ->
+      Swsched.exec client 10L;
+      let t0 = Sim.now () in
+      for _ = 1 to calls do
+        Swsched.exec client ~kind:Switchless.Smt_core.Overhead
+          (Int64.of_int (p.Params.trap_entry_cycles + p.Params.sched_decision_cycles));
+        let reply = Sl_engine.Ivar.create () in
+        Sl_engine.Mailbox.send inbox (work, reply);
+        Sl_engine.Ivar.read reply;
+        Swsched.exec client ~kind:Switchless.Smt_core.Overhead
+          (Int64.of_int p.Params.trap_exit_cycles)
+      done;
+      total := Int64.sub (Sim.now ()) t0);
+  Sim.run sim;
+  Int64.to_float !total /. float_of_int calls
+
+let run () =
+  let works = [ 100L; 500L; 2000L ] in
+  let rows =
+    List.map
+      (fun work ->
+        [
+          Tablefmt.Int64 work;
+          Tablefmt.Float (measure_monolithic work);
+          Tablefmt.Float (measure_sw_ipc work);
+          Tablefmt.Float (measure_hw_ipc work);
+        ])
+      works
+  in
+  Tablefmt.print
+    (Tablefmt.render ~title:"E5a: service round trip (cycles) by IPC design"
+       ~header:[ "service work"; "monolithic"; "microkernel sw IPC"; "hw-thread IPC" ]
+       rows);
+  let work = 500L in
+  Tablefmt.print
+    (Tablefmt.render
+       ~title:"E5b: container proxy chain (app -> proxy(200) -> service(500))"
+       ~header:[ "design"; "cycles/request" ]
+       [
+         [ Tablefmt.String "software threads + scheduler"; Tablefmt.Float (measure_proxy_chain_sw work) ];
+         [ Tablefmt.String "hardware-thread hand-offs"; Tablefmt.Float (measure_proxy_chain_hw work) ];
+       ])

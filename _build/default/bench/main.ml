@@ -1,0 +1,53 @@
+(* Benchmark harness: regenerates every table and figure of the
+   reproduction (see DESIGN.md §3 for the experiment index and
+   EXPERIMENTS.md for paper-vs-measured notes).
+
+   Usage:
+     dune exec bench/main.exe             # all experiments + microbench
+     dune exec bench/main.exe -- e3 e7    # a subset
+     dune exec bench/main.exe -- micro    # microbenchmarks only *)
+
+let experiments =
+  [
+    ("t1", "Table 1: thread descriptor table semantics", Exp_t1.run);
+    ("e1", "No more interrupts: wakeup latency", Exp_e1.run);
+    ("e2", "Fast I/O without polling: load sweep", Exp_e2.run);
+    ("e3", "Exception-less syscalls: cycles per call", Exp_e3.run);
+    ("e4", "Kernel FP/vector state tax", Exp_e4.run);
+    ("e5", "Microkernel IPC and container proxies", Exp_e5.run);
+    ("e6", "Untrusted hypervisors: VM-exit cost", Exp_e6.run);
+    ("e7", "Thread-per-request tail latency", Exp_e7.run);
+    ("e8", "Design space: thread-state storage", Exp_e8.run);
+    ("e9", "Monitor scalability", Exp_e9.run);
+    ("e10", "Consecutive exceptions: handler chains", Exp_e10.run);
+    ("e11", "Ablation: priorities for time-critical threads", Exp_e11.run);
+    ("e12", "Ablation: hardware dispatch policy vs state hierarchy", Exp_e12.run);
+    ("e13", "Ablation: VM world switches by start/stop", Exp_e13.run);
+    ("e14", "Ablation: preemptive scheduling via start/stop", Exp_e14.run);
+    ("e15", "Substrate: interrupt-free reliable transport", Exp_e15.run);
+    ("micro", "Bechamel microbenchmarks", Microbench.run);
+  ]
+
+let run_one (id, title, f) =
+  Printf.printf "---------------------------------------------------------------\n";
+  Printf.printf "%s — %s\n" (String.uppercase_ascii id) title;
+  Printf.printf "---------------------------------------------------------------\n";
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s done in %.1fs]\n\n" id (Unix.gettimeofday () -. t0)
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map (fun (id, _, _) -> id) experiments
+  in
+  List.iter
+    (fun id ->
+      match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+      | Some exp -> run_one exp
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" id
+          (String.concat ", " (List.map (fun (eid, _, _) -> eid) experiments));
+        exit 1)
+    requested

@@ -1,0 +1,125 @@
+(* Bechamel micro-benchmarks: wall-clock cost of each experiment's
+   simulation kernel (and of the hot simulator primitives they stress).
+   One Test.make per table/figure, so regressions in simulator speed are
+   visible alongside the simulated results. *)
+
+open Bechamel
+open Toolkit
+
+module Sim = Sl_engine.Sim
+module Pqueue = Sl_engine.Pqueue
+module Histogram = Sl_util.Histogram
+module Io_path = Sl_os.Io_path
+module Server = Sl_dist.Server
+module Params = Switchless.Params
+
+let p = Params.default
+
+(* -- primitive kernels -- *)
+
+let bench_pqueue =
+  Test.make ~name:"primitive:pqueue push/pop x1k"
+    (Staged.stage (fun () ->
+         let q = Pqueue.create () in
+         for i = 0 to 999 do
+           Pqueue.push q ~time:(Int64.of_int ((i * 7919) mod 1000)) ~seq:i i
+         done;
+         let rec drain () = match Pqueue.pop q with Some _ -> drain () | None -> () in
+         drain ()))
+
+let bench_histogram =
+  Test.make ~name:"primitive:histogram record x1k"
+    (Staged.stage (fun () ->
+         let h = Histogram.create () in
+         for i = 1 to 1000 do
+           Histogram.record h (Int64.of_int (i * i))
+         done;
+         ignore (Histogram.quantile h 0.99)))
+
+let bench_sim_pingpong =
+  Test.make ~name:"primitive:engine 1k event ping-pong"
+    (Staged.stage (fun () ->
+         let sim = Sim.create () in
+         Sim.spawn sim (fun () ->
+             for _ = 1 to 1000 do
+               Sim.delay 1L
+             done);
+         Sim.run sim))
+
+(* -- one kernel per experiment table/figure -- *)
+
+let tiny_io count rate = { Io_path.default_config with Io_path.count; rate_per_kcycle = rate }
+
+let bench_e1 =
+  Test.make ~name:"E1:timer wakeup x200"
+    (Staged.stage (fun () ->
+         ignore (Io_path.timer_wakeup_mwait p ~ticks:200 ~period:5_000L)))
+
+let bench_e2 =
+  Test.make ~name:"E2:io sweep point (mwait, 500 pkts)"
+    (Staged.stage (fun () -> ignore (Io_path.run_mwait (tiny_io 500 0.4))))
+
+let bench_e2_interrupt =
+  Test.make ~name:"E2:io sweep point (interrupt, 500 pkts)"
+    (Staged.stage (fun () -> ignore (Io_path.run_interrupt (tiny_io 500 0.4))))
+
+let bench_e7 =
+  Test.make ~name:"E7:server point (hw pool, 500 reqs)"
+    (Staged.stage (fun () ->
+         ignore
+           (Server.run_hw_pool
+              {
+                Server.params = p;
+                seed = 5L;
+                cores = 2;
+                rate_per_kcycle = 0.5;
+                service = Sl_util.Dist.Exponential 2000.0;
+                count = 500;
+              })))
+
+let bench_e13 =
+  Test.make ~name:"E13:vm timeshare point (hw, 1 Mcycle)"
+    (Staged.stage (fun () ->
+         ignore (Sl_os.Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice:20_000L ~duration:1_000_000L)))
+
+let bench_e15 =
+  Test.make ~name:"E15:netstack 100 segments, 10% loss"
+    (Staged.stage (fun () ->
+         ignore (Sl_os.Netstack.run ~seed:1L ~loss:0.1 ~params:p ~segments:100 ())))
+
+let all_tests =
+  Test.make_grouped ~name:"switchless"
+    [
+      bench_pqueue;
+      bench_histogram;
+      bench_sim_pingpong;
+      bench_e1;
+      bench_e2;
+      bench_e2_interrupt;
+      bench_e7;
+      bench_e13;
+      bench_e15;
+    ]
+
+let run () =
+  print_endline "== Microbenchmarks (bechamel; wall-clock per simulated kernel) ==";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] all_tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-45s %12.0f ns/run\n" name ns)
+    (List.sort compare !rows);
+  print_newline ()

@@ -1,0 +1,330 @@
+(* switchless-sim: command-line driver for the simulator.
+
+   Subcommands expose the library-level experiment runners with tunable
+   parameters, for interactive exploration beyond the fixed sweeps in
+   bench/main.exe:
+
+     switchless-sim params
+     switchless-sim io --design mwait --rate 0.8 --count 5000
+     switchless-sim wakeup --ticks 1000 --period 10000
+     switchless-sim syscall --design hw --work 500 --calls 1000
+     switchless-sim server --design hw --rate 0.8 --cv2 16 --cores 2 *)
+
+open Cmdliner
+
+module Params = Switchless.Params
+module Io_path = Sl_os.Io_path
+module Server = Sl_dist.Server
+module Histogram = Sl_util.Histogram
+module Tablefmt = Sl_util.Tablefmt
+
+let p = Params.default
+
+(* --- shared options --- *)
+
+let seed =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let count =
+  Arg.(value & opt int 2000 & info [ "count" ] ~docv:"N" ~doc:"Events to simulate.")
+
+let rate =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "rate" ] ~docv:"R" ~doc:"Arrival rate in events per 1000 cycles.")
+
+(* --- params --- *)
+
+let params_cmd =
+  let run () =
+    let rows =
+      [
+        ("smt width", float_of_int p.Params.smt_width);
+        ("pipeline start (cyc)", float_of_int p.Params.pipeline_start_cycles);
+        ("GP context (B)", float_of_int p.Params.regstate_bytes_gp);
+        ("vector context (B)", float_of_int p.Params.regstate_bytes_full);
+        ("register file (KiB)", float_of_int (p.Params.rf_capacity_bytes / 1024));
+        ("L2 transfer (cyc)", float_of_int p.Params.l2_transfer_cycles);
+        ("L3 transfer (cyc)", float_of_int p.Params.l3_transfer_cycles);
+        ("DRAM transfer (cyc)", float_of_int p.Params.dram_transfer_cycles);
+        ("monitor wake (cyc)", float_of_int p.Params.monitor_wake_cycles);
+        ("monitor table capacity", float_of_int p.Params.monitor_capacity_per_core);
+        ("trap entry+exit (cyc)", float_of_int (p.Params.trap_entry_cycles + p.Params.trap_exit_cycles));
+        ("trap pollution (cyc)", float_of_int p.Params.trap_pollution_cycles);
+        ("interrupt entry+exit (cyc)", float_of_int (p.Params.interrupt_entry_cycles + p.Params.interrupt_exit_cycles));
+        ("IPI (cyc)", float_of_int p.Params.ipi_cycles);
+        ("sched decision (cyc)", float_of_int p.Params.sched_decision_cycles);
+        ("cache warmup (cyc)", float_of_int p.Params.cache_warmup_cycles);
+        ("vmexit entry+exit (cyc)", float_of_int (p.Params.vmexit_entry_cycles + p.Params.vmexit_exit_cycles));
+      ]
+    in
+    Tablefmt.print
+      (Tablefmt.render ~title:"cost model (see DESIGN.md for sources)"
+         ~header:[ "parameter"; "value" ]
+         (List.map (fun (k, v) -> [ Tablefmt.String k; Tablefmt.Float v ]) rows))
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Print the cost model.") Term.(const run $ const ())
+
+(* --- io --- *)
+
+type io_design = Mwait | Polling | Interrupt
+
+let io_design =
+  let designs = [ ("mwait", Mwait); ("polling", Polling); ("interrupt", Interrupt) ] in
+  Arg.(
+    value
+    & opt (enum designs) Mwait
+    & info [ "design" ] ~docv:"DESIGN" ~doc:"One of mwait, polling, interrupt.")
+
+let work =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "work" ] ~docv:"CYCLES" ~doc:"Per-event processing cycles.")
+
+let background =
+  Arg.(value & flag & info [ "background" ] ~doc:"Run a best-effort batch job alongside.")
+
+let io_cmd =
+  let run design seed rate count work background =
+    let cfg =
+      {
+        Io_path.params = p;
+        seed;
+        rate_per_kcycle = rate;
+        per_packet_work = Int64.of_int work;
+        count;
+        background;
+      }
+    in
+    let stats =
+      match design with
+      | Mwait -> Io_path.run_mwait cfg
+      | Polling -> Io_path.run_polling cfg
+      | Interrupt -> Io_path.run_interrupt cfg
+    in
+    Printf.printf "processed %d (dropped %d) in %Ld cycles\n" stats.Io_path.processed
+      stats.Io_path.dropped stats.Io_path.elapsed_cycles;
+    Printf.printf "latency: %s\n"
+      (Format.asprintf "%a" Histogram.pp_summary stats.Io_path.latencies);
+    Printf.printf "cycles: useful %.0f | poll %.0f | overhead %.0f | waste %.1f%%\n"
+      stats.Io_path.useful_cycles stats.Io_path.poll_cycles stats.Io_path.overhead_cycles
+      (100.0 *. Io_path.wasted_fraction stats)
+  in
+  Cmd.v
+    (Cmd.info "io" ~doc:"NIC RX path under one of the three designs.")
+    Term.(const run $ io_design $ seed $ rate $ count $ work $ background)
+
+(* --- wakeup --- *)
+
+let wakeup_cmd =
+  let ticks =
+    Arg.(value & opt int 1000 & info [ "ticks" ] ~docv:"N" ~doc:"Timer ticks.")
+  in
+  let period =
+    Arg.(value & opt int 10_000 & info [ "period" ] ~docv:"CYCLES" ~doc:"Tick period.")
+  in
+  let run ticks period =
+    let period = Int64.of_int period in
+    let m = Io_path.timer_wakeup_mwait p ~ticks ~period in
+    let i = Io_path.timer_wakeup_interrupt p ~ticks ~period in
+    Printf.printf "mwait:     %s\n" (Format.asprintf "%a" Histogram.pp_summary m);
+    Printf.printf "interrupt: %s\n" (Format.asprintf "%a" Histogram.pp_summary i)
+  in
+  Cmd.v
+    (Cmd.info "wakeup" ~doc:"Timer-tick wakeup latency, mwait vs interrupt.")
+    Term.(const run $ ticks $ period)
+
+(* --- syscall --- *)
+
+type sys_design = Trap | Flexsc | Hw
+
+let syscall_cmd =
+  let designs = [ ("trap", Trap); ("flexsc", Flexsc); ("hw", Hw) ] in
+  let design =
+    Arg.(
+      value
+      & opt (enum designs) Hw
+      & info [ "design" ] ~docv:"DESIGN" ~doc:"One of trap, flexsc, hw.")
+  in
+  let calls =
+    Arg.(value & opt int 1000 & info [ "calls" ] ~docv:"N" ~doc:"Calls to time.")
+  in
+  let run design work calls =
+    let module Sim = Sl_engine.Sim in
+    let module Chip = Switchless.Chip in
+    let module Ptid = Switchless.Ptid in
+    let module Swsched = Sl_baseline.Swsched in
+    let module Syscall = Sl_os.Syscall in
+    let work = Int64.of_int work in
+    let per_call =
+      match design with
+      | Trap ->
+        let sim = Sim.create () in
+        let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
+        let app = Swsched.thread sched () in
+        let total = ref 0L in
+        Sim.spawn sim (fun () ->
+            Swsched.exec app 10L;
+            let t0 = Sim.now () in
+            for _ = 1 to calls do
+              Syscall.Trap.call app p ~kernel_work:work
+            done;
+            total := Int64.sub (Sim.now ()) t0);
+        Sim.run sim;
+        Int64.to_float !total /. float_of_int calls
+      | Flexsc ->
+        let sim = Sim.create () in
+        let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
+        let kernel_core = Switchless.Smt_core.create sim p ~core_id:50 in
+        let fx = Syscall.Flexsc.create sim p ~kernel_core () in
+        let app = Swsched.thread sched () in
+        let total = ref 0L in
+        Sim.spawn sim (fun () ->
+            Swsched.exec app 10L;
+            let t0 = Sim.now () in
+            for _ = 1 to calls do
+              Syscall.Flexsc.call fx app ~kernel_work:work
+            done;
+            total := Int64.sub (Sim.now ()) t0);
+        Sim.run sim;
+        Int64.to_float !total /. float_of_int calls
+      | Hw ->
+        let sim = Sim.create () in
+        let chip = Chip.create sim p ~cores:2 in
+        let sys = Syscall.Hw_thread.create chip ~core:1 ~server_ptid:100 in
+        let total = ref 0L in
+        let app = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+        Chip.attach app (fun th ->
+            let t0 = Sim.now () in
+            for _ = 1 to calls do
+              Syscall.Hw_thread.call sys ~client:th ~kernel_work:work
+            done;
+            total := Int64.sub (Sim.now ()) t0);
+        Chip.boot app;
+        Sim.run sim;
+        Int64.to_float !total /. float_of_int calls
+    in
+    Printf.printf "%.1f cycles/call (%.1f mechanism tax)\n" per_call
+      (per_call -. Int64.to_float work)
+  in
+  Cmd.v
+    (Cmd.info "syscall" ~doc:"Cycles per system call under one design.")
+    Term.(const run $ design $ work $ calls)
+
+(* --- server --- *)
+
+type srv_design = Sw | Sw_rr | Hwpool
+
+let server_cmd =
+  let designs = [ ("sw", Sw); ("sw-rr", Sw_rr); ("hw", Hwpool) ] in
+  let design =
+    Arg.(
+      value
+      & opt (enum designs) Hwpool
+      & info [ "design" ] ~docv:"DESIGN" ~doc:"One of sw, sw-rr, hw.")
+  in
+  let cores =
+    Arg.(value & opt int 2 & info [ "cores" ] ~docv:"N" ~doc:"Server cores.")
+  in
+  let cv2 =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "cv2" ] ~docv:"CV2" ~doc:"Service-time squared coef. of variation.")
+  in
+  let mean =
+    Arg.(
+      value & opt float 2000.0 & info [ "mean" ] ~docv:"CYCLES" ~doc:"Mean service time.")
+  in
+  let run design seed rate count cores cv2 mean =
+    let service =
+      if cv2 <= 1.0 then Sl_util.Dist.Exponential mean
+      else Sl_util.Dist.bimodal_with_cv2 ~mean ~cv2 ~p_long:0.02
+    in
+    let cfg = { Server.params = p; seed; cores; rate_per_kcycle = rate; service; count } in
+    let stats =
+      match design with
+      | Sw -> Server.run_software cfg
+      | Sw_rr -> Server.run_software ~quantum:5000L cfg
+      | Hwpool -> Server.run_hw_pool cfg
+    in
+    Printf.printf "completed %d in %Ld cycles\n" stats.Server.completed
+      stats.Server.elapsed_cycles;
+    Printf.printf "latency: %s\n"
+      (Format.asprintf "%a" Histogram.pp_summary stats.Server.latencies);
+    Printf.printf "slowdown: p50 %.2f | p99 %.2f | p999 %.2f\n"
+      (Server.percentile stats.Server.slowdowns 0.5)
+      (Server.percentile stats.Server.slowdowns 0.99)
+      (Server.percentile stats.Server.slowdowns 0.999);
+    if stats.Server.switch_overhead_cycles > 0.0 then
+      Printf.printf "context-switch overhead: %.0f cycles total\n"
+        stats.Server.switch_overhead_cycles
+  in
+  Cmd.v
+    (Cmd.info "server" ~doc:"Thread-per-request server tail latency.")
+    Term.(const run $ design $ seed $ rate $ count $ cores $ cv2 $ mean)
+
+(* --- netstack --- *)
+
+let netstack_cmd =
+  let loss =
+    Arg.(
+      value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Per-link drop probability.")
+  in
+  let segments =
+    Arg.(value & opt int 300 & info [ "segments" ] ~docv:"N" ~doc:"Segments to transfer.")
+  in
+  let link_delay =
+    Arg.(
+      value & opt int 2000 & info [ "link-delay" ] ~docv:"CYCLES" ~doc:"One-way delay.")
+  in
+  let run seed loss segments link_delay =
+    let s =
+      Sl_os.Netstack.run ~seed ~loss ~link_delay:(Int64.of_int link_delay) ~params:p
+        ~segments ()
+    in
+    Printf.printf
+      "delivered %d | retransmissions %d | duplicates %d | acks %d\n"
+      s.Sl_os.Netstack.delivered s.Sl_os.Netstack.retransmissions
+      s.Sl_os.Netstack.duplicates s.Sl_os.Netstack.acks_sent;
+    Printf.printf "elapsed %Ld cycles | goodput %.4f segments/kcycle\n"
+      s.Sl_os.Netstack.elapsed_cycles s.Sl_os.Netstack.goodput_per_kcycle
+  in
+  Cmd.v
+    (Cmd.info "netstack" ~doc:"Interrupt-free reliable transport over lossy links.")
+    Term.(const run $ seed $ loss $ segments $ link_delay)
+
+(* --- vm --- *)
+
+let vm_cmd =
+  let slice =
+    Arg.(value & opt int 20_000 & info [ "slice" ] ~docv:"CYCLES" ~doc:"Time slice.")
+  in
+  let vms = Arg.(value & opt int 2 & info [ "vms" ] ~docv:"N" ~doc:"Virtual machines.") in
+  let vcpus = Arg.(value & opt int 2 & info [ "vcpus" ] ~docv:"N" ~doc:"vCPUs per VM.") in
+  let run slice vms vcpus =
+    let slice = Int64.of_int slice in
+    let hw = Sl_os.Vm.hw_timeshare p ~vms ~vcpus ~slice ~duration:2_000_000L in
+    let sw = Sl_os.Vm.sw_timeshare p ~vms ~vcpus ~slice ~duration:2_000_000L in
+    Printf.printf "hardware threads: %.1f%% guest utilization (%d switches)\n"
+      (100.0 *. hw.Sl_os.Vm.utilization) hw.Sl_os.Vm.switches;
+    Printf.printf "software threads: %.1f%% guest utilization (%d switches)\n"
+      (100.0 *. sw.Sl_os.Vm.utilization) sw.Sl_os.Vm.switches
+  in
+  Cmd.v
+    (Cmd.info "vm" ~doc:"VM time-sharing: world switches by start/stop.")
+    Term.(const run $ slice $ vms $ vcpus)
+
+let () =
+  let info =
+    Cmd.info "switchless-sim" ~version:"1.0.0"
+      ~doc:
+        "Simulator for the hardware threading model of 'A Case Against (Most) \
+         Context Switches' (HotOS '21)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ params_cmd; io_cmd; wakeup_cmd; syscall_cmd; server_cmd; netstack_cmd; vm_cmd ]))

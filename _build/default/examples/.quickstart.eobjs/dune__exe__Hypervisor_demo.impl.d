@@ -1,0 +1,1 @@
+examples/hypervisor_demo.ml: Format Int64 Printf Sl_baseline Sl_engine Sl_util Switchless

@@ -1,0 +1,1 @@
+examples/hypervisor_demo.mli:

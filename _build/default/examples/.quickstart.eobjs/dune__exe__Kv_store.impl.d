@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Hashtbl Int64 List Printf Sl_engine Sl_util Sl_workload Switchless

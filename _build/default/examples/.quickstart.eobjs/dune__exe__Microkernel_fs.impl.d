@@ -1,0 +1,1 @@
+examples/microkernel_fs.ml: Format Int64 Printf Sl_dev Sl_engine Sl_os Sl_util String Switchless

@@ -1,0 +1,1 @@
+examples/microkernel_fs.mli:

@@ -1,0 +1,1 @@
+examples/nic_wakeup.ml: List Sl_os Sl_util

@@ -1,0 +1,1 @@
+examples/nic_wakeup.mli:

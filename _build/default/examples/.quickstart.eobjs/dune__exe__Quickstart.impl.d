@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Sl_engine Switchless

@@ -1,0 +1,1 @@
+examples/sandbox_ebpf.ml: Format Int64 Printf Sl_engine Sl_os Switchless

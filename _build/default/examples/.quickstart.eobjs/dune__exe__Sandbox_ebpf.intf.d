@@ -1,0 +1,1 @@
+examples/sandbox_ebpf.mli:

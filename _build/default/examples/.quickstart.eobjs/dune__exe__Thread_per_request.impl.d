@@ -1,0 +1,1 @@
+examples/thread_per_request.ml: Int64 List Printf Sl_dist Sl_engine Sl_util Switchless

@@ -1,0 +1,1 @@
+examples/thread_per_request.mli:

@@ -1,0 +1,63 @@
+(* Quickstart: the §3.1 ISA in thirty lines.
+
+   Two hardware threads on one core: [worker] parks on a doorbell with
+   monitor/mwait; [boss] prepares the worker's registers with rpush,
+   rings the doorbell with an ordinary store, and later stops the worker
+   mid-flight and inspects it with rpull.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Sim = Sl_engine.Sim
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Memory = Switchless.Memory
+module Ptid = Switchless.Ptid
+module Regstate = Switchless.Regstate
+module Params = Switchless.Params
+
+let () =
+  let sim = Sim.create () in
+  let chip = Chip.create sim Params.default ~cores:1 in
+  let memory = Chip.memory chip in
+  let doorbell = Memory.alloc memory 1 in
+
+  let log fmt = Printf.printf ("[%8Ld] " ^^ fmt ^^ "\n") (Sim.time sim) in
+
+  (* A worker hardware thread: waits on the doorbell, then computes. *)
+  let worker = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.User () in
+  Chip.attach worker (fun th ->
+      Isa.monitor th doorbell;
+      let hit = Isa.mwait th in
+      log "worker: woken by a write to %#x" hit;
+      let budget = Regstate.get (Chip.regs worker) (Regstate.Gp 0) in
+      log "worker: boss left %Ld cycles of work in gp0" budget;
+      Isa.exec th budget;
+      log "worker: done");
+
+  (* A supervisor thread that manages the worker. *)
+  let boss = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach boss (fun th ->
+      (* The worker is disabled: we may write its registers remotely. *)
+      Isa.rpush th ~vtid:2 (Regstate.Gp 0) 5000L;
+      Isa.start th ~vtid:2;
+      log "boss: worker started";
+      Sim.delay 100L;
+      Isa.store th doorbell 1L;
+      log "boss: doorbell rung";
+      (* Let it run a while, then freeze and inspect it. *)
+      Sim.delay 2000L;
+      Isa.stop th ~vtid:2;
+      log "boss: worker frozen mid-computation";
+      let pc = Isa.rpull th ~vtid:2 Regstate.Rip in
+      log "boss: worker rip=%Ld (rpull of a disabled thread)" pc;
+      Sim.delay 500L;
+      Isa.start th ~vtid:2;
+      log "boss: worker resumed");
+
+  Chip.boot boss;
+  Sim.run sim;
+  let stats = Chip.stats chip in
+  Printf.printf
+    "\nfinal time: %Ld cycles | wakeups: %d | starts: %d | demotions: %d\n"
+    (Sim.time sim) stats.Chip.total_wakeups stats.Chip.total_starts
+    stats.Chip.demotions

@@ -1,0 +1,99 @@
+(* Sandboxed eBPF-style filters on hardware threads (§2 "Untrusted
+   Hypervisors", last paragraph).
+
+   Today eBPF programs run inside the kernel under a restrictive verifier
+   because a fault in kernel context is fatal.  With hardware threads,
+   the filter runs in its own *user-mode* thread: the kernel's network
+   thread hands each packet over with a direct hardware-thread call
+   (~60-cycle tax), and a filter that crashes merely disables itself —
+   the kernel observes the exception descriptor, counts the failure and
+   reloads the filter, having never been at risk.
+
+   Run with: dune exec examples/sandbox_ebpf.exe *)
+
+module Sim = Sl_engine.Sim
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Params = Switchless.Params
+module Memory = Switchless.Memory
+module Regstate = Switchless.Regstate
+module Exception_desc = Switchless.Exception_desc
+module Hw_channel = Sl_os.Hw_channel
+
+let () =
+  let params = Params.default in
+  let sim = Sim.create () in
+  let chip = Chip.create sim params ~cores:2 in
+  let memory = Chip.memory chip in
+
+  let packets = 400 in
+  let filter_cost = 120L in
+  let crash_every = 100 in
+
+  (* The untrusted filter: ordinary work, except that it divides by zero
+     on every 100th packet. *)
+  let filtered = ref 0 in
+  let filter =
+    Hw_channel.create chip ~core:1 ~server_ptid:50 ~mode:Ptid.User
+      ~on_request:(fun th pkt ->
+        if Int64.to_int pkt mod crash_every = crash_every - 1 then
+          (* Bug: divide error inside the sandbox. *)
+          Isa.fault th Exception_desc.Divide_error ~info:pkt
+        else begin
+          Isa.exec th filter_cost;
+          incr filtered
+        end)
+      ()
+  in
+
+  (* The kernel supervises the sandbox: its exception descriptors land
+     here, and the kernel thread repairs + restarts the filter. *)
+  let desc = Memory.alloc memory Exception_desc.size_words in
+  let filter_thread = Chip.find_thread chip ~ptid:50 in
+  Regstate.set (Chip.regs filter_thread) Regstate.Exception_descriptor_ptr
+    (Int64.of_int desc);
+  let crashes = ref 0 in
+  let warden = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.Supervisor () in
+  Chip.attach warden (fun th ->
+      Isa.monitor th desc;
+      let rec serve () =
+        let _ = Isa.mwait th in
+        let d = Exception_desc.read memory ~base:desc in
+        incr crashes;
+        (* "Reload" the filter: clear its registers, restart it.  The
+           channel's pending response is completed by the restart because
+           the filter resumes right after its fault point. *)
+        Isa.exec th 200L;
+        Isa.rpush th ~vtid:d.Exception_desc.ptid (Regstate.Gp 0) 0L;
+        Isa.start th ~vtid:d.Exception_desc.ptid;
+        serve ()
+      in
+      serve ());
+  Chip.boot warden;
+
+  (* The kernel network thread pushes every packet through the filter. *)
+  let kernel = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  let t0 = ref 0L and t_end = ref 0L in
+  Chip.attach kernel (fun th ->
+      t0 := Sim.now ();
+      for pkt = 1 to packets do
+        Hw_channel.call filter ~client:th ~work:(Int64.of_int pkt) ();
+        (* Kernel-side per-packet processing. *)
+        Isa.exec th 300L
+      done;
+      t_end := Sim.now ());
+  Chip.boot kernel;
+  Sim.run sim;
+
+  let total = Int64.to_float (Int64.sub !t_end !t0) in
+  Printf.printf "sandboxed eBPF filter: %d packets through a user-mode filter thread\n"
+    packets;
+  Printf.printf "  filtered OK: %d | sandbox crashes contained: %d\n" !filtered !crashes;
+  Printf.printf "  cycles/packet end-to-end: %.0f (filter %Ld + kernel 300 + ~70 hand-off)\n"
+    (total /. float_of_int packets)
+    filter_cost;
+  Printf.printf "  kernel privilege ever granted to the filter: none (mode = %s)\n"
+    (Format.asprintf "%a" Ptid.pp_mode (Chip.mode filter_thread));
+  Printf.printf "  chip halted: %s\n"
+    (match Chip.halted chip with None -> "no - faults stayed in the sandbox" | Some r -> r)

@@ -1,0 +1,1 @@
+lib/baseline/ctx_cost.mli: Switchless

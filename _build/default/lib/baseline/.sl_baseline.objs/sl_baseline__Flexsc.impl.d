@@ -1,0 +1,1 @@
+lib/baseline/flexsc.ml: List Sl_engine Switchless

@@ -1,0 +1,1 @@
+lib/baseline/flexsc.mli: Sl_engine Switchless

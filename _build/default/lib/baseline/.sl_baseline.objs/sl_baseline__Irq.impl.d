@@ -1,0 +1,1 @@
+lib/baseline/irq.ml: Array Int64 Sl_engine Switchless

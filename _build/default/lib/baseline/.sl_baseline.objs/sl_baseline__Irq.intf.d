@@ -1,0 +1,1 @@
+lib/baseline/irq.mli: Sl_engine Switchless

@@ -1,0 +1,1 @@
+lib/baseline/swsched.ml: Array Ctx_cost Int64 List Queue Sl_engine Switchless

@@ -1,0 +1,1 @@
+lib/baseline/swsched.mli: Sl_engine Switchless

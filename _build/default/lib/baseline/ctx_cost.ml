@@ -1,0 +1,27 @@
+module Params = Switchless.Params
+
+let regstate_bytes params ~vector = Params.regstate_bytes params ~vector
+
+let save_restore_cycles params ~out_vector ~in_vector =
+  let bytes =
+    regstate_bytes params ~vector:out_vector + regstate_bytes params ~vector:in_vector
+  in
+  (bytes + params.Params.ctx_bytes_per_cycle - 1) / params.Params.ctx_bytes_per_cycle
+
+let software_switch_cycles params ?(warmup = true) ~out_vector ~in_vector () =
+  params.Params.ctx_switch_fixed_cycles
+  + save_restore_cycles params ~out_vector ~in_vector
+  + params.Params.sched_decision_cycles
+  + if warmup then params.Params.cache_warmup_cycles else 0
+
+let trap_roundtrip_cycles params =
+  params.Params.trap_entry_cycles + params.Params.trap_exit_cycles
+
+let trap_total_cycles params =
+  trap_roundtrip_cycles params + params.Params.trap_pollution_cycles
+
+let interrupt_path_cycles params =
+  params.Params.interrupt_entry_cycles + params.Params.interrupt_exit_cycles
+
+let vmexit_roundtrip_cycles params =
+  params.Params.vmexit_entry_cycles + params.Params.vmexit_exit_cycles

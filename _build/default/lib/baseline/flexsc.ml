@@ -1,0 +1,48 @@
+module Sim = Sl_engine.Sim
+module Ivar = Sl_engine.Ivar
+module Mailbox = Sl_engine.Mailbox
+module Smt_core = Switchless.Smt_core
+
+type entry = { kernel_work : int64; done_ : unit Ivar.t }
+
+type t = {
+  entries : entry Mailbox.t;
+  mutable calls : int;
+  mutable batches : int;
+}
+
+let worker_ptid = 777_777
+
+let create sim _params ?(batch_window = 500L) ~core () =
+  let t = { entries = Mailbox.create (); calls = 0; batches = 0 } in
+  Sim.spawn sim (fun () ->
+      Smt_core.set_runnable core ~ptid:worker_ptid ~weight:1.0 true;
+      let rec serve () =
+        (* Sleep until something is posted, then let a batch accumulate. *)
+        let first = Mailbox.recv t.entries in
+        Sim.delay batch_window;
+        t.batches <- t.batches + 1;
+        let rec drain acc =
+          match Mailbox.try_recv t.entries with
+          | Some e -> drain (e :: acc)
+          | None -> List.rev acc
+        in
+        let batch = first :: drain [] in
+        List.iter
+          (fun e ->
+            Smt_core.execute core ~ptid:worker_ptid ~kind:Smt_core.Useful e.kernel_work;
+            Ivar.fill e.done_ ())
+          batch;
+        serve ()
+      in
+      serve ());
+  t
+
+let call t ~kernel_work =
+  t.calls <- t.calls + 1;
+  let done_ = Ivar.create () in
+  Mailbox.send t.entries { kernel_work; done_ };
+  Ivar.read done_
+
+let calls t = t.calls
+let batches t = t.batches

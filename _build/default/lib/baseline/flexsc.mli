@@ -1,0 +1,25 @@
+(** FlexSC-style exception-less system calls (Soares & Stumm, OSDI '10).
+
+    Applications post syscall entries to a shared page instead of
+    trapping; dedicated kernel worker threads (here: a worker context on
+    a kernel-owned core) batch-process the entries and post results back.
+    No mode switch is paid, but calls absorb batching delay — the paper's
+    point that exception-less designs trade latency and complexity for
+    the trap cost, where a dedicated hardware thread would get both. *)
+
+type t
+
+val create :
+  Sl_engine.Sim.t -> Switchless.Params.t -> ?batch_window:int64 ->
+  core:Switchless.Smt_core.t -> unit -> t
+(** The worker occupies a context on [core] (typically a core reserved
+    for kernel work).  [batch_window] (default 500 cycles) is how long
+    the worker accumulates entries after noticing the first one. *)
+
+val call : t -> kernel_work:int64 -> unit
+(** Post an entry (the caller pays only a couple of store cycles at its
+    own core — charge those before calling) and block until the worker
+    has executed [kernel_work] for it. *)
+
+val calls : t -> int
+val batches : t -> int

@@ -1,0 +1,63 @@
+module Sim = Sl_engine.Sim
+module Mailbox = Sl_engine.Mailbox
+module Params = Switchless.Params
+module Smt_core = Switchless.Smt_core
+
+type pending = { handler : exec:(int64 -> unit) -> unit }
+
+type t = {
+  params : Params.t;
+  queues : pending Mailbox.t array;  (* one per core *)
+  mutable irqs : int;
+  mutable ipis : int;
+}
+
+(* The IRQ context's ptid on each core; chosen outside Swsched's range. *)
+let irq_ptid core_id = (core_id * 1024) + 999
+
+(* A heavy weight so the IRQ context is never throttled below a full
+   pipeline slot while application contexts share the rest. *)
+let irq_weight = 64.0
+
+let create sim params ~cores =
+  let t =
+    {
+      params;
+      queues = Array.map (fun _ -> Mailbox.create ()) cores;
+      irqs = 0;
+      ipis = 0;
+    }
+  in
+  Array.iteri
+    (fun core_id core ->
+      let ptid = irq_ptid core_id in
+      let queue = t.queues.(core_id) in
+      Sim.spawn sim (fun () ->
+          let exec cycles =
+            Smt_core.execute core ~ptid ~kind:Smt_core.Overhead cycles
+          in
+          let rec serve () =
+            let { handler } = Mailbox.recv queue in
+            Smt_core.set_runnable core ~ptid ~weight:irq_weight true;
+            exec (Int64.of_int params.Params.interrupt_entry_cycles);
+            handler ~exec;
+            exec (Int64.of_int params.Params.interrupt_exit_cycles);
+            Smt_core.set_runnable core ~ptid ~weight:irq_weight false;
+            serve ()
+          in
+          serve ()))
+    cores;
+  t
+
+let raise_irq t ~core ~handler =
+  t.irqs <- t.irqs + 1;
+  Mailbox.send t.queues.(core) { handler }
+
+let send_ipi t ~core ~handler =
+  t.ipis <- t.ipis + 1;
+  Sim.delay (Int64.of_int t.params.Params.ipi_cycles);
+  t.irqs <- t.irqs + 1;
+  Mailbox.send t.queues.(core) { handler }
+
+let irq_count t = t.irqs
+let ipi_count t = t.ipis

@@ -1,0 +1,26 @@
+(** Legacy interrupt delivery: IDT dispatch, IRQ context, IPIs.
+
+    Each core reserves an interrupt context.  Raising an IRQ on a core
+    enqueues a handler; the IRQ context charges the architectural entry
+    cost, runs the handler body (which consumes cycles via the [exec]
+    function it receives), then charges the exit cost.  While active, the
+    IRQ context competes for the core's pipeline like an extra hardware
+    context — stealing capacity from application contexts, exactly the
+    disruption §2 wants to remove.  Handlers on one core serialize (hard
+    IRQ context). *)
+
+type t
+
+val create : Sl_engine.Sim.t -> Switchless.Params.t -> cores:Switchless.Smt_core.t array -> t
+
+val raise_irq : t -> core:int -> handler:(exec:(int64 -> unit) -> unit) -> unit
+(** Deliver an interrupt to [core] at the current time.  Safe to call from
+    any process or callback; the handler runs asynchronously in IRQ
+    context. *)
+
+val send_ipi : t -> core:int -> handler:(exec:(int64 -> unit) -> unit) -> unit
+(** Cross-core interrupt: like {!raise_irq} after the IPI delivery
+    latency.  Must be called from a process. *)
+
+val irq_count : t -> int
+val ipi_count : t -> int

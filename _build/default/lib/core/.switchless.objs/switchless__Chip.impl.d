@@ -1,0 +1,1 @@
+lib/core/chip.ml: Array Exception_desc Format Hashtbl Int64 Memory Monitor Params Ptid Regstate Sl_engine Smt_core State_store Tdt

@@ -1,0 +1,1 @@
+lib/core/chip.mli: Exception_desc Memory Monitor Params Ptid Regstate Sl_engine Smt_core State_store Tdt

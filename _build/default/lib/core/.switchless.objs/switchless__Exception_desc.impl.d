@@ -1,0 +1,1 @@
+lib/core/exception_desc.ml: Format Int64 Memory

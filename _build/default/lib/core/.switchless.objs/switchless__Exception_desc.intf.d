@@ -1,0 +1,1 @@
+lib/core/exception_desc.mli: Format Memory

@@ -1,0 +1,1 @@
+lib/core/hw_dispatch.ml: Chip Int64 Isa List Memory Queue Sl_engine Smt_core State_store

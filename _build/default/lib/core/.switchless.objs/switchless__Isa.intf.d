@@ -1,0 +1,1 @@
+lib/core/isa.mli: Chip Exception_desc Memory Regstate Smt_core Tdt

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Hashtbl List Memory Option Params

@@ -1,0 +1,1 @@
+lib/core/ptid.ml: Format Regstate Tdt

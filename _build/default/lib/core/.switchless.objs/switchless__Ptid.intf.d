@@ -1,0 +1,1 @@
+lib/core/ptid.mli: Format Regstate Tdt

@@ -1,0 +1,1 @@
+lib/core/regstate.ml: Array Format Option Params

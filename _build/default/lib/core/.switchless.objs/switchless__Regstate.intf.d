@@ -1,0 +1,1 @@
+lib/core/regstate.mli: Format Params

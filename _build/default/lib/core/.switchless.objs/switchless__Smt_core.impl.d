@@ -1,0 +1,1 @@
+lib/core/smt_core.ml: Array Float Hashtbl Int64 List Params Sl_engine

@@ -1,0 +1,1 @@
+lib/core/smt_core.mli: Params Sl_engine

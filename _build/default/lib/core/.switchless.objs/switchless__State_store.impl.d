@@ -1,0 +1,1 @@
+lib/core/state_store.ml: Array Format Hashtbl Params

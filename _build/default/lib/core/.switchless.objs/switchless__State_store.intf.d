@@ -1,0 +1,1 @@
+lib/core/state_store.mli: Format Params

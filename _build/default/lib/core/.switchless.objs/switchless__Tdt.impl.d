@@ -1,0 +1,1 @@
+lib/core/tdt.ml: Format Hashtbl List

@@ -1,0 +1,497 @@
+module Sim = Sl_engine.Sim
+module Ivar = Sl_engine.Ivar
+module Signal = Sl_engine.Signal
+
+exception Halted of string
+
+type core = {
+  exec_unit : Smt_core.t;
+  store : State_store.t;
+  cache : Tdt.Cache.cache;
+}
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  memory : Memory.t;
+  monitor : Monitor.t;
+  cores : core array;
+  threads : (int, thread) Hashtbl.t;  (* ptid -> thread, chip-wide *)
+  mutable halted_reason : string option;
+  mutable exn_seq : int64;
+  mutable exn_count : int;
+}
+
+and thread = {
+  chip : t;
+  p : Ptid.t;
+  mutable body : (thread -> unit) option;
+  mutable spawned : bool;
+  mutable wake_slot : Memory.addr option Ivar.t option;
+  mutable pending_start : bool;
+      (* A start issued while the thread was already runnable.  Like the
+         monitor latch, this makes start/stop race-free: the pending
+         enable absorbs the next voluntary stop, so a caller that rings a
+         server which has not yet parked itself does not lose the
+         request. *)
+  resume : unit Signal.t;
+}
+
+let create sim params ~cores =
+  if cores <= 0 then invalid_arg "Chip.create: need at least one core";
+  let memory = Memory.create () in
+  let monitor = Monitor.create params in
+  Monitor.attach monitor memory;
+  {
+    sim;
+    params;
+    memory;
+    monitor;
+    cores =
+      Array.init cores (fun core_id ->
+          {
+            exec_unit = Smt_core.create sim params ~core_id;
+            store = State_store.create params;
+            cache = Tdt.Cache.create ();
+          });
+    threads = Hashtbl.create 64;
+    halted_reason = None;
+    exn_seq = 0L;
+    exn_count = 0;
+  }
+
+let sim t = t.sim
+let params t = t.params
+let memory t = t.memory
+let monitor_table t = t.monitor
+let core_count t = Array.length t.cores
+let core t core_id = t.cores.(core_id)
+let exec_core t core_id = (core t core_id).exec_unit
+let state_store t core_id = (core t core_id).store
+let tdt_cache t core_id = (core t core_id).cache
+let halted t = t.halted_reason
+
+let add_thread t ~core:core_id ~ptid ~mode ?(vector = false) ?(weight = 1.0) () =
+  if core_id < 0 || core_id >= Array.length t.cores then
+    invalid_arg "Chip.add_thread: no such core";
+  if Hashtbl.mem t.threads ptid then
+    invalid_arg "Chip.add_thread: ptid already exists";
+  let p = Ptid.create ~ptid ~core_id ~mode ~vector ~weight () in
+  let bytes = Regstate.footprint_bytes t.params p.Ptid.regs in
+  State_store.register (state_store t core_id) ~ptid ~bytes;
+  let th =
+    {
+      chip = t;
+      p;
+      body = None;
+      spawned = false;
+      wake_slot = None;
+      pending_start = false;
+      resume = Signal.create ();
+    }
+  in
+  Hashtbl.replace t.threads ptid th;
+  th
+
+let find_thread t ~ptid =
+  match Hashtbl.find_opt t.threads ptid with
+  | Some th -> th
+  | None -> invalid_arg "Chip.find_thread: unknown ptid"
+
+let attach th body =
+  match th.body with
+  | Some _ -> invalid_arg "Chip.attach: body already attached"
+  | None -> th.body <- Some body
+
+let ptid th = th.p.Ptid.ptid
+let home_core th = th.p.Ptid.core_id
+let state th = th.p.Ptid.state
+let mode th = th.p.Ptid.mode
+let regs th = th.p.Ptid.regs
+let set_tdt th table = th.p.Ptid.tdt <- Some table
+let tdt th = th.p.Ptid.tdt
+let wakeup_count th = th.p.Ptid.wakeups
+let start_count th = th.p.Ptid.starts
+
+let own_core th = th.chip.cores.(home_core th)
+
+let pin_state th = State_store.pin (own_core th).store ~ptid:(ptid th)
+
+let monitor_key th = { Monitor.core_id = home_core th; ptid = ptid th }
+
+let make_runnable th =
+  th.p.Ptid.state <- Ptid.Runnable;
+  Smt_core.set_runnable (own_core th).exec_unit ~ptid:(ptid th)
+    ~weight:th.p.Ptid.weight true
+
+let make_not_runnable th state =
+  th.p.Ptid.state <- state;
+  Smt_core.set_runnable (own_core th).exec_unit ~ptid:(ptid th)
+    ~weight:th.p.Ptid.weight false
+
+let run_body th =
+  match th.body with
+  | None -> invalid_arg "Chip: starting a thread with no body attached"
+  | Some body ->
+    Sim.spawn th.chip.sim (fun () ->
+        body th;
+        (* Instruction stream ended: the thread parks itself. *)
+        if th.p.Ptid.state = Ptid.Runnable then make_not_runnable th Ptid.Disabled)
+
+(* Block the calling body until its thread is runnable again.  Loops
+   because a start can be followed by another stop before we get going. *)
+let rec wait_until_runnable th =
+  if th.p.Ptid.state <> Ptid.Runnable then begin
+    Signal.wait th.resume;
+    wait_until_runnable th
+  end
+
+let exec th ?(kind = Smt_core.Useful) cycles =
+  wait_until_runnable th;
+  Smt_core.execute (own_core th).exec_unit ~ptid:(ptid th) ~kind cycles
+
+let exec_int th ?kind cycles = exec th ?kind (Int64.of_int cycles)
+
+(* --- wakeup machinery -------------------------------------------------- *)
+
+(* Bring a disabled/waiting thread back to runnable after the hardware
+   latency: state transfer from its current storage tier plus the pipeline
+   restart cost, plus [extra] (e.g. the monitor match cost). *)
+let schedule_wakeup th ~extra ~(on_ready : unit -> unit) =
+  let chip = th.chip in
+  let core = own_core th in
+  let transfer = State_store.wake_transfer_cycles core.store ~ptid:(ptid th) in
+  let latency = extra + transfer + chip.params.Params.pipeline_start_cycles in
+  Sim.schedule chip.sim
+    ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
+    (fun () ->
+      make_runnable th;
+      Signal.emit th.resume ();
+      on_ready ())
+
+(* --- §3.1 instructions -------------------------------------------------- *)
+
+let insn_monitor th addr =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.monitor_arm_cycles;
+  Monitor.arm th.chip.monitor (monitor_key th) addr
+
+let insn_mwait th =
+  let chip = th.chip in
+  let key = monitor_key th in
+  exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_arm_cycles;
+  let rec park () =
+    let ivar = Ivar.create () in
+    let wake addr =
+      (* Runs synchronously inside the triggering Memory.write. *)
+      let scan = Monitor.write_scan_cost chip.monitor key.Monitor.core_id in
+      th.p.Ptid.wakeups <- th.p.Ptid.wakeups + 1;
+      let latency =
+        chip.params.Params.monitor_wake_cycles + scan
+        + State_store.wake_transfer_cycles (own_core th).store ~ptid:(ptid th)
+        + chip.params.Params.pipeline_start_cycles
+      in
+      Sim.schedule chip.sim
+        ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
+        (fun () ->
+          if Ivar.is_full ivar then
+            (* A force-stop raced the in-flight wakeup and cancelled it
+               (filled the slot with None).  The event must not be lost:
+               latch it for the thread's re-parked mwait. *)
+            Monitor.relatch chip.monitor key addr
+          else begin
+            make_runnable th;
+            Signal.emit th.resume ();
+            Ivar.fill ivar (Some addr)
+          end)
+    in
+    match Monitor.mwait chip.monitor key ~wake with
+    | `Immediate addr ->
+      (* The write already happened; no sleep, only the match cost. *)
+      th.p.Ptid.wakeups <- th.p.Ptid.wakeups + 1;
+      exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_wake_cycles;
+      addr
+    | `Parked -> (
+      make_not_runnable th Ptid.Waiting;
+      State_store.touch (own_core th).store ~ptid:(ptid th);
+      th.wake_slot <- Some ivar;
+      match Ivar.read ivar with
+      | Some addr ->
+        th.wake_slot <- None;
+        addr
+      | None ->
+        (* Force-stopped while waiting; when restarted, wait again. *)
+        th.wake_slot <- None;
+        wait_until_runnable th;
+        park ())
+  in
+  park ()
+
+(* Fault the calling thread through its exception-descriptor pointer. *)
+let raise_exception th kind ~info =
+  let chip = th.chip in
+  chip.exn_count <- chip.exn_count + 1;
+  let edp = Regstate.get th.p.Ptid.regs Regstate.Exception_descriptor_ptr in
+  if edp = 0L then begin
+    let reason =
+      Format.asprintf "unhandled %a exception in ptid %d (no handler chain left)"
+        Exception_desc.pp_kind kind (ptid th)
+    in
+    chip.halted_reason <- Some reason;
+    raise (Halted reason)
+  end
+  else begin
+    (* Faults are involuntary: a latched start must not absorb them. *)
+    th.pending_start <- false;
+    make_not_runnable th Ptid.Disabled;
+    Sim.delay (Int64.of_int chip.params.Params.exception_descriptor_cycles);
+    chip.exn_seq <- Int64.add chip.exn_seq 1L;
+    Exception_desc.write chip.memory ~base:(Int64.to_int edp) ~seq:chip.exn_seq
+      ~core_id:(home_core th) ~ptid:(ptid th) kind ~info;
+    (* Parked until a handler repairs our state and restarts us. *)
+    wait_until_runnable th
+  end
+
+(* Translate a vtid through the caller's TDT, charging lookup costs.
+   Returns the target thread and its permissions, or faults the caller. *)
+let translate th ~vtid =
+  let chip = th.chip in
+  match th.p.Ptid.tdt with
+  | Some table -> (
+    let entry, outcome = Tdt.Cache.lookup (own_core th).cache table ~vtid in
+    let cost =
+      match outcome with
+      | `Hit -> chip.params.Params.tdt_cached_lookup_cycles
+      | `Miss -> chip.params.Params.tdt_miss_cycles
+    in
+    exec_int th ~kind:Smt_core.Overhead cost;
+    match entry with
+    | Some (target_ptid, perms) when Hashtbl.mem chip.threads target_ptid ->
+      Some (Hashtbl.find chip.threads target_ptid, perms)
+    | Some _ | None ->
+      raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid);
+      None)
+  | None ->
+    if Ptid.is_supervisor th.p then begin
+      (* Supervisors without a table address ptids directly. *)
+      match Hashtbl.find_opt chip.threads vtid with
+      | Some target -> Some (target, Tdt.perms_all)
+      | None ->
+        raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid);
+        None
+    end
+    else begin
+      raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid);
+      None
+    end
+
+let permitted th perms check = Ptid.is_supervisor th.p || check perms
+
+let do_start target =
+  match target.p.Ptid.state with
+  | Ptid.Disabled ->
+    target.p.Ptid.starts <- target.p.Ptid.starts + 1;
+    if not target.spawned then begin
+      target.spawned <- true;
+      schedule_wakeup target ~extra:0 ~on_ready:(fun () -> run_body target)
+    end
+    else schedule_wakeup target ~extra:0 ~on_ready:(fun () -> ())
+  | Ptid.Runnable ->
+    (* Already enabled: latch the start so it cannot be lost to a stop
+       that is architecturally in flight (e.g. a server parking itself). *)
+    target.pending_start <- true
+  | Ptid.Waiting -> ()
+
+let do_stop target =
+  if target.pending_start then
+    (* The latched start absorbs this stop; the thread keeps running. *)
+    target.pending_start <- false
+  else begin
+    match target.p.Ptid.state with
+    | Ptid.Disabled -> ()
+    | Ptid.Runnable -> make_not_runnable target Ptid.Disabled
+    | Ptid.Waiting ->
+      Monitor.cancel_wait target.chip.monitor (monitor_key target);
+      target.p.Ptid.state <- Ptid.Disabled;
+      (match target.wake_slot with
+      | Some ivar -> Ivar.fill ivar None
+      | None -> ())
+  end
+
+let insn_start th ~vtid =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
+  match translate th ~vtid with
+  | None -> ()
+  | Some (target, perms) ->
+    if permitted th perms (fun p -> p.Tdt.can_start) then do_start target
+    else raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
+
+let insn_stop th ~vtid =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
+  match translate th ~vtid with
+  | None -> ()
+  | Some (target, perms) ->
+    if permitted th perms (fun p -> p.Tdt.can_stop) then do_stop target
+    else raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
+
+(* Permission for remote register access.  Reading needs any modify bit;
+   writing needs the bit matching the register class; privileged control
+   registers always need a supervisor caller. *)
+let reg_readable perms = perms.Tdt.can_modify_some || perms.Tdt.can_modify_most
+
+let reg_writable th perms reg =
+  if Regstate.is_privileged_reg reg then Ptid.is_supervisor th.p
+  else if Regstate.modify_some_allows reg then
+    perms.Tdt.can_modify_some || perms.Tdt.can_modify_most
+  else Regstate.modify_most_allows reg && perms.Tdt.can_modify_most
+
+let insn_rpull th ~vtid reg =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
+  match translate th ~vtid with
+  | None -> 0L
+  | Some (target, perms) ->
+    if not (permitted th perms reg_readable) then begin
+      raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid);
+      0L
+    end
+    else if target.p.Ptid.state <> Ptid.Disabled then begin
+      raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid);
+      0L
+    end
+    else Regstate.get target.p.Ptid.regs reg
+
+let insn_rpush th ~vtid reg value =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
+  match translate th ~vtid with
+  | None -> ()
+  | Some (target, perms) ->
+    if Regstate.is_privileged_reg reg && not (Ptid.is_supervisor th.p) then
+      (* §3.2: privileged-register access from user mode always faults so a
+         supervisor can emulate it. *)
+      raise_exception th Exception_desc.Privileged_instruction ~info:(Int64.of_int vtid)
+    else if not (Ptid.is_supervisor th.p || reg_writable th perms reg) then
+      raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
+    else if target.p.Ptid.state <> Ptid.Disabled then
+      raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid)
+    else Regstate.set target.p.Ptid.regs reg value
+
+(* --- §3.2 secret-key capability scheme ---------------------------------- *)
+
+let insn_set_secret th key =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
+  th.p.Ptid.secret <- Some key
+
+(* Resolve a raw ptid for a keyed operation: the caller must present the
+   target's published secret (supervisors pass regardless). *)
+let translate_keyed th ~target_ptid ~key =
+  let chip = th.chip in
+  exec_int th ~kind:Smt_core.Overhead chip.params.Params.tdt_cached_lookup_cycles;
+  match Hashtbl.find_opt chip.threads target_ptid with
+  | None ->
+    raise_exception th Exception_desc.Invalid_thread_access
+      ~info:(Int64.of_int target_ptid);
+    None
+  | Some target ->
+    if Ptid.is_supervisor th.p then Some target
+    else begin
+      match target.p.Ptid.secret with
+      | Some s when Int64.equal s key -> Some target
+      | Some _ | None ->
+        raise_exception th Exception_desc.Permission_denied
+          ~info:(Int64.of_int target_ptid);
+        None
+    end
+
+let insn_start_keyed th ~target_ptid ~key =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
+  match translate_keyed th ~target_ptid ~key with
+  | None -> ()
+  | Some target -> do_start target
+
+let insn_stop_keyed th ~target_ptid ~key =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
+  match translate_keyed th ~target_ptid ~key with
+  | None -> ()
+  | Some target -> do_stop target
+
+let insn_rpull_keyed th ~target_ptid ~key reg =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
+  match translate_keyed th ~target_ptid ~key with
+  | None -> 0L
+  | Some target ->
+    if target.p.Ptid.state <> Ptid.Disabled then begin
+      raise_exception th Exception_desc.Invalid_thread_access
+        ~info:(Int64.of_int target_ptid);
+      0L
+    end
+    else Regstate.get target.p.Ptid.regs reg
+
+let insn_rpush_keyed th ~target_ptid ~key reg value =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
+  match translate_keyed th ~target_ptid ~key with
+  | None -> ()
+  | Some target ->
+    if Regstate.is_privileged_reg reg && not (Ptid.is_supervisor th.p) then
+      raise_exception th Exception_desc.Privileged_instruction
+        ~info:(Int64.of_int target_ptid)
+    else if target.p.Ptid.state <> Ptid.Disabled then
+      raise_exception th Exception_desc.Invalid_thread_access
+        ~info:(Int64.of_int target_ptid)
+    else Regstate.set target.p.Ptid.regs reg value
+
+let insn_invtid th ~vtid =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.tdt_cached_lookup_cycles;
+  match th.p.Ptid.tdt with
+  | Some table -> Tdt.Cache.invalidate (own_core th).cache table ~vtid
+  | None -> ()
+
+let insn_set_tdt th table =
+  exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
+  if Ptid.is_supervisor th.p then th.p.Ptid.tdt <- Some table
+  else raise_exception th Exception_desc.Privileged_instruction ~info:0L
+
+let load th addr =
+  exec th ~kind:Smt_core.Useful 1L;
+  Memory.read th.chip.memory addr
+
+let store th addr value =
+  exec th ~kind:Smt_core.Useful 1L;
+  Memory.write th.chip.memory addr value
+
+let boot th =
+  if th.spawned then invalid_arg "Chip.boot: thread already started";
+  th.spawned <- true;
+  th.p.Ptid.starts <- th.p.Ptid.starts + 1;
+  make_runnable th;
+  run_body th
+
+(* --- statistics --------------------------------------------------------- *)
+
+type stats = {
+  total_wakeups : int;
+  total_starts : int;
+  total_exceptions : int;
+  rf_wakes : int;
+  l2_wakes : int;
+  l3_wakes : int;
+  dram_wakes : int;
+  demotions : int;
+}
+
+let stats t =
+  let sum f = Hashtbl.fold (fun _ th acc -> acc + f th) t.threads 0 in
+  let tier_sum tier =
+    Array.fold_left
+      (fun acc core -> acc + State_store.transfer_count core.store tier)
+      0 t.cores
+  in
+  {
+    total_wakeups = sum (fun th -> th.p.Ptid.wakeups);
+    total_starts = sum (fun th -> th.p.Ptid.starts);
+    total_exceptions = t.exn_count;
+    rf_wakes = tier_sum State_store.Register_file;
+    l2_wakes = tier_sum State_store.L2;
+    l3_wakes = tier_sum State_store.L3;
+    dram_wakes = tier_sum State_store.Dram;
+    demotions =
+      Array.fold_left (fun acc core -> acc + State_store.demotion_count core.store) 0 t.cores;
+  }

@@ -1,0 +1,118 @@
+(** The simulated chip: cores, memory, monitors, and hardware threads.
+
+    [Chip] wires the pieces together and implements the state-transition
+    semantics (with their costs) behind the §3.1 instructions.  Most user
+    code should go through {!Isa}, which presents the instructions under
+    their paper names; [Chip] additionally provides construction, thread
+    lifecycle plumbing, and statistics.
+
+    A hardware thread's "instruction stream" is an OCaml function (its
+    {e body}) run as a simulation process.  The body receives the thread
+    handle and uses {!Isa} operations — [exec] to consume pipeline cycles,
+    [monitor]/[mwait] to block on memory, [start]/[stop] to manage other
+    threads.  Bodies start executing the first time the thread is started
+    (or {!boot}ed). *)
+
+exception Halted of string
+(** The chip took an exception with no registered handler — the paper's
+    "serious kernel bug akin to a triple-fault". *)
+
+type t
+
+type thread
+(** Handle on one hardware thread (a ptid bound to its home core). *)
+
+val create : Sl_engine.Sim.t -> Params.t -> cores:int -> t
+
+val sim : t -> Sl_engine.Sim.t
+val params : t -> Params.t
+val memory : t -> Memory.t
+val monitor_table : t -> Monitor.t
+val core_count : t -> int
+val exec_core : t -> int -> Smt_core.t
+val state_store : t -> int -> State_store.t
+val tdt_cache : t -> int -> Tdt.Cache.cache
+val halted : t -> string option
+
+(** {2 Thread construction} *)
+
+val add_thread :
+  t -> core:int -> ptid:int -> mode:Ptid.mode -> ?vector:bool ->
+  ?weight:float -> unit -> thread
+(** Register a hardware thread on its home core.  Its context is admitted
+    to the core's state store.  Ptids are unique chip-wide.  The thread is
+    born disabled with no body. *)
+
+val attach : thread -> (thread -> unit) -> unit
+(** Give the thread its instruction stream.  May be called once. *)
+
+val boot : thread -> unit
+(** Zero-cost supervisor start used during simulation setup (firmware
+    would have done it): the thread becomes runnable and its body is
+    spawned at the current simulation time. *)
+
+val find_thread : t -> ptid:int -> thread
+
+(** {2 Thread introspection} *)
+
+val ptid : thread -> int
+val home_core : thread -> int
+val state : thread -> Ptid.state
+val mode : thread -> Ptid.mode
+val regs : thread -> Regstate.t
+val set_tdt : thread -> Tdt.t -> unit
+(** Setup-time assignment of the thread's TDT (no cost, no permission
+    check — use {!Isa.set_tdt} for the in-simulation privileged write). *)
+
+val tdt : thread -> Tdt.t option
+val wakeup_count : thread -> int
+val start_count : thread -> int
+
+val pin_state : thread -> unit
+(** Pin this thread's context in its core's register file (§4
+    criticality-based placement). *)
+
+(** {2 Instruction semantics (used by Isa; callable directly)}
+
+    All of these must be invoked from within the calling thread's body
+    (they consume simulated time). *)
+
+val exec : thread -> ?kind:Smt_core.kind -> int64 -> unit
+(** Consume pipeline cycles on the thread's home core ({!Smt_core.execute}). *)
+
+val insn_monitor : thread -> Memory.addr -> unit
+val insn_mwait : thread -> Memory.addr
+val insn_start : thread -> vtid:int -> unit
+val insn_stop : thread -> vtid:int -> unit
+val insn_rpull : thread -> vtid:int -> Regstate.reg -> int64
+val insn_rpush : thread -> vtid:int -> Regstate.reg -> int64 -> unit
+val insn_invtid : thread -> vtid:int -> unit
+val insn_set_secret : thread -> int64 -> unit
+val insn_start_keyed : thread -> target_ptid:int -> key:int64 -> unit
+val insn_stop_keyed : thread -> target_ptid:int -> key:int64 -> unit
+val insn_rpull_keyed : thread -> target_ptid:int -> key:int64 -> Regstate.reg -> int64
+val insn_rpush_keyed :
+  thread -> target_ptid:int -> key:int64 -> Regstate.reg -> int64 -> unit
+val insn_set_tdt : thread -> Tdt.t -> unit
+val load : thread -> Memory.addr -> int64
+val store : thread -> Memory.addr -> int64 -> unit
+
+val raise_exception : thread -> Exception_desc.kind -> info:int64 -> unit
+(** Fault the calling thread: write a descriptor through its
+    exception-descriptor pointer and disable it until restarted.  Raises
+    {!Halted} when the thread has no handler registered ([edp = 0]). *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  total_wakeups : int;  (** mwait wakeups across all threads. *)
+  total_starts : int;  (** disabled→runnable transitions. *)
+  total_exceptions : int;
+  rf_wakes : int;  (** Wakeups whose state was register-file resident. *)
+  l2_wakes : int;
+  l3_wakes : int;
+  dram_wakes : int;
+  demotions : int;
+}
+
+val stats : t -> stats

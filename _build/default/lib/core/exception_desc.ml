@@ -1,0 +1,63 @@
+type kind =
+  | Divide_error
+  | Page_fault
+  | Privileged_instruction
+  | Permission_denied
+  | Invalid_thread_access
+  | Custom of int
+
+let code = function
+  | Divide_error -> 0L
+  | Page_fault -> 14L
+  | Privileged_instruction -> 13L
+  | Permission_denied -> 100L
+  | Invalid_thread_access -> 101L
+  | Custom n -> Int64.of_int (1000 + n)
+
+let kind_of_code = function
+  | 0L -> Divide_error
+  | 14L -> Page_fault
+  | 13L -> Privileged_instruction
+  | 100L -> Permission_denied
+  | 101L -> Invalid_thread_access
+  | c ->
+    let n = Int64.to_int c - 1000 in
+    if n < 0 then invalid_arg "Exception_desc.kind_of_code: unknown code"
+    else Custom n
+
+let pp_kind ppf kind =
+  match kind with
+  | Divide_error -> Format.pp_print_string ppf "divide-error"
+  | Page_fault -> Format.pp_print_string ppf "page-fault"
+  | Privileged_instruction -> Format.pp_print_string ppf "privileged-instruction"
+  | Permission_denied -> Format.pp_print_string ppf "permission-denied"
+  | Invalid_thread_access -> Format.pp_print_string ppf "invalid-thread-access"
+  | Custom n -> Format.fprintf ppf "custom(%d)" n
+
+let size_words = 4
+
+type descriptor = {
+  seq : int64;
+  kind : kind;
+  core_id : int;
+  ptid : int;
+  info : int64;
+}
+
+let pack_thread ~core_id ~ptid =
+  Int64.logor (Int64.shift_left (Int64.of_int core_id) 32) (Int64.of_int ptid)
+
+let write memory ~base ~seq ~core_id ~ptid kind ~info =
+  Memory.write memory (base + 1) (code kind);
+  Memory.write memory (base + 2) (pack_thread ~core_id ~ptid);
+  Memory.write memory (base + 3) info;
+  Memory.write memory base seq
+
+let read memory ~base =
+  let seq = Memory.read memory base in
+  let kind = kind_of_code (Memory.read memory (base + 1)) in
+  let packed = Memory.read memory (base + 2) in
+  let core_id = Int64.to_int (Int64.shift_right_logical packed 32) in
+  let ptid = Int64.to_int (Int64.logand packed 0xFFFFFFFFL) in
+  let info = Memory.read memory (base + 3) in
+  { seq; kind; core_id; ptid; info }

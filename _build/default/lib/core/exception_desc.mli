@@ -1,0 +1,51 @@
+(** Exception descriptors (§3, §3.2).
+
+    In the proposed model a fault does not vector through an IDT: hardware
+    writes a descriptor record to the memory address held in the faulting
+    thread's exception-descriptor-pointer register and disables the
+    thread.  A handler thread monitors that address and services the
+    fault.  Descriptors occupy four consecutive words:
+
+    {v
+      base+0 : sequence number   (written last — the monitored trigger)
+      base+1 : exception kind code
+      base+2 : faulting thread   (core_id * 2^32 + ptid)
+      base+3 : kind-specific info (faulting address, opcode, ...)
+    v} *)
+
+type kind =
+  | Divide_error
+  | Page_fault
+  | Privileged_instruction
+      (** User-mode access to a privileged register or instruction; a
+          supervisor thread can emulate and restart (the paper's
+          virtualization path). *)
+  | Permission_denied
+      (** TDT check failed for a start/stop/rpull/rpush. *)
+  | Invalid_thread_access
+      (** rpull/rpush on a thread that is not disabled, or an unmapped
+          vtid. *)
+  | Custom of int  (** Software-defined kinds for sandbox experiments. *)
+
+val code : kind -> int64
+val kind_of_code : int64 -> kind
+val pp_kind : Format.formatter -> kind -> unit
+
+val size_words : int
+(** Words occupied by one descriptor (4). *)
+
+type descriptor = {
+  seq : int64;
+  kind : kind;
+  core_id : int;
+  ptid : int;
+  info : int64;
+}
+
+val write :
+  Memory.t -> base:Memory.addr -> seq:int64 -> core_id:int -> ptid:int ->
+  kind -> info:int64 -> unit
+(** Store a descriptor.  The sequence word at [base] is written last so a
+    monitor armed on [base] fires only once the record is complete. *)
+
+val read : Memory.t -> base:Memory.addr -> descriptor

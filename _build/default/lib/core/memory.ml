@@ -1,0 +1,28 @@
+type addr = int
+
+type t = {
+  cells : (addr, int64) Hashtbl.t;
+  mutable next_free : addr;
+  mutable hooks : (addr -> int64 -> unit) list;  (* reversed registration order *)
+  mutable writes : int;
+}
+
+let create () =
+  { cells = Hashtbl.create 1024; next_free = 0x1000; hooks = []; writes = 0 }
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Memory.alloc: non-positive size";
+  let base = t.next_free in
+  t.next_free <- t.next_free + n;
+  base
+
+let read t addr = match Hashtbl.find_opt t.cells addr with Some v -> v | None -> 0L
+
+let write t addr v =
+  Hashtbl.replace t.cells addr v;
+  t.writes <- t.writes + 1;
+  List.iter (fun hook -> hook addr v) (List.rev t.hooks)
+
+let add_write_hook t hook = t.hooks <- hook :: t.hooks
+
+let write_count t = t.writes

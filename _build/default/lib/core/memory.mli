@@ -1,0 +1,30 @@
+(** Flat simulated physical memory of 64-bit words.
+
+    Addresses index whole words (the simulator never needs sub-word
+    access).  Every store — whether by a CPU thread, a DMA engine, or an
+    MSI-X translation — funnels through {!write}, which fires registered
+    write hooks.  This single choke point is what makes the paper's
+    generalized monitor work: the monitor registry hooks all writes "by
+    any source, including DMA". *)
+
+type t
+
+type addr = int
+
+val create : unit -> t
+
+val alloc : t -> int -> addr
+(** [alloc t n] reserves [n] consecutive words and returns the base
+    address.  A simple bump allocator; memory is never freed. *)
+
+val read : t -> addr -> int64
+(** Unwritten words read as [0L]. *)
+
+val write : t -> addr -> int64 -> unit
+(** Store a word, then invoke every write hook with the address and
+    value — in registration order. *)
+
+val add_write_hook : t -> (addr -> int64 -> unit) -> unit
+
+val write_count : t -> int
+(** Total number of stores performed, for accounting. *)

@@ -1,0 +1,125 @@
+type thread_key = { core_id : int; ptid : int }
+
+type thread_state = {
+  mutable armed : Memory.addr list;
+  mutable pending : Memory.addr option;  (* latched trigger *)
+  mutable waiter : (Memory.addr -> unit) option;  (* parked in mwait *)
+}
+
+type t = {
+  params : Params.t;
+  by_addr : (Memory.addr, thread_key list ref) Hashtbl.t;
+  by_thread : (thread_key, thread_state) Hashtbl.t;
+  core_armed : (int, int) Hashtbl.t;
+}
+
+let create params =
+  {
+    params;
+    by_addr = Hashtbl.create 256;
+    by_thread = Hashtbl.create 256;
+    core_armed = Hashtbl.create 16;
+  }
+
+let thread_state t key =
+  match Hashtbl.find_opt t.by_thread key with
+  | Some st -> st
+  | None ->
+    let st = { armed = []; pending = None; waiter = None } in
+    Hashtbl.replace t.by_thread key st;
+    st
+
+let core_armed_count t core_id =
+  Option.value ~default:0 (Hashtbl.find_opt t.core_armed core_id)
+
+let bump_core t core_id delta =
+  Hashtbl.replace t.core_armed core_id (core_armed_count t core_id + delta)
+
+let arm t key addr =
+  let st = thread_state t key in
+  if not (List.mem addr st.armed) then begin
+    st.armed <- addr :: st.armed;
+    bump_core t key.core_id 1;
+    let watchers =
+      match Hashtbl.find_opt t.by_addr addr with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace t.by_addr addr r;
+        r
+    in
+    watchers := key :: !watchers
+  end
+
+let remove_watcher t key addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> ()
+  | Some r ->
+    r := List.filter (fun k -> k <> key) !r;
+    if !r = [] then Hashtbl.remove t.by_addr addr
+
+let disarm t key addr =
+  let st = thread_state t key in
+  if List.mem addr st.armed then begin
+    st.armed <- List.filter (fun a -> a <> addr) st.armed;
+    bump_core t key.core_id (-1);
+    remove_watcher t key addr
+  end
+
+let disarm_all t key =
+  let st = thread_state t key in
+  List.iter (fun addr -> remove_watcher t key addr) st.armed;
+  bump_core t key.core_id (-List.length st.armed);
+  st.armed <- []
+
+let armed_count t key = List.length (thread_state t key).armed
+
+let on_write t addr _value =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> ()
+  | Some watchers ->
+    (* Snapshot: wake callbacks may re-arm and mutate the list. *)
+    let keys = !watchers in
+    List.iter
+      (fun key ->
+        let st = thread_state t key in
+        match st.waiter with
+        | Some wake ->
+          st.waiter <- None;
+          wake addr
+        | None ->
+          (* Latch the first trigger; later ones coalesce, as a level-
+             triggered doorbell would. *)
+          if st.pending = None then st.pending <- Some addr)
+      keys
+
+let attach t memory = Memory.add_write_hook memory (on_write t)
+
+let mwait t key ~wake =
+  let st = thread_state t key in
+  match st.pending with
+  | Some addr ->
+    st.pending <- None;
+    `Immediate addr
+  | None ->
+    if st.waiter <> None then invalid_arg "Monitor.mwait: thread already parked";
+    st.waiter <- Some wake;
+    `Parked
+
+let cancel_wait t key =
+  let st = thread_state t key in
+  st.waiter <- None
+
+let relatch t key addr =
+  let st = thread_state t key in
+  match st.waiter with
+  | Some wake ->
+    (* The thread already re-parked: deliver the event now. *)
+    st.waiter <- None;
+    wake addr
+  | None -> if st.pending = None then st.pending <- Some addr
+
+let write_scan_cost t core_id =
+  let armed = core_armed_count t core_id in
+  let over = armed - t.params.Params.monitor_capacity_per_core in
+  if over > 0 then over * t.params.Params.monitor_overflow_scan_cycles else 0

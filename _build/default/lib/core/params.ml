@@ -1,0 +1,83 @@
+type t = {
+  freq_ghz : float;
+  smt_width : int;
+  pipeline_start_cycles : int;
+  regstate_bytes_gp : int;
+  regstate_bytes_full : int;
+  rf_capacity_bytes : int;
+  l2_state_capacity_bytes : int;
+  l3_state_capacity_bytes : int;
+  l2_transfer_cycles : int;
+  l3_transfer_cycles : int;
+  dram_transfer_cycles : int;
+  monitor_arm_cycles : int;
+  monitor_wake_cycles : int;
+  monitor_capacity_per_core : int;
+  monitor_overflow_scan_cycles : int;
+  start_stop_issue_cycles : int;
+  rpull_rpush_cycles : int;
+  tdt_cached_lookup_cycles : int;
+  tdt_miss_cycles : int;
+  exception_descriptor_cycles : int;
+  trap_entry_cycles : int;
+  trap_exit_cycles : int;
+  trap_pollution_cycles : int;
+  interrupt_entry_cycles : int;
+  interrupt_exit_cycles : int;
+  ipi_cycles : int;
+  sched_decision_cycles : int;
+  ctx_switch_fixed_cycles : int;
+  ctx_bytes_per_cycle : int;
+  cache_warmup_cycles : int;
+  vmexit_entry_cycles : int;
+  vmexit_exit_cycles : int;
+  dma_write_cycles : int;
+  nic_doorbell_cycles : int;
+  msix_translation_cycles : int;
+}
+
+let default =
+  {
+    freq_ghz = 3.0;
+    smt_width = 2;
+    pipeline_start_cycles = 20;
+    regstate_bytes_gp = 272;
+    regstate_bytes_full = 784;
+    rf_capacity_bytes = 64 * 1024;
+    l2_state_capacity_bytes = 128 * 1024;
+    l3_state_capacity_bytes = 2 * 1024 * 1024;
+    l2_transfer_cycles = 30;
+    l3_transfer_cycles = 60;
+    dram_transfer_cycles = 300;
+    monitor_arm_cycles = 4;
+    monitor_wake_cycles = 6;
+    monitor_capacity_per_core = 1024;
+    monitor_overflow_scan_cycles = 2;
+    start_stop_issue_cycles = 4;
+    rpull_rpush_cycles = 2;
+    tdt_cached_lookup_cycles = 1;
+    tdt_miss_cycles = 40;
+    exception_descriptor_cycles = 16;
+    trap_entry_cycles = 75;
+    trap_exit_cycles = 75;
+    trap_pollution_cycles = 300;
+    interrupt_entry_cycles = 600;
+    interrupt_exit_cycles = 400;
+    ipi_cycles = 1000;
+    sched_decision_cycles = 1200;
+    ctx_switch_fixed_cycles = 250;
+    ctx_bytes_per_cycle = 16;
+    cache_warmup_cycles = 2000;
+    vmexit_entry_cycles = 700;
+    vmexit_exit_cycles = 800;
+    dma_write_cycles = 8;
+    nic_doorbell_cycles = 12;
+    msix_translation_cycles = 10;
+  }
+
+let cycles_to_ns t cycles = Int64.to_float cycles /. t.freq_ghz
+
+let ns_to_cycles t ns = Int64.of_float (Float.round (ns *. t.freq_ghz))
+
+let regstate_bytes t ~vector =
+  if vector then t.regstate_bytes_full else t.regstate_bytes_gp

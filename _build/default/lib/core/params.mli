@@ -1,0 +1,89 @@
+(** Simulation cost model.
+
+    Every latency and capacity constant used anywhere in the simulator
+    lives in this one record, so experiments can override any of them and
+    ablation benches can sweep them.  Defaults come from the paper (§4) and
+    the sources it argues from: FlexSC (OSDI '10) for syscall costs,
+    SplitX (WIOV '11) for VM-exits, Shinjuku (NSDI '19) for scheduling and
+    interrupt costs, the V100 register-file arithmetic for state capacity.
+
+    Times are CPU cycles of a nominal 3 GHz part (1 ns ≈ 3 cycles). *)
+
+type t = {
+  freq_ghz : float;  (** Nominal clock, only used to render ns. *)
+  (* --- proposed hardware: execution --- *)
+  smt_width : int;
+      (** Hardware threads that share the pipeline concurrently (the paper
+          recommends keeping this small, 2–4, and multiplexing the many
+          hardware threads onto them). *)
+  pipeline_start_cycles : int;
+      (** Cost to begin issuing from a thread whose state is already in the
+          register file ("proportional to the length of the pipeline,
+          roughly 20 clock cycles"). *)
+  (* --- proposed hardware: thread-state storage (§4) --- *)
+  regstate_bytes_gp : int;  (** x86-64 integer context: 272 bytes. *)
+  regstate_bytes_full : int;  (** With SSE3 vector state: 784 bytes. *)
+  rf_capacity_bytes : int;
+      (** Per-core large register file for resident thread state (V100
+          sub-core: 64 KiB). *)
+  l2_state_capacity_bytes : int;
+      (** Fraction of the private L2 reserved for spilled thread state. *)
+  l3_state_capacity_bytes : int;
+      (** Per-core share of L3 reserved for thread state. *)
+  l2_transfer_cycles : int;  (** Bulk state move L2 ↔ RF ("10 to 50"). *)
+  l3_transfer_cycles : int;  (** Bulk state move L3 ↔ RF. *)
+  dram_transfer_cycles : int;  (** State spilled all the way to memory. *)
+  (* --- proposed hardware: monitor/mwait --- *)
+  monitor_arm_cycles : int;  (** Issue cost of [monitor]. *)
+  monitor_wake_cycles : int;
+      (** Address-match and wake signalling on a monitored write. *)
+  monitor_capacity_per_core : int;
+      (** Armed addresses trackable per core before falling back to a
+          slow-path scan (HyperPlane-style table). *)
+  monitor_overflow_scan_cycles : int;
+      (** Added per-write cost once the fast table overflows. *)
+  (* --- proposed hardware: thread management ISA --- *)
+  start_stop_issue_cycles : int;  (** Caller-side cost of start/stop. *)
+  rpull_rpush_cycles : int;  (** Per-register remote access cost. *)
+  tdt_cached_lookup_cycles : int;  (** vtid→ptid hit in the per-core cache. *)
+  tdt_miss_cycles : int;  (** Walk of the in-memory TDT on cache miss. *)
+  exception_descriptor_cycles : int;
+      (** Hardware write of an exception descriptor + disable. *)
+  (* --- baseline: traps, interrupts, context switches --- *)
+  trap_entry_cycles : int;  (** User→kernel mode switch (syscall). *)
+  trap_exit_cycles : int;  (** Kernel→user (sysret). *)
+  trap_pollution_cycles : int;
+      (** Indirect cost: cache/TLB pollution per trap (FlexSC measures up
+          to ~3× the direct cost; we charge a flat equivalent). *)
+  interrupt_entry_cycles : int;
+      (** IRQ delivery, IDT dispatch, register stash, handler prologue. *)
+  interrupt_exit_cycles : int;  (** EOI + iret + pipeline refill. *)
+  ipi_cycles : int;  (** Cross-core inter-processor interrupt delivery. *)
+  sched_decision_cycles : int;
+      (** One software scheduler invocation (run-queue locking, pick-next,
+          accounting). *)
+  ctx_switch_fixed_cycles : int;
+      (** Fixed software context-switch cost besides register copying. *)
+  ctx_bytes_per_cycle : int;
+      (** Register save/restore bandwidth (bytes moved per cycle). *)
+  cache_warmup_cycles : int;
+      (** Post-switch cold-cache penalty charged to the incoming software
+          thread. *)
+  (* --- baseline: virtualization --- *)
+  vmexit_entry_cycles : int;  (** Guest→root transition (VMCS save). *)
+  vmexit_exit_cycles : int;  (** VMRESUME back into the guest. *)
+  (* --- devices --- *)
+  dma_write_cycles : int;  (** Device DMA completion to memory visibility. *)
+  nic_doorbell_cycles : int;  (** MMIO doorbell write. *)
+  msix_translation_cycles : int;
+      (** Legacy interrupt translated to a memory write (PCIe MSI-X). *)
+}
+
+val default : t
+(** The paper's cost model, as tabulated in DESIGN.md. *)
+
+val cycles_to_ns : t -> int64 -> float
+val ns_to_cycles : t -> float -> int64
+
+val regstate_bytes : t -> vector:bool -> int
+(** Context footprint for a thread with or without vector state. *)

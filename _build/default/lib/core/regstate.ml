@@ -1,0 +1,89 @@
+type reg =
+  | Gp of int
+  | Rip
+  | Rflags
+  | Vector of int
+  | Exception_descriptor_ptr
+  | Tdt_base
+
+type t = {
+  gp : int64 array;
+  mutable rip : int64;
+  mutable rflags : int64;
+  vector : int64 array option;
+  mutable exception_descriptor_ptr : int64;
+  mutable tdt_base : int64;
+}
+
+let create ?(vector = false) () =
+  {
+    gp = Array.make 16 0L;
+    rip = 0L;
+    rflags = 0L;
+    vector = (if vector then Some (Array.make 16 0L) else None);
+    exception_descriptor_ptr = 0L;
+    tdt_base = 0L;
+  }
+
+let has_vector t = t.vector <> None
+
+let footprint_bytes params t =
+  Params.regstate_bytes params ~vector:(has_vector t)
+
+let check_gp i =
+  if i < 0 || i > 15 then invalid_arg "Regstate: GP register out of range"
+
+let vector_bank t i =
+  if i < 0 || i > 15 then invalid_arg "Regstate: vector register out of range";
+  match t.vector with
+  | Some bank -> bank
+  | None -> invalid_arg "Regstate: vector access on a non-vector context"
+
+let get t = function
+  | Gp i ->
+    check_gp i;
+    t.gp.(i)
+  | Rip -> t.rip
+  | Rflags -> t.rflags
+  | Vector i -> (vector_bank t i).(i)
+  | Exception_descriptor_ptr -> t.exception_descriptor_ptr
+  | Tdt_base -> t.tdt_base
+
+let set t reg v =
+  match reg with
+  | Gp i ->
+    check_gp i;
+    t.gp.(i) <- v
+  | Rip -> t.rip <- v
+  | Rflags -> t.rflags <- v
+  | Vector i -> (vector_bank t i).(i) <- v
+  | Exception_descriptor_ptr -> t.exception_descriptor_ptr <- v
+  | Tdt_base -> t.tdt_base <- v
+
+let copy t =
+  {
+    gp = Array.copy t.gp;
+    rip = t.rip;
+    rflags = t.rflags;
+    vector = Option.map Array.copy t.vector;
+    exception_descriptor_ptr = t.exception_descriptor_ptr;
+    tdt_base = t.tdt_base;
+  }
+
+let is_privileged_reg = function
+  | Exception_descriptor_ptr | Tdt_base -> true
+  | Gp _ | Rip | Rflags | Vector _ -> false
+
+let modify_some_allows = function
+  | Gp _ -> true
+  | Rip | Rflags | Vector _ | Exception_descriptor_ptr | Tdt_base -> false
+
+let modify_most_allows reg = not (is_privileged_reg reg)
+
+let pp_reg ppf = function
+  | Gp i -> Format.fprintf ppf "gp%d" i
+  | Rip -> Format.pp_print_string ppf "rip"
+  | Rflags -> Format.pp_print_string ppf "rflags"
+  | Vector i -> Format.fprintf ppf "v%d" i
+  | Exception_descriptor_ptr -> Format.pp_print_string ppf "edp"
+  | Tdt_base -> Format.pp_print_string ppf "tdt"

@@ -1,0 +1,208 @@
+module Sim = Sl_engine.Sim
+module Ivar = Sl_engine.Ivar
+
+type kind = Useful | Poll | Overhead
+
+let kind_index = function Useful -> 0 | Poll -> 1 | Overhead -> 2
+
+type job = {
+  job_ptid : int;
+  kind : kind;
+  mutable remaining : float;  (* cycles of service still owed *)
+  completion : unit Ivar.t;
+}
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  core_id : int;
+  jobs : (int, job) Hashtbl.t;  (* ptid -> in-flight job (runnable or frozen) *)
+  weights : (int, float) Hashtbl.t;  (* ptid -> weight, for runnable ptids *)
+  mutable last_update : int64;
+  mutable epoch : int;  (* stamps completion events; bumps invalidate them *)
+  mutable busy : float;
+  work : float array;  (* indexed by kind *)
+  billing : (int, float) Hashtbl.t;  (* ptid -> cycles consumed *)
+}
+
+let create sim params ~core_id =
+  {
+    sim;
+    params;
+    core_id;
+    jobs = Hashtbl.create 64;
+    weights = Hashtbl.create 64;
+    last_update = 0L;
+    epoch = 0;
+    busy = 0.0;
+    work = Array.make 3 0.0;
+    billing = Hashtbl.create 64;
+  }
+
+let core_id t = t.core_id
+
+let is_runnable t ~ptid = Hashtbl.mem t.weights ptid
+
+(* Jobs of currently runnable ptids, paired with their weight. *)
+let active t =
+  Hashtbl.fold
+    (fun ptid weight acc ->
+      match Hashtbl.find_opt t.jobs ptid with
+      | Some job -> (job, weight) :: acc
+      | None -> acc)
+    t.weights []
+
+(* Weighted processor sharing with per-thread rate cap 1.0: water-filling.
+   Returns [(job, rate)] for every active job. *)
+let rates t actives =
+  let width = float_of_int t.params.Params.smt_width in
+  let n = List.length actives in
+  if n = 0 then []
+  else if n <= t.params.Params.smt_width then
+    List.map (fun (job, _) -> (job, 1.0)) actives
+  else begin
+    (* Iteratively cap threads whose fair share exceeds 1.0. *)
+    let capped = Hashtbl.create n in
+    let rec settle capacity =
+      let uncapped =
+        List.filter (fun (job, _) -> not (Hashtbl.mem capped job.job_ptid)) actives
+      in
+      let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 uncapped in
+      if uncapped = [] || total_weight <= 0.0 then ()
+      else begin
+        let overflow =
+          List.filter
+            (fun (_, w) -> capacity *. w /. total_weight >= 1.0)
+            uncapped
+        in
+        if overflow = [] then ()
+        else begin
+          List.iter (fun (job, _) -> Hashtbl.replace capped job.job_ptid ()) overflow;
+          settle (capacity -. float_of_int (List.length overflow))
+        end
+      end
+    in
+    settle width;
+    let uncapped =
+      List.filter (fun (job, _) -> not (Hashtbl.mem capped job.job_ptid)) actives
+    in
+    let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 uncapped in
+    let residual = width -. float_of_int (Hashtbl.length capped) in
+    List.map
+      (fun (job, w) ->
+        if Hashtbl.mem capped job.job_ptid then (job, 1.0)
+        else (job, residual *. w /. total_weight))
+      actives
+  end
+
+(* Deliver service for the time elapsed since the last update, completing
+   any jobs that finished. *)
+let advance t =
+  let now = Sim.time t.sim in
+  let elapsed = Int64.to_float (Int64.sub now t.last_update) in
+  if elapsed > 0.0 then begin
+    let actives = active t in
+    let job_rates = rates t actives in
+    List.iter
+      (fun (job, rate) ->
+        let served = Float.min job.remaining (elapsed *. rate) in
+        job.remaining <- job.remaining -. served;
+        t.busy <- t.busy +. served;
+        t.work.(kind_index job.kind) <- t.work.(kind_index job.kind) +. served;
+        let billed =
+          match Hashtbl.find_opt t.billing job.job_ptid with
+          | Some c -> c
+          | None -> 0.0
+        in
+        Hashtbl.replace t.billing job.job_ptid (billed +. served))
+      job_rates;
+    t.last_update <- now
+  end
+  else t.last_update <- now;
+  (* Complete finished jobs. *)
+  let finished =
+    Hashtbl.fold
+      (fun ptid job acc -> if job.remaining <= 1e-6 then (ptid, job) :: acc else acc)
+      t.jobs []
+  in
+  List.iter
+    (fun (ptid, job) ->
+      Hashtbl.remove t.jobs ptid;
+      Ivar.fill job.completion ())
+    finished
+
+(* Schedule the next completion event, invalidating older ones. *)
+let rec reschedule t =
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  let actives = active t in
+  let job_rates = rates t actives in
+  let next =
+    List.fold_left
+      (fun acc (job, rate) ->
+        if rate <= 0.0 then acc
+        else
+          let dt = Float.max 1.0 (Float.round (Float.ceil (job.remaining /. rate))) in
+          match acc with None -> Some dt | Some best -> Some (Float.min best dt))
+      None job_rates
+  in
+  match next with
+  | None -> ()
+  | Some dt ->
+    let at = Int64.add (Sim.time t.sim) (Int64.of_float dt) in
+    Sim.schedule t.sim ~at (fun () ->
+        if epoch = t.epoch then begin
+          advance t;
+          reschedule t
+        end)
+
+let set_runnable t ~ptid ~weight runnable =
+  if weight <= 0.0 then invalid_arg "Smt_core.set_runnable: weight must be positive";
+  advance t;
+  if runnable then Hashtbl.replace t.weights ptid weight
+  else Hashtbl.remove t.weights ptid;
+  reschedule t
+
+let set_weight t ~ptid weight =
+  if weight <= 0.0 then invalid_arg "Smt_core.set_weight: weight must be positive";
+  if not (Hashtbl.mem t.weights ptid) then
+    invalid_arg "Smt_core.set_weight: ptid not runnable";
+  advance t;
+  Hashtbl.replace t.weights ptid weight;
+  reschedule t
+
+let execute t ~ptid ~kind cycles =
+  if Int64.compare cycles 0L < 0 then invalid_arg "Smt_core.execute: negative cycles";
+  if Int64.compare cycles 0L > 0 then begin
+    if not (Hashtbl.mem t.weights ptid) then
+      invalid_arg "Smt_core.execute: ptid is not runnable";
+    if Hashtbl.mem t.jobs ptid then
+      invalid_arg "Smt_core.execute: ptid already has in-flight work";
+    advance t;
+    let job =
+      { job_ptid = ptid; kind; remaining = Int64.to_float cycles; completion = Ivar.create () }
+    in
+    Hashtbl.replace t.jobs ptid job;
+    reschedule t;
+    Ivar.read job.completion
+  end
+
+let runnable_count t = Hashtbl.length t.weights
+
+let active_jobs t = List.length (active t)
+
+let busy_capacity_cycles t =
+  advance t;
+  t.busy
+
+let work_done t kind =
+  advance t;
+  t.work.(kind_index kind)
+
+let thread_cycles t ~ptid =
+  advance t;
+  match Hashtbl.find_opt t.billing ptid with Some c -> c | None -> 0.0
+
+let billed_threads t =
+  advance t;
+  Hashtbl.fold (fun ptid cycles acc -> (ptid, cycles) :: acc) t.billing []

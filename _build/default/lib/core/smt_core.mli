@@ -1,0 +1,68 @@
+(** Execution model of one physical core (§4, "Support for Thread
+    Scheduling").
+
+    The paper separates two concerns: a small number of SMT pipeline slots
+    (width [k], typically 2–4) and a large pool of runnable hardware
+    threads multiplexed onto them in hardware, fine-grain round-robin,
+    which "emulates processor sharing".  This module implements exactly
+    that as an event-driven {e weighted processor-sharing} server:
+
+    - with [n ≤ k] runnable threads executing work, each progresses at
+      full speed (rate 1.0 cycle/cycle);
+    - with [n > k], the [k] slots are shared in proportion to thread
+      weights, each thread's rate capped at 1.0 (a single instruction
+      stream cannot exceed one pipeline).
+
+    Software "runs" on a hardware thread by calling {!execute} with a
+    cycle count; the call returns when that many cycles of service have
+    been delivered.  Stopping a thread mid-execution freezes its remaining
+    work; restarting resumes it — which is how [stop]/[start] get their
+    transparent semantics.
+
+    Work is tagged with a {!kind} so experiments can separate useful work
+    from polling waste and mechanism overhead. *)
+
+type kind = Useful | Poll | Overhead
+
+type t
+
+val create : Sl_engine.Sim.t -> Params.t -> core_id:int -> t
+
+val core_id : t -> int
+
+val set_runnable : t -> ptid:int -> weight:float -> bool -> unit
+(** Admit the ptid to (or remove it from) the sharing set.  Removal with
+    an in-flight {!execute} freezes the job's remaining work. *)
+
+val is_runnable : t -> ptid:int -> bool
+
+val set_weight : t -> ptid:int -> float -> unit
+(** Adjust the share weight of a currently runnable ptid. *)
+
+val execute : t -> ptid:int -> kind:kind -> int64 -> unit
+(** [execute t ~ptid ~kind cycles] consumes [cycles] of service on behalf
+    of the ptid.  Blocks the calling process until done.  The ptid must be
+    runnable when called; it may be paused and resumed while in flight.
+    At most one in-flight [execute] per ptid.  [cycles = 0] returns
+    immediately. *)
+
+val runnable_count : t -> int
+(** Threads currently admitted to the sharing set. *)
+
+val active_jobs : t -> int
+(** Runnable threads with in-flight work. *)
+
+val busy_capacity_cycles : t -> float
+(** Integral of pipeline capacity actually used, in cycle units (≤ width ×
+    elapsed time).  [elapsed × width − busy] is idle capacity. *)
+
+val work_done : t -> kind -> float
+(** Service delivered so far, split by work kind. *)
+
+val thread_cycles : t -> ptid:int -> float
+(** Service delivered to one thread so far — §4's "fine-grain tracking of
+    threads' resource consumption for cloud billing".  0 for threads that
+    never ran here. *)
+
+val billed_threads : t -> (int * float) list
+(** All (ptid, cycles) pairs with non-zero consumption, unordered. *)

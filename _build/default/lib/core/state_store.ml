@@ -1,0 +1,157 @@
+type tier = Register_file | L2 | L3 | Dram
+
+let tier_name = function
+  | Register_file -> "RF"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | Dram -> "DRAM"
+
+let pp_tier ppf tier = Format.pp_print_string ppf (tier_name tier)
+
+let tier_index = function Register_file -> 0 | L2 -> 1 | L3 -> 2 | Dram -> 3
+let tier_of_index = function
+  | 0 -> Register_file
+  | 1 -> L2
+  | 2 -> L3
+  | _ -> Dram
+
+type entry = {
+  ptid : int;
+  bytes : int;
+  mutable tier : tier;
+  mutable last_touch : int;
+  mutable pinned : bool;
+}
+
+type t = {
+  params : Params.t;
+  entries : (int, entry) Hashtbl.t;
+  used : int array;  (* bytes per tier; index by tier_index *)
+  mutable clock : int;  (* recency counter *)
+  transfers : int array;  (* wake transfers served per tier *)
+  mutable demotions : int;
+}
+
+let create params =
+  {
+    params;
+    entries = Hashtbl.create 64;
+    used = Array.make 4 0;
+    clock = 0;
+    transfers = Array.make 4 0;
+    demotions = 0;
+  }
+
+let capacity_bytes t = function
+  | Register_file -> t.params.Params.rf_capacity_bytes
+  | L2 -> t.params.Params.l2_state_capacity_bytes
+  | L3 -> t.params.Params.l3_state_capacity_bytes
+  | Dram -> max_int
+
+let used_bytes t tier = t.used.(tier_index tier)
+
+let transfer_cycles t = function
+  | Register_file -> 0
+  | L2 -> t.params.Params.l2_transfer_cycles
+  | L3 -> t.params.Params.l3_transfer_cycles
+  | Dram -> t.params.Params.dram_transfer_cycles
+
+let free_bytes t tier =
+  if tier = Dram then max_int else capacity_bytes t tier - used_bytes t tier
+
+let find t ptid =
+  match Hashtbl.find_opt t.entries ptid with
+  | Some e -> e
+  | None -> raise Not_found
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Coldest unpinned entry currently resident in [tier]. *)
+let coldest t tier =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if e.tier = tier && not e.pinned then
+        match acc with
+        | Some best when best.last_touch <= e.last_touch -> acc
+        | _ -> Some e
+      else acc)
+    t.entries None
+
+let move t e tier =
+  t.used.(tier_index e.tier) <- t.used.(tier_index e.tier) - e.bytes;
+  e.tier <- tier;
+  t.used.(tier_index tier) <- t.used.(tier_index tier) + e.bytes
+
+(* Demote cold entries out of [tier] until [bytes] fit, cascading down. *)
+let rec make_room t tier bytes =
+  if tier <> Dram && bytes > capacity_bytes t tier then
+    invalid_arg "State_store: context larger than tier capacity";
+  if tier <> Dram then
+    while free_bytes t tier < bytes do
+      match coldest t tier with
+      | None ->
+        (* Everything resident is pinned; overflow to the next tier is the
+           caller's job, so report failure by raising. *)
+        invalid_arg "State_store: tier full of pinned contexts"
+      | Some victim ->
+        let next = tier_of_index (tier_index tier + 1) in
+        make_room t next victim.bytes;
+        move t victim next;
+        t.demotions <- t.demotions + 1
+    done
+
+let register t ~ptid ~bytes =
+  if Hashtbl.mem t.entries ptid then
+    invalid_arg "State_store.register: ptid already registered";
+  if bytes <= 0 then invalid_arg "State_store.register: non-positive size";
+  let rec first_fit idx =
+    let tier = tier_of_index idx in
+    if tier = Dram || (free_bytes t tier >= bytes && bytes <= capacity_bytes t tier)
+    then tier
+    else first_fit (idx + 1)
+  in
+  let tier = first_fit 0 in
+  let e = { ptid; bytes; tier; last_touch = tick t; pinned = false } in
+  t.used.(tier_index tier) <- t.used.(tier_index tier) + bytes;
+  Hashtbl.replace t.entries ptid e
+
+let tier_of t ~ptid = (find t ptid).tier
+
+let promote_to_rf t e =
+  if e.tier <> Register_file then begin
+    make_room t Register_file e.bytes;
+    move t e Register_file
+  end
+
+let wake_transfer_cycles t ~ptid =
+  let e = find t ptid in
+  let from = e.tier in
+  let cost = transfer_cycles t from in
+  t.transfers.(tier_index from) <- t.transfers.(tier_index from) + 1;
+  promote_to_rf t e;
+  e.last_touch <- tick t;
+  cost
+
+let touch t ~ptid =
+  let e = find t ptid in
+  e.last_touch <- tick t
+
+let pin t ~ptid =
+  let e = find t ptid in
+  if not e.pinned then begin
+    promote_to_rf t e;
+    e.pinned <- true
+  end
+
+let unpin t ~ptid = (find t ptid).pinned <- false
+
+let prefetch t ~ptid =
+  let e = find t ptid in
+  promote_to_rf t e;
+  e.last_touch <- tick t
+
+let transfer_count t tier = t.transfers.(tier_index tier)
+
+let demotion_count t = t.demotions

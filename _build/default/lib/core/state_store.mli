@@ -1,0 +1,66 @@
+(** Tiered storage for hardware-thread register state (§4).
+
+    Each core stores context for its many hardware threads across a
+    hierarchy: a large register file close to the pipeline, then a
+    reserved slice of the private L2, a slice of the shared L3, and
+    finally DRAM (unbounded).  Waking a thread whose state is not
+    register-file-resident pays the bulk-transfer cost of its tier; the
+    wake also promotes the state to the register file, demoting the
+    coldest resident contexts to make room (write-back happens off the
+    critical path, so demotion is free for the waking thread but counted
+    in statistics).
+
+    Threads can be pinned to the register file — the paper's "selecting
+    which threads are stored closer to the core based on criticality" —
+    and prefetched — "hardware prefetching of the state of recently woken
+    threads". *)
+
+type tier = Register_file | L2 | L3 | Dram
+
+val pp_tier : Format.formatter -> tier -> unit
+val tier_name : tier -> string
+
+type t
+
+val create : Params.t -> t
+(** One store per core. *)
+
+val register : t -> ptid:int -> bytes:int -> unit
+(** Admit a new thread's context, placed in the fastest tier with free
+    space (no eviction on admission).  Raises [Invalid_argument] if the
+    ptid is already registered. *)
+
+val tier_of : t -> ptid:int -> tier
+(** Raises [Not_found] for unregistered ptids. *)
+
+val wake_transfer_cycles : t -> ptid:int -> int
+(** Cost (cycles) of bringing the thread's state to the register file from
+    its current tier — 0 when already resident — and perform the
+    promotion, evicting cold contexts as needed.  The caller adds the
+    pipeline start cost. *)
+
+val touch : t -> ptid:int -> unit
+(** Mark the thread's state as recently used (run by the recency policy). *)
+
+val pin : t -> ptid:int -> unit
+(** Keep this thread's state in the register file permanently.  Raises
+    [Invalid_argument] when the register file cannot hold all pinned
+    contexts. *)
+
+val unpin : t -> ptid:int -> unit
+
+val prefetch : t -> ptid:int -> unit
+(** Promote the thread's state to the register file in the background (no
+    cost charged); a subsequent wake finds it resident. *)
+
+val used_bytes : t -> tier -> int
+
+val capacity_bytes : t -> tier -> int
+(** [max_int] for {!Dram}. *)
+
+val transfer_count : t -> tier -> int
+(** Number of wake transfers served from the given tier so far (for
+    {!Register_file} this counts zero-cost resident wakes). *)
+
+val demotion_count : t -> int
+(** Total contexts demoted to make room. *)

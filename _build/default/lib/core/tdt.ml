@@ -1,0 +1,84 @@
+type perms = {
+  can_start : bool;
+  can_stop : bool;
+  can_modify_some : bool;
+  can_modify_most : bool;
+}
+
+let perms_none =
+  { can_start = false; can_stop = false; can_modify_some = false; can_modify_most = false }
+
+let perms_all =
+  { can_start = true; can_stop = true; can_modify_some = true; can_modify_most = true }
+
+let perms_of_bits bits =
+  if bits < 0 || bits > 0b1111 then invalid_arg "Tdt.perms_of_bits: need 4 bits";
+  {
+    can_start = bits land 0b1000 <> 0;
+    can_stop = bits land 0b0100 <> 0;
+    can_modify_some = bits land 0b0010 <> 0;
+    can_modify_most = bits land 0b0001 <> 0;
+  }
+
+let bits_of_perms p =
+  (if p.can_start then 0b1000 else 0)
+  lor (if p.can_stop then 0b0100 else 0)
+  lor (if p.can_modify_some then 0b0010 else 0)
+  lor if p.can_modify_most then 0b0001 else 0
+
+let pp_perms ppf p =
+  let bits = bits_of_perms p in
+  Format.fprintf ppf "0b%d%d%d%d" ((bits lsr 3) land 1) ((bits lsr 2) land 1)
+    ((bits lsr 1) land 1) (bits land 1)
+
+type t = { table_id : int; entries : (int, int * perms) Hashtbl.t }
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { table_id = !next_id; entries = Hashtbl.create 16 }
+
+let id t = t.table_id
+
+let set t ~vtid ~ptid perms = Hashtbl.replace t.entries vtid (ptid, perms)
+
+let clear t ~vtid = Hashtbl.remove t.entries vtid
+
+let lookup t ~vtid =
+  match Hashtbl.find_opt t.entries vtid with
+  | Some (_, perms) when perms = perms_none -> None
+  | found -> found
+
+let entries t =
+  Hashtbl.fold (fun vtid (ptid, perms) acc -> (vtid, ptid, perms) :: acc) t.entries []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+module Cache = struct
+  type cache = {
+    lines : (int * int, int * perms) Hashtbl.t;  (* (table_id, vtid) -> entry *)
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { lines = Hashtbl.create 64; hits = 0; misses = 0 }
+
+  let lookup cache table ~vtid =
+    let key = (table.table_id, vtid) in
+    match Hashtbl.find_opt cache.lines key with
+    | Some entry ->
+      cache.hits <- cache.hits + 1;
+      (Some entry, `Hit)
+    | None ->
+      cache.misses <- cache.misses + 1;
+      let result = lookup table ~vtid in
+      (match result with
+      | Some entry -> Hashtbl.replace cache.lines key entry
+      | None -> ());
+      (result, `Miss)
+
+  let invalidate cache table ~vtid = Hashtbl.remove cache.lines (table.table_id, vtid)
+
+  let hits cache = cache.hits
+  let misses cache = cache.misses
+end

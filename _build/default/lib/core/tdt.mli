@@ -1,0 +1,74 @@
+(** Thread Descriptor Tables (§3.2, Table 1).
+
+    A TDT maps virtual thread identifiers (vtids) to physical ones (ptids)
+    together with four permission bits governing what the *holder* of the
+    table may do to the named thread: start it, stop it, modify some of
+    its registers (general-purpose only), or modify most of them
+    (everything but the privileged control registers).  The all-zero
+    permission word marks an invalid entry, exactly as in the paper's
+    Table 1.
+
+    Because the table lives in memory, cores cache translations; an update
+    must be followed by [invtid] or stale translations keep being used —
+    the {!Cache} submodule models precisely that. *)
+
+type perms = {
+  can_start : bool;
+  can_stop : bool;
+  can_modify_some : bool;
+  can_modify_most : bool;
+}
+
+val perms_none : perms
+(** All bits clear: an invalid entry. *)
+
+val perms_all : perms
+
+val perms_of_bits : int -> perms
+(** Decode the 4-bit word of Table 1: bit 3 = start, bit 2 = stop,
+    bit 1 = modify some, bit 0 = modify most.  E.g. [0b1110] allows
+    start/stop/modify-some. *)
+
+val bits_of_perms : perms -> int
+
+val pp_perms : Format.formatter -> perms -> unit
+(** Renders as a Table 1-style bit string, e.g. ["0b1110"]. *)
+
+type t
+(** One table. *)
+
+val create : unit -> t
+
+val id : t -> int
+(** Unique table identity (stands in for the table's base address). *)
+
+val set : t -> vtid:int -> ptid:int -> perms -> unit
+(** Install or overwrite a mapping.  Remember: visible to a core only
+    after [invtid] if that core has cached the old entry. *)
+
+val clear : t -> vtid:int -> unit
+(** Remove a mapping (equivalent to permissions [0b0000]). *)
+
+val lookup : t -> vtid:int -> (int * perms) option
+(** Authoritative (in-memory) translation. *)
+
+val entries : t -> (int * int * perms) list
+(** All (vtid, ptid, perms), sorted by vtid — for rendering Table 1. *)
+
+(** Per-core translation cache with explicit invalidation. *)
+module Cache : sig
+  type cache
+
+  val create : unit -> cache
+
+  val lookup : cache -> t -> vtid:int -> (int * perms) option * [ `Hit | `Miss ]
+  (** Consult the cache; on miss, walk the table and (if the entry exists)
+      fill the cache.  A stale cached entry is returned as-is — this is the
+      hazard [invtid] exists to fix. *)
+
+  val invalidate : cache -> t -> vtid:int -> unit
+  (** The [invtid] instruction's effect on this core. *)
+
+  val hits : cache -> int
+  val misses : cache -> int
+end

@@ -1,0 +1,1 @@
+lib/dev/apic_timer.ml: Int64 Notify Sl_engine Switchless

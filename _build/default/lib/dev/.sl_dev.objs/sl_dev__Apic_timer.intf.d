@@ -1,0 +1,1 @@
+lib/dev/apic_timer.mli: Notify Sl_engine Switchless

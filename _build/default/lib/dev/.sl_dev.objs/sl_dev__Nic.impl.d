@@ -1,0 +1,1 @@
+lib/dev/nic.ml: Array Int64 Notify Sl_engine Switchless

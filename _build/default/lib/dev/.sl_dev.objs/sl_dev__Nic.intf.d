@@ -1,0 +1,1 @@
+lib/dev/nic.mli: Notify Sl_engine Switchless

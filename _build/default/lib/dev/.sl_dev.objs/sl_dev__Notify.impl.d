@@ -1,0 +1,1 @@
+lib/dev/notify.ml: Int64 Sl_engine Switchless

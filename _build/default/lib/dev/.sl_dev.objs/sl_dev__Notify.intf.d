@@ -1,0 +1,1 @@
+lib/dev/notify.mli: Sl_engine Switchless

@@ -1,0 +1,1 @@
+lib/dev/nvme.ml: Int64 Notify Queue Sl_engine Sl_util Switchless

@@ -1,0 +1,1 @@
+lib/dev/nvme.mli: Notify Sl_engine Sl_util Switchless

@@ -1,0 +1,48 @@
+module Sim = Sl_engine.Sim
+module Memory = Switchless.Memory
+
+type t = {
+  sim : Sim.t;
+  params : Switchless.Params.t;
+  memory : Memory.t;
+  notify : Notify.t;
+  period : int64;
+  count_addr : Memory.addr;
+  mutable running : bool;
+  mutable ticks : int;
+}
+
+let create sim params memory ?(notify = Notify.Silent) ~period () =
+  if Int64.compare period 1L < 0 then invalid_arg "Apic_timer.create: period must be >= 1";
+  {
+    sim;
+    params;
+    memory;
+    notify;
+    period;
+    count_addr = Memory.alloc memory 1;
+    running = false;
+    ticks = 0;
+  }
+
+let count_addr t = t.count_addr
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Sim.spawn t.sim (fun () ->
+        let rec tick () =
+          Sim.delay t.period;
+          if t.running then begin
+            t.ticks <- t.ticks + 1;
+            Memory.write t.memory t.count_addr (Int64.of_int t.ticks);
+            Notify.fire t.sim t.params t.memory t.notify;
+            tick ()
+          end
+        in
+        tick ())
+  end
+
+let stop t = t.running <- false
+
+let ticks t = t.ticks

@@ -1,0 +1,22 @@
+(** Local APIC timer, §2 "No More Interrupts" style.
+
+    Instead of (or in addition to) raising an interrupt, each expiry
+    increments an in-memory tick counter.  A kernel scheduler thread can
+    monitor that counter — the paper's replacement for the timer IRQ. *)
+
+type t
+
+val create :
+  Sl_engine.Sim.t -> Switchless.Params.t -> Switchless.Memory.t ->
+  ?notify:Notify.t -> period:int64 -> unit -> t
+
+val count_addr : t -> Switchless.Memory.addr
+(** The monitored tick-counter word. *)
+
+val start : t -> unit
+(** Begin ticking (first expiry one period from now). *)
+
+val stop : t -> unit
+(** Cease future expiries. *)
+
+val ticks : t -> int

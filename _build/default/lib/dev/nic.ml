@@ -1,0 +1,90 @@
+module Sim = Sl_engine.Sim
+module Memory = Switchless.Memory
+module Params = Switchless.Params
+
+type packet = { pkt_id : int; flow : int; injected_at : int64 }
+
+type queue = {
+  ring_base : Memory.addr;
+  tail_addr : Memory.addr;
+  ring : packet option array;
+  mutable head : int;  (* consumer position (absolute count) *)
+  mutable tail : int;  (* producer position (absolute count) *)
+}
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  memory : Memory.t;
+  notify : Notify.t;
+  queue_depth : int;
+  rx : queue array;
+  mutable next_id : int;
+  mutable dropped : int;
+}
+
+let create sim params memory ?(notify = Notify.Silent) ?(queues = 1) ~queue_depth () =
+  if queue_depth <= 0 then invalid_arg "Nic.create: queue_depth must be positive";
+  if queues <= 0 then invalid_arg "Nic.create: queues must be positive";
+  let make_queue () =
+    {
+      ring_base = Memory.alloc memory queue_depth;
+      tail_addr = Memory.alloc memory 1;
+      ring = Array.make queue_depth None;
+      head = 0;
+      tail = 0;
+    }
+  in
+  {
+    sim;
+    params;
+    memory;
+    notify;
+    queue_depth;
+    rx = Array.init queues (fun _ -> make_queue ());
+    next_id = 0;
+    dropped = 0;
+  }
+
+let queue_count t = Array.length t.rx
+let queue_tail_addr t i = t.rx.(i).tail_addr
+let rx_tail_addr t = queue_tail_addr t 0
+
+let inject ?flow t =
+  let flow = match flow with Some f -> f | None -> t.next_id in
+  let q = t.rx.(flow mod Array.length t.rx) in
+  if q.tail - q.head >= t.queue_depth then t.dropped <- t.dropped + 1
+  else begin
+    let pkt = { pkt_id = t.next_id; flow; injected_at = Sim.now () } in
+    t.next_id <- t.next_id + 1;
+    (* DMA of the descriptor, then the tail-pointer doorbell write. *)
+    Sim.delay (Int64.of_int t.params.Params.dma_write_cycles);
+    let slot = q.tail mod t.queue_depth in
+    q.ring.(slot) <- Some pkt;
+    Memory.write t.memory (q.ring_base + slot) (Int64.of_int pkt.pkt_id);
+    q.tail <- q.tail + 1;
+    Memory.write t.memory q.tail_addr (Int64.of_int q.tail);
+    Notify.fire t.sim t.params t.memory t.notify
+  end
+
+let poll_queue t i =
+  let q = t.rx.(i) in
+  if q.head >= q.tail then None
+  else begin
+    let slot = q.head mod t.queue_depth in
+    let pkt = q.ring.(slot) in
+    q.ring.(slot) <- None;
+    q.head <- q.head + 1;
+    pkt
+  end
+
+let poll t = poll_queue t 0
+
+let pending_queue t i = t.rx.(i).tail - t.rx.(i).head
+
+let pending t =
+  Array.fold_left (fun acc q -> acc + (q.tail - q.head)) 0 t.rx
+
+let delivered t = Array.fold_left (fun acc q -> acc + q.tail) 0 t.rx
+
+let dropped t = t.dropped

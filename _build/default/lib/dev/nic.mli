@@ -1,0 +1,52 @@
+(** Network interface model: RX descriptor rings + DMA + tail doorbells.
+
+    On packet arrival the device DMAs a descriptor into an in-memory ring,
+    then advances that ring's in-memory tail pointer.  Because both are
+    ordinary {!Switchless.Memory.write}s, a hardware thread monitoring the
+    ring's tail wakes exactly as §2 "Fast I/O without Inefficient Polling"
+    describes — and a polling thread can instead read the tail, and a
+    legacy configuration can raise an interrupt.
+
+    The device supports multiple RX queues (RSS-style): packets are
+    steered to a queue by flow hash, so one hardware thread can park on
+    each queue — the paper's §4 suggestion of offloading dispatch to the
+    NIC.  The single-queue API ({!rx_tail_addr}, {!poll}) operates on
+    queue 0 and is what most callers use. *)
+
+type packet = {
+  pkt_id : int;
+  flow : int;  (** Flow label used for queue steering. *)
+  injected_at : int64;  (** Cycle of arrival at the device. *)
+}
+
+type t
+
+val create :
+  Sl_engine.Sim.t -> Switchless.Params.t -> Switchless.Memory.t ->
+  ?notify:Notify.t -> ?queues:int -> queue_depth:int -> unit -> t
+(** [queues] (default 1) RX queues, each of [queue_depth] descriptors. *)
+
+val queue_count : t -> int
+
+val rx_tail_addr : t -> Switchless.Memory.addr
+(** Queue 0's tail word — the monitor target for single-queue setups. *)
+
+val queue_tail_addr : t -> int -> Switchless.Memory.addr
+
+val inject : ?flow:int -> t -> unit
+(** One packet with the given flow label (default: consecutive ids, i.e.
+    round-robin across queues) arrives now.  Must be called from a
+    process (the DMA takes [dma_write_cycles]).  Dropped (counted) when
+    the steered ring is full. *)
+
+val poll : t -> packet option
+(** Take the next descriptor from queue 0, if any. *)
+
+val poll_queue : t -> int -> packet option
+
+val pending : t -> int
+(** Descriptors delivered but unconsumed, across all queues. *)
+
+val pending_queue : t -> int -> int
+val delivered : t -> int
+val dropped : t -> int

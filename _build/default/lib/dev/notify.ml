@@ -1,0 +1,16 @@
+module Sim = Sl_engine.Sim
+module Memory = Switchless.Memory
+module Params = Switchless.Params
+
+type t =
+  | Silent
+  | Msix of Memory.addr
+  | Irq_line of (unit -> unit)
+
+let fire _sim params memory = function
+  | Silent -> ()
+  | Msix addr ->
+    Sim.delay (Int64.of_int params.Params.msix_translation_cycles);
+    let v = Memory.read memory addr in
+    Memory.write memory addr (Int64.add v 1L)
+  | Irq_line raise_line -> raise_line ()

@@ -1,0 +1,65 @@
+module Sim = Sl_engine.Sim
+module Memory = Switchless.Memory
+module Params = Switchless.Params
+
+type completion = { cmd_id : int; submitted_at : int64; completed_at : int64 }
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  memory : Memory.t;
+  notify : Notify.t;
+  queue_depth : int;
+  latency : Sl_util.Dist.t;
+  rng : Sl_util.Rng.t;
+  cq_tail_addr : Memory.addr;
+  completions : completion Queue.t;
+  mutable next_id : int;
+  mutable in_flight : int;
+  mutable completed : int;
+}
+
+let create sim params memory ?(notify = Notify.Silent) ?(queue_depth = 64) ~latency ~rng () =
+  if queue_depth <= 0 then invalid_arg "Nvme.create: queue_depth must be positive";
+  {
+    sim;
+    params;
+    memory;
+    notify;
+    queue_depth;
+    latency;
+    rng;
+    cq_tail_addr = Memory.alloc memory 1;
+    completions = Queue.create ();
+    next_id = 0;
+    in_flight = 0;
+    completed = 0;
+  }
+
+let cq_tail_addr t = t.cq_tail_addr
+
+let submit t =
+  if t.in_flight >= t.queue_depth then invalid_arg "Nvme.submit: queue full";
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  t.in_flight <- t.in_flight + 1;
+  let submitted_at = Sim.now () in
+  (* Doorbell MMIO write. *)
+  Sim.delay (Int64.of_int t.params.Params.nic_doorbell_cycles);
+  let service = Int64.of_float (Sl_util.Dist.sample t.latency t.rng) in
+  let service = if Int64.compare service 1L < 0 then 1L else service in
+  Sim.fork (fun () ->
+      Sim.delay service;
+      Sim.delay (Int64.of_int t.params.Params.dma_write_cycles);
+      t.in_flight <- t.in_flight - 1;
+      t.completed <- t.completed + 1;
+      Queue.push { cmd_id = id; submitted_at; completed_at = Sim.now () } t.completions;
+      Memory.write t.memory t.cq_tail_addr (Int64.of_int t.completed);
+      Notify.fire t.sim t.params t.memory t.notify);
+  id
+
+let in_flight t = t.in_flight
+
+let poll_completion t = Queue.take_opt t.completions
+
+let completed t = t.completed

@@ -1,0 +1,1 @@
+lib/dist/rpc.ml: Int64 Sl_engine Sl_util Switchless

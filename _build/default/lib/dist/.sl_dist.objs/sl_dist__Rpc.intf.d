@@ -1,0 +1,1 @@
+lib/dist/rpc.mli: Sl_util Switchless

@@ -1,0 +1,1 @@
+lib/dist/sched_policy.ml: Array Int64 List Queue Server Sl_engine Sl_util Sl_workload Switchless

@@ -1,0 +1,1 @@
+lib/dist/sched_policy.mli: Server

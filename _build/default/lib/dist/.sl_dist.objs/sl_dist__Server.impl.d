@@ -1,0 +1,1 @@
+lib/dist/server.ml: Array Float Int64 Sl_baseline Sl_engine Sl_util Sl_workload Switchless

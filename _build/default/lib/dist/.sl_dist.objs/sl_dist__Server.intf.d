@@ -1,0 +1,1 @@
+lib/dist/server.mli: Sl_util Switchless

@@ -1,0 +1,28 @@
+(** Blocking RPC over simulated networking.
+
+    The "simpler distributed programming" substrate: a client hardware
+    thread issues an RPC and just blocks — the response arrives as a DMA
+    write to the session's response word, waking the thread's monitor.
+    With hundreds of hardware threads per core, a distributed application
+    hides network latency with plain blocking calls instead of event
+    loops (the §2 claim; see [examples/thread_per_request.ml]). *)
+
+type remote
+
+val create_remote :
+  Switchless.Chip.t -> rtt:Sl_util.Dist.t -> server_work:int64 ->
+  rng:Sl_util.Rng.t -> remote
+(** A remote node reachable with the given round-trip-time distribution
+    that spends [server_work] cycles per request (modelled inside the
+    network delay — the remote's CPU is not simulated). *)
+
+type session
+
+val session : remote -> session
+(** Per-client-thread session (own response word — no sharing). *)
+
+val call : session -> client:Switchless.Isa.thread -> unit
+(** One blocking RPC from inside the client's body: send (a store), park,
+    wake when the response lands. *)
+
+val completed : remote -> int

@@ -1,0 +1,28 @@
+(** Software scheduling policies enforced by start/stop (§4: "The OS
+    scheduler will enforce software policies by starting and stopping
+    hardware threads... the scheduler will run in much tighter loops").
+
+    Unlike {!Server.run_hw_pool}, where every request's thread is
+    runnable and hardware processor sharing does the scheduling, here a
+    {e software} scheduler thread admits at most [runnable_limit]
+    request threads at a time (modelling a policy such as per-tenant
+    concurrency limits):
+
+    - {!Fcfs}: admitted requests run to completion — cheap, but short
+      requests queue behind long ones (head-of-line blocking);
+    - {!Preemptive}: every quantum, if requests are queued, the scheduler
+      [stop]s the longest-running admitted thread (freezing the request
+      mid-flight at ~tens of cycles), re-queues it, and admits the head
+      of the queue — Shinjuku-style preemption whose cost is a hardware
+      thread hand-off instead of an IPI + context switch.
+
+    The request queue is FIFO over both fresh and preempted work. *)
+
+type mode = Fcfs | Preemptive of int64  (** quantum in cycles *)
+
+val run :
+  ?pool:int -> ?runnable_limit:int -> mode:mode -> Server.config -> Server.stats
+(** [pool] (default 256) worker hardware threads on core 0; the scheduler
+    hardware thread lives on core 1.  [runnable_limit] defaults to the
+    SMT width.  Returns the same statistics as {!Server}; the scheduler's
+    mechanism cycles are reported in [switch_overhead_cycles]. *)

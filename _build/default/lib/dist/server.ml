@@ -1,0 +1,132 @@
+module Sim = Sl_engine.Sim
+module Mailbox = Sl_engine.Mailbox
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Memory = Switchless.Memory
+module Histogram = Sl_util.Histogram
+module Swsched = Sl_baseline.Swsched
+module Openloop = Sl_workload.Openloop
+
+type stats = {
+  completed : int;
+  latencies : Histogram.t;
+  slowdowns : float array;
+  elapsed_cycles : int64;
+  switch_overhead_cycles : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    sorted.(idx)
+  end
+
+type config = {
+  params : Params.t;
+  seed : int64;
+  cores : int;
+  rate_per_kcycle : float;
+  service : Sl_util.Dist.t;
+  count : int;
+}
+
+let record latencies slowdowns (req : Openloop.request) =
+  let sojourn = Int64.sub (Sim.now ()) req.Openloop.arrival in
+  Histogram.record latencies sojourn;
+  let demand = Int64.to_float (Int64.max 1L req.Openloop.service_cycles) in
+  slowdowns := (Int64.to_float sojourn /. demand) :: !slowdowns
+
+let finish ~sim ~latencies ~slowdowns ~switch_overhead =
+  let arr = Array.of_list !slowdowns in
+  Array.sort compare arr;
+  {
+    completed = Histogram.count latencies;
+    latencies;
+    slowdowns = arr;
+    elapsed_cycles = Sim.time sim;
+    switch_overhead_cycles = switch_overhead;
+  }
+
+(* --- software thread-per-request ---------------------------------------- *)
+
+let run_software ?quantum cfg =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim cfg.params ?quantum ~cores:cfg.cores () in
+  let latencies = Histogram.create () in
+  let slowdowns = ref [] in
+  let rng = Sl_util.Rng.create cfg.seed in
+  Openloop.run sim rng
+    ~interarrival:(Openloop.poisson ~rate_per_kcycle:cfg.rate_per_kcycle)
+    ~service:cfg.service ~count:cfg.count
+    ~sink:(fun req ->
+      (* One fresh software thread per request. *)
+      let worker = Swsched.thread sched () in
+      Sim.fork (fun () ->
+          Swsched.exec worker req.Openloop.service_cycles;
+          record latencies slowdowns req));
+  Sim.run sim;
+  finish ~sim ~latencies ~slowdowns
+    ~switch_overhead:(Swsched.switch_overhead_cycles sched)
+
+(* --- hardware thread-per-request ---------------------------------------- *)
+
+type hw_worker = {
+  doorbell : Memory.addr;
+  mutable slot_request : Openloop.request option;
+}
+
+let run_hw_pool ?(pool_per_core = 64) cfg =
+  let sim = Sim.create () in
+  let chip = Chip.create sim cfg.params ~cores:cfg.cores in
+  let memory = Chip.memory chip in
+  let latencies = Histogram.create () in
+  let slowdowns = ref [] in
+  let free = Mailbox.create () in
+  (* Build the worker pool: each worker parks in mwait on its doorbell. *)
+  for core = 0 to cfg.cores - 1 do
+    for i = 0 to pool_per_core - 1 do
+      let ptid = (core * 1024) + i + 1 in
+      let worker = { doorbell = Memory.alloc memory 1; slot_request = None } in
+      let th = Chip.add_thread chip ~core ~ptid ~mode:Ptid.User () in
+      Chip.attach th (fun th ->
+          Isa.monitor th worker.doorbell;
+          let rec serve () =
+            let _ = Isa.mwait th in
+            (match worker.slot_request with
+            | Some req ->
+              worker.slot_request <- None;
+              Isa.exec th req.Openloop.service_cycles;
+              record latencies slowdowns req;
+              Mailbox.send free worker
+            | None -> ());
+            serve ()
+          in
+          serve ());
+      Chip.boot th;
+      Mailbox.send free worker
+    done
+  done;
+  (* Dispatch: hardware steering (smartNIC-style) — pick a parked worker
+     and ring its doorbell; requests queue when the pool is exhausted. *)
+  let inbox = Mailbox.create () in
+  Sim.spawn sim (fun () ->
+      let served = ref 0 in
+      while !served < cfg.count do
+        let req = Mailbox.recv inbox in
+        let worker = Mailbox.recv free in
+        worker.slot_request <- Some req;
+        Memory.write memory worker.doorbell (Int64.of_int req.Openloop.req_id);
+        incr served
+      done);
+  let rng = Sl_util.Rng.create cfg.seed in
+  Openloop.run sim rng
+    ~interarrival:(Openloop.poisson ~rate_per_kcycle:cfg.rate_per_kcycle)
+    ~service:cfg.service ~count:cfg.count
+    ~sink:(fun req -> Mailbox.send inbox req);
+  Sim.run sim;
+  finish ~sim ~latencies ~slowdowns ~switch_overhead:0.0

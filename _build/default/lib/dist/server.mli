@@ -1,0 +1,43 @@
+(** Thread-per-request servers (§2 "Simpler Distributed Programming" and
+    §4's processor-sharing claim).
+
+    An open-loop request stream (Poisson arrivals, configurable
+    service-time dispersion) hits a server built two ways:
+
+    - {!run_software}: thread-per-request with {e software} threads
+      multiplexed on a conventional machine — run-to-completion FCFS by
+      default, or preemptive round-robin with [quantum] (each switch pays
+      the full software cost).
+    - {!run_hw_pool}: thread-per-request with {e hardware} threads — a
+      pool of workers parked in [mwait]; dispatch is a doorbell write, and
+      all active requests share the pipeline processor-sharing style.
+
+    The headline metric is the tail of the {e slowdown} distribution
+    (response time / service demand, RackSched/Shinjuku methodology):
+    under high CV² service times, PS keeps short requests from queueing
+    behind long ones, while FCFS multiplexing makes them wait. *)
+
+type stats = {
+  completed : int;
+  latencies : Sl_util.Histogram.t;  (** Sojourn times (cycles). *)
+  slowdowns : float array;  (** Sorted ascending. *)
+  elapsed_cycles : int64;
+  switch_overhead_cycles : float;  (** Software-world context-switch tax. *)
+}
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [0,1]; 0 on empty input. *)
+
+type config = {
+  params : Switchless.Params.t;
+  seed : int64;
+  cores : int;
+  rate_per_kcycle : float;
+  service : Sl_util.Dist.t;
+  count : int;
+}
+
+val run_software : ?quantum:int64 -> config -> stats
+
+val run_hw_pool : ?pool_per_core:int -> config -> stats
+(** [pool_per_core] defaults to 64 hardware worker threads per core. *)

@@ -1,0 +1,1 @@
+lib/engine/ivar.ml: Queue Sim

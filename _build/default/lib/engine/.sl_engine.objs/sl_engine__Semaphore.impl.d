@@ -1,0 +1,1 @@
+lib/engine/semaphore.ml: Queue Sim

@@ -1,0 +1,1 @@
+lib/engine/signal.ml: Queue Sim

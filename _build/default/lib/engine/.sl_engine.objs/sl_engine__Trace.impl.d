@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Array Format List Printf Sim

@@ -1,0 +1,1 @@
+lib/engine/trace.mli: Format Sim

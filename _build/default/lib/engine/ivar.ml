@@ -1,0 +1,28 @@
+type 'a state = Empty of ('a -> unit) Queue.t | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty (Queue.create ()) }
+
+let fill t v =
+  match t.state with
+  | Full _ -> invalid_arg "Ivar.fill: already full"
+  | Empty waiters ->
+    t.state <- Full v;
+    Queue.iter (fun resume -> resume v) waiters
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty _ ->
+    fill t v;
+    true
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty waiters -> Sim.await (fun resume -> Queue.push resume waiters)

@@ -1,0 +1,19 @@
+type 'a t = { items : 'a Queue.t; receivers : ('a -> unit) Queue.t }
+
+let create () = { items = Queue.create (); receivers = Queue.create () }
+
+let send t v =
+  match Queue.take_opt t.receivers with
+  | Some resume -> resume v
+  | None -> Queue.push v t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> Sim.await (fun resume -> Queue.push resume t.receivers)
+
+let try_recv t = Queue.take_opt t.items
+
+let length t = Queue.length t.items
+
+let waiting_receivers t = Queue.length t.receivers

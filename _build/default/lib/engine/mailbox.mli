@@ -1,0 +1,23 @@
+(** Unbounded FIFO queues with blocking receive.
+
+    The workhorse for request queues: producers {!send} without blocking,
+    consumers {!recv} and block while empty.  Items are delivered in FIFO
+    order; blocked receivers are served in FIFO order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Enqueue an item, waking the longest-blocked receiver if any. *)
+
+val recv : 'a t -> 'a
+(** Dequeue the next item, blocking the calling process while empty. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking dequeue. *)
+
+val length : 'a t -> int
+(** Number of buffered items (excludes blocked receivers). *)
+
+val waiting_receivers : 'a t -> int

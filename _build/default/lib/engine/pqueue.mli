@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    The event queue of the simulator.  Ties on [time] are broken by the
+    monotonically increasing sequence number so that execution order is
+    deterministic and matches insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+
+val peek_time : 'a t -> int64 option
+(** Time of the earliest element, if any. *)
+
+val pop : 'a t -> (int64 * 'a) option
+(** Remove and return the earliest element as [(time, payload)]. *)

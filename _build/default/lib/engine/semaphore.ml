@@ -1,0 +1,34 @@
+type t = { mutable permits : int; queue : (unit -> unit) Queue.t }
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative permits";
+  { permits = n; queue = Queue.create () }
+
+let acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else Sim.await (fun resume -> Queue.push (fun () -> resume ()) t.queue)
+
+let try_acquire t =
+  if t.permits > 0 then begin
+    t.permits <- t.permits - 1;
+    true
+  end
+  else false
+
+let release t =
+  match Queue.take_opt t.queue with
+  | Some resume -> resume ()
+  | None -> t.permits <- t.permits + 1
+
+let available t = t.permits
+let waiters t = Queue.length t.queue
+
+let with_permit t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e

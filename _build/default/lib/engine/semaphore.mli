@@ -1,0 +1,25 @@
+(** Counting semaphores with FIFO queueing.
+
+    Models any resource with [n] interchangeable slots (cores in the
+    software-scheduled baseline, NIC DMA channels, …).  Waiters acquire in
+    FIFO order, which keeps simulations deterministic and starvation-free. *)
+
+type t
+
+val create : int -> t
+(** [create n] with [n ≥ 0] initial permits. *)
+
+val acquire : t -> unit
+(** Take a permit, blocking the calling process while none is available. *)
+
+val try_acquire : t -> bool
+
+val release : t -> unit
+(** Return a permit, waking the longest-blocked acquirer if any. *)
+
+val available : t -> int
+val waiters : t -> int
+
+val with_permit : t -> (unit -> 'a) -> 'a
+(** [with_permit t f] brackets [f] with {!acquire}/{!release}; the permit
+    is released even if [f] raises. *)

@@ -1,0 +1,14 @@
+type 'a t = { mutable waiters : ('a -> unit) Queue.t }
+
+let create () = { waiters = Queue.create () }
+
+let wait t = Sim.await (fun resume -> Queue.push resume t.waiters)
+
+let emit t v =
+  (* Swap the queue out first: waiters re-registered during the wakeups
+     wait for the *next* emission, not this one. *)
+  let current = t.waiters in
+  t.waiters <- Queue.create ();
+  Queue.iter (fun resume -> resume v) current
+
+let waiter_count t = Queue.length t.waiters

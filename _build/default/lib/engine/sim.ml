@@ -1,0 +1,92 @@
+open Effect
+open Effect.Deep
+
+type t = {
+  mutable now : int64;
+  mutable seq : int;
+  queue : (unit -> unit) Pqueue.t;
+}
+
+type _ Effect.t +=
+  | Now_eff : int64 Effect.t
+  | Delay_eff : int64 -> unit Effect.t
+  | Fork_eff : (unit -> unit) -> unit Effect.t
+  | Await_eff : (('a -> unit) -> unit) -> 'a Effect.t
+
+let create () = { now = 0L; seq = 0; queue = Pqueue.create () }
+
+let time t = t.now
+
+let push t ~at thunk =
+  t.seq <- t.seq + 1;
+  Pqueue.push t.queue ~time:at ~seq:t.seq thunk
+
+let schedule t ~at thunk =
+  if Int64.compare at t.now < 0 then
+    invalid_arg "Sim.schedule: time in the past";
+  push t ~at thunk
+
+(* Run [f] as a coroutine: effects performed by [f] (and whatever it calls)
+   suspend it and re-enqueue a continuation event. *)
+let rec exec t f =
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Now_eff ->
+            Some (fun (k : (a, _) continuation) -> continue k t.now)
+          | Delay_eff d ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                if Int64.compare d 0L < 0 then
+                  discontinue k (Invalid_argument "Sim.delay: negative delay")
+                else push t ~at:(Int64.add t.now d) (fun () -> continue k ()))
+          | Fork_eff g ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                push t ~at:t.now (fun () -> exec t g);
+                continue k ())
+          | Await_eff register ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let resumed = ref false in
+                register (fun v ->
+                    if !resumed then
+                      invalid_arg "Sim.await: resume called twice";
+                    resumed := true;
+                    (* [t.now] is read when the resumer fires, so the
+                       process wakes at the resumer's current time. *)
+                    push t ~at:t.now (fun () -> continue k v)))
+          | _ -> None);
+    }
+
+let spawn t f = push t ~at:t.now (fun () -> exec t f)
+
+let run ?until t =
+  let within_horizon time =
+    match until with None -> true | Some h -> Int64.compare time h <= 0
+  in
+  let rec loop () =
+    match Pqueue.peek_time t.queue with
+    | None -> ()
+    | Some time when not (within_horizon time) ->
+      (* Leave future events unprocessed; clock parks at the horizon. *)
+      (match until with Some h -> t.now <- h | None -> ())
+    | Some _ ->
+      (match Pqueue.pop t.queue with
+      | None -> ()
+      | Some (time, thunk) ->
+        t.now <- time;
+        thunk ();
+        loop ())
+  in
+  loop ()
+
+let now () = perform Now_eff
+let delay d = perform (Delay_eff d)
+let fork f = perform (Fork_eff f)
+let await register = perform (Await_eff register)
+let yield () = delay 0L

@@ -1,0 +1,64 @@
+(** Discrete-event simulation kernel with coroutine processes.
+
+    Time is a 64-bit cycle counter.  Simulated activities are ordinary
+    OCaml functions executed as effect-based coroutines: inside a process
+    you call {!delay}, {!await}, {!fork} and {!now} directly, writing
+    blocking-style code (the very model the paper advocates for systems
+    software).  The event loop is single-threaded and deterministic: events
+    with equal timestamps fire in scheduling order.
+
+    {2 Typical use}
+
+    {[
+      let sim = Sim.create () in
+      Sim.spawn sim (fun () ->
+          Sim.delay 10L;
+          Printf.printf "t=%Ld\n" (Sim.now ()));
+      Sim.run sim
+    ]} *)
+
+type t
+(** A simulation world: clock, event queue, process bookkeeping. *)
+
+val create : unit -> t
+
+val time : t -> int64
+(** Current simulated time, readable from outside any process. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** [spawn t f] registers [f] as a process starting at the current time.
+    When called before {!run}, the process starts at time 0. *)
+
+val schedule : t -> at:int64 -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs callback [f] (not a blocking process) at
+    absolute time [at].  [at] must not precede the current time. *)
+
+val run : ?until:int64 -> t -> unit
+(** Drive the event loop until the queue drains, or until simulated time
+    would exceed [until] (events at exactly [until] still fire).  Processes
+    still blocked when the loop stops are abandoned. *)
+
+(** {2 Operations available inside a process}
+
+    Calling these outside a running process raises [Effect.Unhandled]. *)
+
+val now : unit -> int64
+(** Current simulated time.  Must be called from within a process. *)
+
+val delay : int64 -> unit
+(** Suspend the calling process for the given number of cycles (≥ 0). *)
+
+val fork : (unit -> unit) -> unit
+(** Start a child process at the current time.  The child runs after the
+    caller next blocks (deterministic FIFO order). *)
+
+val await : (('a -> unit) -> unit) -> 'a
+(** [await register] suspends the calling process; [register] receives a
+    one-shot [resume] callback that re-enqueues the process with a result
+    value.  This is the primitive from which ivars, signals and queues are
+    built.  [resume] may be called immediately or at any later simulated
+    time, but at most once. *)
+
+val yield : unit -> unit
+(** Re-enqueue the calling process at the current time, letting other
+    ready processes run first. *)

@@ -1,0 +1,42 @@
+type t = {
+  capacity : int;
+  ring : (int64 * string) option array;
+  mutable next : int;  (* write cursor *)
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t sim message =
+  t.ring.(t.next) <- Some (Sim.time sim, message);
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let recordf t sim fmt = Printf.ksprintf (record t sim) fmt
+
+let events t =
+  let collected = ref [] in
+  (* Read backwards from the newest entry. *)
+  for i = 1 to t.capacity do
+    let idx = (t.next - i + (2 * t.capacity)) mod t.capacity in
+    match t.ring.(idx) with
+    | Some event -> collected := event :: !collected
+    | None -> ()
+  done;
+  !collected
+
+let length t = min t.total t.capacity
+
+let total_recorded t = t.total
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp ppf t =
+  List.iter
+    (fun (time, message) -> Format.fprintf ppf "[%Ld] %s@." time message)
+    (events t)

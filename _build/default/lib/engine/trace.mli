@@ -1,0 +1,31 @@
+(** Bounded event tracing for simulations.
+
+    A ring buffer of timestamped annotations.  Processes (or model code)
+    record free-form events; when a run misbehaves, dump the tail to see
+    the last N things that happened in simulated-time order.  Kept
+    deliberately simple: no categories, no filtering — grep the dump. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keep the most recent [capacity] events (default 4096). *)
+
+val record : t -> Sim.t -> string -> unit
+(** Stamp an event with the simulation's current time. *)
+
+val recordf : t -> Sim.t -> ('a, unit, string, unit) format4 -> 'a
+(** [recordf t sim "fmt" ...] — printf-style {!record}. *)
+
+val events : t -> (int64 * string) list
+(** Retained events, oldest first. *)
+
+val length : t -> int
+(** Retained event count (≤ capacity). *)
+
+val total_recorded : t -> int
+(** Events ever recorded, including overwritten ones. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One "[time] message" line per retained event. *)

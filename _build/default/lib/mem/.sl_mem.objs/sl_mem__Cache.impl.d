@@ -1,0 +1,1 @@
+lib/mem/cache.ml: Array Sl_util

@@ -1,0 +1,1 @@
+lib/mem/pollution.ml: Cache Tlb

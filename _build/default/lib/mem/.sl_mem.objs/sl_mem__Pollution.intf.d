@@ -1,0 +1,1 @@
+lib/mem/pollution.mli: Cache Sl_util Tlb

@@ -1,0 +1,1 @@
+lib/os/hw_channel.ml: Int64 Sl_engine Switchless

@@ -1,0 +1,1 @@
+lib/os/hw_channel.mli: Switchless

@@ -1,0 +1,1 @@
+lib/os/hypervisor.ml: Int64 Sl_baseline Switchless

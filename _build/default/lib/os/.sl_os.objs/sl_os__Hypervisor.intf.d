@@ -1,0 +1,1 @@
+lib/os/hypervisor.mli: Sl_baseline Switchless

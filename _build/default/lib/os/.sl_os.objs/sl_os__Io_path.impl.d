@@ -1,0 +1,1 @@
+lib/os/io_path.ml: Array Int64 Sl_baseline Sl_dev Sl_engine Sl_util Sl_workload Switchless

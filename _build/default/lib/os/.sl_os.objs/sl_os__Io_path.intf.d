@@ -1,0 +1,1 @@
+lib/os/io_path.mli: Sl_util Switchless

@@ -1,0 +1,1 @@
+lib/os/microkernel.mli: Hw_channel Sl_baseline Sl_engine Switchless

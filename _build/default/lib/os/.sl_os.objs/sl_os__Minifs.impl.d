@@ -1,0 +1,1 @@
+lib/os/minifs.ml: Hashtbl List Printf Sl_dev Switchless

@@ -1,0 +1,1 @@
+lib/os/minifs.mli: Sl_dev Switchless

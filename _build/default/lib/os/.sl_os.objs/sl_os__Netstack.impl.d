@@ -1,0 +1,1 @@
+lib/os/netstack.ml: Int64 Sl_dev Sl_engine Sl_util Switchless

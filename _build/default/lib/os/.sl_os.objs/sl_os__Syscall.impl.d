@@ -1,0 +1,1 @@
+lib/os/syscall.ml: Hw_channel Int64 Sl_baseline Sl_engine Switchless

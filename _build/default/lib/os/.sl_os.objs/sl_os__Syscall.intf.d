@@ -1,0 +1,1 @@
+lib/os/syscall.mli: Sl_baseline Sl_engine Switchless

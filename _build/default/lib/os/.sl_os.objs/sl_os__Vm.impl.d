@@ -1,0 +1,1 @@
+lib/os/vm.ml: Array Int64 Sl_baseline Sl_engine Switchless

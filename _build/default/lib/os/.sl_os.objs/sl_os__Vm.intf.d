@@ -1,0 +1,1 @@
+lib/os/vm.mli: Switchless

@@ -1,0 +1,82 @@
+module Semaphore = Sl_engine.Semaphore
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Memory = Switchless.Memory
+module Ptid = Switchless.Ptid
+module Tdt = Switchless.Tdt
+
+type t = {
+  server_ptid : int;
+  req_addr : Memory.addr;
+  resp_addr : Memory.addr;
+  lock : Semaphore.t;
+  mutable served : int;
+  mutable issued : int;
+}
+
+let self_vtid = 0
+
+let create chip ~core ~server_ptid ?(mode = Ptid.Supervisor) ?(vector = false)
+    ?on_request () =
+  let memory = Chip.memory chip in
+  let req_addr = Memory.alloc memory 1 in
+  let resp_addr = Memory.alloc memory 1 in
+  let server = Chip.add_thread chip ~core ~ptid:server_ptid ~mode ~vector () in
+  let stop_vtid =
+    match mode with
+    | Ptid.Supervisor -> server_ptid  (* raw ptid addressing *)
+    | Ptid.User ->
+      (* A user-mode server may stop exactly itself. *)
+      let table = Tdt.create () in
+      Tdt.set table ~vtid:self_vtid ~ptid:server_ptid
+        { Tdt.perms_none with Tdt.can_stop = true };
+      Chip.set_tdt server table;
+      self_vtid
+  in
+  let t = { server_ptid; req_addr; resp_addr; lock = Semaphore.create 1; served = 0; issued = 0 } in
+  let handle =
+    match on_request with
+    | Some f -> f
+    | None -> fun th work -> Isa.exec th work
+  in
+  Chip.attach server (fun th ->
+      let rec serve () =
+        let work = Isa.load th t.req_addr in
+        handle th work;
+        t.served <- t.served + 1;
+        Isa.store th t.resp_addr (Int64.of_int t.served);
+        Isa.stop th ~vtid:stop_vtid;
+        serve ()
+      in
+      serve ());
+  t
+
+let grant t ~client ~vtid =
+  let table =
+    match Chip.tdt client with
+    | Some table -> table
+    | None ->
+      let table = Tdt.create () in
+      Chip.set_tdt client table;
+      table
+  in
+  Tdt.set table ~vtid ~ptid:t.server_ptid { Tdt.perms_none with Tdt.can_start = true }
+
+let call t ~client ?via ~work () =
+  Semaphore.with_permit t.lock (fun () ->
+      t.issued <- t.issued + 1;
+      let seq = Int64.of_int t.issued in
+      let start_vtid = match via with Some vtid -> vtid | None -> t.server_ptid in
+      Isa.monitor client t.resp_addr;
+      Isa.store client t.req_addr work;
+      Isa.start client ~vtid:start_vtid;
+      (* A latched wakeup from an earlier caller's response is possible
+         when clients share the channel; re-check the sequence word. *)
+      let rec wait_response () =
+        let _ = Isa.mwait client in
+        if Int64.compare (Isa.load client t.resp_addr) seq < 0 then wait_response ()
+      in
+      wait_response ())
+
+let served t = t.served
+let server_ptid t = t.server_ptid

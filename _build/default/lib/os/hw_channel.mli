@@ -1,0 +1,46 @@
+(** Direct hardware-thread request/response channel.
+
+    The common mechanism behind the paper's §2 use cases: a caller stores
+    its request in shared memory, [start]s the callee's hardware thread,
+    and parks on the response word with [monitor]/[mwait]; the callee
+    processes the request, stores the response (which wakes the caller),
+    and [stop]s itself.  No mode switch, no scheduler — the cost is two
+    hardware-thread hand-offs.
+
+    One channel = one server thread.  Concurrent callers serialize on a
+    zero-cost software reservation; systems that want concurrency create
+    one channel per client (as the experiments do).
+
+    The server can run in {e user} mode — this is how the untrusted
+    hypervisor and sandboxed microkernel services get isolation without
+    privilege: a user-mode server is given a private TDT that lets it
+    stop itself and nothing else. *)
+
+type t
+
+val create :
+  Switchless.Chip.t -> core:int -> server_ptid:int ->
+  ?mode:Switchless.Ptid.mode -> ?vector:bool ->
+  ?on_request:(Switchless.Isa.thread -> int64 -> unit) -> unit -> t
+(** Install the server thread (born parked; the first {!call} starts it).
+    [on_request server work] overrides the default request handler (which
+    is [Isa.exec server work]); use it to model services that touch
+    devices or fault. *)
+
+val self_vtid : int
+(** The vtid under which a user-mode server's private TDT names itself. *)
+
+val grant : t -> client:Switchless.Isa.thread -> vtid:int -> unit
+(** Give [client] permission to start the server under [vtid] in its TDT
+    (creating the table if the client has none).  Setup-time helper — no
+    cycles charged. *)
+
+val call :
+  t -> client:Switchless.Isa.thread -> ?via:int -> work:int64 -> unit -> unit
+(** Round trip: request [work], start the server ([via] the client's TDT
+    vtid, or by raw ptid for supervisor clients), park until the response
+    lands.  Must run inside the client's body. *)
+
+val served : t -> int
+
+val server_ptid : t -> int

@@ -1,0 +1,394 @@
+module Sim = Sl_engine.Sim
+module Mailbox = Sl_engine.Mailbox
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Smt_core = Switchless.Smt_core
+module Memory = Switchless.Memory
+module Histogram = Sl_util.Histogram
+module Nic = Sl_dev.Nic
+module Notify = Sl_dev.Notify
+module Apic_timer = Sl_dev.Apic_timer
+module Swsched = Sl_baseline.Swsched
+module Irq = Sl_baseline.Irq
+module Openloop = Sl_workload.Openloop
+
+type stats = {
+  processed : int;
+  dropped : int;
+  latencies : Histogram.t;
+  elapsed_cycles : int64;
+  useful_cycles : float;
+  poll_cycles : float;
+  overhead_cycles : float;
+  background_cycles : float;
+}
+
+let wasted_fraction s =
+  let total = s.useful_cycles +. s.poll_cycles +. s.overhead_cycles in
+  if total = 0.0 then 0.0 else (s.poll_cycles +. s.overhead_cycles) /. total
+
+type config = {
+  params : Params.t;
+  seed : int64;
+  rate_per_kcycle : float;
+  per_packet_work : int64;
+  count : int;
+  background : bool;
+}
+
+let default_config =
+  {
+    params = Params.default;
+    seed = 1L;
+    rate_per_kcycle = 0.5;
+    per_packet_work = 500L;
+    count = 2000;
+    background = false;
+  }
+
+let background_chunk = 200L
+
+(* Drive the open-loop packet stream into the NIC. *)
+let start_generator sim cfg nic =
+  let rng = Sl_util.Rng.create cfg.seed in
+  Openloop.run sim rng
+    ~interarrival:(Openloop.poisson ~rate_per_kcycle:cfg.rate_per_kcycle)
+    ~service:(Sl_util.Dist.Constant (Int64.to_float cfg.per_packet_work))
+    ~count:cfg.count
+    ~sink:(fun _req -> Sim.fork (fun () -> Nic.inject nic))
+
+let collect_chip_stats ~sim ~core ~latencies ~nic ~background_work =
+  {
+    processed = Histogram.count latencies;
+    dropped = Nic.dropped nic;
+    latencies;
+    elapsed_cycles = Sim.time sim;
+    useful_cycles = Smt_core.work_done core Smt_core.Useful;
+    poll_cycles = Smt_core.work_done core Smt_core.Poll;
+    overhead_cycles = Smt_core.work_done core Smt_core.Overhead;
+    background_cycles = background_work ();
+  }
+
+(* --- the paper's design: monitor/mwait on the RX tail ------------------- *)
+
+let run_mwait cfg =
+  let sim = Sim.create () in
+  let chip = Chip.create sim cfg.params ~cores:1 in
+  let nic = Nic.create sim cfg.params (Chip.memory chip) ~queue_depth:4096 () in
+  let latencies = Histogram.create () in
+  let stop = ref false in
+  let background_done = ref 0.0 in
+  let net = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach net (fun th ->
+      Isa.monitor th (Nic.rx_tail_addr nic);
+      let processed = ref 0 in
+      while !processed < cfg.count do
+        (if Nic.pending nic = 0 then
+           let _ = Isa.mwait th in
+           ());
+        let rec drain () =
+          match Nic.poll nic with
+          | Some pkt ->
+            Isa.exec th cfg.per_packet_work;
+            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            incr processed;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      stop := true);
+  Chip.boot net;
+  if cfg.background then begin
+    let bg = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.User ~weight:0.25 () in
+    Chip.attach bg (fun th ->
+        while not !stop do
+          Isa.exec th background_chunk;
+          background_done := !background_done +. Int64.to_float background_chunk
+        done);
+    Chip.boot bg
+  end;
+  start_generator sim cfg nic;
+  Sim.run sim;
+  collect_chip_stats ~sim ~core:(Chip.exec_core chip 0) ~latencies ~nic
+    ~background_work:(fun () -> !background_done)
+
+(* --- multi-queue mwait: one hardware thread per RX queue ---------------- *)
+
+let run_mwait_rss ~queues cfg =
+  if queues <= 0 then invalid_arg "Io_path.run_mwait_rss: queues must be positive";
+  let sim = Sim.create () in
+  let chip = Chip.create sim cfg.params ~cores:1 in
+  let nic = Nic.create sim cfg.params (Chip.memory chip) ~queues ~queue_depth:4096 () in
+  let latencies = Histogram.create () in
+  let stop = ref false in
+  let background_done = ref 0.0 in
+  let processed = ref 0 in
+  for q = 0 to queues - 1 do
+    let net = Chip.add_thread chip ~core:0 ~ptid:(q + 1) ~mode:Ptid.Supervisor () in
+    Chip.attach net (fun th ->
+        Isa.monitor th (Nic.queue_tail_addr nic q);
+        while not !stop do
+          (if Nic.pending_queue nic q = 0 then
+             let _ = Isa.mwait th in
+             ());
+          let rec drain () =
+            match Nic.poll_queue nic q with
+            | Some pkt ->
+              Isa.exec th cfg.per_packet_work;
+              Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+              incr processed;
+              if !processed >= cfg.count then stop := true;
+              drain ()
+            | None -> ()
+          in
+          drain ()
+        done);
+    Chip.boot net
+  done;
+  if cfg.background then begin
+    let bg = Chip.add_thread chip ~core:0 ~ptid:1000 ~mode:Ptid.User ~weight:0.25 () in
+    Chip.attach bg (fun th ->
+        while not !stop do
+          Isa.exec th background_chunk;
+          background_done := !background_done +. Int64.to_float background_chunk
+        done);
+    Chip.boot bg
+  end;
+  start_generator sim cfg nic;
+  Sim.run sim;
+  collect_chip_stats ~sim ~core:(Chip.exec_core chip 0) ~latencies ~nic
+    ~background_work:(fun () -> !background_done)
+
+(* --- the kernel-bypass status quo: spin on the queue -------------------- *)
+
+let run_polling ?(poll_gap = 20L) cfg =
+  let sim = Sim.create () in
+  let chip = Chip.create sim cfg.params ~cores:1 in
+  let nic = Nic.create sim cfg.params (Chip.memory chip) ~queue_depth:4096 () in
+  let latencies = Histogram.create () in
+  let stop = ref false in
+  let background_done = ref 0.0 in
+  let poller = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach poller (fun th ->
+      let processed = ref 0 in
+      while !processed < cfg.count do
+        match Nic.poll nic with
+        | Some pkt ->
+          Isa.exec th cfg.per_packet_work;
+          Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+          incr processed
+        | None ->
+          (* An empty check: read the tail, compare, loop. *)
+          Isa.exec th ~kind:Smt_core.Poll poll_gap
+      done;
+      stop := true);
+  Chip.boot poller;
+  if cfg.background then begin
+    let bg = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.User ~weight:0.25 () in
+    Chip.attach bg (fun th ->
+        while not !stop do
+          Isa.exec th background_chunk;
+          background_done := !background_done +. Int64.to_float background_chunk
+        done);
+    Chip.boot bg
+  end;
+  start_generator sim cfg nic;
+  Sim.run sim;
+  collect_chip_stats ~sim ~core:(Chip.exec_core chip 0) ~latencies ~nic
+    ~background_work:(fun () -> !background_done)
+
+(* --- the kernel status quo: IRQ + scheduler wakeup ---------------------- *)
+
+let run_interrupt cfg =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim cfg.params ~cores:1 () in
+  let irq = Irq.create sim cfg.params ~cores:(Swsched.cores sched) in
+  let memory = Memory.create () in
+  let doorbell = Mailbox.create () in
+  let nic =
+    Nic.create sim cfg.params memory
+      ~notify:
+        (Notify.Irq_line
+           (fun () ->
+             Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
+                 (* The handler's job: run the scheduler to wake the
+                    blocked network thread. *)
+                 exec (Int64.of_int cfg.params.Params.sched_decision_cycles);
+                 Mailbox.send doorbell ())))
+      ~queue_depth:4096 ()
+  in
+  let latencies = Histogram.create () in
+  let stop = ref false in
+  let background_done = ref 0.0 in
+  let app = Swsched.thread sched () in
+  Sim.spawn sim (fun () ->
+      let processed = ref 0 in
+      while !processed < cfg.count do
+        (if Nic.pending nic = 0 then
+           let () = Mailbox.recv doorbell in
+           ());
+        let rec drain () =
+          match Nic.poll nic with
+          | Some pkt ->
+            Swsched.exec app cfg.per_packet_work;
+            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            incr processed;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      stop := true);
+  if cfg.background then begin
+    let bg = Swsched.thread sched () in
+    Sim.spawn sim (fun () ->
+        while not !stop do
+          Swsched.exec bg background_chunk;
+          background_done := !background_done +. Int64.to_float background_chunk
+        done)
+  end;
+  start_generator sim cfg nic;
+  Sim.run sim;
+  let core = (Swsched.cores sched).(0) in
+  {
+    processed = Histogram.count latencies;
+    dropped = Nic.dropped nic;
+    latencies;
+    elapsed_cycles = Sim.time sim;
+    useful_cycles = Smt_core.work_done core Smt_core.Useful;
+    poll_cycles = Smt_core.work_done core Smt_core.Poll;
+    overhead_cycles = Smt_core.work_done core Smt_core.Overhead;
+    background_cycles = !background_done;
+  }
+
+(* --- NAPI: interrupt once, then poll until dry --------------------------- *)
+
+let run_interrupt_napi cfg =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim cfg.params ~cores:1 () in
+  let irq = Irq.create sim cfg.params ~cores:(Swsched.cores sched) in
+  let memory = Memory.create () in
+  let doorbell = Mailbox.create () in
+  let irq_enabled = ref true in
+  let nic =
+    Nic.create sim cfg.params memory
+      ~notify:
+        (Notify.Irq_line
+           (fun () ->
+             if !irq_enabled then begin
+               (* Mask further interrupts until the poll loop runs dry. *)
+               irq_enabled := false;
+               Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
+                   exec (Int64.of_int cfg.params.Params.sched_decision_cycles);
+                   Mailbox.send doorbell ())
+             end))
+      ~queue_depth:4096 ()
+  in
+  let latencies = Histogram.create () in
+  let stop = ref false in
+  let background_done = ref 0.0 in
+  let app = Swsched.thread sched () in
+  Sim.spawn sim (fun () ->
+      let processed = ref 0 in
+      while !processed < cfg.count do
+        (if Nic.pending nic = 0 then
+           let () = Mailbox.recv doorbell in
+           ());
+        let rec drain () =
+          match Nic.poll nic with
+          | Some pkt ->
+            Swsched.exec app cfg.per_packet_work;
+            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            incr processed;
+            drain ()
+          | None ->
+            (* Queue dry: re-enable interrupts (a device register write)
+               and re-check for the race where a packet landed meanwhile. *)
+            Swsched.exec app ~kind:Smt_core.Overhead
+              (Int64.of_int cfg.params.Params.nic_doorbell_cycles);
+            irq_enabled := true;
+            if Nic.pending nic > 0 then begin
+              irq_enabled := false;
+              drain ()
+            end
+        in
+        drain ()
+      done;
+      stop := true);
+  if cfg.background then begin
+    let bg = Swsched.thread sched () in
+    Sim.spawn sim (fun () ->
+        while not !stop do
+          Swsched.exec bg background_chunk;
+          background_done := !background_done +. Int64.to_float background_chunk
+        done)
+  end;
+  start_generator sim cfg nic;
+  Sim.run sim;
+  let core = (Swsched.cores sched).(0) in
+  {
+    processed = Histogram.count latencies;
+    dropped = Nic.dropped nic;
+    latencies;
+    elapsed_cycles = Sim.time sim;
+    useful_cycles = Smt_core.work_done core Smt_core.Useful;
+    poll_cycles = Smt_core.work_done core Smt_core.Poll;
+    overhead_cycles = Smt_core.work_done core Smt_core.Overhead;
+    background_cycles = !background_done;
+  }
+
+(* --- timer-tick wakeup latency ------------------------------------------ *)
+
+let timer_wakeup_mwait params ~ticks ~period =
+  let sim = Sim.create () in
+  let chip = Chip.create sim params ~cores:1 in
+  let timer = Apic_timer.create sim params (Chip.memory chip) ~period () in
+  let latencies = Histogram.create () in
+  let sched_thread = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach sched_thread (fun th ->
+      Isa.monitor th (Apic_timer.count_addr timer);
+      for i = 1 to ticks do
+        let _ = Isa.mwait th in
+        (* The tick fired at i * period; we are running now. *)
+        Histogram.record latencies
+          (Int64.sub (Sim.now ()) (Int64.mul (Int64.of_int i) period))
+      done;
+      Apic_timer.stop timer);
+  Chip.boot sched_thread;
+  Apic_timer.start timer;
+  Sim.run sim;
+  latencies
+
+let timer_wakeup_interrupt params ~ticks ~period =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim params ~cores:1 () in
+  let irq = Irq.create sim params ~cores:(Swsched.cores sched) in
+  let memory = Memory.create () in
+  let doorbell = Mailbox.create () in
+  let timer =
+    Apic_timer.create sim params memory
+      ~notify:
+        (Notify.Irq_line
+           (fun () ->
+             Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
+                 exec (Int64.of_int params.Params.sched_decision_cycles);
+                 Mailbox.send doorbell ())))
+      ~period ()
+  in
+  let latencies = Histogram.create () in
+  let kernel_thread = Swsched.thread sched () in
+  Sim.spawn sim (fun () ->
+      for i = 1 to ticks do
+        Mailbox.recv doorbell;
+        (* Getting back on CPU requires the context (and its switch). *)
+        Swsched.exec kernel_thread 1L;
+        Histogram.record latencies
+          (Int64.sub (Sim.now ()) (Int64.mul (Int64.of_int i) period))
+      done;
+      Apic_timer.stop timer);
+  Apic_timer.start timer;
+  Sim.run sim;
+  latencies

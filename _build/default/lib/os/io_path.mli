@@ -1,0 +1,70 @@
+(** I/O event delivery, three ways (§2 "No More Interrupts" / "Fast I/O
+    without Inefficient Polling").
+
+    Each runner builds a complete world — one core, a NIC, an open-loop
+    Poisson packet stream — processes [count] packets with
+    [per_packet_work] cycles each, and reports per-packet latency
+    (arrival at the device → processing complete) plus a cycle-accounting
+    breakdown:
+
+    - {!run_mwait}: a hardware thread monitors the RX tail and sleeps in
+      [mwait]; the tail DMA write wakes it (the paper's design).
+    - {!run_polling}: a thread spins on the RX queue, burning [Poll]
+      cycles whenever the queue is empty (the kernel-bypass status quo).
+    - {!run_interrupt}: the NIC raises a legacy IRQ; the handler runs the
+      scheduler to wake a blocked software thread (the kernel status quo).
+
+    An optional background batch job soaks up spare cycles, so the runs
+    also show whether the design lets other work proceed (the paper's
+    co-location argument). *)
+
+type stats = {
+  processed : int;
+  dropped : int;
+  latencies : Sl_util.Histogram.t;
+  elapsed_cycles : int64;
+  useful_cycles : float;  (** Packet + background work. *)
+  poll_cycles : float;  (** Pure spinning waste. *)
+  overhead_cycles : float;  (** Mode switches, IRQ paths, wake costs. *)
+  background_cycles : float;  (** Portion of useful done by the batch job. *)
+}
+
+val wasted_fraction : stats -> float
+(** (poll + overhead) / (useful + poll + overhead). *)
+
+type config = {
+  params : Switchless.Params.t;
+  seed : int64;
+  rate_per_kcycle : float;  (** Packet arrival rate (per 1000 cycles). *)
+  per_packet_work : int64;
+  count : int;
+  background : bool;  (** Run a best-effort batch job alongside. *)
+}
+
+val default_config : config
+
+val run_mwait : config -> stats
+val run_polling : ?poll_gap:int64 -> config -> stats
+val run_interrupt : config -> stats
+
+val run_interrupt_napi : config -> stats
+(** Linux-NAPI-style coalescing: the first packet raises an IRQ, which
+    masks further interrupts and schedules a poll loop; the network
+    thread drains the queue and only re-enables interrupts when it runs
+    dry.  The fairest conventional baseline at high load. *)
+
+val run_mwait_rss : queues:int -> config -> stats
+(** Multi-queue variant (§4's smartNIC steering): the NIC spreads packets
+    over [queues] RX queues by flow hash and one hardware thread parks on
+    each queue's tail — per-flow service parallelism with no software
+    dispatcher anywhere. *)
+
+(** {2 Timer-tick wakeups (the "no more interrupts" microbench)} *)
+
+val timer_wakeup_mwait : Switchless.Params.t -> ticks:int -> period:int64 -> Sl_util.Histogram.t
+(** A kernel thread mwaits on the APIC tick counter; returns the
+    distribution of tick-to-running latency. *)
+
+val timer_wakeup_interrupt : Switchless.Params.t -> ticks:int -> period:int64 -> Sl_util.Histogram.t
+(** The conventional path: timer IRQ → handler → scheduler wake of the
+    blocked kernel thread. *)

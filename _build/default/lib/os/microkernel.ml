@@ -1,0 +1,72 @@
+module Sim = Sl_engine.Sim
+module Ivar = Sl_engine.Ivar
+module Mailbox = Sl_engine.Mailbox
+module Params = Switchless.Params
+module Smt_core = Switchless.Smt_core
+module Ptid = Switchless.Ptid
+module Swsched = Sl_baseline.Swsched
+
+let monolithic_call client params ~service_work =
+  Swsched.exec client ~kind:Smt_core.Overhead
+    (Int64.of_int params.Params.trap_entry_cycles);
+  Swsched.exec client ~kind:Smt_core.Useful service_work;
+  Swsched.exec client ~kind:Smt_core.Overhead
+    (Int64.of_int params.Params.trap_exit_cycles);
+  Swsched.exec client ~kind:Smt_core.Overhead
+    (Int64.of_int params.Params.trap_pollution_cycles)
+
+module Sw_service = struct
+  type request = { service_work : int64; reply : unit Ivar.t }
+
+  type t = {
+    params : Params.t;
+    inbox : request Mailbox.t;
+    mutable served : int;
+  }
+
+  let create sim sched params =
+    let t = { params; inbox = Mailbox.create (); served = 0 } in
+    let service_thread = Swsched.thread sched () in
+    Sim.spawn sim (fun () ->
+        let rec serve () =
+          let { service_work; reply } = Mailbox.recv t.inbox in
+          (* Receive syscall return + the service's own work. *)
+          Swsched.exec service_thread ~kind:Smt_core.Overhead
+            (Int64.of_int t.params.Params.trap_exit_cycles);
+          Swsched.exec service_thread ~kind:Smt_core.Useful service_work;
+          (* Reply syscall: trap in, scheduler wakes the client. *)
+          Swsched.exec service_thread ~kind:Smt_core.Overhead
+            (Int64.of_int
+               (t.params.Params.trap_entry_cycles
+               + t.params.Params.sched_decision_cycles));
+          t.served <- t.served + 1;
+          Ivar.fill reply ();
+          serve ()
+        in
+        serve ());
+    t
+
+  let call t ~client ~service_work =
+    (* Send syscall: trap in, enqueue, scheduler wakes the service. *)
+    Swsched.exec client ~kind:Smt_core.Overhead
+      (Int64.of_int
+         (t.params.Params.trap_entry_cycles + t.params.Params.sched_decision_cycles));
+    let reply = Ivar.create () in
+    Mailbox.send t.inbox { service_work; reply };
+    Ivar.read reply;
+    (* Back on CPU: return-from-syscall on the client side. *)
+    Swsched.exec client ~kind:Smt_core.Overhead
+      (Int64.of_int t.params.Params.trap_exit_cycles)
+
+  let served t = t.served
+end
+
+module Hw_service = struct
+  type t = Hw_channel.t
+
+  let create chip ~core ~server_ptid ?(mode = Ptid.User) () =
+    Hw_channel.create chip ~core ~server_ptid ~mode ()
+
+  let call t ~client ?via ~service_work () =
+    Hw_channel.call t ~client ?via ~work:service_work ()
+end

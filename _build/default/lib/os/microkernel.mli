@@ -1,0 +1,47 @@
+(** Microkernel service invocation (§2 "Faster Microkernels and Container
+    Proxies").
+
+    A user application calls a service (file system, network stack,
+    container proxy) that performs [service_work] cycles.  Three worlds:
+
+    - {!monolithic_call}: the service lives in a monolithic kernel — one
+      trap round trip around the work (the baseline microkernels are
+      compared against).
+    - {!Sw_service}: a classic microkernel — the service is its own
+      software thread; each request costs a send syscall, a scheduler
+      wake-up, a context switch into the service, and the symmetric reply
+      path.
+    - {!Hw_service}: the paper's design — the service owns a hardware
+      thread; the client starts it directly ({!Hw_channel}), achieving
+      XPC-like direct switch without entering the kernel. *)
+
+val monolithic_call :
+  Sl_baseline.Swsched.thread -> Switchless.Params.t -> service_work:int64 -> unit
+
+(** Scheduler-mediated IPC to a software-thread service. *)
+module Sw_service : sig
+  type t
+
+  val create : Sl_engine.Sim.t -> Sl_baseline.Swsched.t -> Switchless.Params.t -> t
+  (** Spawns the service loop as a software thread of [sched]. *)
+
+  val call : t -> client:Sl_baseline.Swsched.thread -> service_work:int64 -> unit
+  (** Must run inside the client's process.  Charges: send-side trap +
+      scheduler wake on the client; the service thread's context switch
+      and work; reply-side trap + scheduler + the client's re-switch. *)
+
+  val served : t -> int
+end
+
+(** Direct hardware-thread IPC; thin specialization of {!Hw_channel}. *)
+module Hw_service : sig
+  type t = Hw_channel.t
+
+  val create :
+    Switchless.Chip.t -> core:int -> server_ptid:int ->
+    ?mode:Switchless.Ptid.mode -> unit -> t
+  (** [mode] defaults to [User]: an isolated, unprivileged service. *)
+
+  val call :
+    t -> client:Switchless.Isa.thread -> ?via:int -> service_work:int64 -> unit -> unit
+end

@@ -1,0 +1,176 @@
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Nvme = Sl_dev.Nvme
+
+exception Fs_error of string
+
+let block_bytes = 4096
+
+(* CPU cost of processing one block (copy/checksum) and of a cache hit. *)
+let block_process_cycles = 200L
+let cache_hit_cycles = 40L
+
+type inode = { mutable size : int; mutable blocks : int list (* newest first *) }
+
+type t = {
+  chip : Chip.t;
+  nvme : Nvme.t;
+  cache_capacity : int;
+  dir_block : int;  (* reserved metadata block, rewritten on namespace ops *)
+  files : (string, inode) Hashtbl.t;
+  cache : (int, int) Hashtbl.t;  (* block -> last-use stamp *)
+  mutable clock : int;
+  mutable next_block : int;
+  mutable free_blocks : int list;
+  mutable hits : int;
+  mutable misses : int;
+  mutable dev_reads : int;
+  mutable dev_writes : int;
+}
+
+let create chip nvme ?(cache_blocks = 64) () =
+  if cache_blocks <= 0 then invalid_arg "Minifs.create: cache_blocks must be positive";
+  {
+    chip;
+    nvme;
+    cache_capacity = cache_blocks;
+    dir_block = 0;
+    files = Hashtbl.create 64;
+    cache = Hashtbl.create 64;
+    clock = 0;
+    next_block = 1;
+    free_blocks = [];
+    hits = 0;
+    misses = 0;
+    dev_reads = 0;
+    dev_writes = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* Block on the device completion via monitor/mwait — the FS thread
+   sleeps, exactly like the NIC path. *)
+let await_device t th =
+  Isa.monitor th (Nvme.cq_tail_addr t.nvme);
+  let rec wait () =
+    match Nvme.poll_completion t.nvme with
+    | Some _ -> ()
+    | None ->
+      let _ = Isa.mwait th in
+      wait ()
+  in
+  wait ()
+
+let device_io t th =
+  ignore (Nvme.submit t.nvme);
+  await_device t th
+
+let cache_insert t block =
+  if not (Hashtbl.mem t.cache block) then begin
+    if Hashtbl.length t.cache >= t.cache_capacity then begin
+      (* Evict the LRU entry. *)
+      let victim =
+        Hashtbl.fold
+          (fun b stamp acc ->
+            match acc with
+            | Some (_, best) when best <= stamp -> acc
+            | _ -> Some (b, stamp))
+          t.cache None
+      in
+      match victim with
+      | Some (b, _) -> Hashtbl.remove t.cache b
+      | None -> ()
+    end;
+    Hashtbl.replace t.cache block (tick t)
+  end
+  else Hashtbl.replace t.cache block (tick t)
+
+let read_block t th block =
+  if Hashtbl.mem t.cache block then begin
+    t.hits <- t.hits + 1;
+    Hashtbl.replace t.cache block (tick t);
+    Isa.exec th cache_hit_cycles
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.dev_reads <- t.dev_reads + 1;
+    device_io t th;
+    Isa.exec th block_process_cycles;
+    cache_insert t block
+  end
+
+let write_block t th block =
+  t.dev_writes <- t.dev_writes + 1;
+  Isa.exec th block_process_cycles;
+  device_io t th;
+  cache_insert t block
+
+let alloc_block t =
+  match t.free_blocks with
+  | b :: rest ->
+    t.free_blocks <- rest;
+    b
+  | [] ->
+    let b = t.next_block in
+    t.next_block <- t.next_block + 1;
+    b
+
+let find t name =
+  match Hashtbl.find_opt t.files name with
+  | Some inode -> inode
+  | None -> raise (Fs_error (Printf.sprintf "no such file: %s" name))
+
+let mkfile t th ~name =
+  if Hashtbl.mem t.files name then
+    raise (Fs_error (Printf.sprintf "file exists: %s" name));
+  (* Directory update: the metadata block is rewritten. *)
+  write_block t th t.dir_block;
+  Hashtbl.replace t.files name { size = 0; blocks = [] }
+
+let append t th ~name ~bytes =
+  if bytes < 0 then invalid_arg "Minifs.append: negative size";
+  let inode = find t name in
+  let needed =
+    ((inode.size + bytes + block_bytes - 1) / block_bytes) - List.length inode.blocks
+  in
+  for _ = 1 to needed do
+    let b = alloc_block t in
+    inode.blocks <- b :: inode.blocks;
+    write_block t th b
+  done;
+  (* The partially-filled tail block is rewritten too when appending into
+     it. *)
+  if needed = 0 && bytes > 0 then begin
+    match inode.blocks with
+    | tail :: _ -> write_block t th tail
+    | [] -> ()
+  end;
+  inode.size <- inode.size + bytes
+
+let read t th ~name =
+  let inode = find t name in
+  List.iter (fun b -> read_block t th b) (List.rev inode.blocks);
+  inode.size
+
+let delete t th ~name =
+  let inode = find t name in
+  List.iter (fun b -> Hashtbl.remove t.cache b) inode.blocks;
+  t.free_blocks <- inode.blocks @ t.free_blocks;
+  Hashtbl.remove t.files name;
+  (* Directory update. *)
+  write_block t th t.dir_block
+
+let stat t ~name =
+  match Hashtbl.find_opt t.files name with
+  | Some inode -> Some (inode.size, List.length inode.blocks)
+  | None -> None
+
+let list_files t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
+
+let cache_hits t = t.hits
+let cache_misses t = t.misses
+let device_reads t = t.dev_reads
+let device_writes t = t.dev_writes

@@ -1,0 +1,46 @@
+module Sim = Sl_engine.Sim
+module Semaphore = Sl_engine.Semaphore
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Memory = Switchless.Memory
+module Ptid = Switchless.Ptid
+module Smt_core = Switchless.Smt_core
+module Swsched = Sl_baseline.Swsched
+
+module Trap = struct
+  let call thread params ~kernel_work =
+    Swsched.exec thread ~kind:Smt_core.Overhead
+      (Int64.of_int params.Params.trap_entry_cycles);
+    Swsched.exec thread ~kind:Smt_core.Useful kernel_work;
+    Swsched.exec thread ~kind:Smt_core.Overhead
+      (Int64.of_int params.Params.trap_exit_cycles);
+    (* Indirect cost: the caches/TLB the trap polluted slow the
+       application down after returning. *)
+    Swsched.exec thread ~kind:Smt_core.Overhead
+      (Int64.of_int params.Params.trap_pollution_cycles)
+end
+
+module Flexsc = struct
+  type t = { worker : Sl_baseline.Flexsc.t }
+
+  (* Posting a syscall entry to the shared page: a handful of stores. *)
+  let post_cycles = 8L
+
+  let create sim params ?batch_window ~kernel_core () =
+    { worker = Sl_baseline.Flexsc.create sim params ?batch_window ~core:kernel_core () }
+
+  let call t thread ~kernel_work =
+    Swsched.exec thread ~kind:Smt_core.Overhead post_cycles;
+    Sl_baseline.Flexsc.call t.worker ~kernel_work
+end
+
+module Hw_thread = struct
+  type t = Hw_channel.t
+
+  let create chip ~core ~server_ptid = Hw_channel.create chip ~core ~server_ptid ()
+
+  let call t ~client ~kernel_work = Hw_channel.call t ~client ~work:kernel_work ()
+
+  let served = Hw_channel.served
+end

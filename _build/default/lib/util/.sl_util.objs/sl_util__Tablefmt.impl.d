@@ -1,0 +1,1 @@
+lib/util/tablefmt.ml: Buffer Float Int64 List Printf String

@@ -1,0 +1,48 @@
+(** Log-bucketed latency histograms (HdrHistogram-style).
+
+    Values are non-negative integers (cycle counts in this project).  The
+    histogram keeps a fixed number of sub-buckets per power-of-two range,
+    giving a bounded relative error on reported quantiles — [precision]
+    sub-bucket bits bound the error by 2^-precision.  Recording is O(1) and
+    allocation-free, so histograms can be updated on the simulator's hot
+    path. *)
+
+type t
+
+val create : ?precision:int -> unit -> t
+(** [create ~precision ()] makes an empty histogram.  [precision] is the
+    number of sub-bucket bits per octave (default 7, i.e. ≤ 0.8% relative
+    quantile error).  Allowed range: 1–14. *)
+
+val record : t -> int64 -> unit
+(** [record t v] adds one observation.  Negative values raise
+    [Invalid_argument]. *)
+
+val record_n : t -> int64 -> int -> unit
+(** [record_n t v n] adds [n] observations of value [v]. *)
+
+val count : t -> int
+(** Number of recorded observations. *)
+
+val min_value : t -> int64
+(** Smallest recorded value; [0L] when empty. *)
+
+val max_value : t -> int64
+(** Largest recorded value (bucket upper bound); [0L] when empty. *)
+
+val mean : t -> float
+(** Arithmetic mean of recorded values; [0.] when empty. *)
+
+val quantile : t -> float -> int64
+(** [quantile t q] with [q] in [\[0, 1\]] returns the smallest recorded
+    bucket value at or above the requested rank.  [0L] when empty. *)
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds all of [src]'s observations to [dst].  Both
+    histograms must share the same precision. *)
+
+val reset : t -> unit
+(** Forget all observations. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line "n=… mean=… p50=… p99=… p999=… max=…" rendering. *)

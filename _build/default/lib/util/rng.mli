@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that a
+    simulation run is a pure function of its seed.  The generator is
+    SplitMix64 (Steele, Lea & Flood, OOPSLA '14): tiny state, excellent
+    statistical quality for simulation purposes, and a cheap [split]
+    operation that lets independent subsystems draw from uncorrelated
+    streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Equal seeds produce equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy and the original
+    evolve independently afterwards. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output.  Used to give
+    each simulated subsystem its own stream without manual seed
+    bookkeeping. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] draws uniformly from [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

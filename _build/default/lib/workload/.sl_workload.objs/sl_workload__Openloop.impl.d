@@ -1,0 +1,1 @@
+lib/workload/openloop.ml: Int64 Sl_engine Sl_util

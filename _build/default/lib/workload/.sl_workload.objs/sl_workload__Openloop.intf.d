@@ -1,0 +1,1 @@
+lib/workload/openloop.mli: Sl_engine Sl_util

@@ -1,0 +1,23 @@
+module Sim = Sl_engine.Sim
+
+type request = { req_id : int; arrival : int64; service_cycles : int64 }
+
+let run sim rng ~interarrival ~service ~count ~sink =
+  Sim.spawn sim (fun () ->
+      for req_id = 0 to count - 1 do
+        let gap = Int64.of_float (Sl_util.Dist.sample interarrival rng) in
+        let gap = if Int64.compare gap 1L < 0 then 1L else gap in
+        Sim.delay gap;
+        let service_cycles = Int64.of_float (Sl_util.Dist.sample service rng) in
+        let service_cycles =
+          if Int64.compare service_cycles 0L < 0 then 0L else service_cycles
+        in
+        sink { req_id; arrival = Sim.now (); service_cycles }
+      done)
+
+let poisson ~rate_per_kcycle =
+  if rate_per_kcycle <= 0.0 then invalid_arg "Openloop.poisson: rate must be positive";
+  Sl_util.Dist.Exponential (1000.0 /. rate_per_kcycle)
+
+let utilization ~rate_per_kcycle ~mean_service ~servers =
+  rate_per_kcycle /. 1000.0 *. mean_service /. servers

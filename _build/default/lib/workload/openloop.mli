@@ -1,0 +1,29 @@
+(** Open-loop request generation.
+
+    Requests arrive on their own schedule regardless of whether the system
+    keeps up — the methodology of the serving papers this work builds on
+    (Shinjuku, Shenango, ZygOS): closed-loop generators hide queueing
+    collapse; open-loop ones expose it. *)
+
+type request = {
+  req_id : int;
+  arrival : int64;  (** Cycle at which the request entered the system. *)
+  service_cycles : int64;  (** Work the request demands. *)
+}
+
+val run :
+  Sl_engine.Sim.t -> Sl_util.Rng.t -> interarrival:Sl_util.Dist.t ->
+  service:Sl_util.Dist.t -> count:int -> sink:(request -> unit) -> unit
+(** Spawn a generator process emitting [count] requests; [sink] is invoked
+    from the generator process at each arrival instant (it may fork, send
+    to a mailbox, inject into a device, …).  Inter-arrival gaps and
+    service demands are sampled per request (clamped to ≥ 1 cycle and ≥ 0
+    cycles respectively). *)
+
+val poisson : rate_per_kcycle:float -> Sl_util.Dist.t
+(** Exponential inter-arrivals for the given mean rate (requests per 1000
+    cycles) — the usual M/G arrival side. *)
+
+val utilization :
+  rate_per_kcycle:float -> mean_service:float -> servers:float -> float
+(** Offered load ρ = λ·E\[S\] / m, for labelling sweep axes. *)

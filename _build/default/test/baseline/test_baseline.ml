@@ -1,0 +1,231 @@
+(* Tests for the conventional world: cost arithmetic, software scheduler,
+   interrupt controller, FlexSC worker. *)
+
+module Sim = Sl_engine.Sim
+module Params = Switchless.Params
+module Smt_core = Switchless.Smt_core
+module Ctx_cost = Sl_baseline.Ctx_cost
+module Swsched = Sl_baseline.Swsched
+module Irq = Sl_baseline.Irq
+module Flexsc = Sl_baseline.Flexsc
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let p = Params.default
+
+(* --- Ctx_cost --- *)
+
+let test_save_restore_scaling () =
+  let gp = Ctx_cost.save_restore_cycles p ~out_vector:false ~in_vector:false in
+  let full = Ctx_cost.save_restore_cycles p ~out_vector:true ~in_vector:true in
+  (* 2 x 272 / 16 = 34; 2 x 784 / 16 = 98. *)
+  check_int "gp only" 34 gp;
+  check_int "with vector" 98 full;
+  check_bool "vector dearer" true (full > gp)
+
+let test_switch_composition () =
+  let c = Ctx_cost.software_switch_cycles p ~out_vector:false ~in_vector:false () in
+  check_int "fixed + copy + sched + warmup" (250 + 34 + 1200 + 2000) c;
+  let no_warm =
+    Ctx_cost.software_switch_cycles p ~warmup:false ~out_vector:false ~in_vector:false ()
+  in
+  check_int "without warmup" (250 + 34 + 1200) no_warm
+
+let test_trap_costs () =
+  check_int "roundtrip" 150 (Ctx_cost.trap_roundtrip_cycles p);
+  check_int "with pollution" 450 (Ctx_cost.trap_total_cycles p);
+  check_int "interrupt path" 1000 (Ctx_cost.interrupt_path_cycles p);
+  check_int "vmexit" 1500 (Ctx_cost.vmexit_roundtrip_cycles p)
+
+(* --- Swsched --- *)
+
+let test_single_thread_no_switch_after_first () =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~cores:1 () in
+  let th = Swsched.thread sched () in
+  let done_at = ref 0L in
+  Sim.spawn sim (fun () ->
+      Swsched.exec th 1000L;
+      Swsched.exec th 1000L;
+      done_at := Sim.now ());
+  Sim.run sim;
+  check_int "one switch (onto the context)" 1 (Swsched.switch_count sched);
+  (* 3484 (first switch) + 2000 work. *)
+  check_i64 "time" (Int64.of_int (3484 + 2000)) !done_at
+
+let test_two_threads_pay_switches () =
+  let sim = Sim.create () in
+  (* One context total so the threads must interleave. *)
+  let one_ctx = { p with Params.smt_width = 1 } in
+  let sched = Swsched.create sim one_ctx ~quantum:500L ~cores:1 () in
+  let a = Swsched.thread sched () and b = Swsched.thread sched () in
+  Sim.spawn sim (fun () -> Swsched.exec a 1000L);
+  Sim.spawn sim (fun () -> Swsched.exec b 1000L);
+  Sim.run sim;
+  (* a(500) b(500) a(500) b(500): four slices, each a thread change. *)
+  check_int "four switches" 4 (Swsched.switch_count sched);
+  check_bool "overhead accounted" true (Swsched.switch_overhead_cycles sched > 13000.0)
+
+let test_fcfs_runs_to_completion () =
+  let sim = Sim.create () in
+  let one_ctx = { p with Params.smt_width = 1 } in
+  let sched = Swsched.create sim one_ctx ~cores:1 () in
+  let a = Swsched.thread sched () and b = Swsched.thread sched () in
+  let order = ref [] in
+  Sim.spawn sim (fun () ->
+      Swsched.exec a 1000L;
+      order := "a" :: !order);
+  Sim.spawn sim (fun () ->
+      Swsched.exec b 1000L;
+      order := "b" :: !order);
+  Sim.run sim;
+  Alcotest.(check (list string)) "fifo completion" [ "b"; "a" ] !order;
+  check_int "exactly two switches" 2 (Swsched.switch_count sched)
+
+let test_contexts_match_cores_times_width () =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~cores:3 () in
+  check_int "contexts" (3 * p.Params.smt_width) (Swsched.context_count sched)
+
+let test_vector_thread_switch_cost () =
+  let sim = Sim.create () in
+  let one_ctx = { p with Params.smt_width = 1 } in
+  let sched = Swsched.create sim one_ctx ~warmup:false ~cores:1 () in
+  let a = Swsched.thread sched ~vector:true () in
+  let done_at = ref 0L in
+  Sim.spawn sim (fun () ->
+      Swsched.exec a 100L;
+      done_at := Sim.now ());
+  Sim.run sim;
+  (* Switch in: fixed 250 + (272 out + 784 in)/16 = 66 + sched 1200. *)
+  check_i64 "vector restore charged" (Int64.of_int (250 + 66 + 1200 + 100)) !done_at
+
+(* --- Irq --- *)
+
+let test_irq_runs_handler_with_entry_exit () =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~cores:1 () in
+  let irq = Irq.create sim p ~cores:(Swsched.cores sched) in
+  let handled_at = ref 0L in
+  Sim.schedule sim ~at:100L (fun () ->
+      Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
+          exec 50L;
+          handled_at := Sim.now ()));
+  Sim.run sim;
+  (* 100 + entry 600 + body 50. *)
+  check_i64 "handler completion" 750L !handled_at;
+  check_int "one irq" 1 (Irq.irq_count irq)
+
+let test_irq_serializes_per_core () =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~cores:1 () in
+  let irq = Irq.create sim p ~cores:(Swsched.cores sched) in
+  let completions = ref [] in
+  Sim.schedule sim ~at:0L (fun () ->
+      for _ = 1 to 2 do
+        Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
+            exec 100L;
+            completions := Sim.time sim :: !completions)
+      done);
+  Sim.run sim;
+  match List.rev !completions with
+  | [ first; second ] ->
+    check_i64 "first at entry+body" 700L first;
+    (* Second waits for first's exit (400) then pays its own entry. *)
+    check_i64 "second serialized" (Int64.of_int (700 + 400 + 600 + 100)) second
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_irq_steals_capacity_from_app () =
+  let sim = Sim.create () in
+  let one_ctx = { p with Params.smt_width = 1 } in
+  let sched = Swsched.create sim one_ctx ~cores:1 () in
+  let irq = Irq.create sim one_ctx ~cores:(Swsched.cores sched) in
+  let th = Swsched.thread sched () in
+  let done_at = ref 0L in
+  Sim.spawn sim (fun () ->
+      Swsched.exec th 10_000L;
+      done_at := Sim.now ());
+  Sim.schedule sim ~at:5_000L (fun () ->
+      Irq.raise_irq irq ~core:0 ~handler:(fun ~exec -> exec 1_000L));
+  Sim.run sim;
+  (* Without the IRQ the app would finish at 3484 + 10000 = 13484; the
+     2000-cycle IRQ (entry+body+exit) shares the single pipeline slot
+     while active, delaying the app by about that much. *)
+  check_bool "app delayed by irq" true (Int64.to_int !done_at > 14_000)
+
+let test_ipi_adds_latency () =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~cores:2 () in
+  let irq = Irq.create sim p ~cores:(Swsched.cores sched) in
+  let handled_at = ref 0L in
+  Sim.spawn sim (fun () ->
+      Irq.send_ipi irq ~core:1 ~handler:(fun ~exec ->
+          exec 1L;
+          handled_at := Sim.now ()));
+  Sim.run sim;
+  (* ipi 1000 + entry 600 + 1. *)
+  check_i64 "ipi + entry" 1601L !handled_at;
+  check_int "ipi counted" 1 (Irq.ipi_count irq)
+
+(* --- Flexsc --- *)
+
+let test_flexsc_batches_calls () =
+  let sim = Sim.create () in
+  let kernel_core = Smt_core.create sim p ~core_id:99 in
+  let fx = Flexsc.create sim p ~batch_window:500L ~core:kernel_core () in
+  let finished = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Flexsc.call fx ~kernel_work:100L;
+        finished := (i, Sim.now ()) :: !finished)
+  done;
+  Sim.run sim;
+  check_int "three calls" 3 (Flexsc.calls fx);
+  check_int "one batch" 1 (Flexsc.batches fx);
+  (* Batch opens at t=0, accumulates 500, then serves 3 x 100 serially. *)
+  let times = List.rev_map snd !finished in
+  check_bool "all after the window" true (List.for_all (fun t -> Int64.to_int t >= 600) times)
+
+let test_flexsc_second_batch_for_late_call () =
+  let sim = Sim.create () in
+  let kernel_core = Smt_core.create sim p ~core_id:99 in
+  let fx = Flexsc.create sim p ~batch_window:500L ~core:kernel_core () in
+  Sim.spawn sim (fun () -> Flexsc.call fx ~kernel_work:10L);
+  Sim.spawn sim (fun () ->
+      Sim.delay 5_000L;
+      Flexsc.call fx ~kernel_work:10L);
+  Sim.run sim;
+  check_int "two batches" 2 (Flexsc.batches fx)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "ctx_cost",
+        [
+          Alcotest.test_case "save/restore scaling" `Quick test_save_restore_scaling;
+          Alcotest.test_case "switch composition" `Quick test_switch_composition;
+          Alcotest.test_case "trap costs" `Quick test_trap_costs;
+        ] );
+      ( "swsched",
+        [
+          Alcotest.test_case "single thread" `Quick test_single_thread_no_switch_after_first;
+          Alcotest.test_case "two threads switch" `Quick test_two_threads_pay_switches;
+          Alcotest.test_case "fcfs run-to-completion" `Quick test_fcfs_runs_to_completion;
+          Alcotest.test_case "context count" `Quick test_contexts_match_cores_times_width;
+          Alcotest.test_case "vector switch cost" `Quick test_vector_thread_switch_cost;
+        ] );
+      ( "irq",
+        [
+          Alcotest.test_case "entry/exit accounting" `Quick test_irq_runs_handler_with_entry_exit;
+          Alcotest.test_case "serialization" `Quick test_irq_serializes_per_core;
+          Alcotest.test_case "steals capacity" `Quick test_irq_steals_capacity_from_app;
+          Alcotest.test_case "ipi latency" `Quick test_ipi_adds_latency;
+        ] );
+      ( "flexsc",
+        [
+          Alcotest.test_case "batching" `Quick test_flexsc_batches_calls;
+          Alcotest.test_case "late call new batch" `Quick test_flexsc_second_batch_for_late_call;
+        ] );
+    ]

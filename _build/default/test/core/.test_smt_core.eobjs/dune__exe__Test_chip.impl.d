@@ -1,0 +1,1 @@
+test/core/test_chip.ml: Alcotest Buffer Int64 List Printf Sl_engine Sl_util String Switchless

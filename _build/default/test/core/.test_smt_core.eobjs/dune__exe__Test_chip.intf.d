@@ -1,0 +1,1 @@
+test/core/test_chip.mli:

@@ -1,0 +1,1 @@
+test/core/test_chip_properties.ml: Alcotest Buffer Gen Int64 List Printf QCheck QCheck_alcotest Sl_engine Sl_util String Switchless

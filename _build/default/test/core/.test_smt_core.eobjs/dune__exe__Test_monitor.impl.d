@@ -1,0 +1,1 @@
+test/core/test_monitor.ml: Alcotest Gen List QCheck QCheck_alcotest Switchless

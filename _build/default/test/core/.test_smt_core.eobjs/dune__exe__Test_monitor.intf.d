@@ -1,0 +1,1 @@
+test/core/test_monitor.mli:

@@ -1,0 +1,1 @@
+test/core/test_security.ml: Alcotest Int64 List Sl_engine Switchless

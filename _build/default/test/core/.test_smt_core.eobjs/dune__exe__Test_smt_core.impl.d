@@ -1,0 +1,1 @@
+test/core/test_smt_core.ml: Alcotest Gen Int64 List QCheck QCheck_alcotest Sl_engine Switchless

@@ -1,0 +1,1 @@
+test/core/test_smt_core.mli:

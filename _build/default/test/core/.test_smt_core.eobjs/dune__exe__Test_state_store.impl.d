@@ -1,0 +1,1 @@
+test/core/test_state_store.ml: Alcotest Gen List QCheck QCheck_alcotest Switchless

@@ -1,0 +1,1 @@
+test/core/test_tdt.ml: Alcotest Format List QCheck QCheck_alcotest Switchless

@@ -1,0 +1,1 @@
+test/core/test_units.ml: Alcotest Int64 List Sl_engine Switchless

@@ -1,0 +1,226 @@
+(* Tests for the §3.2 secret-key capability scheme and per-thread billing. *)
+
+module Sim = Sl_engine.Sim
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Memory = Switchless.Memory
+module Regstate = Switchless.Regstate
+module Smt_core = Switchless.Smt_core
+module Exception_desc = Switchless.Exception_desc
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let p = Params.default
+
+let setup () =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:2 in
+  (sim, chip)
+
+(* A supervisor handler on core 1 that restarts any faulting thread whose
+   descriptors land at [desc]; returns a counter of handled faults. *)
+let install_handler chip desc =
+  let faults = ref 0 in
+  let handler = Chip.add_thread chip ~core:1 ~ptid:900 ~mode:Ptid.Supervisor () in
+  Chip.attach handler (fun th ->
+      Isa.monitor th desc;
+      let rec serve () =
+        let _ = Isa.mwait th in
+        incr faults;
+        let d = Exception_desc.read (Chip.memory chip) ~base:desc in
+        Isa.start th ~vtid:d.Exception_desc.ptid;
+        serve ()
+      in
+      serve ());
+  Chip.boot handler;
+  faults
+
+let test_keyed_start_with_correct_key () =
+  let sim, chip = setup () in
+  let target = Chip.add_thread chip ~core:1 ~ptid:10 ~mode:Ptid.User () in
+  let ran = ref false in
+  Chip.attach target (fun th ->
+      (* Publish our key, run, park; a keyed start resumes us. *)
+      Isa.set_secret th 0xBEEFL;
+      Isa.stop_keyed th ~target_ptid:10 ~key:0xBEEFL;
+      ran := true);
+  Chip.boot target;
+  let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Chip.attach user (fun th ->
+      Sim.delay 100L;
+      Isa.start_keyed th ~target_ptid:10 ~key:0xBEEFL);
+  Chip.boot user;
+  Sim.run sim;
+  check_bool "keyed start resumed the target" true !ran
+
+let test_keyed_start_with_wrong_key_faults () =
+  let sim, chip = setup () in
+  let target = Chip.add_thread chip ~core:1 ~ptid:10 ~mode:Ptid.User () in
+  Chip.attach target (fun th -> Isa.set_secret th 0xBEEFL);
+  Chip.boot target;
+  let desc = Memory.alloc (Chip.memory chip) Exception_desc.size_words in
+  let faults = install_handler chip desc in
+  let attacker = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Regstate.set (Chip.regs attacker) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
+  let after = ref Ptid.Runnable in
+  Chip.attach attacker (fun th ->
+      Sim.delay 100L;
+      Isa.stop_keyed th ~target_ptid:10 ~key:0xDEADL;
+      after := Chip.state target);
+  Chip.boot attacker;
+  Sim.run sim;
+  check_int "one permission fault" 1 !faults;
+  check_bool "target untouched" true (!after = Ptid.Disabled || !after = Ptid.Runnable);
+  (* The keyed stop must NOT have disabled the target before it parked on
+     its own; here it had already returned, so Disabled is its own doing:
+     check the attacker never gained control by verifying a register. *)
+  check_i64 "no register tampering" 0L (Regstate.get (Chip.regs target) (Regstate.Gp 5))
+
+let test_keyed_access_without_published_key_faults () =
+  let sim, chip = setup () in
+  let target = Chip.add_thread chip ~core:1 ~ptid:10 ~mode:Ptid.User () in
+  Chip.attach target (fun _ -> ());
+  let desc = Memory.alloc (Chip.memory chip) Exception_desc.size_words in
+  let faults = install_handler chip desc in
+  let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Regstate.set (Chip.regs user) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
+  Chip.attach user (fun th -> Isa.start_keyed th ~target_ptid:10 ~key:0L);
+  Chip.boot user;
+  Sim.run sim;
+  check_int "no key published -> fault" 1 !faults;
+  check_int "target not started" 0 (Chip.start_count target)
+
+let test_keyed_rpush_rpull () =
+  let sim, chip = setup () in
+  let target = Chip.add_thread chip ~core:1 ~ptid:10 ~mode:Ptid.User () in
+  Chip.attach target (fun th -> Isa.set_secret th 7L);
+  Chip.boot target;
+  let got = ref 0L in
+  let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Chip.attach user (fun th ->
+      Sim.delay 100L;
+      (* Target has returned -> disabled; keyed remote access works. *)
+      Isa.rpush_keyed th ~target_ptid:10 ~key:7L (Regstate.Gp 3) 99L;
+      got := Isa.rpull_keyed th ~target_ptid:10 ~key:7L (Regstate.Gp 3));
+  Chip.boot user;
+  Sim.run sim;
+  check_i64 "keyed register roundtrip" 99L !got
+
+let test_keyed_rpush_privileged_reg_still_faults () =
+  let sim, chip = setup () in
+  let target = Chip.add_thread chip ~core:1 ~ptid:10 ~mode:Ptid.User () in
+  Chip.attach target (fun th -> Isa.set_secret th 7L);
+  Chip.boot target;
+  let desc = Memory.alloc (Chip.memory chip) Exception_desc.size_words in
+  let faults = install_handler chip desc in
+  let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Regstate.set (Chip.regs user) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
+  Chip.attach user (fun th ->
+      Sim.delay 100L;
+      (* Even with the key, control registers need supervisor mode. *)
+      Isa.rpush_keyed th ~target_ptid:10 ~key:7L Regstate.Tdt_base 1L);
+  Chip.boot user;
+  Sim.run sim;
+  check_int "privileged reg fault" 1 !faults;
+  check_i64 "tdt base unchanged" 0L (Regstate.get (Chip.regs target) Regstate.Tdt_base)
+
+let test_supervisor_bypasses_keys () =
+  let sim, chip = setup () in
+  let target = Chip.add_thread chip ~core:1 ~ptid:10 ~mode:Ptid.User () in
+  Chip.attach target (fun th -> Isa.set_secret th 42L);
+  Chip.boot target;
+  let boss = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  let ok = ref false in
+  Chip.attach boss (fun th ->
+      Sim.delay 100L;
+      Isa.rpush_keyed th ~target_ptid:10 ~key:0L (Regstate.Gp 1) 5L;
+      ok := true);
+  Chip.boot boss;
+  Sim.run sim;
+  check_bool "supervisor needs no key" true !ok;
+  check_i64 "write landed" 5L (Regstate.get (Chip.regs target) (Regstate.Gp 1))
+
+let test_key_rotation_revokes () =
+  let sim, chip = setup () in
+  let doorbell = Memory.alloc (Chip.memory chip) 1 in
+  let target = Chip.add_thread chip ~core:1 ~ptid:10 ~mode:Ptid.User () in
+  Chip.attach target (fun th ->
+      Isa.set_secret th 1L;
+      Isa.monitor th doorbell;
+      let _ = Isa.mwait th in
+      (* Rotate the key: previously shared capability is now void. *)
+      Isa.set_secret th 2L);
+  Chip.boot target;
+  let desc = Memory.alloc (Chip.memory chip) Exception_desc.size_words in
+  let faults = install_handler chip desc in
+  let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Regstate.set (Chip.regs user) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
+  Chip.attach user (fun th ->
+      Sim.delay 100L;
+      Isa.store th doorbell 1L;
+      Sim.delay 1000L;
+      (* Old key no longer works. *)
+      Isa.stop_keyed th ~target_ptid:10 ~key:1L);
+  Chip.boot user;
+  Sim.run sim;
+  check_int "stale key faults" 1 !faults
+
+(* --- per-thread billing (§4) --- *)
+
+let test_billing_tracks_per_thread_consumption () =
+  let sim, chip = setup () in
+  let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Chip.attach a (fun th -> Isa.exec th 1000L);
+  let b = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.User () in
+  Chip.attach b (fun th -> Isa.exec th 250L);
+  Chip.boot a;
+  Chip.boot b;
+  Sim.run sim;
+  let core = Chip.exec_core chip 0 in
+  let close x y = abs_float (x -. y) < 1.0 in
+  check_bool "thread 1 billed 1000" true (close (Smt_core.thread_cycles core ~ptid:1) 1000.0);
+  check_bool "thread 2 billed 250" true (close (Smt_core.thread_cycles core ~ptid:2) 250.0);
+  check_bool "unknown thread billed 0" true (Smt_core.thread_cycles core ~ptid:99 = 0.0);
+  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 (Smt_core.billed_threads core) in
+  check_bool "billing sums to busy" true
+    (close total (Smt_core.busy_capacity_cycles core))
+
+let test_billing_includes_overhead_kinds () =
+  let sim, chip = setup () in
+  let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
+  Chip.attach a (fun th ->
+      Isa.exec th 100L;
+      Isa.exec th ~kind:Smt_core.Poll 50L;
+      Isa.exec th ~kind:Smt_core.Overhead 25L);
+  Chip.boot a;
+  Sim.run sim;
+  let core = Chip.exec_core chip 0 in
+  check_bool "all kinds billed to the thread" true
+    (abs_float (Smt_core.thread_cycles core ~ptid:1 -. 175.0) < 1.0)
+
+let () =
+  Alcotest.run "security"
+    [
+      ( "secret keys",
+        [
+          Alcotest.test_case "correct key starts" `Quick test_keyed_start_with_correct_key;
+          Alcotest.test_case "wrong key faults" `Quick test_keyed_start_with_wrong_key_faults;
+          Alcotest.test_case "no key published" `Quick
+            test_keyed_access_without_published_key_faults;
+          Alcotest.test_case "keyed rpush/rpull" `Quick test_keyed_rpush_rpull;
+          Alcotest.test_case "privileged reg still guarded" `Quick
+            test_keyed_rpush_privileged_reg_still_faults;
+          Alcotest.test_case "supervisor bypass" `Quick test_supervisor_bypasses_keys;
+          Alcotest.test_case "key rotation revokes" `Quick test_key_rotation_revokes;
+        ] );
+      ( "billing",
+        [
+          Alcotest.test_case "per-thread consumption" `Quick
+            test_billing_tracks_per_thread_consumption;
+          Alcotest.test_case "all kinds billed" `Quick test_billing_includes_overhead_kinds;
+        ] );
+    ]

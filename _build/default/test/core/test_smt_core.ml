@@ -1,0 +1,220 @@
+(* Tests for the weighted processor-sharing SMT execution model. *)
+
+module Sim = Sl_engine.Sim
+module Params = Switchless.Params
+module Smt_core = Switchless.Smt_core
+
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let with_core ?(smt_width = 2) f =
+  let params = { Params.default with Params.smt_width } in
+  let sim = Sim.create () in
+  let core = Smt_core.create sim params ~core_id:0 in
+  f sim core
+
+(* Run [cycles] of work for [ptid] and record the completion time. *)
+let job sim core ~ptid ?(kind = Smt_core.Useful) ?(weight = 1.0) ?(start = 0L) cycles finished =
+  Sim.spawn sim (fun () ->
+      Sim.delay start;
+      Smt_core.set_runnable core ~ptid ~weight true;
+      Smt_core.execute core ~ptid ~kind cycles;
+      Smt_core.set_runnable core ~ptid ~weight false;
+      finished := Sim.now ())
+
+let test_single_job_full_rate () =
+  with_core (fun sim core ->
+      let t = ref 0L in
+      job sim core ~ptid:1 1000L t;
+      Sim.run sim;
+      check_i64 "1000 cycles at rate 1" 1000L !t)
+
+let test_two_jobs_within_width () =
+  with_core ~smt_width:2 (fun sim core ->
+      let t1 = ref 0L and t2 = ref 0L in
+      job sim core ~ptid:1 1000L t1;
+      job sim core ~ptid:2 1000L t2;
+      Sim.run sim;
+      check_i64 "both at full rate" 1000L !t1;
+      check_i64 "both at full rate" 1000L !t2)
+
+let test_three_jobs_share_two_slots () =
+  with_core ~smt_width:2 (fun sim core ->
+      let t1 = ref 0L and t2 = ref 0L and t3 = ref 0L in
+      job sim core ~ptid:1 300L t1;
+      job sim core ~ptid:2 300L t2;
+      job sim core ~ptid:3 300L t3;
+      Sim.run sim;
+      (* Each runs at 2/3: 300 cycles of service need 450 wall cycles. *)
+      check_i64 "ps rate 2/3" 450L !t1;
+      check_i64 "ps rate 2/3" 450L !t2;
+      check_i64 "ps rate 2/3" 450L !t3)
+
+let test_weighted_sharing () =
+  with_core ~smt_width:1 (fun sim core ->
+      let heavy = ref 0L and light = ref 0L in
+      job sim core ~ptid:1 ~weight:2.0 600L heavy;
+      job sim core ~ptid:2 ~weight:1.0 600L light;
+      Sim.run sim;
+      (* Heavy runs at 2/3 until done at t=900; light then finishes its
+         remaining 300 at full rate: 900 + 300 = 1200. *)
+      check_i64 "heavy done at 900" 900L !heavy;
+      check_i64 "light done at 1200" 1200L !light)
+
+let test_rate_cap_at_one () =
+  with_core ~smt_width:2 (fun sim core ->
+      (* Weight 100 vs 1 vs 1: the heavy thread is capped at rate 1.0, the
+         two light ones share the remaining slot at 0.5 each. *)
+      let heavy = ref 0L and l1 = ref 0L and l2 = ref 0L in
+      job sim core ~ptid:1 ~weight:100.0 1000L heavy;
+      job sim core ~ptid:2 ~weight:1.0 500L l1;
+      job sim core ~ptid:3 ~weight:1.0 500L l2;
+      Sim.run sim;
+      check_i64 "capped at full rate" 1000L !heavy;
+      check_i64 "light shares 0.5 each" 1000L !l1;
+      check_i64 "light shares 0.5 each" 1000L !l2)
+
+let test_late_arrival_slows_first () =
+  with_core ~smt_width:1 (fun sim core ->
+      let a = ref 0L and b = ref 0L in
+      job sim core ~ptid:1 1000L a;
+      job sim core ~ptid:2 ~start:500L 1000L b;
+      Sim.run sim;
+      (* A alone for 500 cycles (500 served), then shares at 0.5: another
+         1000 wall cycles for its remaining 500.  Done at 1500.  B has
+         served 500 by then, finishes the rest alone: 1500 + 500 = 2000. *)
+      check_i64 "a done at 1500" 1500L !a;
+      check_i64 "b done at 2000" 2000L !b)
+
+let test_stop_freezes_work () =
+  with_core ~smt_width:1 (fun sim core ->
+      let t = ref 0L in
+      Sim.spawn sim (fun () ->
+          Smt_core.set_runnable core ~ptid:1 ~weight:1.0 true;
+          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 1000L;
+          t := Sim.now ());
+      (* Freeze from 200 to 700. *)
+      Sim.schedule sim ~at:200L (fun () ->
+          Smt_core.set_runnable core ~ptid:1 ~weight:1.0 false);
+      Sim.schedule sim ~at:700L (fun () ->
+          Smt_core.set_runnable core ~ptid:1 ~weight:1.0 true);
+      Sim.run sim;
+      check_i64 "paused 500 cycles" 1500L !t)
+
+let test_zero_cycles_returns_immediately () =
+  with_core (fun sim core ->
+      let t = ref (-1L) in
+      Sim.spawn sim (fun () ->
+          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 0L;
+          t := Sim.now ());
+      Sim.run sim;
+      check_i64 "no time consumed" 0L !t)
+
+let test_execute_requires_runnable () =
+  with_core (fun sim core ->
+      let raised = ref false in
+      Sim.spawn sim (fun () ->
+          match Smt_core.execute core ~ptid:9 ~kind:Smt_core.Useful 10L with
+          | () -> ()
+          | exception Invalid_argument _ -> raised := true);
+      Sim.run sim;
+      check_bool "rejected" true !raised)
+
+let test_double_execute_rejected () =
+  with_core (fun sim core ->
+      let raised = ref false in
+      Sim.spawn sim (fun () ->
+          Smt_core.set_runnable core ~ptid:1 ~weight:1.0 true;
+          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 100L);
+      Sim.spawn sim (fun () ->
+          Sim.delay 10L;
+          match Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 100L with
+          | () -> ()
+          | exception Invalid_argument _ -> raised := true);
+      Sim.run sim;
+      check_bool "second in-flight execute rejected" true !raised)
+
+let test_work_accounting_by_kind () =
+  with_core ~smt_width:2 (fun sim core ->
+      let d1 = ref 0L and d2 = ref 0L and d3 = ref 0L in
+      job sim core ~ptid:1 ~kind:Smt_core.Useful 400L d1;
+      job sim core ~ptid:2 ~kind:Smt_core.Poll 300L d2;
+      job sim core ~ptid:3 ~kind:Smt_core.Overhead 200L d3;
+      Sim.run sim;
+      let close a b = abs_float (a -. b) < 1.0 in
+      check_bool "useful" true (close (Smt_core.work_done core Smt_core.Useful) 400.0);
+      check_bool "poll" true (close (Smt_core.work_done core Smt_core.Poll) 300.0);
+      check_bool "overhead" true (close (Smt_core.work_done core Smt_core.Overhead) 200.0);
+      check_bool "busy = total work" true (close (Smt_core.busy_capacity_cycles core) 900.0))
+
+let test_runnable_count () =
+  with_core (fun sim core ->
+      Sim.spawn sim (fun () ->
+          Smt_core.set_runnable core ~ptid:1 ~weight:1.0 true;
+          Smt_core.set_runnable core ~ptid:2 ~weight:1.0 true;
+          Alcotest.(check int) "two runnable" 2 (Smt_core.runnable_count core);
+          Smt_core.set_runnable core ~ptid:1 ~weight:1.0 false;
+          Alcotest.(check int) "one runnable" 1 (Smt_core.runnable_count core));
+      Sim.run sim)
+
+(* Property: processor sharing is work-conserving — with W total work and
+   width k, the makespan lies within [W_total / (k * slowdown), ...] and
+   every job's completion >= its own service demand. *)
+let prop_work_conservation =
+  QCheck.Test.make ~name:"PS is work-conserving and never early" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 12) (int_range 1 2000))
+    (fun cycles_list ->
+      let params = { Params.default with Params.smt_width = 2 } in
+      let sim = Sim.create () in
+      let core = Smt_core.create sim params ~core_id:0 in
+      let completions = List.map (fun _ -> ref 0L) cycles_list in
+      List.iteri
+        (fun i cycles ->
+          let t = List.nth completions i in
+          Sim.spawn sim (fun () ->
+              Smt_core.set_runnable core ~ptid:i ~weight:1.0 true;
+              Smt_core.execute core ~ptid:i ~kind:Smt_core.Useful (Int64.of_int cycles);
+              Smt_core.set_runnable core ~ptid:i ~weight:1.0 false;
+              t := Sim.now ()))
+        cycles_list;
+      Sim.run sim;
+      let total = List.fold_left ( + ) 0 cycles_list in
+      let makespan = Sim.time sim in
+      let width = 2 in
+      let n = List.length cycles_list in
+      (* No job finishes before its own demand. *)
+      List.for_all2
+        (fun cycles t -> Int64.to_int !t >= cycles)
+        cycles_list completions
+      (* Work conservation: makespan no larger than serial execution plus
+         rounding slack, and at least total/width. *)
+      && Int64.to_int makespan >= total / width
+      && Int64.to_int makespan <= total + (2 * n))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_work_conservation ] in
+  Alcotest.run "smt_core"
+    [
+      ( "rates",
+        [
+          Alcotest.test_case "single job full rate" `Quick test_single_job_full_rate;
+          Alcotest.test_case "two jobs within width" `Quick test_two_jobs_within_width;
+          Alcotest.test_case "three share two slots" `Quick test_three_jobs_share_two_slots;
+          Alcotest.test_case "weighted sharing" `Quick test_weighted_sharing;
+          Alcotest.test_case "rate cap at 1.0" `Quick test_rate_cap_at_one;
+          Alcotest.test_case "late arrival" `Quick test_late_arrival_slows_first;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "stop freezes work" `Quick test_stop_freezes_work;
+          Alcotest.test_case "zero cycles immediate" `Quick test_zero_cycles_returns_immediately;
+          Alcotest.test_case "execute requires runnable" `Quick test_execute_requires_runnable;
+          Alcotest.test_case "double execute rejected" `Quick test_double_execute_rejected;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "work by kind" `Quick test_work_accounting_by_kind;
+          Alcotest.test_case "runnable count" `Quick test_runnable_count;
+        ] );
+      ("properties", qsuite);
+    ]

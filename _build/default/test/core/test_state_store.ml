@@ -1,0 +1,195 @@
+(* Tests for the tiered thread-state storage (§4 design space). *)
+
+module Params = Switchless.Params
+module State_store = Switchless.State_store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tier = Alcotest.testable State_store.pp_tier ( = )
+
+(* Tiny capacities so tests exercise eviction with few threads:
+   RF holds 2 GP contexts, L2 holds 4, L3 holds 8. *)
+let small_params =
+  {
+    Params.default with
+    Params.rf_capacity_bytes = 2 * 272;
+    l2_state_capacity_bytes = 4 * 272;
+    l3_state_capacity_bytes = 8 * 272;
+  }
+
+let test_first_fit_placement () =
+  let s = State_store.create small_params in
+  for ptid = 0 to 13 do
+    State_store.register s ~ptid ~bytes:272
+  done;
+  Alcotest.check tier "0 in RF" State_store.Register_file (State_store.tier_of s ~ptid:0);
+  Alcotest.check tier "1 in RF" State_store.Register_file (State_store.tier_of s ~ptid:1);
+  Alcotest.check tier "2 in L2" State_store.L2 (State_store.tier_of s ~ptid:2);
+  Alcotest.check tier "5 in L2" State_store.L2 (State_store.tier_of s ~ptid:5);
+  Alcotest.check tier "6 in L3" State_store.L3 (State_store.tier_of s ~ptid:6);
+  Alcotest.check tier "13 in L3" State_store.L3 (State_store.tier_of s ~ptid:13);
+  State_store.register s ~ptid:14 ~bytes:272;
+  Alcotest.check tier "overflow to DRAM" State_store.Dram (State_store.tier_of s ~ptid:14)
+
+let test_wake_costs_follow_tier_ladder () =
+  let s = State_store.create small_params in
+  for ptid = 0 to 14 do
+    State_store.register s ~ptid ~bytes:272
+  done;
+  check_int "RF wake free" 0 (State_store.wake_transfer_cycles s ~ptid:0);
+  (* ptid 2 is in L2. *)
+  let s2 = State_store.create small_params in
+  for ptid = 0 to 14 do
+    State_store.register s2 ~ptid ~bytes:272
+  done;
+  check_int "L2 wake" small_params.Params.l2_transfer_cycles
+    (State_store.wake_transfer_cycles s2 ~ptid:2);
+  check_int "L3 wake" small_params.Params.l3_transfer_cycles
+    (State_store.wake_transfer_cycles s2 ~ptid:7);
+  check_int "DRAM wake" small_params.Params.dram_transfer_cycles
+    (State_store.wake_transfer_cycles s2 ~ptid:14)
+
+let test_wake_promotes_to_rf () =
+  let s = State_store.create small_params in
+  for ptid = 0 to 6 do
+    State_store.register s ~ptid ~bytes:272
+  done;
+  ignore (State_store.wake_transfer_cycles s ~ptid:6);
+  Alcotest.check tier "promoted" State_store.Register_file (State_store.tier_of s ~ptid:6);
+  (* RF held 0 and 1; someone was demoted to make room. *)
+  let rf_count =
+    List.length
+      (List.filter
+         (fun ptid -> State_store.tier_of s ~ptid = State_store.Register_file)
+         [ 0; 1; 2; 3; 4; 5; 6 ])
+  in
+  check_int "RF holds exactly 2" 2 rf_count;
+  check_bool "a demotion happened" true (State_store.demotion_count s >= 1)
+
+let test_lru_victim_selection () =
+  let s = State_store.create small_params in
+  State_store.register s ~ptid:0 ~bytes:272;
+  State_store.register s ~ptid:1 ~bytes:272;
+  State_store.register s ~ptid:2 ~bytes:272;
+  (* Touch 0 so 1 is the cold one; wake 2 must evict 1, not 0. *)
+  State_store.touch s ~ptid:0;
+  ignore (State_store.wake_transfer_cycles s ~ptid:2);
+  Alcotest.check tier "0 stays" State_store.Register_file (State_store.tier_of s ~ptid:0);
+  Alcotest.check tier "1 demoted" State_store.L2 (State_store.tier_of s ~ptid:1);
+  Alcotest.check tier "2 resident" State_store.Register_file (State_store.tier_of s ~ptid:2)
+
+let test_pinning_protects_from_eviction () =
+  let s = State_store.create small_params in
+  State_store.register s ~ptid:0 ~bytes:272;
+  State_store.register s ~ptid:1 ~bytes:272;
+  State_store.register s ~ptid:2 ~bytes:272;
+  State_store.pin s ~ptid:0;
+  State_store.pin s ~ptid:1;
+  (* RF is now entirely pinned; waking 2 cannot evict. *)
+  Alcotest.check_raises "all pinned"
+    (Invalid_argument "State_store: tier full of pinned contexts") (fun () ->
+      ignore (State_store.wake_transfer_cycles s ~ptid:2));
+  State_store.unpin s ~ptid:1;
+  ignore (State_store.wake_transfer_cycles s ~ptid:2);
+  Alcotest.check tier "pinned survivor" State_store.Register_file
+    (State_store.tier_of s ~ptid:0);
+  Alcotest.check tier "unpinned was evicted" State_store.L2 (State_store.tier_of s ~ptid:1)
+
+let test_prefetch_makes_wake_free () =
+  let s = State_store.create small_params in
+  for ptid = 0 to 6 do
+    State_store.register s ~ptid ~bytes:272
+  done;
+  State_store.prefetch s ~ptid:6;
+  check_int "prefetched wake is free" 0 (State_store.wake_transfer_cycles s ~ptid:6)
+
+let test_vector_contexts_take_more_room () =
+  (* RF sized for 2 GP contexts (544 B) cannot hold a 784-byte vector
+     context at all; L2 (1088 B) holds exactly one. *)
+  let s = State_store.create small_params in
+  State_store.register s ~ptid:0 ~bytes:784;
+  State_store.register s ~ptid:1 ~bytes:784;
+  Alcotest.check tier "first vector context lands in L2" State_store.L2
+    (State_store.tier_of s ~ptid:0);
+  Alcotest.check tier "second overflows to L3" State_store.L3
+    (State_store.tier_of s ~ptid:1)
+
+let test_duplicate_register_rejected () =
+  let s = State_store.create small_params in
+  State_store.register s ~ptid:0 ~bytes:272;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "State_store.register: ptid already registered") (fun () ->
+      State_store.register s ~ptid:0 ~bytes:272)
+
+let test_transfer_counters () =
+  let s = State_store.create small_params in
+  for ptid = 0 to 6 do
+    State_store.register s ~ptid ~bytes:272
+  done;
+  ignore (State_store.wake_transfer_cycles s ~ptid:0);
+  ignore (State_store.wake_transfer_cycles s ~ptid:2);
+  ignore (State_store.wake_transfer_cycles s ~ptid:6);
+  check_int "RF-resident wakes" 1 (State_store.transfer_count s State_store.Register_file);
+  check_int "L2 wakes" 1 (State_store.transfer_count s State_store.L2);
+  check_int "L3 wakes" 1 (State_store.transfer_count s State_store.L3)
+
+(* Property: capacities are never exceeded for bounded tiers, whatever the
+   wake sequence. *)
+let prop_capacity_invariant =
+  QCheck.Test.make ~name:"tier capacities never exceeded" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 19))
+    (fun wakes ->
+      let s = State_store.create small_params in
+      for ptid = 0 to 19 do
+        State_store.register s ~ptid ~bytes:272
+      done;
+      List.iter (fun ptid -> ignore (State_store.wake_transfer_cycles s ~ptid)) wakes;
+      State_store.used_bytes s State_store.Register_file
+      <= State_store.capacity_bytes s State_store.Register_file
+      && State_store.used_bytes s State_store.L2
+         <= State_store.capacity_bytes s State_store.L2
+      && State_store.used_bytes s State_store.L3
+         <= State_store.capacity_bytes s State_store.L3)
+
+(* Property: total bytes across tiers is conserved. *)
+let prop_bytes_conserved =
+  QCheck.Test.make ~name:"state bytes conserved across moves" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 19))
+    (fun wakes ->
+      let s = State_store.create small_params in
+      for ptid = 0 to 19 do
+        State_store.register s ~ptid ~bytes:272
+      done;
+      List.iter (fun ptid -> ignore (State_store.wake_transfer_cycles s ~ptid)) wakes;
+      let total =
+        List.fold_left
+          (fun acc tier -> acc + State_store.used_bytes s tier)
+          0
+          [ State_store.Register_file; State_store.L2; State_store.L3; State_store.Dram ]
+      in
+      total = 20 * 272)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest [ prop_capacity_invariant; prop_bytes_conserved ]
+  in
+  Alcotest.run "state_store"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "first fit" `Quick test_first_fit_placement;
+          Alcotest.test_case "tier cost ladder" `Quick test_wake_costs_follow_tier_ladder;
+          Alcotest.test_case "wake promotes" `Quick test_wake_promotes_to_rf;
+          Alcotest.test_case "LRU victim" `Quick test_lru_victim_selection;
+          Alcotest.test_case "vector contexts" `Quick test_vector_contexts_take_more_room;
+          Alcotest.test_case "duplicate rejected" `Quick test_duplicate_register_rejected;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "pinning" `Quick test_pinning_protects_from_eviction;
+          Alcotest.test_case "prefetch" `Quick test_prefetch_makes_wake_free;
+          Alcotest.test_case "transfer counters" `Quick test_transfer_counters;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,156 @@
+(* Tests for Thread Descriptor Tables: Table 1 semantics, caching, invtid. *)
+
+module Tdt = Switchless.Tdt
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_perms_bits_roundtrip () =
+  for bits = 0 to 15 do
+    check_int "roundtrip" bits (Tdt.bits_of_perms (Tdt.perms_of_bits bits))
+  done
+
+let test_perms_bit_meanings () =
+  let p = Tdt.perms_of_bits 0b1000 in
+  check_bool "start" true p.Tdt.can_start;
+  check_bool "stop" false p.Tdt.can_stop;
+  let p = Tdt.perms_of_bits 0b1110 in
+  check_bool "start" true p.Tdt.can_start;
+  check_bool "stop" true p.Tdt.can_stop;
+  check_bool "modify some" true p.Tdt.can_modify_some;
+  check_bool "modify most" false p.Tdt.can_modify_most
+
+let test_perms_pp () =
+  let s = Format.asprintf "%a" Tdt.pp_perms (Tdt.perms_of_bits 0b1110) in
+  Alcotest.(check string) "rendering" "0b1110" s
+
+let test_perms_of_bits_rejects_wide () =
+  Alcotest.check_raises "5 bits" (Invalid_argument "Tdt.perms_of_bits: need 4 bits")
+    (fun () -> ignore (Tdt.perms_of_bits 0b10000))
+
+(* The paper's Table 1, verbatim. *)
+let table_one () =
+  let t = Tdt.create () in
+  Tdt.set t ~vtid:0x0 ~ptid:0x01 (Tdt.perms_of_bits 0b1000);
+  Tdt.set t ~vtid:0x1 ~ptid:0x00 (Tdt.perms_of_bits 0b0000);
+  Tdt.set t ~vtid:0x2 ~ptid:0x10 (Tdt.perms_of_bits 0b1111);
+  Tdt.set t ~vtid:0x3 ~ptid:0x11 (Tdt.perms_of_bits 0b1110);
+  t
+
+let test_table_one_lookups () =
+  let t = table_one () in
+  (match Tdt.lookup t ~vtid:0x0 with
+  | Some (ptid, perms) ->
+    check_int "vtid 0 -> ptid 1" 0x01 ptid;
+    check_bool "start only" true (perms = Tdt.perms_of_bits 0b1000)
+  | None -> Alcotest.fail "vtid 0 should map");
+  (* 0b0000 is the invalid entry. *)
+  check_bool "vtid 1 invalid" true (Tdt.lookup t ~vtid:0x1 = None);
+  check_bool "vtid 4 unmapped" true (Tdt.lookup t ~vtid:0x4 = None)
+
+let test_entries_sorted () =
+  let t = table_one () in
+  let vtids = List.map (fun (v, _, _) -> v) (Tdt.entries t) in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3 ] vtids
+
+let test_clear () =
+  let t = table_one () in
+  Tdt.clear t ~vtid:0x2;
+  check_bool "cleared" true (Tdt.lookup t ~vtid:0x2 = None)
+
+let test_unique_ids () =
+  let a = Tdt.create () and b = Tdt.create () in
+  check_bool "distinct ids" true (Tdt.id a <> Tdt.id b)
+
+(* --- cache behaviour --- *)
+
+let test_cache_hit_after_miss () =
+  let t = table_one () in
+  let c = Tdt.Cache.create () in
+  let _, outcome1 = Tdt.Cache.lookup c t ~vtid:0x2 in
+  let _, outcome2 = Tdt.Cache.lookup c t ~vtid:0x2 in
+  check_bool "first miss" true (outcome1 = `Miss);
+  check_bool "then hit" true (outcome2 = `Hit);
+  check_int "hits" 1 (Tdt.Cache.hits c);
+  check_int "misses" 1 (Tdt.Cache.misses c)
+
+let test_cache_staleness_without_invtid () =
+  let t = table_one () in
+  let c = Tdt.Cache.create () in
+  ignore (Tdt.Cache.lookup c t ~vtid:0x2);
+  (* Update the table but skip invtid: the core keeps translating to the
+     old ptid — the hazard §3.1 warns about. *)
+  Tdt.set t ~vtid:0x2 ~ptid:0x42 (Tdt.perms_of_bits 0b1111);
+  (match Tdt.Cache.lookup c t ~vtid:0x2 with
+  | Some (ptid, _), `Hit -> check_int "stale ptid served" 0x10 ptid
+  | _ -> Alcotest.fail "expected stale hit");
+  (* After invtid the fresh entry is visible. *)
+  Tdt.Cache.invalidate c t ~vtid:0x2;
+  match Tdt.Cache.lookup c t ~vtid:0x2 with
+  | Some (ptid, _), `Miss -> check_int "fresh ptid" 0x42 ptid
+  | _ -> Alcotest.fail "expected fresh miss"
+
+let test_cache_does_not_cache_absent () =
+  let t = table_one () in
+  let c = Tdt.Cache.create () in
+  let r1, o1 = Tdt.Cache.lookup c t ~vtid:0x7 in
+  check_bool "absent" true (r1 = None && o1 = `Miss);
+  (* Still a miss the second time: absent entries are not cached, so a
+     later mapping becomes visible without invtid. *)
+  Tdt.set t ~vtid:0x7 ~ptid:0x77 (Tdt.perms_of_bits 0b1111);
+  match Tdt.Cache.lookup c t ~vtid:0x7 with
+  | Some (ptid, _), `Miss -> check_int "new mapping found" 0x77 ptid
+  | _ -> Alcotest.fail "expected miss with new mapping"
+
+let test_cache_distinguishes_tables () =
+  let a = table_one () and b = Tdt.create () in
+  Tdt.set b ~vtid:0x0 ~ptid:0x99 (Tdt.perms_of_bits 0b1111);
+  let c = Tdt.Cache.create () in
+  (match Tdt.Cache.lookup c a ~vtid:0x0 with
+  | Some (ptid, _), _ -> check_int "table a" 0x01 ptid
+  | None, _ -> Alcotest.fail "a missing");
+  match Tdt.Cache.lookup c b ~vtid:0x0 with
+  | Some (ptid, _), _ -> check_int "table b" 0x99 ptid
+  | None, _ -> Alcotest.fail "b missing"
+
+(* Property: a lookup after set+invtid always sees the latest entry. *)
+let prop_invtid_restores_coherence =
+  QCheck.Test.make ~name:"set;invtid;lookup sees latest" ~count:200
+    QCheck.(pair (int_bound 15) (int_bound 1000))
+    (fun (vtid, ptid) ->
+      let t = table_one () in
+      let c = Tdt.Cache.create () in
+      ignore (Tdt.Cache.lookup c t ~vtid);
+      Tdt.set t ~vtid ~ptid (Tdt.perms_of_bits 0b1111);
+      Tdt.Cache.invalidate c t ~vtid;
+      match Tdt.Cache.lookup c t ~vtid with
+      | Some (p, _), _ -> p = ptid
+      | None, _ -> false)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_invtid_restores_coherence ] in
+  Alcotest.run "tdt"
+    [
+      ( "perms",
+        [
+          Alcotest.test_case "bits roundtrip" `Quick test_perms_bits_roundtrip;
+          Alcotest.test_case "bit meanings" `Quick test_perms_bit_meanings;
+          Alcotest.test_case "pretty printing" `Quick test_perms_pp;
+          Alcotest.test_case "wide bits rejected" `Quick test_perms_of_bits_rejects_wide;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "Table 1 lookups" `Quick test_table_one_lookups;
+          Alcotest.test_case "entries sorted" `Quick test_entries_sorted;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "unique ids" `Quick test_unique_ids;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "staleness without invtid" `Quick test_cache_staleness_without_invtid;
+          Alcotest.test_case "absent not cached" `Quick test_cache_does_not_cache_absent;
+          Alcotest.test_case "distinguishes tables" `Quick test_cache_distinguishes_tables;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the device models: NIC ring, APIC timer, NVMe, MSI-X. *)
+
+module Sim = Sl_engine.Sim
+module Memory = Switchless.Memory
+module Params = Switchless.Params
+module Nic = Sl_dev.Nic
+module Notify = Sl_dev.Notify
+module Apic_timer = Sl_dev.Apic_timer
+module Nvme = Sl_dev.Nvme
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let p = Params.default
+
+let test_nic_inject_poll_roundtrip () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queue_depth:8 () in
+  Sim.spawn sim (fun () ->
+      Nic.inject nic;
+      Nic.inject nic);
+  Sim.run sim;
+  check_int "two pending" 2 (Nic.pending nic);
+  (match Nic.poll nic with
+  | Some pkt ->
+    check_int "fifo: first id" 0 pkt.Nic.pkt_id;
+    check_i64 "arrival stamped before DMA" 0L pkt.Nic.injected_at
+  | None -> Alcotest.fail "expected packet");
+  (match Nic.poll nic with
+  | Some pkt ->
+    check_int "second id" 1 pkt.Nic.pkt_id;
+    check_i64 "second arrival after first DMA" (Int64.of_int p.Params.dma_write_cycles)
+      pkt.Nic.injected_at
+  | None -> Alcotest.fail "expected second packet");
+  check_bool "drained" true (Nic.poll nic = None)
+
+let test_nic_tail_write_visible_in_memory () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queue_depth:8 () in
+  Sim.spawn sim (fun () ->
+      Nic.inject nic;
+      Nic.inject nic;
+      Nic.inject nic);
+  Sim.run sim;
+  check_i64 "tail counter" 3L (Memory.read mem (Nic.rx_tail_addr nic))
+
+let test_nic_overflow_drops () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queue_depth:2 () in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 5 do
+        Nic.inject nic
+      done);
+  Sim.run sim;
+  check_int "delivered" 2 (Nic.delivered nic);
+  check_int "dropped" 3 (Nic.dropped nic)
+
+let test_nic_irq_notify () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let fired = ref 0 in
+  let nic =
+    Nic.create sim p mem ~notify:(Notify.Irq_line (fun () -> incr fired)) ~queue_depth:8 ()
+  in
+  Sim.spawn sim (fun () ->
+      Nic.inject nic;
+      Nic.inject nic);
+  Sim.run sim;
+  check_int "irq per packet" 2 !fired
+
+let test_nic_msix_notify () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let vector_addr = Memory.alloc mem 1 in
+  let nic = Nic.create sim p mem ~notify:(Notify.Msix vector_addr) ~queue_depth:8 () in
+  Sim.spawn sim (fun () -> Nic.inject nic);
+  Sim.run sim;
+  check_i64 "msix wrote the vector word" 1L (Memory.read mem vector_addr);
+  (* The MSI-X write happens after the translation delay. *)
+  check_i64 "time includes translation"
+    (Int64.of_int (p.Params.dma_write_cycles + p.Params.msix_translation_cycles))
+    (Sim.time sim)
+
+let test_timer_ticks_and_counter () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let timer = Apic_timer.create sim p mem ~period:100L () in
+  Apic_timer.start timer;
+  Sim.schedule sim ~at:1001L (fun () -> Apic_timer.stop timer);
+  Sim.run ~until:2000L sim;
+  check_int "ten ticks" 10 (Apic_timer.ticks timer);
+  check_i64 "counter word" 10L (Memory.read mem (Apic_timer.count_addr timer))
+
+let test_timer_stop_is_idempotent () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let timer = Apic_timer.create sim p mem ~period:50L () in
+  Apic_timer.start timer;
+  Apic_timer.start timer;
+  Sim.schedule sim ~at:175L (fun () -> Apic_timer.stop timer);
+  Sim.run sim;
+  check_int "three ticks, single process" 3 (Apic_timer.ticks timer)
+
+let test_nic_multiqueue_steering () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queues:4 ~queue_depth:8 () in
+  Sim.spawn sim (fun () ->
+      (* Default flow = packet id: round-robin across the 4 queues. *)
+      for _ = 1 to 8 do
+        Nic.inject nic
+      done);
+  Sim.run sim;
+  check_int "queues" 4 (Nic.queue_count nic);
+  for q = 0 to 3 do
+    check_int (Printf.sprintf "queue %d holds 2" q) 2 (Nic.pending_queue nic q)
+  done;
+  (match Nic.poll_queue nic 1 with
+  | Some pkt -> check_int "queue 1 sees flow 1" 1 pkt.Nic.flow
+  | None -> Alcotest.fail "expected packet in queue 1");
+  check_int "total pending" 7 (Nic.pending nic)
+
+let test_nic_flow_affinity () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queues:4 ~queue_depth:8 () in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 5 do
+        Nic.inject ~flow:6 nic
+      done);
+  Sim.run sim;
+  check_int "all on flow's queue" 5 (Nic.pending_queue nic 2);
+  check_int "others empty" 0 (Nic.pending_queue nic 0);
+  (* Each queue has its own monitored tail word. *)
+  check_bool "distinct tails" true
+    (Nic.queue_tail_addr nic 0 <> Nic.queue_tail_addr nic 2);
+  check_i64 "tail reflects count" 5L (Memory.read mem (Nic.queue_tail_addr nic 2))
+
+let test_nic_per_queue_overflow () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queues:2 ~queue_depth:2 () in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 5 do
+        Nic.inject ~flow:0 nic
+      done;
+      Nic.inject ~flow:1 nic);
+  Sim.run sim;
+  check_int "flow 0 dropped past depth" 3 (Nic.dropped nic);
+  check_int "flow 1 unaffected" 1 (Nic.pending_queue nic 1)
+
+let test_nvme_completion_flow () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let rng = Sl_util.Rng.create 1L in
+  let nvme =
+    Nvme.create sim p mem ~latency:(Sl_util.Dist.Constant 5000.0) ~rng ()
+  in
+  let submitted = ref (-1) in
+  Sim.spawn sim (fun () -> submitted := Nvme.submit nvme);
+  Sim.run sim;
+  check_int "command id" 0 !submitted;
+  check_int "completed" 1 (Nvme.completed nvme);
+  check_int "none in flight" 0 (Nvme.in_flight nvme);
+  (match Nvme.poll_completion nvme with
+  | Some c ->
+    check_int "completion id" 0 c.Nvme.cmd_id;
+    check_bool "took about the device latency" true
+      (Int64.to_int (Int64.sub c.Nvme.completed_at c.Nvme.submitted_at) >= 5000)
+  | None -> Alcotest.fail "expected completion");
+  check_i64 "cq tail bumped" 1L (Memory.read mem (Nvme.cq_tail_addr nvme))
+
+let test_nvme_queue_depth_enforced () =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let rng = Sl_util.Rng.create 1L in
+  let nvme =
+    Nvme.create sim p mem ~queue_depth:2 ~latency:(Sl_util.Dist.Constant 1e6) ~rng ()
+  in
+  let rejected = ref false in
+  Sim.spawn sim (fun () ->
+      ignore (Nvme.submit nvme);
+      ignore (Nvme.submit nvme);
+      match Nvme.submit nvme with
+      | _ -> ()
+      | exception Invalid_argument _ -> rejected := true);
+  Sim.run sim;
+  check_bool "third submit rejected" true !rejected
+
+let () =
+  Alcotest.run "dev"
+    [
+      ( "nic",
+        [
+          Alcotest.test_case "inject/poll roundtrip" `Quick test_nic_inject_poll_roundtrip;
+          Alcotest.test_case "tail write in memory" `Quick test_nic_tail_write_visible_in_memory;
+          Alcotest.test_case "overflow drops" `Quick test_nic_overflow_drops;
+          Alcotest.test_case "irq notify" `Quick test_nic_irq_notify;
+          Alcotest.test_case "msix notify" `Quick test_nic_msix_notify;
+          Alcotest.test_case "multiqueue steering" `Quick test_nic_multiqueue_steering;
+          Alcotest.test_case "flow affinity" `Quick test_nic_flow_affinity;
+          Alcotest.test_case "per-queue overflow" `Quick test_nic_per_queue_overflow;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "ticks and counter" `Quick test_timer_ticks_and_counter;
+          Alcotest.test_case "start idempotent" `Quick test_timer_stop_is_idempotent;
+        ] );
+      ( "nvme",
+        [
+          Alcotest.test_case "completion flow" `Quick test_nvme_completion_flow;
+          Alcotest.test_case "queue depth" `Quick test_nvme_queue_depth_enforced;
+        ] );
+    ]

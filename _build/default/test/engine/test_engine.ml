@@ -1,0 +1,426 @@
+(* Tests for the discrete-event engine: ordering, processes, primitives. *)
+
+module Sim = Sl_engine.Sim
+module Ivar = Sl_engine.Ivar
+module Signal = Sl_engine.Signal
+module Mailbox = Sl_engine.Mailbox
+module Semaphore = Sl_engine.Semaphore
+module Pqueue = Sl_engine.Pqueue
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Pqueue --- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:5L ~seq:1 "a";
+  Pqueue.push q ~time:3L ~seq:2 "b";
+  Pqueue.push q ~time:5L ~seq:0 "c";
+  Pqueue.push q ~time:1L ~seq:9 "d";
+  let order = List.init 4 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "pop order" [ "d"; "b"; "c"; "a" ] order;
+  check_bool "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_seq_tiebreak () =
+  let q = Pqueue.create () in
+  for i = 0 to 99 do
+    Pqueue.push q ~time:7L ~seq:i i
+  done;
+  for i = 0 to 99 do
+    match Pqueue.pop q with
+    | Some (t, v) ->
+      check_i64 "time" 7L t;
+      check_int "fifo within same time" i v
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_pqueue_random_sorted () =
+  let rng = Sl_util.Rng.create 42L in
+  let q = Pqueue.create () in
+  for i = 0 to 999 do
+    Pqueue.push q ~time:(Int64.of_int (Sl_util.Rng.int rng 500)) ~seq:i ()
+  done;
+  let last = ref (-1L) in
+  let n = ref 0 in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+      check_bool "non-decreasing" true (Int64.compare t !last >= 0);
+      last := t;
+      incr n;
+      drain ()
+  in
+  drain ();
+  check_int "all popped" 1000 !n
+
+(* --- Sim basics --- *)
+
+let test_delay_advances_clock () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  Sim.spawn sim (fun () ->
+      Sim.delay 10L;
+      seen := Sim.now () :: !seen;
+      Sim.delay 5L;
+      seen := Sim.now () :: !seen);
+  Sim.run sim;
+  Alcotest.(check (list int64)) "times" [ 15L; 10L ] !seen;
+  check_i64 "final time" 15L (Sim.time sim)
+
+let test_fork_runs_after_parent_blocks () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      log := "parent-before" :: !log;
+      Sim.fork (fun () -> log := "child" :: !log);
+      log := "parent-after" :: !log;
+      Sim.delay 1L;
+      log := "parent-resumed" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "order"
+    [ "parent-resumed"; "child"; "parent-after"; "parent-before" ]
+    !log
+
+let test_run_until_horizon () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.spawn sim (fun () ->
+      let rec tick () =
+        Sim.delay 10L;
+        incr count;
+        tick ()
+      in
+      tick ());
+  Sim.run ~until:100L sim;
+  check_int "ten ticks" 10 !count;
+  check_i64 "clock parked at horizon" 100L (Sim.time sim)
+
+let test_schedule_callback () =
+  let sim = Sim.create () in
+  let fired = ref (-1L) in
+  Sim.schedule sim ~at:42L (fun () -> fired := Sim.time sim);
+  Sim.run sim;
+  check_i64 "fired at 42" 42L !fired
+
+let test_schedule_past_rejected () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () -> Sim.delay 10L);
+  Sim.run sim;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule: time in the past")
+    (fun () -> Sim.schedule sim ~at:5L (fun () -> ()))
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Sim.spawn sim (fun () ->
+        Sim.delay 5L;
+        log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 9; 8; 7; 6; 5; 4; 3; 2; 1; 0 ] !log
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  let raised = ref false in
+  Sim.spawn sim (fun () ->
+      match Sim.delay (-1L) with
+      | () -> ()
+      | exception Invalid_argument _ -> raised := true);
+  Sim.run sim;
+  check_bool "raised" true !raised
+
+(* --- Ivar --- *)
+
+let test_ivar_fill_wakes_readers () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  let results = ref [] in
+  for _ = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        (* Bind first: [!results] must be read *after* the blocking read. *)
+        let v = Ivar.read iv in
+        results := v :: !results)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.delay 7L;
+      Ivar.fill iv 99);
+  Sim.run sim;
+  Alcotest.(check (list int)) "all readers woke" [ 99; 99; 99 ] !results
+
+let test_ivar_read_after_fill_immediate () =
+  let sim = Sim.create () in
+  let iv = Ivar.create () in
+  Ivar.fill iv "x";
+  let got = ref "" in
+  Sim.spawn sim (fun () -> got := Ivar.read iv);
+  Sim.run sim;
+  Alcotest.(check string) "value" "x" !got
+
+let test_ivar_double_fill_rejected () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  check_bool "try_fill fails" false (Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill" (Invalid_argument "Ivar.fill: already full") (fun () ->
+      Ivar.fill iv 3);
+  Alcotest.(check (option int)) "peek" (Some 1) (Ivar.peek iv)
+
+(* --- Signal --- *)
+
+let test_signal_broadcast () =
+  let sim = Sim.create () in
+  let s = Signal.create () in
+  let woke = ref 0 in
+  for _ = 1 to 5 do
+    Sim.spawn sim (fun () ->
+        let v = Signal.wait s in
+        woke := !woke + v)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.delay 3L;
+      Signal.emit s 10);
+  Sim.run sim;
+  check_int "five waiters x 10" 50 !woke
+
+let test_signal_not_buffered () =
+  let sim = Sim.create () in
+  let s = Signal.create () in
+  let woke = ref false in
+  Sim.spawn sim (fun () ->
+      Signal.emit s ();
+      (* Waiter arrives after the emission: must not wake. *)
+      Sim.fork (fun () ->
+          Signal.wait s;
+          woke := true));
+  Sim.run sim;
+  check_bool "late waiter still blocked" false !woke
+
+let test_signal_rewait_sees_next_emission () =
+  let sim = Sim.create () in
+  let s = Signal.create () in
+  let count = ref 0 in
+  Sim.spawn sim (fun () ->
+      Signal.wait s;
+      incr count;
+      Signal.wait s;
+      incr count);
+  Sim.spawn sim (fun () ->
+      Sim.delay 1L;
+      Signal.emit s ();
+      Sim.delay 1L;
+      Signal.emit s ());
+  Sim.run sim;
+  check_int "two wakeups" 2 !count
+
+(* --- Mailbox --- *)
+
+let test_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Sim.spawn sim (fun () ->
+      Mailbox.send mb 1;
+      Sim.delay 2L;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo order" [ 3; 2; 1 ] !got
+
+let test_mailbox_blocking_recv () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let at = ref 0L in
+  Sim.spawn sim (fun () ->
+      let _ = Mailbox.recv mb in
+      at := Sim.now ());
+  Sim.spawn sim (fun () ->
+      Sim.delay 25L;
+      Mailbox.send mb ());
+  Sim.run sim;
+  check_i64 "received at send time" 25L !at
+
+let test_mailbox_try_recv () =
+  let mb = Mailbox.create () in
+  Alcotest.(check (option int)) "empty" None (Mailbox.try_recv mb);
+  Mailbox.send mb 5;
+  Alcotest.(check (option int)) "item" (Some 5) (Mailbox.try_recv mb);
+  check_int "length" 0 (Mailbox.length mb)
+
+(* --- Semaphore --- *)
+
+let test_semaphore_mutual_exclusion () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 4 do
+    Sim.spawn sim (fun () ->
+        Semaphore.with_permit sem (fun () ->
+            incr inside;
+            max_inside := max !max_inside !inside;
+            Sim.delay 10L;
+            decr inside))
+  done;
+  Sim.run sim;
+  check_int "never two inside" 1 !max_inside;
+  check_i64 "serialized" 40L (Sim.time sim)
+
+let test_semaphore_fifo_wakeup () =
+  let sim = Sim.create () in
+  let sem = Semaphore.create 0 in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Semaphore.acquire sem;
+        order := i :: !order)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.delay 1L;
+      for _ = 1 to 3 do
+        Semaphore.release sem
+      done);
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 3; 2; 1 ] !order
+
+let test_semaphore_try_acquire () =
+  let sem = Semaphore.create 1 in
+  check_bool "first" true (Semaphore.try_acquire sem);
+  check_bool "second" false (Semaphore.try_acquire sem);
+  Semaphore.release sem;
+  check_int "available" 1 (Semaphore.available sem)
+
+(* --- Trace --- *)
+
+let test_trace_records_with_timestamps () =
+  let sim = Sim.create () in
+  let trace = Sl_engine.Trace.create () in
+  Sim.spawn sim (fun () ->
+      Sl_engine.Trace.record trace sim "begin";
+      Sim.delay 10L;
+      Sl_engine.Trace.recordf trace sim "at %d" 10);
+  Sim.run sim;
+  Alcotest.(check (list (pair int64 string)))
+    "events"
+    [ (0L, "begin"); (10L, "at 10") ]
+    (Sl_engine.Trace.events trace);
+  check_int "length" 2 (Sl_engine.Trace.length trace)
+
+let test_trace_ring_overwrites_oldest () =
+  let sim = Sim.create () in
+  let trace = Sl_engine.Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Sl_engine.Trace.record trace sim (string_of_int i)
+  done;
+  Alcotest.(check (list string))
+    "keeps newest three"
+    [ "3"; "4"; "5" ]
+    (List.map snd (Sl_engine.Trace.events trace));
+  check_int "total" 5 (Sl_engine.Trace.total_recorded trace);
+  Sl_engine.Trace.clear trace;
+  check_int "cleared" 0 (Sl_engine.Trace.length trace)
+
+(* --- determinism property --- *)
+
+let run_noise_simulation seed =
+  let rng = Sl_util.Rng.create seed in
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let trace = Buffer.create 64 in
+  for i = 0 to 20 do
+    Sim.spawn sim (fun () ->
+        Sim.delay (Int64.of_int (Sl_util.Rng.int rng 100));
+        Mailbox.send mb i;
+        Sim.delay (Int64.of_int (Sl_util.Rng.int rng 100));
+        Buffer.add_string trace (Printf.sprintf "%d@%Ld;" i (Sim.now ())))
+  done;
+  Sim.spawn sim (fun () ->
+      for _ = 0 to 20 do
+        let v = Mailbox.recv mb in
+        Buffer.add_string trace (Printf.sprintf "r%d@%Ld;" v (Sim.now ()))
+      done);
+  Sim.run sim;
+  Buffer.contents trace
+
+let test_deterministic_replay () =
+  Alcotest.(check string)
+    "same seed, same trace"
+    (run_noise_simulation 7L)
+    (run_noise_simulation 7L);
+  check_bool "different seed, different trace" true
+    (run_noise_simulation 7L <> run_noise_simulation 8L)
+
+let prop_pqueue_pop_sorted =
+  QCheck.Test.make ~name:"pqueue pops in (time, seq) order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iteri (fun i time -> Pqueue.push q ~time:(Int64.of_int time) ~seq:i i) times;
+      let rec drain last acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) ->
+          if Int64.compare t last < 0 then raise Exit;
+          drain t (t :: acc)
+      in
+      match drain Int64.min_int [] with
+      | popped -> List.length popped = List.length times
+      | exception Exit -> false)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_pqueue_pop_sorted ] in
+  Alcotest.run "engine"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "seq tiebreak" `Quick test_pqueue_seq_tiebreak;
+          Alcotest.test_case "random sorted" `Quick test_pqueue_random_sorted;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "delay advances clock" `Quick test_delay_advances_clock;
+          Alcotest.test_case "fork order" `Quick test_fork_runs_after_parent_blocks;
+          Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
+          Alcotest.test_case "schedule callback" `Quick test_schedule_callback;
+          Alcotest.test_case "schedule past rejected" `Quick test_schedule_past_rejected;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill wakes readers" `Quick test_ivar_fill_wakes_readers;
+          Alcotest.test_case "read after fill" `Quick test_ivar_read_after_fill_immediate;
+          Alcotest.test_case "double fill rejected" `Quick test_ivar_double_fill_rejected;
+        ] );
+      ( "signal",
+        [
+          Alcotest.test_case "broadcast" `Quick test_signal_broadcast;
+          Alcotest.test_case "not buffered" `Quick test_signal_not_buffered;
+          Alcotest.test_case "re-wait" `Quick test_signal_rewait_sees_next_emission;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocking recv" `Quick test_mailbox_blocking_recv;
+          Alcotest.test_case "try_recv" `Quick test_mailbox_try_recv;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_semaphore_mutual_exclusion;
+          Alcotest.test_case "fifo wakeup" `Quick test_semaphore_fifo_wakeup;
+          Alcotest.test_case "try_acquire" `Quick test_semaphore_try_acquire;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "timestamps" `Quick test_trace_records_with_timestamps;
+          Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrites_oldest;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,179 @@
+(* Tests for the cache, TLB and pollution models. *)
+
+module Cache = Sl_mem.Cache
+module Tlb = Sl_mem.Tlb
+module Pollution = Sl_mem.Pollution
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tiny_cache =
+  (* 4 sets x 2 ways x 64B = 512 bytes. *)
+  { Cache.size_bytes = 512; ways = 2; line_bytes = 64; hit_cycles = 4; miss_cycles = 10 }
+
+let test_cache_miss_then_hit () =
+  let c = Cache.create tiny_cache in
+  check_bool "first access misses" true (Cache.access c 0 = `Miss);
+  check_bool "second access hits" true (Cache.access c 0 = `Hit);
+  check_bool "same line hits" true (Cache.access c 63 = `Hit);
+  check_bool "next line misses" true (Cache.access c 64 = `Miss);
+  check_int "hits" 2 (Cache.hits c);
+  check_int "misses" 2 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create tiny_cache in
+  (* Set 0 holds lines with addresses = k * 4 * 64.  Fill both ways. *)
+  let addr k = k * 4 * 64 in
+  ignore (Cache.access c (addr 0));
+  ignore (Cache.access c (addr 1));
+  (* Touch line 0 so line 1 is LRU; insert line 2, evicting 1. *)
+  ignore (Cache.access c (addr 0));
+  ignore (Cache.access c (addr 2));
+  check_bool "line 0 resident" true (Cache.resident c (addr 0));
+  check_bool "line 1 evicted" false (Cache.resident c (addr 1));
+  check_bool "line 2 resident" true (Cache.resident c (addr 2))
+
+let test_cache_pinning () =
+  let c = Cache.create tiny_cache in
+  let addr k = k * 4 * 64 in
+  Cache.pin c (addr 0);
+  ignore (Cache.access c (addr 1));
+  ignore (Cache.access c (addr 2));
+  ignore (Cache.access c (addr 3));
+  check_bool "pinned line survives pressure" true (Cache.resident c (addr 0))
+
+let test_cache_flush_spares_pinned () =
+  let c = Cache.create tiny_cache in
+  Cache.pin c 0;
+  ignore (Cache.access c 64);
+  Cache.flush c;
+  check_bool "pinned survives flush" true (Cache.resident c 0);
+  check_bool "unpinned flushed" false (Cache.resident c 64)
+
+let test_cache_access_cycles () =
+  let c = Cache.create tiny_cache in
+  check_int "miss cost" 14 (Cache.access_cycles c 0);
+  check_int "hit cost" 4 (Cache.access_cycles c 0)
+
+let test_cache_warm_no_stats () =
+  let c = Cache.create tiny_cache in
+  Cache.warm c ~start:0 ~bytes:256;
+  check_int "no stat hits" 0 (Cache.hits c);
+  check_int "no stat misses" 0 (Cache.misses c);
+  check_int "four lines resident" 4 (Cache.line_count c)
+
+let test_cache_pollute_fraction () =
+  let c = Cache.create { tiny_cache with size_bytes = 64 * 1024; ways = 8 } in
+  Cache.warm c ~start:0 ~bytes:(64 * 1024);
+  let before = Cache.line_count c in
+  let rng = Sl_util.Rng.create 5L in
+  Cache.pollute c ~fraction:0.5 rng;
+  let after = Cache.line_count c in
+  check_bool "about half evicted" true
+    (float_of_int after > 0.35 *. float_of_int before
+    && float_of_int after < 0.65 *. float_of_int before)
+
+let test_working_set_warmup_probe () =
+  let c = Cache.create { tiny_cache with size_bytes = 64 * 1024; ways = 8 } in
+  check_int "cold set misses everywhere" 64
+    (Cache.miss_count_for_working_set c ~start:0 ~bytes:4096);
+  check_int "warm set misses nowhere" 0
+    (Cache.miss_count_for_working_set c ~start:0 ~bytes:4096)
+
+let test_tlb_hit_miss () =
+  let t = Tlb.create Tlb.default in
+  check_bool "cold miss" true (Tlb.access t ~asid:1 0 = `Miss);
+  check_bool "warm hit" true (Tlb.access t ~asid:1 100 = `Hit);
+  check_bool "other page misses" true (Tlb.access t ~asid:1 4096 = `Miss);
+  check_bool "other asid misses same page" true (Tlb.access t ~asid:2 0 = `Miss)
+
+let test_tlb_flush () =
+  let t = Tlb.create Tlb.default in
+  ignore (Tlb.access t ~asid:1 0);
+  Tlb.flush t;
+  check_bool "flushed" true (Tlb.access t ~asid:1 0 = `Miss)
+
+let test_tlb_capacity_eviction () =
+  let t = Tlb.create { Tlb.default with Tlb.entries = 4 } in
+  for page = 0 to 4 do
+    ignore (Tlb.access t ~asid:1 (page * 4096))
+  done;
+  (* Page 0 was LRU among the first four and must have been evicted. *)
+  check_bool "page 0 evicted" true (Tlb.access t ~asid:1 0 = `Miss);
+  check_bool "page 4 resident" true (Tlb.access t ~asid:1 (4 * 4096) = `Hit)
+
+let test_pollution_walk_cost_drops_when_warm () =
+  let p = Pollution.create () in
+  let cold = Pollution.walk_cost p ~asid:1 ~start:0 ~bytes:8192 in
+  let warm = Pollution.walk_cost p ~asid:1 ~start:0 ~bytes:8192 in
+  check_bool "cold much dearer than warm" true (cold > 3 * warm)
+
+let test_pollution_trap_raises_rewalk_cost () =
+  let p = Pollution.create () in
+  ignore (Pollution.walk_cost p ~asid:1 ~start:0 ~bytes:8192);
+  let warm = Pollution.walk_cost p ~asid:1 ~start:0 ~bytes:8192 in
+  let rng = Sl_util.Rng.create 7L in
+  Pollution.trap_pollution p rng;
+  let after_trap = Pollution.walk_cost p ~asid:1 ~start:0 ~bytes:8192 in
+  check_bool "trap made re-walk dearer" true (after_trap > warm)
+
+let test_pollution_switch_worse_than_trap () =
+  let measure pollute =
+    let p = Pollution.create () in
+    ignore (Pollution.walk_cost p ~asid:1 ~start:0 ~bytes:8192);
+    pollute p;
+    Pollution.walk_cost p ~asid:1 ~start:0 ~bytes:8192
+  in
+  let rng = Sl_util.Rng.create 9L in
+  let after_trap = measure (fun p -> Pollution.trap_pollution p rng) in
+  let after_switch = measure Pollution.context_switch_pollution in
+  check_bool "full switch worse than trap" true (after_switch > after_trap)
+
+let prop_cache_no_false_hits =
+  QCheck.Test.make ~name:"a hit only on a previously touched line" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 60) (int_bound 10_000))
+    (fun addrs ->
+      let c = Cache.create tiny_cache in
+      let seen = Hashtbl.create 16 in
+      List.for_all
+        (fun addr ->
+          let line = addr / 64 in
+          let result = Cache.access c addr in
+          let was_seen = Hashtbl.mem seen line in
+          Hashtbl.replace seen line ();
+          (* A hit without a prior touch would be a correctness bug; a miss
+             on a seen line is legal (eviction). *)
+          result = `Miss || was_seen)
+        addrs)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_cache_no_false_hits ] in
+  Alcotest.run "mem"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "pinning" `Quick test_cache_pinning;
+          Alcotest.test_case "flush spares pinned" `Quick test_cache_flush_spares_pinned;
+          Alcotest.test_case "access cycles" `Quick test_cache_access_cycles;
+          Alcotest.test_case "warm keeps stats" `Quick test_cache_warm_no_stats;
+          Alcotest.test_case "pollute fraction" `Quick test_cache_pollute_fraction;
+          Alcotest.test_case "warmup probe" `Quick test_working_set_warmup_probe;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "flush" `Quick test_tlb_flush;
+          Alcotest.test_case "capacity eviction" `Quick test_tlb_capacity_eviction;
+        ] );
+      ( "pollution",
+        [
+          Alcotest.test_case "warm cheaper than cold" `Quick
+            test_pollution_walk_cost_drops_when_warm;
+          Alcotest.test_case "trap raises cost" `Quick test_pollution_trap_raises_rewalk_cost;
+          Alcotest.test_case "switch worse than trap" `Quick
+            test_pollution_switch_worse_than_trap;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,1 @@
+test/os/test_io_path.ml: Alcotest Int64 Printf Sl_os Sl_util Switchless

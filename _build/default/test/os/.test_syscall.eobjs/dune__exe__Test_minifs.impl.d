@@ -1,0 +1,1 @@
+test/os/test_minifs.ml: Alcotest Int64 List Sl_dev Sl_engine Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+test/os/test_netstack.ml: Alcotest Int64 Sl_os Switchless

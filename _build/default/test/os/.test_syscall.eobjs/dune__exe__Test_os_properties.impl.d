@@ -1,0 +1,1 @@
+test/os/test_os_properties.ml: Alcotest Gen Int64 List QCheck QCheck_alcotest Sl_engine Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+test/os/test_policies.ml: Alcotest Printf Sl_dist Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+test/os/test_services.ml: Alcotest Int64 Printf Sl_baseline Sl_dist Sl_engine Sl_os Sl_util Switchless

@@ -1,0 +1,1 @@
+test/os/test_services.mli:

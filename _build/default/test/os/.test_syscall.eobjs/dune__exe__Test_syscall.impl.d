@@ -1,0 +1,1 @@
+test/os/test_syscall.ml: Alcotest Int64 List Printf Sl_baseline Sl_engine Sl_os Switchless

@@ -1,0 +1,139 @@
+(* Tests for the three I/O designs and the timer-wakeup microbenches. *)
+
+module Params = Switchless.Params
+module Histogram = Sl_util.Histogram
+module Io_path = Sl_os.Io_path
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let p = Params.default
+
+let small_cfg =
+  {
+    Io_path.default_config with
+    Io_path.count = 300;
+    rate_per_kcycle = 0.5;
+    per_packet_work = 500L;
+  }
+
+let test_mwait_processes_everything () =
+  let s = Io_path.run_mwait small_cfg in
+  check_int "all packets" 300 s.Io_path.processed;
+  check_int "no drops" 0 s.Io_path.dropped;
+  check_bool "near-zero waste" true (Io_path.wasted_fraction s < 0.15)
+
+let test_polling_processes_everything_but_burns () =
+  let s = Io_path.run_polling small_cfg in
+  check_int "all packets" 300 s.Io_path.processed;
+  (* At ~25% load, a poller burns most of its cycles spinning. *)
+  check_bool "heavy poll waste" true (Io_path.wasted_fraction s > 0.5);
+  check_bool "poll cycles dominate waste" true (s.Io_path.poll_cycles > s.Io_path.overhead_cycles)
+
+let test_interrupt_processes_everything () =
+  let s = Io_path.run_interrupt small_cfg in
+  check_int "all packets" 300 s.Io_path.processed;
+  check_bool "irq overhead visible" true (s.Io_path.overhead_cycles > 0.0)
+
+let test_latency_ranking_at_low_load () =
+  let cfg = { small_cfg with Io_path.rate_per_kcycle = 0.05; count = 200 } in
+  let m = Io_path.run_mwait cfg in
+  let poll = Io_path.run_polling cfg in
+  let irq = Io_path.run_interrupt cfg in
+  let p99 h = Int64.to_int (Histogram.quantile h 0.99) in
+  (* The paper's claim: mwait ≈ polling latency, both far below IRQ. *)
+  check_bool
+    (Printf.sprintf "mwait (%d) within 2x of polling (%d)" (p99 m.Io_path.latencies)
+       (p99 poll.Io_path.latencies))
+    true
+    (p99 m.Io_path.latencies <= 2 * p99 poll.Io_path.latencies + 100);
+  check_bool
+    (Printf.sprintf "irq (%d) at least 3x mwait (%d)" (p99 irq.Io_path.latencies)
+       (p99 m.Io_path.latencies))
+    true
+    (p99 irq.Io_path.latencies > 3 * p99 m.Io_path.latencies)
+
+let test_background_work_coexists_with_mwait () =
+  let cfg = { small_cfg with Io_path.background = true; count = 200 } in
+  let s = Io_path.run_mwait cfg in
+  check_int "packets still served" 200 s.Io_path.processed;
+  check_bool "background got cycles" true (s.Io_path.background_cycles > 0.0)
+
+let test_deterministic_runs () =
+  let a = Io_path.run_mwait small_cfg and b = Io_path.run_mwait small_cfg in
+  Alcotest.(check int64) "same elapsed" a.Io_path.elapsed_cycles b.Io_path.elapsed_cycles;
+  Alcotest.(check int64) "same p99"
+    (Histogram.quantile a.Io_path.latencies 0.99)
+    (Histogram.quantile b.Io_path.latencies 0.99)
+
+let test_napi_reduces_waste () =
+  let cfg = { small_cfg with Io_path.rate_per_kcycle = 1.2; count = 600 } in
+  let plain = Io_path.run_interrupt cfg in
+  let napi = Io_path.run_interrupt_napi cfg in
+  check_int "napi processes all" 600 napi.Io_path.processed;
+  check_bool
+    (Printf.sprintf "napi waste %.2f < plain %.2f" (Io_path.wasted_fraction napi)
+       (Io_path.wasted_fraction plain))
+    true
+    (Io_path.wasted_fraction napi < Io_path.wasted_fraction plain)
+
+let test_napi_latency_floor_remains () =
+  let cfg = { small_cfg with Io_path.rate_per_kcycle = 0.05; count = 200 } in
+  let napi = Io_path.run_interrupt_napi cfg in
+  (* At low load every packet is "first of its burst": full IRQ path. *)
+  check_bool "floor above 1500 cycles" true
+    (Int64.to_int (Histogram.quantile napi.Io_path.latencies 0.5) > 1500)
+
+let test_rss_scales_past_single_thread () =
+  let cfg = { small_cfg with Io_path.rate_per_kcycle = 2.8; count = 800 } in
+  let rss = Io_path.run_mwait_rss ~queues:4 cfg in
+  check_int "rss processes all" 800 rss.Io_path.processed;
+  check_int "no drops" 0 rss.Io_path.dropped;
+  (* 2.8 pkts/kcycle is past one thread's 2.0 service limit; four queue
+     threads keep p99 bounded. *)
+  check_bool "p99 stays bounded" true
+    (Int64.to_int (Histogram.quantile rss.Io_path.latencies 0.99) < 20_000)
+
+let test_rss_single_queue_equals_mwait () =
+  let cfg = { small_cfg with Io_path.count = 300 } in
+  let single = Io_path.run_mwait cfg in
+  let rss1 = Io_path.run_mwait_rss ~queues:1 cfg in
+  Alcotest.(check int64) "same p99"
+    (Histogram.quantile single.Io_path.latencies 0.99)
+    (Histogram.quantile rss1.Io_path.latencies 0.99)
+
+let test_timer_wakeup_latencies () =
+  let m = Io_path.timer_wakeup_mwait p ~ticks:100 ~period:10_000L in
+  let i = Io_path.timer_wakeup_interrupt p ~ticks:100 ~period:10_000L in
+  check_int "all ticks (mwait)" 100 (Histogram.count m);
+  check_int "all ticks (irq)" 100 (Histogram.count i);
+  (* mwait: match(6) + pipeline(20) = 26 (plus occasional state transfer). *)
+  let m99 = Int64.to_int (Histogram.quantile m 0.99) in
+  let i99 = Int64.to_int (Histogram.quantile i 0.99) in
+  check_bool (Printf.sprintf "mwait wake %d < 60" m99) true (m99 < 60);
+  check_bool
+    (Printf.sprintf "irq wake %d at least 10x mwait %d" i99 m99)
+    true
+    (i99 > 10 * m99)
+
+let () =
+  Alcotest.run "io_path"
+    [
+      ( "designs",
+        [
+          Alcotest.test_case "mwait completes" `Quick test_mwait_processes_everything;
+          Alcotest.test_case "polling burns cycles" `Quick
+            test_polling_processes_everything_but_burns;
+          Alcotest.test_case "interrupt completes" `Quick test_interrupt_processes_everything;
+          Alcotest.test_case "latency ranking" `Quick test_latency_ranking_at_low_load;
+          Alcotest.test_case "background coexists" `Quick
+            test_background_work_coexists_with_mwait;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_runs;
+          Alcotest.test_case "napi reduces waste" `Quick test_napi_reduces_waste;
+          Alcotest.test_case "napi latency floor" `Quick test_napi_latency_floor_remains;
+          Alcotest.test_case "rss scales" `Quick test_rss_scales_past_single_thread;
+          Alcotest.test_case "rss(1) == mwait" `Quick test_rss_single_queue_equals_mwait;
+        ] );
+      ( "timer",
+        [ Alcotest.test_case "tick wakeup latencies" `Quick test_timer_wakeup_latencies ] );
+    ]

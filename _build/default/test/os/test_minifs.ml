@@ -1,0 +1,163 @@
+(* Tests for the mini file system over NVMe. *)
+
+module Sim = Sl_engine.Sim
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Ptid = Switchless.Ptid
+module Nvme = Sl_dev.Nvme
+module Minifs = Sl_os.Minifs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let p = Params.default
+
+(* Run [script] as the FS service thread's body on a fresh world. *)
+let with_fs ?cache_blocks script =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:1 in
+  let rng = Sl_util.Rng.create 1L in
+  let nvme =
+    Nvme.create sim p (Chip.memory chip) ~queue_depth:256
+      ~latency:(Sl_util.Dist.Constant 5000.0) ~rng ()
+  in
+  let fs = Minifs.create chip nvme ?cache_blocks () in
+  let th = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach th (fun th -> script fs th);
+  Chip.boot th;
+  Sim.run sim;
+  fs
+
+let test_mkfile_stat_list () =
+  let fs =
+    with_fs (fun fs th ->
+        Minifs.mkfile fs th ~name:"alpha";
+        Minifs.mkfile fs th ~name:"beta")
+  in
+  Alcotest.(check (list string)) "listing" [ "alpha"; "beta" ] (Minifs.list_files fs);
+  Alcotest.(check (option (pair int int))) "empty stat" (Some (0, 0))
+    (Minifs.stat fs ~name:"alpha");
+  Alcotest.(check (option (pair int int))) "missing" None (Minifs.stat fs ~name:"gamma")
+
+let test_append_allocates_blocks () =
+  let fs =
+    with_fs (fun fs th ->
+        Minifs.mkfile fs th ~name:"f";
+        Minifs.append fs th ~name:"f" ~bytes:10_000)
+  in
+  (* 10,000 bytes => 3 blocks of 4096. *)
+  Alcotest.(check (option (pair int int))) "size and blocks" (Some (10_000, 3))
+    (Minifs.stat fs ~name:"f");
+  (* 1 dir write + 3 data blocks. *)
+  check_int "device writes" 4 (Minifs.device_writes fs)
+
+let test_append_into_tail_block () =
+  let fs =
+    with_fs (fun fs th ->
+        Minifs.mkfile fs th ~name:"f";
+        Minifs.append fs th ~name:"f" ~bytes:100;
+        (* Still fits in block 1: rewrite, no new allocation. *)
+        Minifs.append fs th ~name:"f" ~bytes:100)
+  in
+  Alcotest.(check (option (pair int int))) "one block" (Some (200, 1))
+    (Minifs.stat fs ~name:"f")
+
+let test_read_returns_size_and_uses_cache () =
+  let sizes = ref (0, 0) in
+  let fs =
+    with_fs (fun fs th ->
+        Minifs.mkfile fs th ~name:"f";
+        Minifs.append fs th ~name:"f" ~bytes:8192;
+        let a = Minifs.read fs th ~name:"f" in
+        let b = Minifs.read fs th ~name:"f" in
+        sizes := (a, b))
+  in
+  Alcotest.(check (pair int int)) "sizes" (8192, 8192) !sizes;
+  (* Both blocks were cached by the write-through, so reads all hit. *)
+  check_int "no device reads" 0 (Minifs.device_reads fs);
+  check_bool "hits recorded" true (Minifs.cache_hits fs >= 4)
+
+let test_cold_cache_reads_hit_device () =
+  let fs =
+    with_fs ~cache_blocks:2 (fun fs th ->
+        Minifs.mkfile fs th ~name:"big";
+        (* 8 blocks >> 2-entry cache: the write-through entries evict each
+           other, so a full read mostly misses. *)
+        Minifs.append fs th ~name:"big" ~bytes:(8 * 4096);
+        ignore (Minifs.read fs th ~name:"big"))
+  in
+  check_bool "device reads happened" true (Minifs.device_reads fs >= 6);
+  check_bool "misses recorded" true (Minifs.cache_misses fs >= 6)
+
+let test_delete_recycles_blocks () =
+  let fs =
+    with_fs (fun fs th ->
+        Minifs.mkfile fs th ~name:"f";
+        Minifs.append fs th ~name:"f" ~bytes:4096;
+        Minifs.delete fs th ~name:"f";
+        Minifs.mkfile fs th ~name:"g";
+        Minifs.append fs th ~name:"g" ~bytes:4096)
+  in
+  Alcotest.(check (list string)) "only g" [ "g" ] (Minifs.list_files fs);
+  Alcotest.(check (option (pair int int))) "f gone" None (Minifs.stat fs ~name:"f")
+
+let test_errors () =
+  let saw = ref [] in
+  let _ =
+    with_fs (fun fs th ->
+        Minifs.mkfile fs th ~name:"f";
+        (match Minifs.mkfile fs th ~name:"f" with
+        | () -> ()
+        | exception Minifs.Fs_error m -> saw := m :: !saw);
+        (match Minifs.read fs th ~name:"nope" with
+        | _ -> ()
+        | exception Minifs.Fs_error m -> saw := m :: !saw))
+  in
+  check_int "two errors" 2 (List.length !saw)
+
+let test_io_time_scales_with_blocks () =
+  let elapsed script =
+    let sim = Sim.create () in
+    let chip = Chip.create sim p ~cores:1 in
+    let rng = Sl_util.Rng.create 1L in
+    let nvme =
+      Nvme.create sim p (Chip.memory chip) ~queue_depth:256
+        ~latency:(Sl_util.Dist.Constant 5000.0) ~rng ()
+    in
+    let fs = Minifs.create chip nvme () in
+    let th = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+    Chip.attach th (fun th -> script fs th);
+    Chip.boot th;
+    Sim.run sim;
+    Sim.time sim
+  in
+  let small =
+    elapsed (fun fs th ->
+        Minifs.mkfile fs th ~name:"f";
+        Minifs.append fs th ~name:"f" ~bytes:4096)
+  in
+  let large =
+    elapsed (fun fs th ->
+        Minifs.mkfile fs th ~name:"f";
+        Minifs.append fs th ~name:"f" ~bytes:(8 * 4096))
+  in
+  check_bool "8 blocks cost more than 1" true (Int64.compare large small > 0);
+  (* Each block is a full device round trip (~5k cycles). *)
+  check_bool "roughly linear in blocks" true
+    (Int64.to_float large > Int64.to_float small +. 6.0 *. 5000.0)
+
+let () =
+  Alcotest.run "minifs"
+    [
+      ( "fs",
+        [
+          Alcotest.test_case "mkfile/stat/list" `Quick test_mkfile_stat_list;
+          Alcotest.test_case "append allocates" `Quick test_append_allocates_blocks;
+          Alcotest.test_case "tail block append" `Quick test_append_into_tail_block;
+          Alcotest.test_case "read via cache" `Quick test_read_returns_size_and_uses_cache;
+          Alcotest.test_case "cold cache" `Quick test_cold_cache_reads_hit_device;
+          Alcotest.test_case "delete recycles" `Quick test_delete_recycles_blocks;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "io time scales" `Quick test_io_time_scales_with_blocks;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Tests for the reliable-transport substrate: correctness under loss,
+   timer-driven retransmission without interrupts, determinism. *)
+
+module Params = Switchless.Params
+module Netstack = Sl_os.Netstack
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let p = Params.default
+
+let test_lossless_delivery () =
+  let s = Netstack.run ~params:p ~segments:100 () in
+  check_int "all delivered" 100 s.Netstack.delivered;
+  check_int "no retransmissions" 0 s.Netstack.retransmissions;
+  check_int "no duplicates" 0 s.Netstack.duplicates;
+  check_int "one ack per segment" 100 s.Netstack.acks_sent
+
+let test_lossless_latency_bound () =
+  let s = Netstack.run ~params:p ~link_delay:2000L ~segments:50 () in
+  (* Stop-and-wait: >= RTT per segment; with 2000-cycle links each segment
+     costs >= 4000 cycles, plus processing/wakes. *)
+  let per_segment = Int64.to_float s.Netstack.elapsed_cycles /. 50.0 in
+  check_bool "at least one RTT each" true (per_segment >= 4000.0);
+  check_bool "no pathological overhead" true (per_segment < 5000.0)
+
+let test_data_loss_recovered_by_timeout () =
+  let s = Netstack.run ~seed:3L ~loss:0.1 ~params:p ~segments:200 () in
+  check_int "all delivered despite loss" 200 s.Netstack.delivered;
+  check_bool "retransmissions happened" true (s.Netstack.retransmissions > 0)
+
+let test_heavy_loss_still_completes () =
+  let s = Netstack.run ~seed:5L ~loss:0.3 ~params:p ~segments:100 () in
+  check_int "all delivered at 30% loss" 100 s.Netstack.delivered;
+  check_bool "many retransmissions" true (s.Netstack.retransmissions > 20)
+
+let test_duplicates_are_reacked_not_delivered () =
+  let s = Netstack.run ~seed:7L ~loss:0.2 ~params:p ~segments:150 () in
+  check_int "exactly once delivery" 150 s.Netstack.delivered;
+  (* Lost ACKs cause retransmitted data that the receiver has already
+     seen: those must surface as duplicates, never double delivery. *)
+  check_bool "duplicate segments observed" true (s.Netstack.duplicates >= 0);
+  check_bool "acks cover duplicates" true (s.Netstack.acks_sent >= 150)
+
+let test_loss_hurts_goodput () =
+  let clean = Netstack.run ~params:p ~segments:100 () in
+  let lossy = Netstack.run ~seed:9L ~loss:0.25 ~params:p ~segments:100 () in
+  check_bool "goodput degrades with loss" true
+    (lossy.Netstack.goodput_per_kcycle < clean.Netstack.goodput_per_kcycle)
+
+let test_deterministic () =
+  let a = Netstack.run ~seed:11L ~loss:0.15 ~params:p ~segments:120 () in
+  let b = Netstack.run ~seed:11L ~loss:0.15 ~params:p ~segments:120 () in
+  Alcotest.(check int64) "same elapsed" a.Netstack.elapsed_cycles b.Netstack.elapsed_cycles;
+  check_int "same retransmissions" a.Netstack.retransmissions b.Netstack.retransmissions
+
+let test_rejects_bad_arguments () =
+  Alcotest.check_raises "loss 1.0" (Invalid_argument "Netstack.run: loss must be in [0, 1)")
+    (fun () -> ignore (Netstack.run ~loss:1.0 ~params:p ~segments:10 ()));
+  Alcotest.check_raises "zero segments"
+    (Invalid_argument "Netstack.run: segments must be positive") (fun () ->
+      ignore (Netstack.run ~params:p ~segments:0 ()))
+
+let () =
+  Alcotest.run "netstack"
+    [
+      ( "reliability",
+        [
+          Alcotest.test_case "lossless delivery" `Quick test_lossless_delivery;
+          Alcotest.test_case "latency bound" `Quick test_lossless_latency_bound;
+          Alcotest.test_case "loss recovered" `Quick test_data_loss_recovered_by_timeout;
+          Alcotest.test_case "heavy loss completes" `Quick test_heavy_loss_still_completes;
+          Alcotest.test_case "exactly-once delivery" `Quick
+            test_duplicates_are_reacked_not_delivered;
+          Alcotest.test_case "goodput vs loss" `Quick test_loss_hurts_goodput;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "bad arguments" `Quick test_rejects_bad_arguments;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+(* Property tests over the OS layer: channels never deadlock or lose
+   requests under random client interleavings; I/O paths conserve
+   packets. *)
+
+module Sim = Sl_engine.Sim
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Hw_channel = Sl_os.Hw_channel
+module Io_path = Sl_os.Io_path
+module Histogram = Sl_util.Histogram
+
+(* Property 1: N clients with random think times all complete their calls
+   through one shared channel — serialization never deadlocks and the
+   server serves exactly the submitted number of requests. *)
+let prop_channel_serves_all_clients =
+  QCheck.Test.make ~name:"hw channel serves all under random interleavings" ~count:40
+    QCheck.(list_of_size Gen.(1 -- 6) (pair (int_range 1 4) (int_range 1 2000)))
+    (fun clients ->
+      let sim = Sim.create () in
+      let chip = Chip.create sim Params.default ~cores:2 in
+      let channel = Hw_channel.create chip ~core:1 ~server_ptid:500 () in
+      let total = List.fold_left (fun acc (calls, _) -> acc + calls) 0 clients in
+      let completed = ref 0 in
+      List.iteri
+        (fun i (calls, think) ->
+          let client =
+            Chip.add_thread chip ~core:0 ~ptid:(i + 1) ~mode:Ptid.Supervisor ()
+          in
+          Chip.attach client (fun th ->
+              for _ = 1 to calls do
+                Sim.delay (Int64.of_int think);
+                Hw_channel.call channel ~client:th ~work:100L ();
+                incr completed
+              done);
+          Chip.boot client)
+        clients;
+      Sim.run ~until:50_000_000L sim;
+      !completed = total && Hw_channel.served channel = total)
+
+(* Property 2: the mwait I/O path conserves packets at any load: processed
+   + dropped = injected, and every latency is at least the hardware
+   minimum (DMA + match + restart). *)
+let prop_io_conservation =
+  QCheck.Test.make ~name:"io path conserves packets at any load" ~count:25
+    QCheck.(pair (int_range 1 50) (int_range 50 400))
+    (fun (rate_tenths, count) ->
+      let cfg =
+        {
+          Io_path.default_config with
+          Io_path.count;
+          rate_per_kcycle = float_of_int rate_tenths /. 10.0;
+          per_packet_work = 200L;
+        }
+      in
+      let s = Io_path.run_mwait cfg in
+      s.Io_path.processed = count
+      && s.Io_path.dropped = 0
+      && Int64.to_int (Histogram.min_value s.Io_path.latencies) >= 200)
+
+(* Property 3: work conservation across designs — total useful cycles
+   equal packets x work for every design. *)
+let prop_designs_do_same_useful_work =
+  QCheck.Test.make ~name:"all designs do identical useful work" ~count:15
+    QCheck.(int_range 50 300)
+    (fun count ->
+      let cfg =
+        {
+          Io_path.default_config with
+          Io_path.count;
+          rate_per_kcycle = 0.4;
+          per_packet_work = 300L;
+        }
+      in
+      let expected = float_of_int count *. 300.0 in
+      let close s = abs_float (s.Io_path.useful_cycles -. expected) < 2.0 *. float_of_int count in
+      close (Io_path.run_mwait cfg)
+      && close (Io_path.run_polling cfg)
+      && close (Io_path.run_interrupt cfg)
+      && close (Io_path.run_interrupt_napi cfg))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_channel_serves_all_clients;
+        prop_io_conservation;
+        prop_designs_do_same_useful_work;
+      ]
+  in
+  Alcotest.run "os_properties" [ ("properties", qsuite) ]

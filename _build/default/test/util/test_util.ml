@@ -1,0 +1,367 @@
+(* Tests for RNG, distributions, histograms, Welford, table rendering. *)
+
+module Rng = Sl_util.Rng
+module Dist = Sl_util.Dist
+module Histogram = Sl_util.Histogram
+module Welford = Sl_util.Welford
+module Tablefmt = Sl_util.Tablefmt
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1L and b = Rng.create 1L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  check_bool "different seeds diverge" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create 99L in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    check_bool "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    check_bool "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 0L in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  let a = Rng.next_int64 parent and b = Rng.next_int64 child in
+  check_bool "parent and child differ" true (a <> b)
+
+let test_rng_copy () =
+  let a = Rng.create 11L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies agree" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_uniformity_rough () =
+  (* Chi-square-ish sanity: 10 buckets, 100k draws, each within 20% of mean. *)
+  let rng = Rng.create 123L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "roughly uniform" true
+        (float_of_int c > 0.8 *. 10_000.0 && float_of_int c < 1.2 *. 10_000.0))
+    buckets
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 17L in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* --- Dist --- *)
+
+let sample_mean dist seed n =
+  let rng = Rng.create seed in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Dist.sample dist rng
+  done;
+  !total /. float_of_int n
+
+let test_exponential_mean () =
+  let m = sample_mean (Dist.Exponential 500.0) 1L 200_000 in
+  check_bool "empirical mean near 500" true (abs_float (m -. 500.0) < 10.0)
+
+let test_constant () =
+  let rng = Rng.create 1L in
+  check_float "constant" 42.0 (Dist.sample (Dist.Constant 42.0) rng);
+  check_float "mean" 42.0 (Dist.mean (Dist.Constant 42.0));
+  check_float "cv2 zero" 0.0 (Dist.cv2 (Dist.Constant 42.0))
+
+let test_uniform_bounds () =
+  let rng = Rng.create 2L in
+  let d = Dist.Uniform (10.0, 20.0) in
+  for _ = 1 to 1000 do
+    let v = Dist.sample d rng in
+    check_bool "in bounds" true (v >= 10.0 && v <= 20.0)
+  done;
+  check_float "mean" 15.0 (Dist.mean d)
+
+let test_exponential_cv2_is_one () = check_float "cv2" 1.0 (Dist.cv2 (Dist.Exponential 123.0))
+
+let test_bimodal_analytics () =
+  let d = Dist.Bimodal { p_long = 0.1; short = 100.0; long = 1000.0 } in
+  check_float "mean" 190.0 (Dist.mean d);
+  (* var = p(1-p)d^2 = 0.09 * 810000 = 72900 *)
+  check_float "variance" 72900.0 (Dist.variance d)
+
+let test_bimodal_with_cv2_roundtrip () =
+  let d = Dist.bimodal_with_cv2 ~mean:500.0 ~cv2:10.0 ~p_long:0.05 in
+  check_bool "mean matches" true (abs_float (Dist.mean d -. 500.0) < 1e-6);
+  check_bool "cv2 matches" true (abs_float (Dist.cv2 d -. 10.0) < 1e-6)
+
+let test_bimodal_with_cv2_invalid () =
+  Alcotest.check_raises "impossible cv2"
+    (Invalid_argument "Dist.bimodal_with_cv2: requested cv2 too large for p_long")
+    (fun () -> ignore (Dist.bimodal_with_cv2 ~mean:100.0 ~cv2:1000.0 ~p_long:0.9))
+
+let test_empirical_cv2_bimodal () =
+  let d = Dist.bimodal_with_cv2 ~mean:500.0 ~cv2:25.0 ~p_long:0.01 in
+  let rng = Rng.create 9L in
+  let w = Welford.create () in
+  for _ = 1 to 300_000 do
+    Welford.add w (Dist.sample d rng)
+  done;
+  let m = Welford.mean w in
+  let cv2 = Welford.variance w /. (m *. m) in
+  check_bool "empirical cv2 near 25" true (abs_float (cv2 -. 25.0) < 2.0)
+
+let test_pareto_mean () =
+  let d = Dist.Pareto { scale = 100.0; shape = 3.0 } in
+  check_float "analytic mean" 150.0 (Dist.mean d);
+  let m = sample_mean d 4L 300_000 in
+  check_bool "empirical mean near 150" true (abs_float (m -. 150.0) < 5.0)
+
+let test_lognormal_mean () =
+  let d = Dist.Lognormal { mu = 5.0; sigma = 0.5 } in
+  let analytic = Dist.mean d in
+  let m = sample_mean d 5L 300_000 in
+  check_bool "empirical near analytic" true (abs_float (m -. analytic) /. analytic < 0.02)
+
+let test_samples_nonnegative () =
+  let rng = Rng.create 6L in
+  let dists =
+    [
+      Dist.Exponential 10.0;
+      Dist.Bimodal { p_long = 0.5; short = 1.0; long = 2.0 };
+      Dist.Pareto { scale = 1.0; shape = 2.5 };
+      Dist.Lognormal { mu = 0.0; sigma = 1.0 };
+      Dist.Uniform (0.0, 5.0);
+    ]
+  in
+  List.iter
+    (fun d ->
+      for _ = 1 to 1000 do
+        check_bool "non-negative" true (Dist.sample d rng >= 0.0)
+      done)
+    dists
+
+(* --- Histogram --- *)
+
+let test_histogram_exact_small_values () =
+  let h = Histogram.create () in
+  List.iter (fun v -> Histogram.record h v) [ 1L; 2L; 3L; 4L; 5L ];
+  check_int "count" 5 (Histogram.count h);
+  Alcotest.(check int64) "p50" 3L (Histogram.quantile h 0.5);
+  Alcotest.(check int64) "min" 1L (Histogram.min_value h);
+  Alcotest.(check int64) "max" 5L (Histogram.max_value h);
+  check_float "mean" 3.0 (Histogram.mean h)
+
+let test_histogram_quantile_relative_error () =
+  let h = Histogram.create () in
+  let rng = Rng.create 10L in
+  let values = Array.init 50_000 (fun _ -> Int64.of_int (1 + Rng.int rng 1_000_000)) in
+  Array.iter (Histogram.record h) values;
+  Array.sort compare values;
+  List.iter
+    (fun q ->
+      let exact = values.(int_of_float (q *. 49_999.0)) in
+      let approx = Histogram.quantile h q in
+      let err =
+        Int64.to_float (Int64.sub approx exact) /. Int64.to_float exact |> abs_float
+      in
+      check_bool (Printf.sprintf "q=%.3f within 2%%" q) true (err < 0.02))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.record a (Int64.of_int i)
+  done;
+  for i = 101 to 200 do
+    Histogram.record b (Int64.of_int i)
+  done;
+  Histogram.merge_into ~dst:a b;
+  check_int "merged count" 200 (Histogram.count a);
+  Alcotest.(check int64) "merged max" 200L (Histogram.max_value a);
+  check_bool "merged p50 near 100" true
+    (Int64.to_float (Histogram.quantile a 0.5) -. 100.0 |> abs_float < 3.0)
+
+let test_histogram_reset () =
+  let h = Histogram.create () in
+  Histogram.record h 5L;
+  Histogram.reset h;
+  check_int "count" 0 (Histogram.count h);
+  Alcotest.(check int64) "quantile empty" 0L (Histogram.quantile h 0.99)
+
+let test_histogram_negative_rejected () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Histogram.record: negative value") (fun () ->
+      Histogram.record h (-1L))
+
+let test_histogram_record_n () =
+  let h = Histogram.create () in
+  Histogram.record_n h 10L 1000;
+  check_int "count" 1000 (Histogram.count h);
+  check_float "mean" 10.0 (Histogram.mean h)
+
+let prop_histogram_quantile_bounds =
+  QCheck.Test.make ~name:"histogram quantiles within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (fun v -> Histogram.record h (Int64.of_int v)) values;
+      List.for_all
+        (fun q ->
+          let x = Histogram.quantile h q in
+          Int64.compare x (Histogram.max_value h) <= 0)
+        [ 0.0; 0.5; 0.9; 0.99; 1.0 ])
+
+let prop_histogram_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantiles monotone in q" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (fun v -> Histogram.record h (Int64.of_int v)) values;
+      let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let xs = List.map (Histogram.quantile h) qs in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> Int64.compare a b <= 0 && monotone rest
+        | _ -> true
+      in
+      monotone xs)
+
+(* --- Welford --- *)
+
+let test_welford_known_values () =
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float "mean" 5.0 (Welford.mean w);
+  (* population variance is 4; sample variance = 32/7 *)
+  check_bool "sample variance" true (abs_float (Welford.variance w -. (32.0 /. 7.0)) < 1e-9);
+  check_float "min" 2.0 (Welford.min_value w);
+  check_float "max" 9.0 (Welford.max_value w)
+
+let test_welford_empty () =
+  let w = Welford.create () in
+  check_float "mean" 0.0 (Welford.mean w);
+  check_float "variance" 0.0 (Welford.variance w)
+
+(* --- Tablefmt --- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_table_renders_all_cells () =
+  let s =
+    Tablefmt.render ~title:"demo" ~header:[ "name"; "value" ]
+      [
+        [ Tablefmt.String "alpha"; Tablefmt.Int 1 ];
+        [ Tablefmt.String "beta"; Tablefmt.Float 2.5 ];
+      ]
+  in
+  List.iter
+    (fun needle -> check_bool (needle ^ " present") true (contains s needle))
+    [ "demo"; "name"; "value"; "alpha"; "beta"; "2.5" ]
+
+let test_table_rejects_ragged_rows () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Tablefmt.render: row width differs from header") (fun () ->
+      ignore (Tablefmt.render ~title:"t" ~header:[ "a"; "b" ] [ [ Tablefmt.Int 1 ] ]))
+
+let test_series_renders () =
+  let s =
+    Tablefmt.render_series ~title:"sweep" ~x_label:"load"
+      ~columns:[ "p50"; "p99" ]
+      [ (0.1, [ 10.0; 20.0 ]); (0.5, [ 30.0; 400.0 ]) ]
+  in
+  List.iter
+    (fun needle -> check_bool (needle ^ " present") true (contains s needle))
+    [ "sweep"; "load"; "p50"; "p99"; "400" ]
+
+let test_series_rejects_wrong_arity () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Tablefmt.render_series: wrong number of y values") (fun () ->
+      ignore
+        (Tablefmt.render_series ~title:"t" ~x_label:"x" ~columns:[ "a" ]
+           [ (1.0, [ 1.0; 2.0 ]) ]))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_histogram_quantile_bounds; prop_histogram_quantile_monotone ]
+  in
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int rejects bad bound" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "rough uniformity" `Quick test_rng_uniformity_rough;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "constant" `Quick test_constant;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "exponential cv2" `Quick test_exponential_cv2_is_one;
+          Alcotest.test_case "bimodal analytics" `Quick test_bimodal_analytics;
+          Alcotest.test_case "bimodal_with_cv2 roundtrip" `Quick test_bimodal_with_cv2_roundtrip;
+          Alcotest.test_case "bimodal_with_cv2 invalid" `Quick test_bimodal_with_cv2_invalid;
+          Alcotest.test_case "empirical cv2" `Quick test_empirical_cv2_bimodal;
+          Alcotest.test_case "pareto mean" `Quick test_pareto_mean;
+          Alcotest.test_case "lognormal mean" `Quick test_lognormal_mean;
+          Alcotest.test_case "non-negative samples" `Quick test_samples_nonnegative;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "exact small values" `Quick test_histogram_exact_small_values;
+          Alcotest.test_case "quantile relative error" `Quick test_histogram_quantile_relative_error;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "reset" `Quick test_histogram_reset;
+          Alcotest.test_case "negative rejected" `Quick test_histogram_negative_rejected;
+          Alcotest.test_case "record_n" `Quick test_histogram_record_n;
+        ] );
+      ( "welford",
+        [
+          Alcotest.test_case "known values" `Quick test_welford_known_values;
+          Alcotest.test_case "empty" `Quick test_welford_empty;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "renders cells" `Quick test_table_renders_all_cells;
+          Alcotest.test_case "ragged rows rejected" `Quick test_table_rejects_ragged_rows;
+          Alcotest.test_case "series" `Quick test_series_renders;
+          Alcotest.test_case "series arity" `Quick test_series_rejects_wrong_arity;
+        ] );
+      ("properties", qsuite);
+    ]
+

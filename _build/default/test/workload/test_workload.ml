@@ -1,0 +1,91 @@
+(* Tests for the open-loop workload generator. *)
+
+module Sim = Sl_engine.Sim
+module Openloop = Sl_workload.Openloop
+module Dist = Sl_util.Dist
+module Rng = Sl_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_emits_exactly_count () =
+  let sim = Sim.create () in
+  let rng = Rng.create 1L in
+  let seen = ref [] in
+  Openloop.run sim rng ~interarrival:(Dist.Constant 100.0)
+    ~service:(Dist.Constant 50.0) ~count:25
+    ~sink:(fun req -> seen := req :: !seen);
+  Sim.run sim;
+  check_int "count" 25 (List.length !seen);
+  let ids = List.rev_map (fun r -> r.Openloop.req_id) !seen in
+  Alcotest.(check (list int)) "ids in order" (List.init 25 (fun i -> i)) ids
+
+let test_constant_interarrival_schedule () =
+  let sim = Sim.create () in
+  let rng = Rng.create 1L in
+  let times = ref [] in
+  Openloop.run sim rng ~interarrival:(Dist.Constant 100.0)
+    ~service:(Dist.Constant 1.0) ~count:3
+    ~sink:(fun req -> times := req.Openloop.arrival :: !times);
+  Sim.run sim;
+  Alcotest.(check (list int64)) "arrivals" [ 300L; 200L; 100L ] !times
+
+let test_arrivals_monotone_and_open_loop () =
+  let sim = Sim.create () in
+  let rng = Rng.create 7L in
+  let last = ref 0L in
+  let ok = ref true in
+  Openloop.run sim rng
+    ~interarrival:(Openloop.poisson ~rate_per_kcycle:2.0)
+    ~service:(Dist.Exponential 500.0) ~count:500
+    ~sink:(fun req ->
+      if Int64.compare req.Openloop.arrival !last < 0 then ok := false;
+      last := req.Openloop.arrival);
+  Sim.run sim;
+  check_bool "monotone arrivals" true !ok
+
+let test_poisson_rate_roughly_matches () =
+  let sim = Sim.create () in
+  let rng = Rng.create 3L in
+  let n = 20_000 in
+  let last = ref 0L in
+  Openloop.run sim rng
+    ~interarrival:(Openloop.poisson ~rate_per_kcycle:1.0)
+    ~service:(Dist.Constant 0.0) ~count:n
+    ~sink:(fun req -> last := req.Openloop.arrival);
+  Sim.run sim;
+  (* Mean gap should be ~1000 cycles. *)
+  let mean_gap = Int64.to_float !last /. float_of_int n in
+  check_bool "mean inter-arrival within 3%" true (abs_float (mean_gap -. 1000.0) < 30.0)
+
+let test_service_never_negative () =
+  let sim = Sim.create () in
+  let rng = Rng.create 5L in
+  let ok = ref true in
+  Openloop.run sim rng ~interarrival:(Dist.Constant 10.0)
+    ~service:(Dist.Lognormal { mu = 2.0; sigma = 2.0 })
+    ~count:2000
+    ~sink:(fun req -> if Int64.compare req.Openloop.service_cycles 0L < 0 then ok := false);
+  Sim.run sim;
+  check_bool "non-negative service" true !ok
+
+let test_utilization_formula () =
+  Alcotest.(check (float 1e-9)) "rho" 0.5
+    (Openloop.utilization ~rate_per_kcycle:1.0 ~mean_service:1000.0 ~servers:2.0);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Openloop.poisson: rate must be positive") (fun () ->
+      ignore (Openloop.poisson ~rate_per_kcycle:0.0))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "openloop",
+        [
+          Alcotest.test_case "exact count" `Quick test_emits_exactly_count;
+          Alcotest.test_case "constant schedule" `Quick test_constant_interarrival_schedule;
+          Alcotest.test_case "monotone arrivals" `Quick test_arrivals_monotone_and_open_loop;
+          Alcotest.test_case "poisson rate" `Quick test_poisson_rate_roughly_matches;
+          Alcotest.test_case "service non-negative" `Quick test_service_never_negative;
+          Alcotest.test_case "utilization" `Quick test_utilization_formula;
+        ] );
+    ]
