@@ -28,11 +28,31 @@ let experiments =
     ("micro", "Bechamel microbenchmarks", Microbench.run);
   ]
 
+(* SWITCHLESS_SANITIZE=1 runs every experiment under the race detector
+   and invariant sanitizers (lib/analysis); any finding fails the run.
+   Default off so benchmark numbers are taken on uninstrumented chips. *)
+let sanitize = Sys.getenv_opt "SWITCHLESS_SANITIZE" = Some "1"
+
+let sanitizer_failures = ref 0
+
 let run_one (id, title, f) =
   Printf.printf "---------------------------------------------------------------\n";
   Printf.printf "%s — %s\n" (String.uppercase_ascii id) title;
   Printf.printf "---------------------------------------------------------------\n";
   let t0 = Unix.gettimeofday () in
+  let f =
+    if not sanitize then f
+    else fun () ->
+      let (), findings = Sl_analysis.Analysis.with_all f in
+      Printf.printf "[%s sanitizers: %s]\n" id
+        (Sl_analysis.Report.summary findings);
+      if findings <> [] then begin
+        incr sanitizer_failures;
+        List.iter
+          (fun fg -> Format.printf "%a@." Sl_analysis.Report.pp fg)
+          findings
+      end
+  in
   f ();
   Printf.printf "[%s done in %.1fs]\n\n" id (Unix.gettimeofday () -. t0)
 
@@ -50,4 +70,9 @@ let () =
         Printf.eprintf "unknown experiment %S; available: %s\n" id
           (String.concat ", " (List.map (fun (eid, _, _) -> eid) experiments));
         exit 1)
-    requested
+    requested;
+  if !sanitizer_failures > 0 then begin
+    Printf.eprintf "sanitizers reported findings in %d experiment(s)\n"
+      !sanitizer_failures;
+    exit 1
+  end

@@ -1,0 +1,22 @@
+(* Standalone lint driver, wired into [dune runtest] from the root dune
+   file.  Scans the given roots (default: lib) and fails the build when
+   any determinism/print/missing-mli rule is violated. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ -> [ "lib" ]
+  in
+  let issues =
+    try List.concat_map Sl_analysis.Lint.scan_tree roots with
+    | Sys_error msg ->
+      Printf.eprintf "lint: %s\n" msg;
+      exit 2
+  in
+  List.iter (fun i -> print_endline (Sl_analysis.Lint.to_string i)) issues;
+  match issues with
+  | [] -> print_endline "lint: no issues"
+  | _ :: _ ->
+    Printf.eprintf "lint: %d issue(s)\n" (List.length issues);
+    exit 1

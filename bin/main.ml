@@ -317,6 +317,32 @@ let vm_cmd =
     (Cmd.info "vm" ~doc:"VM time-sharing: world switches by start/stop.")
     Term.(const run $ slice $ vms $ vcpus)
 
+let lint_cmd =
+  let roots =
+    Arg.(
+      value
+      & pos_all string [ "lib" ]
+      & info [] ~docv:"DIR" ~doc:"Source roots to scan (default: lib).")
+  in
+  let run roots =
+    let issues =
+      try List.concat_map Sl_analysis.Lint.scan_tree roots with
+      | Sys_error msg ->
+        Printf.eprintf "lint: %s\n" msg;
+        exit 2
+    in
+    List.iter (fun i -> print_endline (Sl_analysis.Lint.to_string i)) issues;
+    match issues with
+    | [] -> print_endline "lint: no issues"
+    | _ :: _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Determinism/style lint: no wall-clock or entropy in lib, no printing \
+          outside util, every module has an interface.")
+    Term.(const run $ roots)
+
 let () =
   let info =
     Cmd.info "switchless-sim" ~version:"1.0.0"
@@ -327,4 +353,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ params_cmd; io_cmd; wakeup_cmd; syscall_cmd; server_cmd; netstack_cmd; vm_cmd ]))
+          [ params_cmd; io_cmd; wakeup_cmd; syscall_cmd; server_cmd; netstack_cmd; vm_cmd; lint_cmd ]))

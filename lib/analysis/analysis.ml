@@ -1,0 +1,140 @@
+open Switchless
+module Sim = Sl_engine.Sim
+module Trace = Sl_engine.Trace
+
+type config = { check_reads : bool; max_findings : int; trace_capacity : int }
+
+let default_config = { check_reads = false; max_findings = 100; trace_capacity = 64 }
+
+type counts = { mutable total : int; mutable tracked : int }
+
+type t = {
+  chip : Chip.t;
+  config : config;
+  trace : Trace.t;
+  writes : (Memory.addr, counts) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t;
+  mutable findings_rev : Report.finding list;
+  mutable dropped : int;
+  mutable events : int;
+  mutable race : Race_detector.t option;
+  mutable sanitizer : Sanitizer.t option;
+  mutable finished : bool;
+}
+
+let counts_for t addr =
+  match Hashtbl.find_opt t.writes addr with
+  | Some c -> c
+  | None ->
+    let c = { total = 0; tracked = 0 } in
+    Hashtbl.replace t.writes addr c;
+    c
+
+let addr_writes t addr =
+  match Hashtbl.find_opt t.writes addr with
+  | None -> (0, 0)
+  | Some c -> (c.total, c.tracked)
+
+let context t =
+  List.map (fun (time, msg) -> Printf.sprintf "t=%Ld %s" time msg) (Trace.events t.trace)
+
+let record t ~rule ~key ~message =
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    if List.length t.findings_rev >= t.config.max_findings then
+      t.dropped <- t.dropped + 1
+    else
+      t.findings_rev <-
+        {
+          Report.rule;
+          key;
+          time = Sim.time (Chip.sim t.chip);
+          message;
+          context = context t;
+        }
+        :: t.findings_rev
+  end
+
+(* Audit the state stores on a coarse cadence so placement-accounting bugs
+   surface near where they happen, not only at the end of the run. *)
+let store_check_period = 4096
+
+let on_probe_event t ev =
+  Trace.recordf t.trace (Chip.sim t.chip) "%s" (Format.asprintf "%a" Probe.pp ev);
+  (match ev with
+  | Probe.Mem_write { addr; _ } -> (counts_for t addr).tracked <- (counts_for t addr).tracked + 1
+  | _ -> ());
+  (match t.race with Some r -> Race_detector.on_event r ev | None -> ());
+  (match t.sanitizer with Some s -> Sanitizer.on_event s ev | None -> ());
+  t.events <- t.events + 1;
+  if t.events mod store_check_period = 0 then
+    match t.sanitizer with Some s -> Sanitizer.check_stores s | None -> ()
+
+let enable ?(config = default_config) chip =
+  let t =
+    {
+      chip;
+      config;
+      trace = Trace.create ~capacity:config.trace_capacity ();
+      writes = Hashtbl.create 256;
+      seen = Hashtbl.create 64;
+      findings_rev = [];
+      dropped = 0;
+      events = 0;
+      race = None;
+      sanitizer = None;
+      finished = false;
+    }
+  in
+  let report ~rule ~key ~message = record t ~rule ~key ~message in
+  let race = Race_detector.create ~check_reads:config.check_reads
+      ~now:(fun () -> Sim.time (Chip.sim chip))
+      ~report
+  in
+  let sanitizer =
+    Sanitizer.create ~chip ~report ~writers:(Race_detector.writers race)
+  in
+  t.race <- Some race;
+  t.sanitizer <- Some sanitizer;
+  Memory.add_write_hook (Chip.memory chip) (fun addr _value ->
+      (counts_for t addr).total <- (counts_for t addr).total + 1);
+  Chip.set_probe chip (on_probe_event t);
+  t
+
+let findings t = List.rev t.findings_rev
+
+let dropped t = t.dropped
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    (match t.sanitizer with
+    | Some s -> Sanitizer.finish s ~addr_writes:(addr_writes t)
+    | None -> ());
+    Chip.clear_probe t.chip
+  end;
+  findings t
+
+(** {2 Fleet enablement via the chip creation hook} *)
+
+type collector = { cfg : config; mutable active : t list }
+
+let enable_all ?(config = default_config) () =
+  let c = { cfg = config; active = [] } in
+  Chip.set_creation_hook (fun chip -> c.active <- enable ~config chip :: c.active);
+  c
+
+let disable_all () = Chip.clear_creation_hook ()
+
+let harvest c = List.concat_map finish (List.rev c.active)
+
+let with_all ?(config = default_config) f =
+  let c = enable_all ~config () in
+  let result =
+    try f ()
+    with e ->
+      disable_all ();
+      raise e
+  in
+  disable_all ();
+  (result, harvest c)

@@ -1,0 +1,190 @@
+type issue = { file : string; line : int; rule : string; message : string }
+
+let to_string i = Printf.sprintf "%s:%d: [%s] %s" i.file i.line i.rule i.message
+
+(* Tokens that make a simulation run depend on the host environment. *)
+let determinism_banned =
+  [
+    "Random.self_init";
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.localtime";
+    "Unix.gmtime";
+    "Sys.time";
+  ]
+
+(* Direct terminal output; library code must return or format data
+   instead, so experiment output stays under bin/bench control. *)
+let print_banned =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_int";
+    "print_char";
+    "print_float";
+    "print_bytes";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Blank out comments, string literals and char literals (newlines kept,
+   so line numbers survive).  This is what lets the banned-token tables
+   above live in this very file without tripping the lint on itself. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i; blank (!i + 1); incr comment_depth; i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i; blank (!i + 1); decr comment_depth; i := !i + 2
+      end
+      else begin blank !i; incr i end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i; blank (!i + 1); comment_depth := 1; i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i; incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (if src.[!i] = '\\' && !i + 1 < n then begin blank !i; blank (!i + 1); i := !i + 1 end
+         else if src.[!i] = '"' then closed := true
+         else blank !i);
+        incr i
+      done
+    end
+    else if c = '\'' && !i + 2 < n
+            && (src.[!i + 2] = '\'' || (src.[!i + 1] = '\\' && !i + 3 < n && src.[!i + 3] = '\''))
+    then begin
+      (* A char literal ('x' or '\x'); primes in identifiers fall through. *)
+      let stop = if src.[!i + 2] = '\'' then !i + 2 else !i + 3 in
+      for j = !i to stop do blank j done;
+      i := stop + 1
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let is_ident = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* [token] occurs at [pos] as a standalone (possibly module-qualified)
+   name: not embedded in a longer identifier on either side.  A leading
+   dot is deliberately allowed so [Stdlib.print_string] is caught. *)
+let token_at line token pos =
+  let tn = String.length token in
+  (pos = 0 || not (is_ident line.[pos - 1]))
+  && (pos + tn >= String.length line || not (is_ident line.[pos + tn]))
+
+let find_token line token =
+  let tn = String.length token and n = String.length line in
+  let rec go from_ =
+    if from_ + tn > n then None
+    else
+      match String.index_from_opt line from_ token.[0] with
+      | None -> None
+      | Some pos ->
+        if pos + tn <= n && String.sub line pos tn = token && token_at line token pos
+        then Some pos
+        else go (pos + 1)
+  in
+  go 0
+
+let scan_source ~file ~check_prints src =
+  let issues = ref [] in
+  let lines = String.split_on_char '\n' (strip src) in
+  List.iteri
+    (fun idx line ->
+      let check rule tokens message =
+        List.iter
+          (fun token ->
+            match find_token line token with
+            | None -> ()
+            | Some _ ->
+              issues :=
+                { file; line = idx + 1; rule; message = message token } :: !issues)
+          tokens
+      in
+      check "determinism" determinism_banned (fun tok ->
+          Printf.sprintf
+            "%s depends on the host clock/entropy and breaks simulation \
+             determinism"
+            tok);
+      if check_prints then
+        check "no-print" print_banned (fun tok ->
+            Printf.sprintf
+              "%s writes to the terminal from library code; return data or \
+               take a formatter instead"
+              tok))
+    lines;
+  List.rev !issues
+
+let scan_file ?(check_prints = true) file =
+  scan_source ~file ~check_prints (read_file file)
+
+let rec walk dir =
+  if Filename.basename dir = "_build" || Filename.basename dir = ".git" then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+           let path = Filename.concat dir entry in
+           if Sys.is_directory path then walk path else [ path ])
+
+(* Directories whose modules are allowed to print: terminal-facing code. *)
+let print_exempt_dirs = [ "util" ]
+
+let exempt_from_prints ~root path =
+  let rel =
+    if String.length path > String.length root
+       && String.sub path 0 (String.length root) = root
+    then String.sub path (String.length root) (String.length path - String.length root)
+    else path
+  in
+  List.exists
+    (fun dir -> List.mem dir (String.split_on_char '/' rel))
+    print_exempt_dirs
+
+let scan_tree root =
+  let files = walk root in
+  List.concat_map
+    (fun path ->
+      if Filename.check_suffix path ".ml" then begin
+        let missing_mli =
+          if Sys.file_exists (path ^ "i") then []
+          else
+            [
+              {
+                file = path;
+                line = 1;
+                rule = "missing-mli";
+                message =
+                  "library module has no interface file; add a .mli so the \
+                   public surface is explicit";
+              };
+            ]
+        in
+        missing_mli
+        @ scan_file ~check_prints:(not (exempt_from_prints ~root path)) path
+      end
+      else [])
+    files

@@ -1,0 +1,33 @@
+(** Determinism and style lint for library sources.
+
+    Static rules that protect the reproduction:
+
+    - {b determinism}: no [Random.self_init], [Unix.gettimeofday],
+      [Unix.time]/[localtime]/[gmtime] or [Sys.time] anywhere under the
+      scanned root — simulated experiments must not read the host clock
+      or entropy, or runs stop being replayable.
+    - {b no-print}: no [print_*]/[prerr_*]/[Printf.printf]/
+      [Format.printf] outside the terminal-facing [util] directory;
+      library code returns data or takes a formatter.
+    - {b missing-mli}: every [.ml] has a matching [.mli].
+
+    Matching is token-based on source with comments, string literals and
+    char literals blanked out, so a banned name in a doc comment (or in
+    this module's own tables) does not trip the rule, while
+    [Stdlib.print_string] does and [Format.pp_print_string] does not.
+
+    The [lint] executable in [bin/] runs {!scan_tree} over [lib/] as part
+    of [dune runtest]. *)
+
+type issue = { file : string; line : int; rule : string; message : string }
+
+val to_string : issue -> string
+(** ["file:line: [rule] message"]. *)
+
+val scan_file : ?check_prints:bool -> string -> issue list
+(** Token rules on one file ([check_prints] defaults to [true]; the
+    missing-mli rule only applies through {!scan_tree}). *)
+
+val scan_tree : string -> issue list
+(** Recursively scan every [.ml] under the root (skipping [_build] and
+    [.git]), in deterministic (sorted) order. *)

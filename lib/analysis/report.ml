@@ -1,0 +1,30 @@
+type finding = {
+  rule : string;
+  key : string;
+  time : int64;
+  message : string;
+  context : string list;
+}
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v 2>[%s] t=%Ld %s" f.rule f.time f.message;
+  List.iter (fun line -> Format.fprintf ppf "@,| %s" line) f.context;
+  Format.fprintf ppf "@]"
+
+let summary findings =
+  let by_rule = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace by_rule f.rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_rule f.rule)))
+    findings;
+  let parts =
+    Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) by_rule []
+    |> List.sort compare
+    |> List.map (fun (rule, n) -> Printf.sprintf "%s: %d" rule n)
+  in
+  match parts with
+  | [] -> "no findings"
+  | parts ->
+    Printf.sprintf "%d finding(s) (%s)" (List.length findings)
+      (String.concat ", " parts)

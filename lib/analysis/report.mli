@@ -1,0 +1,21 @@
+(** Findings produced by the runtime sanitizers.
+
+    A finding identifies the violated rule, when (simulated time) it was
+    detected, and the recent probe-event trace leading up to it. *)
+
+type finding = {
+  rule : string;  (** e.g. ["race"], ["lifecycle"], ["stale-tdt"], ["deadlock"]. *)
+  key : string;
+      (** Deduplication key: repeated dynamic instances of the same static
+          problem (same addresses, same thread pair) collapse to one
+          finding. *)
+  time : int64;  (** Simulated time of first detection. *)
+  message : string;
+  context : string list;
+      (** The most recent probe events before detection, oldest first. *)
+}
+
+val pp : Format.formatter -> finding -> unit
+
+val summary : finding list -> string
+(** One line: total count and per-rule breakdown, or ["no findings"]. *)

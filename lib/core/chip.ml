@@ -20,6 +20,7 @@ type t = {
   mutable halted_reason : string option;
   mutable exn_seq : int64;
   mutable exn_count : int;
+  mutable probe : (Probe.event -> unit) option;
 }
 
 and thread = {
@@ -36,6 +37,14 @@ and thread = {
          request. *)
   resume : unit Signal.t;
 }
+
+(* Consulted at the end of [create]: lets an analysis library attach
+   itself to every chip built anywhere (including deep inside experiment
+   runners) without the core depending on it. *)
+let creation_hook : (t -> unit) option ref = ref None
+
+let set_creation_hook f = creation_hook := Some f
+let clear_creation_hook () = creation_hook := None
 
 let create sim params ~cores =
   if cores <= 0 then invalid_arg "Chip.create: need at least one core";
@@ -58,7 +67,18 @@ let create sim params ~cores =
     halted_reason = None;
     exn_seq = 0L;
     exn_count = 0;
+    probe = None;
   }
+
+let create sim params ~cores =
+  let t = create sim params ~cores in
+  (match !creation_hook with Some f -> f t | None -> ());
+  t
+
+let set_probe t f = t.probe <- Some f
+let clear_probe t = t.probe <- None
+
+let emit t ev = match t.probe with None -> () | Some f -> f ev
 
 let sim t = t.sim
 let params t = t.params
@@ -93,6 +113,10 @@ let add_thread t ~core:core_id ~ptid ~mode ?(vector = false) ?(weight = 1.0) () 
   Hashtbl.replace t.threads ptid th;
   th
 
+let thread_list t =
+  Hashtbl.fold (fun _ th acc -> th :: acc) t.threads []
+  |> List.sort (fun a b -> compare a.p.Ptid.ptid b.p.Ptid.ptid)
+
 let find_thread t ~ptid =
   match Hashtbl.find_opt t.threads ptid with
   | Some th -> th
@@ -119,24 +143,30 @@ let pin_state th = State_store.pin (own_core th).store ~ptid:(ptid th)
 
 let monitor_key th = { Monitor.core_id = home_core th; ptid = ptid th }
 
-let make_runnable th =
+let make_runnable th ~reason =
+  let from_ = th.p.Ptid.state in
   th.p.Ptid.state <- Ptid.Runnable;
   Smt_core.set_runnable (own_core th).exec_unit ~ptid:(ptid th)
-    ~weight:th.p.Ptid.weight true
+    ~weight:th.p.Ptid.weight true;
+  emit th.chip
+    (Probe.State_change { ptid = ptid th; from_; to_ = Ptid.Runnable; reason })
 
-let make_not_runnable th state =
+let make_not_runnable th state ~reason =
+  let from_ = th.p.Ptid.state in
   th.p.Ptid.state <- state;
   Smt_core.set_runnable (own_core th).exec_unit ~ptid:(ptid th)
-    ~weight:th.p.Ptid.weight false
+    ~weight:th.p.Ptid.weight false;
+  emit th.chip (Probe.State_change { ptid = ptid th; from_; to_ = state; reason })
 
 let run_body th =
   match th.body with
   | None -> invalid_arg "Chip: starting a thread with no body attached"
   | Some body ->
-    Sim.spawn th.chip.sim (fun () ->
+    Sim.spawn ~name:(Printf.sprintf "ptid-%d" (ptid th)) th.chip.sim (fun () ->
         body th;
         (* Instruction stream ended: the thread parks itself. *)
-        if th.p.Ptid.state = Ptid.Runnable then make_not_runnable th Ptid.Disabled)
+        if th.p.Ptid.state = Ptid.Runnable then
+          make_not_runnable th Ptid.Disabled ~reason:"body-end")
 
 (* Block the calling body until its thread is runnable again.  Loops
    because a start can be followed by another stop before we get going. *)
@@ -157,7 +187,7 @@ let exec_int th ?kind cycles = exec th ?kind (Int64.of_int cycles)
 (* Bring a disabled/waiting thread back to runnable after the hardware
    latency: state transfer from its current storage tier plus the pipeline
    restart cost, plus [extra] (e.g. the monitor match cost). *)
-let schedule_wakeup th ~extra ~(on_ready : unit -> unit) =
+let schedule_wakeup th ~extra ~reason ~(on_ready : unit -> unit) =
   let chip = th.chip in
   let core = own_core th in
   let transfer = State_store.wake_transfer_cycles core.store ~ptid:(ptid th) in
@@ -165,7 +195,7 @@ let schedule_wakeup th ~extra ~(on_ready : unit -> unit) =
   Sim.schedule chip.sim
     ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
     (fun () ->
-      make_runnable th;
+      make_runnable th ~reason;
       Signal.emit th.resume ();
       on_ready ())
 
@@ -173,7 +203,8 @@ let schedule_wakeup th ~extra ~(on_ready : unit -> unit) =
 
 let insn_monitor th addr =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.monitor_arm_cycles;
-  Monitor.arm th.chip.monitor (monitor_key th) addr
+  Monitor.arm th.chip.monitor (monitor_key th) addr;
+  emit th.chip (Probe.Monitor_armed { ptid = ptid th; addr })
 
 let insn_mwait th =
   let chip = th.chip in
@@ -199,7 +230,8 @@ let insn_mwait th =
                latch it for the thread's re-parked mwait. *)
             Monitor.relatch chip.monitor key addr
           else begin
-            make_runnable th;
+            make_runnable th ~reason:"mwait-wake";
+            emit chip (Probe.Mwait_woke { ptid = ptid th; addr; immediate = false });
             Signal.emit th.resume ();
             Ivar.fill ivar (Some addr)
           end)
@@ -209,9 +241,11 @@ let insn_mwait th =
       (* The write already happened; no sleep, only the match cost. *)
       th.p.Ptid.wakeups <- th.p.Ptid.wakeups + 1;
       exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_wake_cycles;
+      emit chip (Probe.Mwait_woke { ptid = ptid th; addr; immediate = true });
       addr
     | `Parked -> (
-      make_not_runnable th Ptid.Waiting;
+      make_not_runnable th Ptid.Waiting ~reason:"mwait-park";
+      emit chip (Probe.Mwait_parked { ptid = ptid th });
       State_store.touch (own_core th).store ~ptid:(ptid th);
       th.wake_slot <- Some ivar;
       match Ivar.read ivar with
@@ -230,6 +264,7 @@ let insn_mwait th =
 let raise_exception th kind ~info =
   let chip = th.chip in
   chip.exn_count <- chip.exn_count + 1;
+  emit chip (Probe.Exception_raised { ptid = ptid th; kind; info });
   let edp = Regstate.get th.p.Ptid.regs Regstate.Exception_descriptor_ptr in
   if edp = 0L then begin
     let reason =
@@ -242,7 +277,7 @@ let raise_exception th kind ~info =
   else begin
     (* Faults are involuntary: a latched start must not absorb them. *)
     th.pending_start <- false;
-    make_not_runnable th Ptid.Disabled;
+    make_not_runnable th Ptid.Disabled ~reason:"fault";
     Sim.delay (Int64.of_int chip.params.Params.exception_descriptor_cycles);
     chip.exn_seq <- Int64.add chip.exn_seq 1L;
     Exception_desc.write chip.memory ~base:(Int64.to_int edp) ~seq:chip.exn_seq
@@ -258,6 +293,8 @@ let translate th ~vtid =
   match th.p.Ptid.tdt with
   | Some table -> (
     let entry, outcome = Tdt.Cache.lookup (own_core th).cache table ~vtid in
+    emit chip
+      (Probe.Translated { actor = ptid th; vtid; table; used = entry; outcome });
     let cost =
       match outcome with
       | `Hit -> chip.params.Params.tdt_cached_lookup_cycles
@@ -286,32 +323,48 @@ let translate th ~vtid =
 
 let permitted th perms check = Ptid.is_supervisor th.p || check perms
 
-let do_start target =
+let do_start ~actor target =
   match target.p.Ptid.state with
   | Ptid.Disabled ->
     target.p.Ptid.starts <- target.p.Ptid.starts + 1;
+    emit target.chip
+      (Probe.Start_edge { actor; target = ptid target; latched = false });
     if not target.spawned then begin
       target.spawned <- true;
-      schedule_wakeup target ~extra:0 ~on_ready:(fun () -> run_body target)
+      schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () ->
+          run_body target)
     end
-    else schedule_wakeup target ~extra:0 ~on_ready:(fun () -> ())
+    else schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () -> ())
   | Ptid.Runnable ->
     (* Already enabled: latch the start so it cannot be lost to a stop
        that is architecturally in flight (e.g. a server parking itself). *)
-    target.pending_start <- true
+    target.pending_start <- true;
+    emit target.chip
+      (Probe.Start_edge { actor; target = ptid target; latched = true })
   | Ptid.Waiting -> ()
 
-let do_stop target =
+let do_stop ~actor target =
   if target.pending_start then
     (* The latched start absorbs this stop; the thread keeps running. *)
     target.pending_start <- false
   else begin
     match target.p.Ptid.state with
     | Ptid.Disabled -> ()
-    | Ptid.Runnable -> make_not_runnable target Ptid.Disabled
+    | Ptid.Runnable ->
+      make_not_runnable target Ptid.Disabled ~reason:"stop";
+      emit target.chip (Probe.Stop_edge { actor; target = ptid target })
     | Ptid.Waiting ->
       Monitor.cancel_wait target.chip.monitor (monitor_key target);
       target.p.Ptid.state <- Ptid.Disabled;
+      emit target.chip
+        (Probe.State_change
+           {
+             ptid = ptid target;
+             from_ = Ptid.Waiting;
+             to_ = Ptid.Disabled;
+             reason = "force-stop";
+           });
+      emit target.chip (Probe.Stop_edge { actor; target = ptid target });
       (match target.wake_slot with
       | Some ivar -> Ivar.fill ivar None
       | None -> ())
@@ -322,7 +375,8 @@ let insn_start th ~vtid =
   match translate th ~vtid with
   | None -> ()
   | Some (target, perms) ->
-    if permitted th perms (fun p -> p.Tdt.can_start) then do_start target
+    if permitted th perms (fun p -> p.Tdt.can_start) then
+      do_start ~actor:(Probe.Thread (ptid th)) target
     else raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
 
 let insn_stop th ~vtid =
@@ -330,7 +384,8 @@ let insn_stop th ~vtid =
   match translate th ~vtid with
   | None -> ()
   | Some (target, perms) ->
-    if permitted th perms (fun p -> p.Tdt.can_stop) then do_stop target
+    if permitted th perms (fun p -> p.Tdt.can_stop) then
+      do_stop ~actor:(Probe.Thread (ptid th)) target
     else raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
 
 (* Permission for remote register access.  Reading needs any modify bit;
@@ -357,7 +412,11 @@ let insn_rpull th ~vtid reg =
       raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid);
       0L
     end
-    else Regstate.get target.p.Ptid.regs reg
+    else begin
+      emit th.chip
+        (Probe.Reg_pull { actor = ptid th; target = ptid target; reg });
+      Regstate.get target.p.Ptid.regs reg
+    end
 
 let insn_rpush th ~vtid reg value =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
@@ -372,7 +431,11 @@ let insn_rpush th ~vtid reg value =
       raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
     else if target.p.Ptid.state <> Ptid.Disabled then
       raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid)
-    else Regstate.set target.p.Ptid.regs reg value
+    else begin
+      emit th.chip
+        (Probe.Reg_push { actor = ptid th; target = ptid target; reg });
+      Regstate.set target.p.Ptid.regs reg value
+    end
 
 (* --- §3.2 secret-key capability scheme ---------------------------------- *)
 
@@ -405,13 +468,13 @@ let insn_start_keyed th ~target_ptid ~key =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
   match translate_keyed th ~target_ptid ~key with
   | None -> ()
-  | Some target -> do_start target
+  | Some target -> do_start ~actor:(Probe.Thread (ptid th)) target
 
 let insn_stop_keyed th ~target_ptid ~key =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
   match translate_keyed th ~target_ptid ~key with
   | None -> ()
-  | Some target -> do_stop target
+  | Some target -> do_stop ~actor:(Probe.Thread (ptid th)) target
 
 let insn_rpull_keyed th ~target_ptid ~key reg =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
@@ -423,7 +486,11 @@ let insn_rpull_keyed th ~target_ptid ~key reg =
         ~info:(Int64.of_int target_ptid);
       0L
     end
-    else Regstate.get target.p.Ptid.regs reg
+    else begin
+      emit th.chip
+        (Probe.Reg_pull { actor = ptid th; target = ptid target; reg });
+      Regstate.get target.p.Ptid.regs reg
+    end
 
 let insn_rpush_keyed th ~target_ptid ~key reg value =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
@@ -436,12 +503,18 @@ let insn_rpush_keyed th ~target_ptid ~key reg value =
     else if target.p.Ptid.state <> Ptid.Disabled then
       raise_exception th Exception_desc.Invalid_thread_access
         ~info:(Int64.of_int target_ptid)
-    else Regstate.set target.p.Ptid.regs reg value
+    else begin
+      emit th.chip
+        (Probe.Reg_push { actor = ptid th; target = ptid target; reg });
+      Regstate.set target.p.Ptid.regs reg value
+    end
 
 let insn_invtid th ~vtid =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.tdt_cached_lookup_cycles;
   match th.p.Ptid.tdt with
-  | Some table -> Tdt.Cache.invalidate (own_core th).cache table ~vtid
+  | Some table ->
+    Tdt.Cache.invalidate (own_core th).cache table ~vtid;
+    emit th.chip (Probe.Invtid_issued { actor = ptid th; vtid })
   | None -> ()
 
 let insn_set_tdt th table =
@@ -451,17 +524,22 @@ let insn_set_tdt th table =
 
 let load th addr =
   exec th ~kind:Smt_core.Useful 1L;
-  Memory.read th.chip.memory addr
+  let value = Memory.read th.chip.memory addr in
+  emit th.chip (Probe.Mem_read { ptid = ptid th; addr; value });
+  value
 
 let store th addr value =
   exec th ~kind:Smt_core.Useful 1L;
-  Memory.write th.chip.memory addr value
+  Memory.write th.chip.memory addr value;
+  emit th.chip (Probe.Mem_write { ptid = ptid th; addr; value })
 
 let boot th =
   if th.spawned then invalid_arg "Chip.boot: thread already started";
   th.spawned <- true;
   th.p.Ptid.starts <- th.p.Ptid.starts + 1;
-  make_runnable th;
+  emit th.chip
+    (Probe.Start_edge { actor = Probe.Boot; target = ptid th; latched = false });
+  make_runnable th ~reason:"boot";
   run_body th
 
 (* --- statistics --------------------------------------------------------- *)

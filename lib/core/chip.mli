@@ -53,6 +53,26 @@ val boot : thread -> unit
 
 val find_thread : t -> ptid:int -> thread
 
+val thread_list : t -> thread list
+(** All registered threads, sorted by ptid. *)
+
+(** {2 Instrumentation}
+
+    A probe observes every architecturally significant action on the chip
+    (see {!Probe}).  At most one probe is installed at a time; with none
+    installed (the default) the emission cost is a single [option] test
+    per site. *)
+
+val set_probe : t -> (Probe.event -> unit) -> unit
+val clear_probe : t -> unit
+
+val set_creation_hook : (t -> unit) -> unit
+(** Install a global hook invoked at the end of every {!create} — this is
+    how [sl_analysis] attaches to chips built deep inside experiment
+    runners without the core depending on it.  At most one hook. *)
+
+val clear_creation_hook : unit -> unit
+
 (** {2 Thread introspection} *)
 
 val ptid : thread -> int

@@ -74,6 +74,8 @@ let disarm_all t key =
 
 let armed_count t key = List.length (thread_state t key).armed
 
+let armed t key = List.rev (thread_state t key).armed
+
 let on_write t addr _value =
   match Hashtbl.find_opt t.by_addr addr with
   | None -> ()

@@ -31,6 +31,11 @@ val disarm_all : t -> thread_key -> unit
 
 val armed_count : t -> thread_key -> int
 
+val armed : t -> thread_key -> Memory.addr list
+(** Addresses currently armed by the thread, in arming order (used by the
+    deadlock sanitizer to reason about what could still wake a parked
+    thread). *)
+
 val core_armed_count : t -> int -> int
 (** Total addresses armed by threads of the given core. *)
 

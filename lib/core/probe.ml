@@ -1,0 +1,69 @@
+type origin = Boot | Thread of int
+
+type event =
+  | Mem_read of { ptid : int; addr : Memory.addr; value : int64 }
+  | Mem_write of { ptid : int; addr : Memory.addr; value : int64 }
+  | Start_edge of { actor : origin; target : int; latched : bool }
+  | Stop_edge of { actor : origin; target : int }
+  | Reg_pull of { actor : int; target : int; reg : Regstate.reg }
+  | Reg_push of { actor : int; target : int; reg : Regstate.reg }
+  | State_change of {
+      ptid : int;
+      from_ : Ptid.state;
+      to_ : Ptid.state;
+      reason : string;
+    }
+  | Monitor_armed of { ptid : int; addr : Memory.addr }
+  | Mwait_parked of { ptid : int }
+  | Mwait_woke of { ptid : int; addr : Memory.addr; immediate : bool }
+  | Translated of {
+      actor : int;
+      vtid : int;
+      table : Tdt.t;
+      used : (int * Tdt.perms) option;
+      outcome : [ `Hit | `Miss ];
+    }
+  | Invtid_issued of { actor : int; vtid : int }
+  | Exception_raised of { ptid : int; kind : Exception_desc.kind; info : int64 }
+
+let pp_origin ppf = function
+  | Boot -> Format.pp_print_string ppf "boot"
+  | Thread ptid -> Format.fprintf ppf "ptid %d" ptid
+
+let pp ppf = function
+  | Mem_read { ptid; addr; value } ->
+    Format.fprintf ppf "ptid %d reads [0x%x] = %Ld" ptid addr value
+  | Mem_write { ptid; addr; value } ->
+    Format.fprintf ppf "ptid %d writes [0x%x] <- %Ld" ptid addr value
+  | Start_edge { actor; target; latched } ->
+    Format.fprintf ppf "%a starts ptid %d%s" pp_origin actor target
+      (if latched then " (latched)" else "")
+  | Stop_edge { actor; target } ->
+    Format.fprintf ppf "%a stops ptid %d" pp_origin actor target
+  | Reg_pull { actor; target; reg } ->
+    Format.fprintf ppf "ptid %d rpull %a from ptid %d" actor Regstate.pp_reg reg target
+  | Reg_push { actor; target; reg } ->
+    Format.fprintf ppf "ptid %d rpush %a to ptid %d" actor Regstate.pp_reg reg target
+  | State_change { ptid; from_; to_; reason } ->
+    Format.fprintf ppf "ptid %d: %a -> %a (%s)" ptid Ptid.pp_state from_
+      Ptid.pp_state to_ reason
+  | Monitor_armed { ptid; addr } ->
+    Format.fprintf ppf "ptid %d arms monitor on [0x%x]" ptid addr
+  | Mwait_parked { ptid } -> Format.fprintf ppf "ptid %d parks in mwait" ptid
+  | Mwait_woke { ptid; addr; immediate } ->
+    Format.fprintf ppf "ptid %d wakes on [0x%x]%s" ptid addr
+      (if immediate then " (immediate)" else "")
+  | Translated { actor; vtid; table; used; outcome } ->
+    Format.fprintf ppf "ptid %d translates vtid %d via table %d: %s -> %a" actor
+      vtid (Tdt.id table)
+      (match outcome with `Hit -> "hit" | `Miss -> "miss")
+      (Format.pp_print_option
+         ~none:(fun ppf () -> Format.pp_print_string ppf "none")
+         (fun ppf (ptid, perms) ->
+           Format.fprintf ppf "ptid %d %a" ptid Tdt.pp_perms perms))
+      used
+  | Invtid_issued { actor; vtid } ->
+    Format.fprintf ppf "ptid %d invtid vtid %d" actor vtid
+  | Exception_raised { ptid; kind; info } ->
+    Format.fprintf ppf "ptid %d faults: %a (info %Ld)" ptid Exception_desc.pp_kind
+      kind info

@@ -152,6 +152,28 @@ let prefetch t ~ptid =
   promote_to_rf t e;
   e.last_touch <- tick t
 
+let check t =
+  let issues = ref [] in
+  let problem fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
+  let resident = Array.make 4 0 in
+  Hashtbl.iter
+    (fun ptid e ->
+      resident.(tier_index e.tier) <- resident.(tier_index e.tier) + e.bytes;
+      if e.pinned && e.tier <> Register_file then
+        problem "ptid %d is pinned but resides in %s" ptid (tier_name e.tier))
+    t.entries;
+  List.iter
+    (fun tier ->
+      let idx = tier_index tier in
+      if resident.(idx) <> t.used.(idx) then
+        problem "%s accounting drift: used counter says %d bytes, entries sum to %d"
+          (tier_name tier) t.used.(idx) resident.(idx);
+      if tier <> Dram && t.used.(idx) > capacity_bytes t tier then
+        problem "%s over capacity: %d bytes used of %d" (tier_name tier)
+          t.used.(idx) (capacity_bytes t tier))
+    [ Register_file; L2; L3; Dram ];
+  List.rev !issues
+
 let transfer_count t tier = t.transfers.(tier_index tier)
 
 let demotion_count t = t.demotions

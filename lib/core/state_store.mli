@@ -58,6 +58,14 @@ val used_bytes : t -> tier -> int
 val capacity_bytes : t -> tier -> int
 (** [max_int] for {!Dram}. *)
 
+val check : t -> string list
+(** Audit the store's internal invariants: per-tier [used] counters match
+    the sum of resident entries, no bounded tier exceeds its capacity,
+    and pinned contexts are register-file resident.  Returns a
+    human-readable description of each violation (empty = healthy).
+    Used by the analysis sanitizer; a non-empty result indicates a bug in
+    the placement policy itself. *)
+
 val transfer_count : t -> tier -> int
 (** Number of wake transfers served from the given tier so far (for
     {!Register_file} this counts zero-cost resident wakes). *)

@@ -1,10 +1,22 @@
 open Effect
 open Effect.Deep
 
+type blocked = { pid : int; name : string option; blocked_since : int64 }
+
+type status = Ready | Blocked of int64
+
+type proc = {
+  pid : int;
+  pname : string option;
+  mutable status : status;
+}
+
 type t = {
   mutable now : int64;
   mutable seq : int;
   queue : (unit -> unit) Pqueue.t;
+  mutable next_pid : int;
+  procs : (int, proc) Hashtbl.t;  (* live (not yet returned) processes *)
 }
 
 type _ Effect.t +=
@@ -13,7 +25,8 @@ type _ Effect.t +=
   | Fork_eff : (unit -> unit) -> unit Effect.t
   | Await_eff : (('a -> unit) -> unit) -> 'a Effect.t
 
-let create () = { now = 0L; seq = 0; queue = Pqueue.create () }
+let create () =
+  { now = 0L; seq = 0; queue = Pqueue.create (); next_pid = 0; procs = Hashtbl.create 32 }
 
 let time t = t.now
 
@@ -26,13 +39,23 @@ let schedule t ~at thunk =
     invalid_arg "Sim.schedule: time in the past";
   push t ~at thunk
 
+let new_proc t ?name () =
+  t.next_pid <- t.next_pid + 1;
+  let proc = { pid = t.next_pid; pname = name; status = Ready } in
+  Hashtbl.replace t.procs proc.pid proc;
+  proc
+
+let retire t proc = Hashtbl.remove t.procs proc.pid
+
 (* Run [f] as a coroutine: effects performed by [f] (and whatever it calls)
-   suspend it and re-enqueue a continuation event. *)
-let rec exec t f =
+   suspend it and re-enqueue a continuation event.  [proc] is the
+   bookkeeping record used by {!stuck}: a process is [Blocked] between an
+   [Await_eff] suspension and the matching resume. *)
+let rec exec t proc f =
   match_with f ()
     {
-      retc = (fun () -> ());
-      exnc = (fun e -> raise e);
+      retc = (fun () -> retire t proc);
+      exnc = (fun e -> retire t proc; raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -47,23 +70,50 @@ let rec exec t f =
           | Fork_eff g ->
             Some
               (fun (k : (a, _) continuation) ->
-                push t ~at:t.now (fun () -> exec t g);
+                let child = new_proc t () in
+                push t ~at:t.now (fun () -> exec t child g);
                 continue k ())
           | Await_eff register ->
             Some
               (fun (k : (a, _) continuation) ->
                 let resumed = ref false in
+                proc.status <- Blocked t.now;
                 register (fun v ->
                     if !resumed then
                       invalid_arg "Sim.await: resume called twice";
                     resumed := true;
+                    proc.status <- Ready;
                     (* [t.now] is read when the resumer fires, so the
                        process wakes at the resumer's current time. *)
                     push t ~at:t.now (fun () -> continue k v)))
           | _ -> None);
     }
 
-let spawn t f = push t ~at:t.now (fun () -> exec t f)
+let spawn ?name t f =
+  let proc = new_proc t ?name () in
+  push t ~at:t.now (fun () -> exec t proc f)
+
+let stuck t =
+  Hashtbl.fold
+    (fun _ proc acc ->
+      match proc.status with
+      | Ready -> acc
+      | Blocked since -> { pid = proc.pid; name = proc.pname; blocked_since = since } :: acc)
+    t.procs []
+  |> List.sort (fun (a : blocked) (b : blocked) -> compare a.pid b.pid)
+
+let stuck_summary t =
+  match stuck t with
+  | [] -> None
+  | blocked ->
+    let describe b =
+      match b.name with
+      | Some n -> Printf.sprintf "%s (pid %d, since %Ld)" n b.pid b.blocked_since
+      | None -> Printf.sprintf "pid %d (since %Ld)" b.pid b.blocked_since
+    in
+    Some
+      (Printf.sprintf "%d process(es) still blocked: %s" (List.length blocked)
+         (String.concat ", " (List.map describe blocked)))
 
 let run ?until t =
   let within_horizon time =

@@ -25,9 +25,10 @@ val create : unit -> t
 val time : t -> int64
 (** Current simulated time, readable from outside any process. *)
 
-val spawn : t -> (unit -> unit) -> unit
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
 (** [spawn t f] registers [f] as a process starting at the current time.
-    When called before {!run}, the process starts at time 0. *)
+    When called before {!run}, the process starts at time 0.  [name] is
+    used by {!stuck} to identify processes abandoned mid-wait. *)
 
 val schedule : t -> at:int64 -> (unit -> unit) -> unit
 (** [schedule t ~at f] runs callback [f] (not a blocking process) at
@@ -36,7 +37,28 @@ val schedule : t -> at:int64 -> (unit -> unit) -> unit
 val run : ?until:int64 -> t -> unit
 (** Drive the event loop until the queue drains, or until simulated time
     would exceed [until] (events at exactly [until] still fire).  Processes
-    still blocked when the loop stops are abandoned. *)
+    still blocked in {!await} when the loop stops are abandoned — inspect
+    {!stuck} afterwards to find out whether that happened, instead of
+    discovering a wedged model by its silently-missing results. *)
+
+(** {2 Abandoned-process reporting} *)
+
+type blocked = {
+  pid : int;  (** Process id, in spawn order starting at 1. *)
+  name : string option;  (** The [?name] given to {!spawn}, if any. *)
+  blocked_since : int64;  (** Simulated time of the un-resumed {!await}. *)
+}
+
+val stuck : t -> blocked list
+(** Processes currently suspended in {!await} with no resume in flight —
+    after {!run} returns with an empty queue these are blocked forever
+    (a deadlocked model, a lost wakeup, or a server parked by design).
+    Sorted by pid.  Processes merely scheduled past a [?until] horizon are
+    not stuck: they still hold a queued event. *)
+
+val stuck_summary : t -> string option
+(** Human-readable one-liner of {!stuck} (count plus names/ids), or
+    [None] when no process is blocked. *)
 
 (** {2 Operations available inside a process}
 

@@ -325,6 +325,94 @@ let test_trace_ring_overwrites_oldest () =
   Sl_engine.Trace.clear trace;
   check_int "cleared" 0 (Sl_engine.Trace.length trace)
 
+let test_trace_wraparound_boundary () =
+  let sim = Sim.create () in
+  let trace = Sl_engine.Trace.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Sl_engine.Trace.record trace sim (string_of_int i)
+  done;
+  (* Exactly at capacity: nothing lost yet. *)
+  check_int "length at capacity" 4 (Sl_engine.Trace.length trace);
+  check_int "total at capacity" 4 (Sl_engine.Trace.total_recorded trace);
+  Alcotest.(check (list string))
+    "all retained" [ "1"; "2"; "3"; "4" ]
+    (List.map snd (Sl_engine.Trace.events trace));
+  (* One past capacity: the oldest falls off, total keeps counting. *)
+  Sl_engine.Trace.record trace sim "5";
+  check_int "length past capacity" 4 (Sl_engine.Trace.length trace);
+  check_int "total past capacity" 5 (Sl_engine.Trace.total_recorded trace);
+  Alcotest.(check (list string))
+    "oldest dropped" [ "2"; "3"; "4"; "5" ]
+    (List.map snd (Sl_engine.Trace.events trace))
+
+let test_trace_wraparound_many_laps () =
+  let sim = Sim.create () in
+  let trace = Sl_engine.Trace.create ~capacity:4 () in
+  for i = 1 to 11 do
+    Sl_engine.Trace.record trace sim (string_of_int i)
+  done;
+  check_int "length" 4 (Sl_engine.Trace.length trace);
+  check_int "total" 11 (Sl_engine.Trace.total_recorded trace);
+  Alcotest.(check (list string))
+    "newest four in order" [ "8"; "9"; "10"; "11" ]
+    (List.map snd (Sl_engine.Trace.events trace))
+
+let test_trace_clear_resets_wraparound () =
+  let sim = Sim.create () in
+  let trace = Sl_engine.Trace.create ~capacity:3 () in
+  for i = 1 to 7 do
+    Sl_engine.Trace.record trace sim (string_of_int i)
+  done;
+  Sl_engine.Trace.clear trace;
+  check_int "cleared length" 0 (Sl_engine.Trace.length trace);
+  check_int "cleared total" 0 (Sl_engine.Trace.total_recorded trace);
+  Sl_engine.Trace.record trace sim "fresh";
+  Alcotest.(check (list string))
+    "usable after clear" [ "fresh" ]
+    (List.map snd (Sl_engine.Trace.events trace))
+
+(* --- Sim.stuck --- *)
+
+let test_stuck_reports_abandoned_process () =
+  let sim = Sim.create () in
+  let ivar = Ivar.create () in
+  Sim.spawn ~name:"server" sim (fun () ->
+      Sim.delay 5L;
+      ignore (Ivar.read ivar : int));
+  Sim.run sim;
+  match Sim.stuck sim with
+  | [ b ] ->
+    Alcotest.(check (option string)) "name" (Some "server") b.Sim.name;
+    check_i64 "blocked since" 5L b.Sim.blocked_since;
+    let contains hay needle =
+      let hn = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    (match Sim.stuck_summary sim with
+    | Some s -> check_bool "summary mentions name" true (contains s "server")
+    | None -> Alcotest.fail "expected a summary")
+  | other -> Alcotest.failf "expected one stuck process, got %d" (List.length other)
+
+let test_stuck_empty_when_all_resume () =
+  let sim = Sim.create () in
+  let ivar = Ivar.create () in
+  Sim.spawn ~name:"reader" sim (fun () -> ignore (Ivar.read ivar : int));
+  Sim.spawn sim (fun () ->
+      Sim.delay 3L;
+      Ivar.fill ivar 42);
+  Sim.run sim;
+  Alcotest.(check int) "none stuck" 0 (List.length (Sim.stuck sim));
+  Alcotest.(check (option string)) "no summary" None (Sim.stuck_summary sim)
+
+let test_stuck_ignores_horizon_parked () =
+  (* A process merely delayed past the run horizon still holds a queued
+     event: it is paused, not abandoned. *)
+  let sim = Sim.create () in
+  Sim.spawn ~name:"sleeper" sim (fun () -> Sim.delay 1_000L);
+  Sim.run ~until:10L sim;
+  Alcotest.(check int) "not stuck" 0 (List.length (Sim.stuck sim))
+
 (* --- determinism property --- *)
 
 let run_noise_simulation seed =
@@ -421,6 +509,15 @@ let () =
         [
           Alcotest.test_case "timestamps" `Quick test_trace_records_with_timestamps;
           Alcotest.test_case "ring overwrite" `Quick test_trace_ring_overwrites_oldest;
+          Alcotest.test_case "wraparound boundary" `Quick test_trace_wraparound_boundary;
+          Alcotest.test_case "wraparound many laps" `Quick test_trace_wraparound_many_laps;
+          Alcotest.test_case "clear resets" `Quick test_trace_clear_resets_wraparound;
+        ] );
+      ( "stuck",
+        [
+          Alcotest.test_case "reports abandoned" `Quick test_stuck_reports_abandoned_process;
+          Alcotest.test_case "empty when resumed" `Quick test_stuck_empty_when_all_resume;
+          Alcotest.test_case "ignores horizon" `Quick test_stuck_ignores_horizon_parked;
         ] );
       ("properties", qsuite);
     ]
