@@ -1,0 +1,376 @@
+(* R1 — chaos suite: §2 workloads under deterministic fault injection.
+
+   Every fault class of lib/fault runs against the workload whose wakeup
+   path it attacks: NIC doorbell/DMA faults and monitor faults against
+   the hardened I/O path, start-delay and lost-response faults against
+   the robust hardware channel, completion stalls against an NVMe
+   consumer, dropped IPIs against the interrupt baseline, and a combined
+   chaos plan (plus the watchdog) against everything at once.
+
+   Each scenario runs under the full sanitizer set (race detector +
+   invariant sanitizers) regardless of SWITCHLESS_SANITIZE, asserts that
+   every request is accounted for (processed or counted lost — never
+   silently missing), that no run deadlocks (hardened waits or watchdog
+   rescue always terminate), that tail latency stays bounded, and runs
+   twice to prove the same plan replays to the identical outcome.
+
+   SWITCHLESS_FAULTS=<spec> replaces the matrix with a single combined
+   chaos run under the given plan — the hook the smoke-test alias in the
+   root dune file uses to pin one fixed fault schedule. *)
+
+module Sim = Sl_engine.Sim
+module Mailbox = Sl_engine.Mailbox
+module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Nic = Sl_dev.Nic
+module Nvme = Sl_dev.Nvme
+module Irq = Sl_baseline.Irq
+module Swsched = Sl_baseline.Swsched
+module Io_path = Sl_os.Io_path
+module Hw_channel = Sl_os.Hw_channel
+module Watchdog = Sl_os.Watchdog
+module Fault = Sl_fault.Fault
+module Analysis = Sl_analysis.Analysis
+module Report = Sl_analysis.Report
+module Histogram = Sl_util.Histogram
+module Rng = Sl_util.Rng
+module Dist = Sl_util.Dist
+module Openloop = Sl_workload.Openloop
+
+let p = Params.default
+
+let check name cond msg =
+  if not cond then failwith (Printf.sprintf "r1/%s: %s" name msg)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Run [scenario] twice under sanitizers + ambient injection: fail on any
+   sanitizer finding, fail if the replay diverges, print one JSON line.
+   [expect] lists fault classes that must actually have fired. *)
+let run_scenario ~name ~plan ~expect scenario =
+  let once () =
+    let inj = Fault.create plan in
+    let summary, findings =
+      Analysis.with_all (fun () ->
+          Fault.with_ambient inj (fun () -> scenario ~name))
+    in
+    (summary, findings, Fault.counts inj)
+  in
+  let s1, f1, c1 = once () in
+  let s2, f2, c2 = once () in
+  if f1 <> [] || f2 <> [] then begin
+    List.iter (fun f -> Format.printf "%a@." Report.pp f) (f1 @ f2);
+    failwith
+      (Printf.sprintf "r1/%s: sanitizer findings: %s" name
+         (Report.summary (f1 @ f2)))
+  end;
+  check name
+    (s1 = s2 && c1 = c2)
+    "replay diverged: same plan, different outcome";
+  List.iter
+    (fun key ->
+      check name
+        (List.mem_assoc key c1)
+        (Printf.sprintf "fault class %s never fired" key))
+    expect;
+  Printf.printf
+    "{\"scenario\":%S,\"spec\":%S,\"replay\":\"identical\",\"injected\":{%s},%s}\n"
+    name
+    (json_escape (Fault.to_spec plan))
+    (String.concat ","
+       (List.map (fun (k, n) -> Printf.sprintf "%S:%d" k n) c1))
+    (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) s1))
+
+(* --- hardened I/O path under NIC / monitor / store faults ---------------- *)
+
+let io_cfg =
+  {
+    Io_path.default_config with
+    Io_path.count = 400;
+    rate_per_kcycle = 0.5;
+    per_packet_work = 300L;
+  }
+
+let hardened_io ~with_watchdog ~name =
+  let r = Io_path.run_mwait_hardened ~with_watchdog io_cfg in
+  let b = r.Io_path.base in
+  let accounted =
+    b.Io_path.processed + b.Io_path.dropped + r.Io_path.dma_dropped
+  in
+  check name
+    (accounted = io_cfg.Io_path.count)
+    (Printf.sprintf "lost requests: %d processed + %d dropped + %d dma of %d"
+       b.Io_path.processed b.Io_path.dropped r.Io_path.dma_dropped
+       io_cfg.Io_path.count);
+  let p99 = Histogram.quantile b.Io_path.latencies 0.99 in
+  check name
+    (Int64.compare p99 500_000L <= 0)
+    (Printf.sprintf "p99 latency unbounded: %Ld cycles" p99);
+  [
+    ("processed", string_of_int b.Io_path.processed);
+    ("ring_dropped", string_of_int b.Io_path.dropped);
+    ("dma_dropped", string_of_int r.Io_path.dma_dropped);
+    ("mwait_timeouts", string_of_int r.Io_path.mwait_timeouts);
+    ("missed_wakeups", string_of_int r.Io_path.missed_wakeups);
+    ("fallbacks", string_of_int r.Io_path.fallbacks);
+    ("recoveries", string_of_int r.Io_path.recoveries);
+    ("watchdog_nudges", string_of_int r.Io_path.watchdog_nudges);
+    ("p50", Int64.to_string (Histogram.quantile b.Io_path.latencies 0.5));
+    ("p99", Int64.to_string p99);
+  ]
+
+(* --- robust hardware channel under start-delay / lost-response faults ---- *)
+
+let channel_calls = 150
+
+let channel_deadline ~name =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:2 in
+  let ch = Hw_channel.create chip ~core:1 ~server_ptid:10 ~robust:true () in
+  let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  let ok = ref 0 and errors = ref 0 in
+  Chip.attach client (fun th ->
+      for _ = 1 to channel_calls do
+        match
+          Hw_channel.call_with_deadline ch ~client:th ~timeout:8_000L
+            ~work:200L ()
+        with
+        | Ok () -> incr ok
+        | Error _ -> incr errors
+      done);
+  Chip.boot client;
+  Sim.run sim;
+  check name
+    (!ok = channel_calls && !errors = 0)
+    (Printf.sprintf "%d/%d calls failed despite retries" !errors channel_calls);
+  [
+    ("calls_ok", string_of_int !ok);
+    ("retries", string_of_int (Hw_channel.retry_count ch));
+    ("served", string_of_int (Hw_channel.served ch));
+  ]
+
+(* --- NVMe completion stalls ---------------------------------------------- *)
+
+let nvme_stall ~name =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:1 in
+  let rng = Rng.create 9L in
+  let nvme =
+    Nvme.create sim p (Chip.memory chip) ~latency:(Dist.Constant 4_000.) ~rng ()
+  in
+  let total = 256 in
+  let completed = ref 0 and idle_timeouts = ref 0 in
+  let lat = Histogram.create () in
+  let th = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach th (fun t ->
+      Isa.monitor t (Nvme.cq_tail_addr nvme);
+      let submitted = ref 0 in
+      while !completed < total do
+        while !submitted < total && Nvme.in_flight nvme < 8 do
+          ignore (Nvme.submit nvme : int);
+          incr submitted
+        done;
+        match Nvme.poll_completion nvme with
+        | Some c ->
+          incr completed;
+          Histogram.record lat (Int64.sub c.Nvme.completed_at c.Nvme.submitted_at)
+        | None -> (
+          match Isa.mwait_for t ~deadline:(Int64.add (Sim.now ()) 200_000L) with
+          | Some _ -> ()
+          | None -> incr idle_timeouts)
+      done);
+  Chip.boot th;
+  Sim.run sim;
+  check name (!completed = total)
+    (Printf.sprintf "only %d/%d completions" !completed total);
+  let p99 = Histogram.quantile lat 0.99 in
+  check name
+    (Int64.compare p99 500_000L <= 0)
+    (Printf.sprintf "stalled completion latency unbounded: %Ld" p99);
+  [
+    ("completed", string_of_int !completed);
+    ("stalls", string_of_int (Nvme.stall_count nvme));
+    ("stall_cycles", Int64.to_string (Nvme.stall_cycles_total nvme));
+    ("idle_timeouts", string_of_int !idle_timeouts);
+    ("p99", Int64.to_string p99);
+  ]
+
+(* --- dropped IPIs against the interrupt baseline ------------------------- *)
+
+let ipi_drop ~name =
+  let sim = Sim.create () in
+  let sched = Swsched.create sim p ~cores:1 () in
+  let irq = Irq.create sim p ~cores:(Swsched.cores sched) in
+  let doorbell = Mailbox.create () in
+  let n = 200 in
+  let received = ref 0 and timeouts = ref 0 in
+  let sender_done = ref false in
+  Sim.spawn sim ~name:"ipi-sender" (fun () ->
+      for _ = 1 to n do
+        Sim.delay 2_000L;
+        Irq.send_ipi irq ~core:0 ~handler:(fun ~exec ->
+            exec 300L;
+            Mailbox.send doorbell ())
+      done;
+      sender_done := true);
+  Sim.spawn sim ~name:"ipi-consumer" (fun () ->
+      let stop = ref false in
+      while not !stop do
+        match Mailbox.recv_for doorbell ~within:20_000L with
+        | Some () -> incr received
+        | None ->
+          incr timeouts;
+          if !sender_done then stop := true
+      done);
+  Sim.run sim;
+  let dropped = Irq.dropped_ipi_count irq in
+  check name
+    (!received + dropped = n)
+    (Printf.sprintf "lost IPIs unaccounted: %d received + %d dropped of %d"
+       !received dropped n);
+  [
+    ("sent", string_of_int n);
+    ("received", string_of_int !received);
+    ("ipi_dropped", string_of_int dropped);
+    ("recv_timeouts", string_of_int !timeouts);
+  ]
+
+(* --- watchdog rescue of an *unhardened* mwait loop ----------------------- *)
+
+(* The consumer uses plain mwait with no deadline: under lost wakeups only
+   the watchdog's value-preserving re-stores can unwedge it.  Terminating
+   at all is the assertion. *)
+let watchdog_rescue ~name =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:1 in
+  let nic = Nic.create sim p (Chip.memory chip) ~queue_depth:4096 () in
+  let wd = Watchdog.create chip ~core:0 ~ptid:99 ~period:10_000L ~stuck_after:15_000L () in
+  let count = 300 in
+  let processed = ref 0 in
+  let consumer = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach consumer (fun th ->
+      Isa.monitor th (Nic.rx_tail_addr nic);
+      while !processed < count do
+        (if Nic.pending nic = 0 then
+           let _ = Isa.mwait th in
+           ());
+        let rec drain () =
+          match Nic.poll nic with
+          | Some _ ->
+            Isa.exec th 300L;
+            incr processed;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      Watchdog.stop wd);
+  Chip.boot consumer;
+  Watchdog.start wd;
+  let rng = Rng.create 5L in
+  Openloop.run sim rng
+    ~interarrival:(Openloop.poisson ~rate_per_kcycle:0.5)
+    ~service:(Dist.Constant 300.) ~count
+    ~sink:(fun _req -> Sim.fork (fun () -> Nic.inject nic));
+  Sim.run sim;
+  check name (!processed = count)
+    (Printf.sprintf "only %d/%d packets processed" !processed count);
+  check name (Watchdog.nudges wd > 0) "watchdog never needed to nudge";
+  [
+    ("processed", string_of_int !processed);
+    ("sweeps", string_of_int (Watchdog.sweeps wd));
+    ("nudges", string_of_int (Watchdog.nudges wd));
+  ]
+
+(* --- the matrix ---------------------------------------------------------- *)
+
+let chaos_plan =
+  {
+    Fault.none with
+    Fault.seed = 110L;
+    nic_doorbell_drop = 0.05;
+    nic_doorbell_dup = 0.05;
+    nic_dma_drop = 0.02;
+    mwait_lost = 0.1;
+    mwait_spurious = 0.1;
+    store_ecc = 0.05;
+    store_silent = 0.02;
+  }
+
+let scenarios =
+  [
+    ( "baseline",
+      { Fault.none with Fault.seed = 101L },
+      [],
+      hardened_io ~with_watchdog:false );
+    ( "nic.doorbell_drop",
+      { Fault.none with Fault.seed = 102L; nic_doorbell_drop = 0.08 },
+      [ "nic.doorbell_drop" ],
+      hardened_io ~with_watchdog:false );
+    ( "nic.doorbell_dup",
+      { Fault.none with Fault.seed = 103L; nic_doorbell_dup = 0.08 },
+      [ "nic.doorbell_dup" ],
+      hardened_io ~with_watchdog:false );
+    ( "nic.dma_drop",
+      { Fault.none with Fault.seed = 104L; nic_dma_drop = 0.05 },
+      [ "nic.dma_drop" ],
+      hardened_io ~with_watchdog:false );
+    ( "mwait.lost",
+      { Fault.none with Fault.seed = 105L; mwait_lost = 0.15 },
+      [ "mwait.lost" ],
+      hardened_io ~with_watchdog:false );
+    ( "mwait.spurious",
+      { Fault.none with Fault.seed = 106L; mwait_spurious = 0.2 },
+      [ "mwait.spurious" ],
+      hardened_io ~with_watchdog:false );
+    ( "store.corruption",
+      { Fault.none with Fault.seed = 107L; store_ecc = 0.1; store_silent = 0.05 },
+      [ "store.ecc"; "store.silent" ],
+      hardened_io ~with_watchdog:false );
+    ( "start.delay",
+      { Fault.none with Fault.seed = 108L; start_delay = 0.25; mwait_lost = 0.1 },
+      [ "start.delay"; "mwait.lost" ],
+      channel_deadline );
+    ( "nvme.stall",
+      { Fault.none with Fault.seed = 109L; nvme_stall = 0.1 },
+      [ "nvme.stall" ],
+      nvme_stall );
+    ( "ipi.drop",
+      { Fault.none with Fault.seed = 111L; ipi_drop = 0.1 },
+      [ "ipi.drop" ],
+      ipi_drop );
+    ( "watchdog.rescue",
+      { Fault.none with Fault.seed = 112L; mwait_lost = 0.5; nic_doorbell_drop = 0.3 },
+      [ "mwait.lost" ],
+      watchdog_rescue );
+    ("chaos", chaos_plan, [ "nic.doorbell_drop"; "mwait.lost" ],
+      hardened_io ~with_watchdog:true );
+  ]
+
+let run () =
+  (match Sys.getenv_opt "SWITCHLESS_FAULTS" with
+  | Some spec -> (
+    match Fault.parse_spec spec with
+    | Error msg -> failwith ("r1: SWITCHLESS_FAULTS: " ^ msg)
+    | Ok plan ->
+      run_scenario ~name:"env-chaos" ~plan ~expect:[]
+        (hardened_io ~with_watchdog:true))
+  | None ->
+    List.iter
+      (fun (name, plan, expect, scenario) ->
+        run_scenario ~name ~plan ~expect scenario)
+      scenarios);
+  Printf.printf
+    "r1: all scenarios survived: no findings, no deadlocks, no lost requests, replays identical\n\n"

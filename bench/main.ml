@@ -25,6 +25,7 @@ let experiments =
     ("e13", "Ablation: VM world switches by start/stop", Exp_e13.run);
     ("e14", "Ablation: preemptive scheduling via start/stop", Exp_e14.run);
     ("e15", "Substrate: interrupt-free reliable transport", Exp_e15.run);
+    ("r1", "Robustness: chaos suite under fault injection", Exp_r1.run);
     ("micro", "Bechamel microbenchmarks", Microbench.run);
   ]
 
@@ -33,15 +34,73 @@ let experiments =
    Default off so benchmark numbers are taken on uninstrumented chips. *)
 let sanitize = Sys.getenv_opt "SWITCHLESS_SANITIZE" = Some "1"
 
+(* SWITCHLESS_FAULTS=<spec> (see Sl_fault.Fault.parse_spec) injects the
+   given fault plan into every chip and device an experiment creates.
+   Each experiment gets a fresh injector built from the same plan, so its
+   fault schedule does not depend on which experiments ran before it.
+   Only meaningful for runs whose wakeup paths are hardened (r1 by
+   design); unhardened pollers may legitimately never terminate when
+   their packets are injected away. *)
+let fault_plan =
+  match Sys.getenv_opt "SWITCHLESS_FAULTS" with
+  | None -> None
+  | Some spec -> (
+    match Sl_fault.Fault.parse_spec spec with
+    | Ok plan -> Some plan
+    | Error msg ->
+      Printf.eprintf "SWITCHLESS_FAULTS: %s\n" msg;
+      exit 2)
+
 let sanitizer_failures = ref 0
+
+(* The experiment's sims are collected so abandoned processes can be
+   surfaced afterwards: [stuck] includes servers parked by design,
+   [suspects] is the subset that looks like a genuine deadlock. *)
+let report_abandoned id sims =
+  let stuck_total =
+    List.fold_left (fun acc s -> acc + List.length (Sl_engine.Sim.stuck s)) 0 sims
+  in
+  if stuck_total > 0 then begin
+    let suspect_lines =
+      List.filter_map Sl_engine.Sim.suspect_summary sims
+    in
+    let suspects_total =
+      List.fold_left
+        (fun acc s -> acc + List.length (Sl_engine.Sim.suspects s))
+        0 sims
+    in
+    let escape s =
+      String.concat ""
+        (List.map
+           (function
+             | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+           (List.init (String.length s) (String.get s)))
+    in
+    Printf.printf "{\"experiment\":%S,\"stuck\":%d,\"suspects\":%d%s}\n" id
+      stuck_total suspects_total
+      (if suspect_lines = [] then ""
+       else
+         Printf.sprintf ",\"suspect_summary\":[%s]"
+           (String.concat ","
+              (List.map (fun l -> Printf.sprintf "\"%s\"" (escape l)) suspect_lines)))
+  end
 
 let run_one (id, title, f) =
   Printf.printf "---------------------------------------------------------------\n";
   Printf.printf "%s — %s\n" (String.uppercase_ascii id) title;
   Printf.printf "---------------------------------------------------------------\n";
+  (* The machine-readable header records everything needed to replay this
+     run: sanitizer state and the canonical fault spec, seed included. *)
+  Printf.printf "{\"experiment\":%S,\"sanitize\":%b,\"faults\":%s}\n" id sanitize
+    (match fault_plan with
+    | None -> "null"
+    | Some plan -> Printf.sprintf "%S" (Sl_fault.Fault.to_spec plan));
   let t0 = Unix.gettimeofday () in
+  (* r1 manages its own sanitizers and fault plans (each scenario gets a
+     dedicated injector and asserts on the findings itself). *)
+  let self_managed = id = "r1" in
   let f =
-    if not sanitize then f
+    if not (sanitize && not self_managed) then f
     else fun () ->
       let (), findings = Sl_analysis.Analysis.with_all f in
       Printf.printf "[%s sanitizers: %s]\n" id
@@ -53,7 +112,17 @@ let run_one (id, title, f) =
           findings
       end
   in
-  f ();
+  let f =
+    match fault_plan with
+    | Some plan when not self_managed ->
+      fun () ->
+        Sl_fault.Fault.with_ambient (Sl_fault.Fault.create plan) f
+    | _ -> f
+  in
+  let sims = ref [] in
+  Sl_engine.Sim.set_creation_hook (fun s -> sims := s :: !sims);
+  Fun.protect ~finally:Sl_engine.Sim.clear_creation_hook f;
+  report_abandoned id (List.rev !sims);
   Printf.printf "[%s done in %.1fs]\n\n" id (Unix.gettimeofday () -. t0)
 
 let () =

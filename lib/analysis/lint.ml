@@ -110,9 +110,95 @@ let find_token line token =
   in
   go 0
 
+(* --- blanket exception swallowing ---------------------------------------- *)
+
+(* [try ... with _ ->] silently eats every failure — including the
+   sanitizer assertions and engine invariant violations this library
+   exists to surface; handlers must name the exceptions they expect.
+   Token-level scan over the stripped source: a stack of open
+   [try]/[match]/[{] distinguishes a [try]'s handler from an ordinary
+   [match] case or a record-update [with], and only a handler whose
+   {e first} pattern is the bare wildcard is reported (a trailing
+   [| _ ->] after named exceptions is a deliberate catch-all). *)
+
+type tok = { text : string; tline : int }
+
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let add text = toks := { text; tline = !line } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if is_ident c then begin
+      let j = ref !i in
+      while !j < n && is_ident src.[!j] do incr j done;
+      add (String.sub src !i (!j - !i));
+      i := !j
+    end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      add "->";
+      i := !i + 2
+    end
+    else begin
+      (match c with '{' | '}' | '|' -> add (String.make 1 c) | _ -> ());
+      incr i
+    end
+  done;
+  List.rev !toks
+
+let scan_catches ~file stripped =
+  let issues = ref [] in
+  let stack = ref [] in
+  let report tline =
+    issues :=
+      {
+        file;
+        line = tline;
+        rule = "no-blanket-catch";
+        message =
+          "try ... with _ -> swallows every exception (including sanitizer \
+           assertions); match the exceptions you expect by name";
+      }
+      :: !issues
+  in
+  let rec go = function
+    | [] -> ()
+    | { text = "try"; _ } :: rest ->
+      stack := `Try :: !stack;
+      go rest
+    | { text = "match"; _ } :: rest ->
+      stack := `Match :: !stack;
+      go rest
+    | { text = "{"; _ } :: rest ->
+      stack := `Brace :: !stack;
+      go rest
+    | { text = "}"; _ } :: rest ->
+      (match !stack with `Brace :: tl -> stack := tl | _ -> ());
+      go rest
+    | { text = "with"; tline } :: rest ->
+      (match !stack with
+      | `Brace :: _ | [] -> ()  (* record update or module-type constraint *)
+      | top :: tl ->
+        stack := tl;
+        if top = `Try then begin
+          let arm = match rest with { text = "|"; _ } :: r -> r | r -> r in
+          match arm with
+          | { text = "_"; _ } :: { text = "->"; _ } :: _ -> report tline
+          | _ -> ()
+        end);
+      go rest
+    | _ :: rest -> go rest
+  in
+  go (tokenize stripped);
+  List.rev !issues
+
 let scan_source ~file ~check_prints src =
   let issues = ref [] in
-  let lines = String.split_on_char '\n' (strip src) in
+  let stripped = strip src in
+  let lines = String.split_on_char '\n' stripped in
   List.iteri
     (fun idx line ->
       let check rule tokens message =
@@ -137,7 +223,7 @@ let scan_source ~file ~check_prints src =
                take a formatter instead"
               tok))
     lines;
-  List.rev !issues
+  List.rev !issues @ scan_catches ~file stripped
 
 let scan_file ?(check_prints = true) file =
   scan_source ~file ~check_prints (read_file file)

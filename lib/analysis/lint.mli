@@ -9,6 +9,11 @@
     - {b no-print}: no [print_*]/[prerr_*]/[Printf.printf]/
       [Format.printf] outside the terminal-facing [util] directory;
       library code returns data or takes a formatter.
+    - {b no-blanket-catch}: no [try ... with _ ->]; a handler must name
+      the exceptions it expects, or every failure — sanitizer assertions
+      included — is silently swallowed.  A [match]'s wildcard case, a
+      record-update [with], and a catch-all arm {e after} named
+      exceptions are all fine.
     - {b missing-mli}: every [.ml] has a matching [.mli].
 
     Matching is token-based on source with comments, string literals and

@@ -153,5 +153,6 @@ let on_event t = function
     | Some wc -> Vclock.merge ~into:(clock_of t ptid) wc
     | None -> ())
   | Probe.Monitor_armed _ | Probe.Mwait_parked _ | Probe.State_change _
-  | Probe.Translated _ | Probe.Invtid_issued _ | Probe.Exception_raised _ ->
+  | Probe.Translated _ | Probe.Invtid_issued _ | Probe.Exception_raised _
+  | Probe.Mwait_timeout _ | Probe.Fault_injected _ ->
     ()

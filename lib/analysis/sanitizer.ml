@@ -96,7 +96,7 @@ let on_event t = function
   | Probe.Mwait_parked { ptid } -> on_parked t ~ptid
   | Probe.Mem_read _ | Probe.Mem_write _ | Probe.Start_edge _ | Probe.Stop_edge _
   | Probe.Monitor_armed _ | Probe.Mwait_woke _ | Probe.Invtid_issued _
-  | Probe.Exception_raised _ ->
+  | Probe.Exception_raised _ | Probe.Mwait_timeout _ | Probe.Fault_injected _ ->
     ()
 
 let check_stores t =

@@ -10,7 +10,16 @@ type t = {
   queues : pending Mailbox.t array;  (* one per core *)
   mutable irqs : int;
   mutable ipis : int;
+  mutable ipi_drop : (unit -> bool) option;
+  mutable dropped_ipis : int;
 }
+
+(* Lets the fault injector attach to every IRQ fabric built inside
+   experiment runners, mirroring [Chip.add_creation_hook]. *)
+let creation_hook : (t -> unit) option ref = ref None
+
+let set_creation_hook f = creation_hook := Some f
+let clear_creation_hook () = creation_hook := None
 
 (* The IRQ context's ptid on each core; chosen outside Swsched's range. *)
 let irq_ptid core_id = (core_id * 1024) + 999
@@ -26,13 +35,17 @@ let create sim params ~cores =
       queues = Array.map (fun _ -> Mailbox.create ()) cores;
       irqs = 0;
       ipis = 0;
+      ipi_drop = None;
+      dropped_ipis = 0;
     }
   in
   Array.iteri
     (fun core_id core ->
       let ptid = irq_ptid core_id in
       let queue = t.queues.(core_id) in
-      Sim.spawn sim (fun () ->
+      (* The IRQ context parks between interrupts by design. *)
+      Sim.spawn ~name:(Printf.sprintf "irq-core-%d" core_id) ~daemon:true sim
+        (fun () ->
           let exec cycles =
             Smt_core.execute core ~ptid ~kind:Smt_core.Overhead cycles
           in
@@ -47,7 +60,11 @@ let create sim params ~cores =
           in
           serve ()))
     cores;
+  (match !creation_hook with Some f -> f t | None -> ());
   t
+
+let set_ipi_drop_fault t f = t.ipi_drop <- Some f
+let clear_ipi_drop_fault t = t.ipi_drop <- None
 
 let raise_irq t ~core ~handler =
   t.irqs <- t.irqs + 1;
@@ -56,8 +73,15 @@ let raise_irq t ~core ~handler =
 let send_ipi t ~core ~handler =
   t.ipis <- t.ipis + 1;
   Sim.delay (Int64.of_int t.params.Params.ipi_cycles);
-  t.irqs <- t.irqs + 1;
-  Mailbox.send t.queues.(core) { handler }
+  (* Fault injection: the IPI message is lost in the interconnect after
+     the send cost was paid — the target core never runs the handler. *)
+  let lost = match t.ipi_drop with Some f -> f () | None -> false in
+  if lost then t.dropped_ipis <- t.dropped_ipis + 1
+  else begin
+    t.irqs <- t.irqs + 1;
+    Mailbox.send t.queues.(core) { handler }
+  end
 
 let irq_count t = t.irqs
 let ipi_count t = t.ipis
+let dropped_ipi_count t = t.dropped_ipis

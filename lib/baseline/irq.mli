@@ -23,4 +23,22 @@ val send_ipi : t -> core:int -> handler:(exec:(int64 -> unit) -> unit) -> unit
     latency.  Must be called from a process. *)
 
 val irq_count : t -> int
+
 val ipi_count : t -> int
+(** IPIs sent, including ones later lost to an injected drop. *)
+
+(** {2 Fault injection} *)
+
+val set_ipi_drop_fault : t -> (unit -> bool) -> unit
+(** Install a drop predicate sampled once per {!send_ipi}, after the send
+    latency: [true] loses the IPI in the interconnect — the target core
+    never runs the handler.  Installed by [Sl_fault.Fault]; at most one. *)
+
+val clear_ipi_drop_fault : t -> unit
+
+val dropped_ipi_count : t -> int
+
+val set_creation_hook : (t -> unit) -> unit
+(** Global hook invoked on every {!create} (see [Chip.add_creation_hook]). *)
+
+val clear_creation_hook : unit -> unit

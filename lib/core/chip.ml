@@ -10,6 +10,15 @@ type core = {
   cache : Tdt.Cache.cache;
 }
 
+type fault_hooks = {
+  spurious_wake_after : ptid:int -> int option;
+      (* Sampled when a thread parks: [Some d] fires its wake callback
+         [d] cycles later with no triggering write. *)
+  start_extra_cycles : ptid:int -> int;
+      (* Sampled on every start hand-off: extra cycles added to the wakeup
+         latency (a delayed inter-core start message). *)
+}
+
 type t = {
   sim : Sim.t;
   params : Params.t;
@@ -21,14 +30,20 @@ type t = {
   mutable exn_seq : int64;
   mutable exn_count : int;
   mutable probe : (Probe.event -> unit) option;
+  mutable faults : fault_hooks option;
 }
+
+and wake_event =
+  | Wake of Memory.addr  (* a monitored write (or spurious wake) arrived *)
+  | Stop_cancelled  (* force-stopped while waiting *)
+  | Deadline  (* mwait_for deadline expired *)
 
 and thread = {
   chip : t;
   p : Ptid.t;
   mutable body : (thread -> unit) option;
   mutable spawned : bool;
-  mutable wake_slot : Memory.addr option Ivar.t option;
+  mutable wake_slot : wake_event Ivar.t option;
   mutable pending_start : bool;
       (* A start issued while the thread was already runnable.  Like the
          monitor latch, this makes start/stop race-free: the pending
@@ -38,13 +53,21 @@ and thread = {
   resume : unit Signal.t;
 }
 
-(* Consulted at the end of [create]: lets an analysis library attach
-   itself to every chip built anywhere (including deep inside experiment
-   runners) without the core depending on it. *)
-let creation_hook : (t -> unit) option ref = ref None
+(* Consulted at the end of [create]: lets observer libraries (analysis,
+   fault injection) attach themselves to every chip built anywhere —
+   including deep inside experiment runners — without the core depending
+   on them.  Keyed so several observers can coexist. *)
+let creation_hooks : (string * (t -> unit)) list ref = ref []
 
-let set_creation_hook f = creation_hook := Some f
-let clear_creation_hook () = creation_hook := None
+let add_creation_hook ~key f =
+  creation_hooks :=
+    List.filter (fun (k, _) -> k <> key) !creation_hooks @ [ (key, f) ]
+
+let remove_creation_hook ~key =
+  creation_hooks := List.filter (fun (k, _) -> k <> key) !creation_hooks
+
+let set_creation_hook f = add_creation_hook ~key:"default" f
+let clear_creation_hook () = remove_creation_hook ~key:"default"
 
 let create sim params ~cores =
   if cores <= 0 then invalid_arg "Chip.create: need at least one core";
@@ -68,15 +91,19 @@ let create sim params ~cores =
     exn_seq = 0L;
     exn_count = 0;
     probe = None;
+    faults = None;
   }
 
 let create sim params ~cores =
   let t = create sim params ~cores in
-  (match !creation_hook with Some f -> f t | None -> ());
+  List.iter (fun (_, f) -> f t) !creation_hooks;
   t
 
 let set_probe t f = t.probe <- Some f
 let clear_probe t = t.probe <- None
+
+let set_fault_hooks t f = t.faults <- Some f
+let clear_fault_hooks t = t.faults <- None
 
 let emit t ev = match t.probe with None -> () | Some f -> f ev
 
@@ -169,10 +196,17 @@ let run_body th =
           make_not_runnable th Ptid.Disabled ~reason:"body-end")
 
 (* Block the calling body until its thread is runnable again.  Loops
-   because a start can be followed by another stop before we get going. *)
+   because a start can be followed by another stop before we get going.
+   A disabled thread is parked by design (a server awaiting its next
+   start), so it is daemon-marked for [Sim.suspects] while it waits. *)
 let rec wait_until_runnable th =
   if th.p.Ptid.state <> Ptid.Runnable then begin
-    Signal.wait th.resume;
+    if th.p.Ptid.state = Ptid.Disabled then begin
+      Sim.set_daemon true;
+      Signal.wait th.resume;
+      Sim.set_daemon false
+    end
+    else Signal.wait th.resume;
     wait_until_runnable th
   end
 
@@ -191,7 +225,19 @@ let schedule_wakeup th ~extra ~reason ~(on_ready : unit -> unit) =
   let chip = th.chip in
   let core = own_core th in
   let transfer = State_store.wake_transfer_cycles core.store ~ptid:(ptid th) in
-  let latency = extra + transfer + chip.params.Params.pipeline_start_cycles in
+  (* Fault injection: a delayed start hand-off stretches the wakeup. *)
+  let fault_extra =
+    match chip.faults with
+    | None -> 0
+    | Some f ->
+      let d = f.start_extra_cycles ~ptid:(ptid th) in
+      if d > 0 then
+        emit chip (Probe.Fault_injected { ptid = ptid th; kind = "start-delay" });
+      d
+  in
+  let latency =
+    extra + fault_extra + transfer + chip.params.Params.pipeline_start_cycles
+  in
   Sim.schedule chip.sim
     ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
     (fun () ->
@@ -206,7 +252,10 @@ let insn_monitor th addr =
   Monitor.arm th.chip.monitor (monitor_key th) addr;
   emit th.chip (Probe.Monitor_armed { ptid = ptid th; addr })
 
-let insn_mwait th =
+(* Shared implementation of [mwait] (park until a monitored write) and
+   [mwait_for] (same, but resume empty-handed at an absolute [deadline],
+   umwait-style).  Returns [None] only on deadline expiry. *)
+let insn_mwait_generic th ~deadline =
   let chip = th.chip in
   let key = monitor_key th in
   exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_arm_cycles;
@@ -225,15 +274,15 @@ let insn_mwait th =
         ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
         (fun () ->
           if Ivar.is_full ivar then
-            (* A force-stop raced the in-flight wakeup and cancelled it
-               (filled the slot with None).  The event must not be lost:
-               latch it for the thread's re-parked mwait. *)
+            (* A force-stop or deadline expiry raced the in-flight wakeup
+               and claimed the slot first.  The event must not be lost:
+               latch it for the thread's next mwait. *)
             Monitor.relatch chip.monitor key addr
           else begin
             make_runnable th ~reason:"mwait-wake";
             emit chip (Probe.Mwait_woke { ptid = ptid th; addr; immediate = false });
             Signal.emit th.resume ();
-            Ivar.fill ivar (Some addr)
+            Ivar.fill ivar (Wake addr)
           end)
     in
     match Monitor.mwait chip.monitor key ~wake with
@@ -242,23 +291,89 @@ let insn_mwait th =
       th.p.Ptid.wakeups <- th.p.Ptid.wakeups + 1;
       exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_wake_cycles;
       emit chip (Probe.Mwait_woke { ptid = ptid th; addr; immediate = true });
-      addr
+      Some addr
     | `Parked -> (
       make_not_runnable th Ptid.Waiting ~reason:"mwait-park";
       emit chip (Probe.Mwait_parked { ptid = ptid th });
       State_store.touch (own_core th).store ~ptid:(ptid th);
       th.wake_slot <- Some ivar;
+      (match deadline with
+      | None -> ()
+      | Some at ->
+        let at =
+          let now = Sim.time chip.sim in
+          if Int64.compare at now < 0 then now else at
+        in
+        Sim.schedule chip.sim ~at (fun () ->
+            (* Expire only if nothing else claimed the wait: no wake in
+               flight (ivar empty) and no force-stop (still Waiting). *)
+            if (not (Ivar.is_full ivar)) && th.p.Ptid.state = Ptid.Waiting
+            then begin
+              Monitor.cancel_wait chip.monitor key;
+              Ivar.fill ivar Deadline;
+              (* The empty-handed resume still pays the restart latency. *)
+              let latency =
+                State_store.wake_transfer_cycles (own_core th).store
+                  ~ptid:(ptid th)
+                + chip.params.Params.pipeline_start_cycles
+              in
+              Sim.schedule chip.sim
+                ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
+                (fun () ->
+                  (* A force-stop may land inside the restart window; it
+                     wins, and a later start re-runs the thread. *)
+                  if th.p.Ptid.state = Ptid.Waiting then begin
+                    make_runnable th ~reason:"mwait-deadline";
+                    emit chip (Probe.Mwait_timeout { ptid = ptid th });
+                    Signal.emit th.resume ()
+                  end)
+            end));
+      (* Fault injection: a spurious wakeup fires the wake callback with
+         no write having happened; the woken code re-checks its predicate
+         and re-parks, as real code must. *)
+      (match chip.faults with
+      | None -> ()
+      | Some f -> (
+        match f.spurious_wake_after ~ptid:(ptid th) with
+        | None -> ()
+        | Some d ->
+          Sim.schedule chip.sim
+            ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int d))
+            (fun () ->
+              match Monitor.take_waiter chip.monitor key with
+              | None -> ()  (* already woken, stopped or expired *)
+              | Some w ->
+                emit chip
+                  (Probe.Fault_injected
+                     { ptid = ptid th; kind = "mwait-spurious" });
+                let addr =
+                  match Monitor.armed chip.monitor key with
+                  | addr :: _ -> addr
+                  | [] -> 0
+                in
+                w addr)));
       match Ivar.read ivar with
-      | Some addr ->
+      | Wake addr ->
         th.wake_slot <- None;
-        addr
-      | None ->
+        Some addr
+      | Deadline ->
+        th.wake_slot <- None;
+        wait_until_runnable th;
+        None
+      | Stop_cancelled ->
         (* Force-stopped while waiting; when restarted, wait again. *)
         th.wake_slot <- None;
         wait_until_runnable th;
         park ())
   in
   park ()
+
+let insn_mwait th =
+  match insn_mwait_generic th ~deadline:None with
+  | Some addr -> addr
+  | None -> assert false (* no deadline, so no Deadline outcome *)
+
+let insn_mwait_for th ~deadline = insn_mwait_generic th ~deadline:(Some deadline)
 
 (* Fault the calling thread through its exception-descriptor pointer. *)
 let raise_exception th kind ~info =
@@ -366,7 +481,11 @@ let do_stop ~actor target =
            });
       emit target.chip (Probe.Stop_edge { actor; target = ptid target });
       (match target.wake_slot with
-      | Some ivar -> Ivar.fill ivar None
+      | Some ivar ->
+        (* [try_fill]: a deadline expiry may have claimed the slot already
+           (thread mid-restart); the force-stop still wins via the state
+           check in the restart event. *)
+        ignore (Ivar.try_fill ivar Stop_cancelled : bool)
       | None -> ())
   end
 
@@ -541,6 +660,8 @@ let boot th =
     (Probe.Start_edge { actor = Probe.Boot; target = ptid th; latched = false });
   make_runnable th ~reason:"boot";
   run_body th
+
+let shutdown th = do_stop ~actor:Probe.Boot th
 
 (* --- statistics --------------------------------------------------------- *)
 

@@ -51,6 +51,12 @@ val boot : thread -> unit
     would have done it): the thread becomes runnable and its body is
     spawned at the current simulation time. *)
 
+val shutdown : thread -> unit
+(** Zero-cost supervisor force-stop, the teardown twin of {!boot}: the
+    thread is disabled (a parked mwait is cancelled) so it no longer
+    counts as a deadlock suspect.  Used to retire service threads such as
+    the watchdog at the end of a run. *)
+
 val find_thread : t -> ptid:int -> thread
 
 val thread_list : t -> thread list
@@ -66,12 +72,39 @@ val thread_list : t -> thread list
 val set_probe : t -> (Probe.event -> unit) -> unit
 val clear_probe : t -> unit
 
-val set_creation_hook : (t -> unit) -> unit
+val add_creation_hook : key:string -> (t -> unit) -> unit
 (** Install a global hook invoked at the end of every {!create} — this is
-    how [sl_analysis] attaches to chips built deep inside experiment
-    runners without the core depending on it.  At most one hook. *)
+    how [sl_analysis] and [sl_fault] attach to chips built deep inside
+    experiment runners without the core depending on them.  Hooks are
+    keyed so independent observers coexist; installing under an existing
+    key replaces that hook. *)
+
+val remove_creation_hook : key:string -> unit
+
+val set_creation_hook : (t -> unit) -> unit
+(** [add_creation_hook ~key:"default"] — the pre-existing single-observer
+    interface, kept for [sl_analysis]. *)
 
 val clear_creation_hook : unit -> unit
+
+(** {2 Fault injection}
+
+    Installed per chip by [Sl_fault.Fault]; both hooks are sampled by the
+    wakeup machinery (see {!type:fault_hooks} fields). *)
+
+type fault_hooks = {
+  spurious_wake_after : ptid:int -> int option;
+      (** Sampled when a thread parks in mwait: [Some d] fires its wake
+          callback [d] cycles later although no monitored write happened.
+          Woken code observes its predicate still false, as on real
+          hardware. *)
+  start_extra_cycles : ptid:int -> int;
+      (** Sampled at every start hand-off: extra cycles added to the
+          wakeup latency (a delayed inter-core start message). *)
+}
+
+val set_fault_hooks : t -> fault_hooks -> unit
+val clear_fault_hooks : t -> unit
 
 (** {2 Thread introspection} *)
 
@@ -102,6 +135,12 @@ val exec : thread -> ?kind:Smt_core.kind -> int64 -> unit
 
 val insn_monitor : thread -> Memory.addr -> unit
 val insn_mwait : thread -> Memory.addr
+
+(** [mwait] with an absolute deadline (umwait-style): returns [None] when
+    the deadline passes with no monitored write, after paying the normal
+    restart latency.  A pending latched trigger still returns immediately;
+    a write racing the expiry is latched for the next mwait, never lost. *)
+val insn_mwait_for : thread -> deadline:int64 -> Memory.addr option
 val insn_start : thread -> vtid:int -> unit
 val insn_stop : thread -> vtid:int -> unit
 val insn_rpull : thread -> vtid:int -> Regstate.reg -> int64

@@ -39,6 +39,13 @@ val mwait : thread -> Memory.addr
     write already arrived since the last wait — the race-free x86
     contract. *)
 
+val mwait_for : thread -> deadline:int64 -> Memory.addr option
+(** [mwait] bounded by an absolute deadline (the umwait instruction):
+    [None] means the deadline passed with no monitored write.  The basis
+    of every failure-hardened wait — a caller that can time out can retry,
+    back off, or fall back to polling instead of parking forever behind a
+    lost wakeup. *)
+
 val start : thread -> vtid:int -> unit
 (** Enable the thread [vtid] maps to.  A disabled target begins executing
     after its state-transfer + pipeline-start latency.  Starting an

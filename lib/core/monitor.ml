@@ -11,6 +11,7 @@ type t = {
   by_addr : (Memory.addr, thread_key list ref) Hashtbl.t;
   by_thread : (thread_key, thread_state) Hashtbl.t;
   core_armed : (int, int) Hashtbl.t;
+  mutable fault_drop : (thread_key -> Memory.addr -> bool) option;
 }
 
 let create params =
@@ -19,7 +20,11 @@ let create params =
     by_addr = Hashtbl.create 256;
     by_thread = Hashtbl.create 256;
     core_armed = Hashtbl.create 16;
+    fault_drop = None;
   }
+
+let set_fault_hook t f = t.fault_drop <- Some f
+let clear_fault_hook t = t.fault_drop <- None
 
 let thread_state t key =
   match Hashtbl.find_opt t.by_thread key with
@@ -84,15 +89,23 @@ let on_write t addr _value =
     let keys = !watchers in
     List.iter
       (fun key ->
-        let st = thread_state t key in
-        match st.waiter with
-        | Some wake ->
-          st.waiter <- None;
-          wake addr
-        | None ->
-          (* Latch the first trigger; later ones coalesce, as a level-
-             triggered doorbell would. *)
-          if st.pending = None then st.pending <- Some addr)
+        (* Fault injection: a dropped delivery loses this one write for
+           this one watcher — neither wake nor latch happens, exactly the
+           lost-wakeup hardware failure.  A later write still wakes. *)
+        let dropped =
+          match t.fault_drop with Some f -> f key addr | None -> false
+        in
+        if not dropped then begin
+          let st = thread_state t key in
+          match st.waiter with
+          | Some wake ->
+            st.waiter <- None;
+            wake addr
+          | None ->
+            (* Latch the first trigger; later ones coalesce, as a level-
+               triggered doorbell would. *)
+            if st.pending = None then st.pending <- Some addr
+        end)
       keys
 
 let attach t memory = Memory.add_write_hook memory (on_write t)
@@ -111,6 +124,14 @@ let mwait t key ~wake =
 let cancel_wait t key =
   let st = thread_state t key in
   st.waiter <- None
+
+let take_waiter t key =
+  let st = thread_state t key in
+  let w = st.waiter in
+  st.waiter <- None;
+  w
+
+let has_waiter t key = (thread_state t key).waiter <> None
 
 let relatch t key addr =
   let st = thread_state t key in

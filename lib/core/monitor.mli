@@ -50,6 +50,25 @@ val cancel_wait : t -> thread_key -> unit
 (** Forget a parked waiter without waking it (used when a waiting thread
     is force-stopped by another thread). *)
 
+val take_waiter : t -> thread_key -> (Memory.addr -> unit) option
+(** Atomically detach and return the parked waiter, if any.  Used by the
+    spurious-wakeup fault to fire a thread's wake callback without any
+    write having happened. *)
+
+val has_waiter : t -> thread_key -> bool
+(** Whether the thread currently has a parked waiter. *)
+
+(** {2 Fault injection} *)
+
+val set_fault_hook : t -> (thread_key -> Memory.addr -> bool) -> unit
+(** Install a lost-wakeup predicate: consulted once per (watcher, write)
+    delivery; returning [true] drops that delivery entirely — the parked
+    waiter is not woken and no pending trigger is latched.  Subsequent
+    writes are screened afresh, so a later doorbell still wakes the
+    thread.  Installed by [Sl_fault.Fault]; at most one hook. *)
+
+val clear_fault_hook : t -> unit
+
 val relatch : t -> thread_key -> Memory.addr -> unit
 (** Re-arm the pending trigger for a thread whose in-flight wakeup was
     cancelled (by a force-stop racing the wake): the event is latched

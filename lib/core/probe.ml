@@ -25,6 +25,8 @@ type event =
     }
   | Invtid_issued of { actor : int; vtid : int }
   | Exception_raised of { ptid : int; kind : Exception_desc.kind; info : int64 }
+  | Mwait_timeout of { ptid : int }
+  | Fault_injected of { ptid : int; kind : string }
 
 let pp_origin ppf = function
   | Boot -> Format.pp_print_string ppf "boot"
@@ -67,3 +69,7 @@ let pp ppf = function
   | Exception_raised { ptid; kind; info } ->
     Format.fprintf ppf "ptid %d faults: %a (info %Ld)" ptid Exception_desc.pp_kind
       kind info
+  | Mwait_timeout { ptid } ->
+    Format.fprintf ppf "ptid %d mwait deadline expired" ptid
+  | Fault_injected { ptid; kind } ->
+    Format.fprintf ppf "ptid %d hit injected fault: %s" ptid kind

@@ -46,8 +46,9 @@ type event =
       from_ : Ptid.state;
       to_ : Ptid.state;
       reason : string;
-          (** One of ["boot"], ["start-wake"], ["mwait-wake"], ["stop"],
-              ["force-stop"], ["mwait-park"], ["body-end"], ["fault"]. *)
+          (** One of ["boot"], ["start-wake"], ["mwait-wake"],
+              ["mwait-deadline"], ["stop"], ["force-stop"],
+              ["mwait-park"], ["body-end"], ["fault"]. *)
     }
   | Monitor_armed of { ptid : int; addr : Memory.addr }
   | Mwait_parked of { ptid : int }
@@ -69,6 +70,13 @@ type event =
           mutation, which is exactly what the TDT sanitizer checks. *)
   | Invtid_issued of { actor : int; vtid : int }
   | Exception_raised of { ptid : int; kind : Exception_desc.kind; info : int64 }
+  | Mwait_timeout of { ptid : int }
+      (** An [mwait_for] deadline expired with no trigger; the thread
+          resumes empty-handed (umwait semantics). *)
+  | Fault_injected of { ptid : int; kind : string }
+      (** The fault injector perturbed this thread ([kind] names the fault
+          class, e.g. ["mwait-spurious"], ["start-delay"]).  Lets traces
+          correlate anomalies with their injected cause. *)
 
 val pp_origin : Format.formatter -> origin -> unit
 

@@ -23,6 +23,8 @@ type entry = {
   mutable pinned : bool;
 }
 
+type corruption = Ecc_corrected | Silent
+
 type t = {
   params : Params.t;
   entries : (int, entry) Hashtbl.t;
@@ -30,6 +32,9 @@ type t = {
   mutable clock : int;  (* recency counter *)
   transfers : int array;  (* wake transfers served per tier *)
   mutable demotions : int;
+  mutable fault : (ptid:int -> corruption option) option;
+  mutable ecc_retries : int;
+  mutable silent_corruptions : int;
 }
 
 let create params =
@@ -40,7 +45,15 @@ let create params =
     clock = 0;
     transfers = Array.make 4 0;
     demotions = 0;
+    fault = None;
+    ecc_retries = 0;
+    silent_corruptions = 0;
   }
+
+let set_fault_hook t f = t.fault <- Some f
+let clear_fault_hook t = t.fault <- None
+let ecc_retry_count t = t.ecc_retries
+let silent_corruption_count t = t.silent_corruptions
 
 let capacity_bytes t = function
   | Register_file -> t.params.Params.rf_capacity_bytes
@@ -129,6 +142,23 @@ let wake_transfer_cycles t ~ptid =
   let e = find t ptid in
   let from = e.tier in
   let cost = transfer_cycles t from in
+  (* Fault injection: an ECC-corrected corruption re-reads the context
+     (doubling the transfer cost, zero for RF-resident state whose read is
+     free); a silent corruption is undetectable by construction and only
+     counted, so experiments can assert how often it would have struck. *)
+  let cost =
+    match t.fault with
+    | None -> cost
+    | Some f -> (
+      match f ~ptid with
+      | Some Ecc_corrected ->
+        t.ecc_retries <- t.ecc_retries + 1;
+        cost * 2
+      | Some Silent ->
+        t.silent_corruptions <- t.silent_corruptions + 1;
+        cost
+      | None -> cost)
+  in
   t.transfers.(tier_index from) <- t.transfers.(tier_index from) + 1;
   promote_to_rf t e;
   e.last_touch <- tick t;

@@ -10,6 +10,13 @@ type queue = {
   ring : packet option array;
   mutable head : int;  (* consumer position (absolute count) *)
   mutable tail : int;  (* producer position (absolute count) *)
+  mutable drops : int;  (* ring-full drops steered at this queue *)
+}
+
+type faults = {
+  dma_drop : queue:int -> bool;
+  doorbell_drop : queue:int -> bool;
+  doorbell_dup : queue:int -> bool;
 }
 
 type t = {
@@ -21,7 +28,18 @@ type t = {
   rx : queue array;
   mutable next_id : int;
   mutable dropped : int;
+  mutable faults : faults option;
+  mutable dma_dropped : int;
+  mutable doorbells_dropped : int;
+  mutable doorbells_duplicated : int;
 }
+
+(* Lets the fault injector attach to every NIC built inside experiment
+   runners, mirroring [Chip.add_creation_hook]. *)
+let creation_hook : (t -> unit) option ref = ref None
+
+let set_creation_hook f = creation_hook := Some f
+let clear_creation_hook () = creation_hook := None
 
 let create sim params memory ?(notify = Notify.Silent) ?(queues = 1) ~queue_depth () =
   if queue_depth <= 0 then invalid_arg "Nic.create: queue_depth must be positive";
@@ -33,18 +51,30 @@ let create sim params memory ?(notify = Notify.Silent) ?(queues = 1) ~queue_dept
       ring = Array.make queue_depth None;
       head = 0;
       tail = 0;
+      drops = 0;
     }
   in
-  {
-    sim;
-    params;
-    memory;
-    notify;
-    queue_depth;
-    rx = Array.init queues (fun _ -> make_queue ());
-    next_id = 0;
-    dropped = 0;
-  }
+  let t =
+    {
+      sim;
+      params;
+      memory;
+      notify;
+      queue_depth;
+      rx = Array.init queues (fun _ -> make_queue ());
+      next_id = 0;
+      dropped = 0;
+      faults = None;
+      dma_dropped = 0;
+      doorbells_dropped = 0;
+      doorbells_duplicated = 0;
+    }
+  in
+  (match !creation_hook with Some f -> f t | None -> ());
+  t
+
+let set_faults t f = t.faults <- Some f
+let clear_faults t = t.faults <- None
 
 let queue_count t = Array.length t.rx
 let queue_tail_addr t i = t.rx.(i).tail_addr
@@ -52,19 +82,52 @@ let rx_tail_addr t = queue_tail_addr t 0
 
 let inject ?flow t =
   let flow = match flow with Some f -> f | None -> t.next_id in
-  let q = t.rx.(flow mod Array.length t.rx) in
-  if q.tail - q.head >= t.queue_depth then t.dropped <- t.dropped + 1
+  let q_idx = flow mod Array.length t.rx in
+  let q = t.rx.(q_idx) in
+  if q.tail - q.head >= t.queue_depth then begin
+    t.dropped <- t.dropped + 1;
+    q.drops <- q.drops + 1
+  end
   else begin
     let pkt = { pkt_id = t.next_id; flow; injected_at = Sim.now () } in
     t.next_id <- t.next_id + 1;
     (* DMA of the descriptor, then the tail-pointer doorbell write. *)
     Sim.delay (Int64.of_int t.params.Params.dma_write_cycles);
-    let slot = q.tail mod t.queue_depth in
-    q.ring.(slot) <- Some pkt;
-    Memory.write t.memory (q.ring_base + slot) (Int64.of_int pkt.pkt_id);
-    q.tail <- q.tail + 1;
-    Memory.write t.memory q.tail_addr (Int64.of_int q.tail);
-    Notify.fire t.sim t.params t.memory t.notify
+    let dma_lost =
+      match t.faults with Some f -> f.dma_drop ~queue:q_idx | None -> false
+    in
+    if dma_lost then
+      (* The descriptor write was lost in the fabric: no ring entry, no
+         doorbell.  The packet is gone; only the counter remembers it. *)
+      t.dma_dropped <- t.dma_dropped + 1
+    else begin
+      let slot = q.tail mod t.queue_depth in
+      q.ring.(slot) <- Some pkt;
+      Memory.write t.memory (q.ring_base + slot) (Int64.of_int pkt.pkt_id);
+      q.tail <- q.tail + 1;
+      let bell_lost =
+        match t.faults with
+        | Some f -> f.doorbell_drop ~queue:q_idx
+        | None -> false
+      in
+      if bell_lost then
+        (* Descriptor landed but the tail-pointer update did not: the
+           classic lost doorbell.  The data is pollable, yet nothing
+           wakes a parked monitor until a later packet's doorbell. *)
+        t.doorbells_dropped <- t.doorbells_dropped + 1
+      else begin
+        Memory.write t.memory q.tail_addr (Int64.of_int q.tail);
+        (match t.faults with
+        | Some f when f.doorbell_dup ~queue:q_idx ->
+          (* A replayed doorbell: same tail value written twice.  The
+             second write latches a pending trigger, producing a spurious
+             immediate mwait return downstream. *)
+          t.doorbells_duplicated <- t.doorbells_duplicated + 1;
+          Memory.write t.memory q.tail_addr (Int64.of_int q.tail)
+        | Some _ | None -> ());
+        Notify.fire t.sim t.params t.memory t.notify
+      end
+    end
   end
 
 let poll_queue t i =
@@ -88,3 +151,7 @@ let pending t =
 let delivered t = Array.fold_left (fun acc q -> acc + q.tail) 0 t.rx
 
 let dropped t = t.dropped
+let dropped_queue t i = t.rx.(i).drops
+let dma_dropped t = t.dma_dropped
+let doorbells_dropped t = t.doorbells_dropped
+let doorbells_duplicated t = t.doorbells_duplicated

@@ -49,4 +49,44 @@ val pending : t -> int
 
 val pending_queue : t -> int -> int
 val delivered : t -> int
+
 val dropped : t -> int
+(** Ring-full drops across all queues. *)
+
+val dropped_queue : t -> int -> int
+(** Ring-full drops whose packet was steered at the given queue;
+    queue-wise these sum to {!dropped}. *)
+
+(** {2 Fault injection}
+
+    Installed per NIC by [Sl_fault.Fault].  Each predicate is sampled once
+    per injected packet at the relevant point of the DMA + doorbell
+    sequence. *)
+
+type faults = {
+  dma_drop : queue:int -> bool;
+      (** Descriptor DMA lost in the fabric: no ring entry, no doorbell —
+          the packet vanishes (counted in {!dma_dropped}). *)
+  doorbell_drop : queue:int -> bool;
+      (** Descriptor lands but the tail-pointer write is lost: data is
+          pollable yet no monitor wakes until the next doorbell. *)
+  doorbell_dup : queue:int -> bool;
+      (** The tail write is replayed (same value twice), latching a
+          spurious pending trigger for the monitoring thread. *)
+}
+
+val set_faults : t -> faults -> unit
+val clear_faults : t -> unit
+
+val dma_dropped : t -> int
+(** Packets lost to an injected descriptor-DMA drop (never counted in
+    {!delivered} or {!dropped}). *)
+
+val doorbells_dropped : t -> int
+val doorbells_duplicated : t -> int
+
+val set_creation_hook : (t -> unit) -> unit
+(** Global hook invoked on every {!create}, so the fault injector can
+    attach to NICs built deep inside experiment runners.  At most one. *)
+
+val clear_creation_hook : unit -> unit

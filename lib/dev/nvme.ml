@@ -17,24 +17,46 @@ type t = {
   mutable next_id : int;
   mutable in_flight : int;
   mutable completed : int;
+  mutable stall_fault : (unit -> int option) option;
+  mutable stalls : int;
+  mutable stall_cycles_total : int64;
 }
+
+(* Lets the fault injector attach to every NVMe device built inside
+   experiment runners, mirroring [Chip.add_creation_hook]. *)
+let creation_hook : (t -> unit) option ref = ref None
+
+let set_creation_hook f = creation_hook := Some f
+let clear_creation_hook () = creation_hook := None
 
 let create sim params memory ?(notify = Notify.Silent) ?(queue_depth = 64) ~latency ~rng () =
   if queue_depth <= 0 then invalid_arg "Nvme.create: queue_depth must be positive";
-  {
-    sim;
-    params;
-    memory;
-    notify;
-    queue_depth;
-    latency;
-    rng;
-    cq_tail_addr = Memory.alloc memory 1;
-    completions = Queue.create ();
-    next_id = 0;
-    in_flight = 0;
-    completed = 0;
-  }
+  let t =
+    {
+      sim;
+      params;
+      memory;
+      notify;
+      queue_depth;
+      latency;
+      rng;
+      cq_tail_addr = Memory.alloc memory 1;
+      completions = Queue.create ();
+      next_id = 0;
+      in_flight = 0;
+      completed = 0;
+      stall_fault = None;
+      stalls = 0;
+      stall_cycles_total = 0L;
+    }
+  in
+  (match !creation_hook with Some f -> f t | None -> ());
+  t
+
+let set_stall_fault t f = t.stall_fault <- Some f
+let clear_stall_fault t = t.stall_fault <- None
+let stall_count t = t.stalls
+let stall_cycles_total t = t.stall_cycles_total
 
 let cq_tail_addr t = t.cq_tail_addr
 
@@ -48,8 +70,22 @@ let submit t =
   Sim.delay (Int64.of_int t.params.Params.nic_doorbell_cycles);
   let service = Int64.of_float (Sl_util.Dist.sample t.latency t.rng) in
   let service = if Int64.compare service 1L < 0 then 1L else service in
+  (* Fault injection, sampled at submission so the draw order is
+     deterministic: a completion stall stretches this command's device
+     latency (firmware hiccup, retried media op, deep power state). *)
+  let stall =
+    match t.stall_fault with
+    | Some f -> (
+      match f () with
+      | Some extra when extra > 0 ->
+        t.stalls <- t.stalls + 1;
+        t.stall_cycles_total <- Int64.add t.stall_cycles_total (Int64.of_int extra);
+        Int64.of_int extra
+      | Some _ | None -> 0L)
+    | None -> 0L
+  in
   Sim.fork (fun () ->
-      Sim.delay service;
+      Sim.delay (Int64.add service stall);
       Sim.delay (Int64.of_int t.params.Params.dma_write_cycles);
       t.in_flight <- t.in_flight - 1;
       t.completed <- t.completed + 1;

@@ -31,3 +31,21 @@ val in_flight : t -> int
 val poll_completion : t -> completion option
 
 val completed : t -> int
+
+(** {2 Fault injection} *)
+
+val set_stall_fault : t -> (unit -> int option) -> unit
+(** Install a completion-stall sampler, consulted once per {!submit}:
+    [Some extra] stretches that command's device latency by [extra]
+    cycles (a firmware hiccup or retried media operation).  Installed by
+    [Sl_fault.Fault]; at most one. *)
+
+val clear_stall_fault : t -> unit
+
+val stall_count : t -> int
+val stall_cycles_total : t -> int64
+
+val set_creation_hook : (t -> unit) -> unit
+(** Global hook invoked on every {!create} (see [Nic.set_creation_hook]). *)
+
+val clear_creation_hook : unit -> unit

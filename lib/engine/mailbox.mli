@@ -14,6 +14,12 @@ val send : 'a t -> 'a -> unit
 val recv : 'a t -> 'a
 (** Dequeue the next item, blocking the calling process while empty. *)
 
+val recv_for : 'a t -> within:int64 -> 'a option
+(** [recv_for t ~within] dequeues like {!recv} but gives up after
+    [within] cycles, returning [None] (and leaving no receiver behind).
+    [within ≤ 0] degenerates to {!try_recv}.  Lets interrupt-driven
+    consumers survive a dropped IPI instead of parking forever. *)
+
 val try_recv : 'a t -> 'a option
 (** Non-blocking dequeue. *)
 

@@ -1,4 +1,6 @@
-type t = { mutable permits : int; queue : (unit -> unit) Queue.t }
+type waiter = { resume : unit -> unit; mutable cancelled : bool }
+
+type t = { mutable permits : int; queue : waiter Queue.t }
 
 let create n =
   if n < 0 then invalid_arg "Semaphore.create: negative permits";
@@ -6,7 +8,9 @@ let create n =
 
 let acquire t =
   if t.permits > 0 then t.permits <- t.permits - 1
-  else Sim.await (fun resume -> Queue.push (fun () -> resume ()) t.queue)
+  else
+    Sim.await (fun resume ->
+        Queue.push { resume = (fun () -> resume ()); cancelled = false } t.queue)
 
 let try_acquire t =
   if t.permits > 0 then begin
@@ -15,13 +19,38 @@ let try_acquire t =
   end
   else false
 
-let release t =
+let rec release t =
   match Queue.take_opt t.queue with
-  | Some resume -> resume ()
+  | Some w -> if w.cancelled then release t else w.resume ()
   | None -> t.permits <- t.permits + 1
 
+let acquire_for t ~within =
+  if t.permits > 0 then begin
+    t.permits <- t.permits - 1;
+    true
+  end
+  else if Int64.compare within 0L <= 0 then false
+  else begin
+    (* One-shot race between the releaser and the timeout: whoever fills
+       [decided] first wins.  Events are atomic, so a waiter handed a
+       permit has not been cancelled and a cancelled waiter is skipped by
+       {!release} — the permit cannot be lost in between. *)
+    let decided = Ivar.create () in
+    let w =
+      { resume = (fun () -> ignore (Ivar.try_fill decided true : bool));
+        cancelled = false }
+    in
+    Sim.fork (fun () ->
+        Sim.delay within;
+        if Ivar.try_fill decided false then w.cancelled <- true);
+    Queue.push w t.queue;
+    Ivar.read decided
+  end
+
 let available t = t.permits
-let waiters t = Queue.length t.queue
+
+let waiters t =
+  Queue.fold (fun n w -> if w.cancelled then n else n + 1) 0 t.queue
 
 let with_permit t f =
   acquire t;

@@ -14,6 +14,14 @@ val acquire : t -> unit
 
 val try_acquire : t -> bool
 
+val acquire_for : t -> within:int64 -> bool
+(** [acquire_for t ~within] takes a permit like {!acquire} but gives up
+    after [within] cycles, returning [false] without a permit (and without
+    keeping a place in the queue).  Returns [true] immediately when a
+    permit is free; [within ≤ 0] degenerates to {!try_acquire}.  The
+    foundation for channel callers that must not park forever behind a
+    faulted server. *)
+
 val release : t -> unit
 (** Return a permit, waking the longest-blocked acquirer if any. *)
 

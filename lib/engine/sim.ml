@@ -9,6 +9,8 @@ type proc = {
   pid : int;
   pname : string option;
   mutable status : status;
+  mutable daemon : bool;
+      (* parked-by-design (servers, IRQ loops): excluded from {!suspects} *)
 }
 
 type t = {
@@ -24,9 +26,22 @@ type _ Effect.t +=
   | Delay_eff : int64 -> unit Effect.t
   | Fork_eff : (unit -> unit) -> unit Effect.t
   | Await_eff : (('a -> unit) -> unit) -> 'a Effect.t
+  | Daemon_eff : bool -> unit Effect.t
+
+(* Lets the bench harness observe every simulation world an experiment
+   builds (for end-of-run stuck reporting) without the experiments
+   threading the worlds out themselves. *)
+let creation_hook : (t -> unit) option ref = ref None
+
+let set_creation_hook f = creation_hook := Some f
+let clear_creation_hook () = creation_hook := None
 
 let create () =
-  { now = 0L; seq = 0; queue = Pqueue.create (); next_pid = 0; procs = Hashtbl.create 32 }
+  let t =
+    { now = 0L; seq = 0; queue = Pqueue.create (); next_pid = 0; procs = Hashtbl.create 32 }
+  in
+  (match !creation_hook with Some f -> f t | None -> ());
+  t
 
 let time t = t.now
 
@@ -39,9 +54,9 @@ let schedule t ~at thunk =
     invalid_arg "Sim.schedule: time in the past";
   push t ~at thunk
 
-let new_proc t ?name () =
+let new_proc t ?name ?(daemon = false) () =
   t.next_pid <- t.next_pid + 1;
-  let proc = { pid = t.next_pid; pname = name; status = Ready } in
+  let proc = { pid = t.next_pid; pname = name; status = Ready; daemon } in
   Hashtbl.replace t.procs proc.pid proc;
   proc
 
@@ -73,6 +88,11 @@ let rec exec t proc f =
                 let child = new_proc t () in
                 push t ~at:t.now (fun () -> exec t child g);
                 continue k ())
+          | Daemon_eff d ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                proc.daemon <- d;
+                continue k ())
           | Await_eff register ->
             Some
               (fun (k : (a, _) continuation) ->
@@ -89,31 +109,37 @@ let rec exec t proc f =
           | _ -> None);
     }
 
-let spawn ?name t f =
-  let proc = new_proc t ?name () in
+let spawn ?name ?daemon t f =
+  let proc = new_proc t ?name ?daemon () in
   push t ~at:t.now (fun () -> exec t proc f)
 
-let stuck t =
+let blocked_procs t ~include_daemons =
   Hashtbl.fold
     (fun _ proc acc ->
       match proc.status with
       | Ready -> acc
+      | Blocked _ when proc.daemon && not include_daemons -> acc
       | Blocked since -> { pid = proc.pid; name = proc.pname; blocked_since = since } :: acc)
     t.procs []
   |> List.sort (fun (a : blocked) (b : blocked) -> compare a.pid b.pid)
 
-let stuck_summary t =
-  match stuck t with
+let stuck t = blocked_procs t ~include_daemons:true
+let suspects t = blocked_procs t ~include_daemons:false
+
+let describe_blocked b =
+  match b.name with
+  | Some n -> Printf.sprintf "%s (pid %d, since %Ld)" n b.pid b.blocked_since
+  | None -> Printf.sprintf "pid %d (since %Ld)" b.pid b.blocked_since
+
+let summary_of = function
   | [] -> None
   | blocked ->
-    let describe b =
-      match b.name with
-      | Some n -> Printf.sprintf "%s (pid %d, since %Ld)" n b.pid b.blocked_since
-      | None -> Printf.sprintf "pid %d (since %Ld)" b.pid b.blocked_since
-    in
     Some
       (Printf.sprintf "%d process(es) still blocked: %s" (List.length blocked)
-         (String.concat ", " (List.map describe blocked)))
+         (String.concat ", " (List.map describe_blocked blocked)))
+
+let stuck_summary t = summary_of (stuck t)
+let suspect_summary t = summary_of (suspects t)
 
 let run ?until t =
   let within_horizon time =
@@ -140,3 +166,4 @@ let delay d = perform (Delay_eff d)
 let fork f = perform (Fork_eff f)
 let await register = perform (Await_eff register)
 let yield () = delay 0L
+let set_daemon d = perform (Daemon_eff d)

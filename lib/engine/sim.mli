@@ -25,10 +25,13 @@ val create : unit -> t
 val time : t -> int64
 (** Current simulated time, readable from outside any process. *)
 
-val spawn : ?name:string -> t -> (unit -> unit) -> unit
+val spawn : ?name:string -> ?daemon:bool -> t -> (unit -> unit) -> unit
 (** [spawn t f] registers [f] as a process starting at the current time.
     When called before {!run}, the process starts at time 0.  [name] is
-    used by {!stuck} to identify processes abandoned mid-wait. *)
+    used by {!stuck} to identify processes abandoned mid-wait.
+    [daemon] (default [false]) marks a process that is expected to park
+    forever (a server loop, an IRQ context): it still appears in {!stuck}
+    but is excluded from {!suspects}. *)
 
 val schedule : t -> at:int64 -> (unit -> unit) -> unit
 (** [schedule t ~at f] runs callback [f] (not a blocking process) at
@@ -60,6 +63,23 @@ val stuck_summary : t -> string option
 (** Human-readable one-liner of {!stuck} (count plus names/ids), or
     [None] when no process is blocked. *)
 
+val suspects : t -> blocked list
+(** {!stuck} minus daemon processes (see {!spawn} and {!set_daemon}): the
+    blocked processes that are plausibly deadlocked rather than parked by
+    design.  The bench harness surfaces these in its JSON trailer. *)
+
+val suspect_summary : t -> string option
+(** Human-readable one-liner of {!suspects}, or [None] when empty. *)
+
+(** {2 Observation hook} *)
+
+val set_creation_hook : (t -> unit) -> unit
+(** Install a callback invoked on every subsequent {!create}.  Used by the
+    bench harness to collect the simulation worlds an experiment builds so
+    it can report {!suspects} afterwards.  Only one hook at a time. *)
+
+val clear_creation_hook : unit -> unit
+
 (** {2 Operations available inside a process}
 
     Calling these outside a running process raises [Effect.Unhandled]. *)
@@ -84,3 +104,9 @@ val await : (('a -> unit) -> unit) -> 'a
 val yield : unit -> unit
 (** Re-enqueue the calling process at the current time, letting other
     ready processes run first. *)
+
+val set_daemon : bool -> unit
+(** Mark (or unmark) the calling process as a daemon for {!suspects}
+    purposes.  Use when a process only becomes park-by-design partway
+    through its life (e.g. a hardware thread entering the disabled
+    state). *)

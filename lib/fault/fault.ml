@@ -1,0 +1,289 @@
+module Rng = Sl_util.Rng
+module Chip = Switchless.Chip
+module Monitor = Switchless.Monitor
+module State_store = Switchless.State_store
+module Nic = Sl_dev.Nic
+module Nvme = Sl_dev.Nvme
+module Irq = Sl_baseline.Irq
+
+type plan = {
+  seed : int64;
+  nic_doorbell_drop : float;
+  nic_doorbell_dup : float;
+  nic_dma_drop : float;
+  nvme_stall : float;
+  nvme_stall_cycles : int;
+  mwait_lost : float;
+  mwait_spurious : float;
+  mwait_spurious_delay : int;
+  start_delay : float;
+  start_delay_cycles : int;
+  store_ecc : float;
+  store_silent : float;
+  ipi_drop : float;
+}
+
+let none =
+  {
+    seed = 1L;
+    nic_doorbell_drop = 0.0;
+    nic_doorbell_dup = 0.0;
+    nic_dma_drop = 0.0;
+    nvme_stall = 0.0;
+    nvme_stall_cycles = 50_000;
+    mwait_lost = 0.0;
+    mwait_spurious = 0.0;
+    mwait_spurious_delay = 500;
+    start_delay = 0.0;
+    start_delay_cycles = 2_000;
+    store_ecc = 0.0;
+    store_silent = 0.0;
+    ipi_drop = 0.0;
+  }
+
+let is_active p =
+  p.nic_doorbell_drop > 0.0 || p.nic_doorbell_dup > 0.0 || p.nic_dma_drop > 0.0
+  || p.nvme_stall > 0.0 || p.mwait_lost > 0.0 || p.mwait_spurious > 0.0
+  || p.start_delay > 0.0 || p.store_ecc > 0.0 || p.store_silent > 0.0
+  || p.ipi_drop > 0.0
+
+(* --- spec strings ------------------------------------------------------- *)
+
+(* One row per plan field: spec key, getter, setter.  The spec syntax is
+   "seed=42,nic.doorbell_drop=0.01,..." — the artifact-friendly encoding
+   recorded in every experiment's JSON header. *)
+
+type field =
+  | Prob of string * (plan -> float) * (plan -> float -> plan)
+  | Cycles of string * (plan -> int) * (plan -> int -> plan)
+
+let fields =
+  [
+    Prob
+      ( "nic.doorbell_drop",
+        (fun p -> p.nic_doorbell_drop),
+        fun p v -> { p with nic_doorbell_drop = v } );
+    Prob
+      ( "nic.doorbell_dup",
+        (fun p -> p.nic_doorbell_dup),
+        fun p v -> { p with nic_doorbell_dup = v } );
+    Prob
+      ( "nic.dma_drop",
+        (fun p -> p.nic_dma_drop),
+        fun p v -> { p with nic_dma_drop = v } );
+    Prob ("nvme.stall", (fun p -> p.nvme_stall), fun p v -> { p with nvme_stall = v });
+    Cycles
+      ( "nvme.stall_cycles",
+        (fun p -> p.nvme_stall_cycles),
+        fun p v -> { p with nvme_stall_cycles = v } );
+    Prob ("mwait.lost", (fun p -> p.mwait_lost), fun p v -> { p with mwait_lost = v });
+    Prob
+      ( "mwait.spurious",
+        (fun p -> p.mwait_spurious),
+        fun p v -> { p with mwait_spurious = v } );
+    Cycles
+      ( "mwait.spurious_delay",
+        (fun p -> p.mwait_spurious_delay),
+        fun p v -> { p with mwait_spurious_delay = v } );
+    Prob ("start.delay", (fun p -> p.start_delay), fun p v -> { p with start_delay = v });
+    Cycles
+      ( "start.delay_cycles",
+        (fun p -> p.start_delay_cycles),
+        fun p v -> { p with start_delay_cycles = v } );
+    Prob ("store.ecc", (fun p -> p.store_ecc), fun p v -> { p with store_ecc = v });
+    Prob ("store.silent", (fun p -> p.store_silent), fun p v -> { p with store_silent = v });
+    Prob ("ipi.drop", (fun p -> p.ipi_drop), fun p v -> { p with ipi_drop = v });
+  ]
+
+let field_key = function Prob (k, _, _) | Cycles (k, _, _) -> k
+
+let to_spec p =
+  let parts =
+    Printf.sprintf "seed=%Ld" p.seed
+    :: List.filter_map
+         (function
+           | Prob (k, get, _) ->
+             if get p > 0.0 then Some (Printf.sprintf "%s=%g" k (get p)) else None
+           | Cycles (k, get, _) ->
+             if get p <> get none then Some (Printf.sprintf "%s=%d" k (get p))
+             else None)
+         fields
+  in
+  String.concat "," parts
+
+let parse_spec spec =
+  let ( let* ) = Result.bind in
+  let parse_pair acc part =
+    let* p = acc in
+    match String.index_opt part '=' with
+    | None -> Error (Printf.sprintf "fault spec: %S is not key=value" part)
+    | Some i -> (
+      let key = String.trim (String.sub part 0 i) in
+      let value =
+        String.trim (String.sub part (i + 1) (String.length part - i - 1))
+      in
+      if key = "seed" then
+        match Int64.of_string_opt value with
+        | Some s -> Ok { p with seed = s }
+        | None -> Error (Printf.sprintf "fault spec: bad seed %S" value)
+      else
+        match List.find_opt (fun f -> field_key f = key) fields with
+        | None -> Error (Printf.sprintf "fault spec: unknown key %S" key)
+        | Some (Prob (_, _, set)) -> (
+          match float_of_string_opt value with
+          | Some v when v >= 0.0 && v <= 1.0 -> Ok (set p v)
+          | Some _ ->
+            Error (Printf.sprintf "fault spec: %s=%s out of [0,1]" key value)
+          | None -> Error (Printf.sprintf "fault spec: bad float %S for %s" value key))
+        | Some (Cycles (_, _, set)) -> (
+          match int_of_string_opt value with
+          | Some v when v >= 0 -> Ok (set p v)
+          | Some _ -> Error (Printf.sprintf "fault spec: %s=%s negative" key value)
+          | None -> Error (Printf.sprintf "fault spec: bad int %S for %s" value key)))
+  in
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.fold_left parse_pair (Ok none)
+
+(* --- the injector ------------------------------------------------------- *)
+
+(* Counter keys, in reporting order. *)
+let count_keys =
+  [
+    "nic.doorbell_drop";
+    "nic.doorbell_dup";
+    "nic.dma_drop";
+    "nvme.stall";
+    "mwait.lost";
+    "mwait.spurious";
+    "start.delay";
+    "store.ecc";
+    "store.silent";
+    "ipi.drop";
+  ]
+
+type t = {
+  plan : plan;
+  (* One independent stream per fault class, split from the seed in a
+     fixed order, so adding draws in one subsystem never perturbs
+     another's schedule. *)
+  nic_rng : Rng.t;
+  nvme_rng : Rng.t;
+  mwait_rng : Rng.t;
+  start_rng : Rng.t;
+  store_rng : Rng.t;
+  ipi_rng : Rng.t;
+  counters : (string, int) Hashtbl.t;
+}
+
+let create plan =
+  let root = Rng.create plan.seed in
+  let nic_rng = Rng.split root in
+  let nvme_rng = Rng.split root in
+  let mwait_rng = Rng.split root in
+  let start_rng = Rng.split root in
+  let store_rng = Rng.split root in
+  let ipi_rng = Rng.split root in
+  {
+    plan;
+    nic_rng;
+    nvme_rng;
+    mwait_rng;
+    start_rng;
+    store_rng;
+    ipi_rng;
+    counters = Hashtbl.create 16;
+  }
+
+let plan t = t.plan
+
+let bump t key =
+  Hashtbl.replace t.counters key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters key))
+
+let count t key = Option.value ~default:0 (Hashtbl.find_opt t.counters key)
+
+let counts t =
+  List.filter_map
+    (fun key -> match count t key with 0 -> None | n -> Some (key, n))
+    count_keys
+
+let total_injected t = List.fold_left (fun acc (_, n) -> acc + n) 0 (counts t)
+
+(* A Bernoulli draw that consumes no randomness when the fault class is
+   disabled, so a plan exercising one class leaves every other stream —
+   and therefore the simulated schedule — untouched. *)
+let draw t rng key p = p > 0.0 && Rng.float rng < p && (bump t key; true)
+
+let attach_nic t nic =
+  Nic.set_faults nic
+    {
+      Nic.dma_drop =
+        (fun ~queue:_ -> draw t t.nic_rng "nic.dma_drop" t.plan.nic_dma_drop);
+      doorbell_drop =
+        (fun ~queue:_ ->
+          draw t t.nic_rng "nic.doorbell_drop" t.plan.nic_doorbell_drop);
+      doorbell_dup =
+        (fun ~queue:_ ->
+          draw t t.nic_rng "nic.doorbell_dup" t.plan.nic_doorbell_dup);
+    }
+
+let attach_nvme t nvme =
+  Nvme.set_stall_fault nvme (fun () ->
+      if draw t t.nvme_rng "nvme.stall" t.plan.nvme_stall then
+        Some t.plan.nvme_stall_cycles
+      else None)
+
+let attach_irq t irq =
+  Irq.set_ipi_drop_fault irq (fun () ->
+      draw t t.ipi_rng "ipi.drop" t.plan.ipi_drop)
+
+let attach_chip t chip =
+  Monitor.set_fault_hook (Chip.monitor_table chip) (fun _key _addr ->
+      draw t t.mwait_rng "mwait.lost" t.plan.mwait_lost);
+  Chip.set_fault_hooks chip
+    {
+      Chip.spurious_wake_after =
+        (fun ~ptid:_ ->
+          if draw t t.mwait_rng "mwait.spurious" t.plan.mwait_spurious then
+            Some t.plan.mwait_spurious_delay
+          else None);
+      start_extra_cycles =
+        (fun ~ptid:_ ->
+          if draw t t.start_rng "start.delay" t.plan.start_delay then
+            t.plan.start_delay_cycles
+          else 0);
+    };
+  for core = 0 to Chip.core_count chip - 1 do
+    State_store.set_fault_hook (Chip.state_store chip core) (fun ~ptid:_ ->
+        if draw t t.store_rng "store.ecc" t.plan.store_ecc then
+          Some State_store.Ecc_corrected
+        else if draw t t.store_rng "store.silent" t.plan.store_silent then
+          Some State_store.Silent
+        else None)
+  done
+
+let chip_hook_key = "fault"
+
+let install_ambient t =
+  Chip.add_creation_hook ~key:chip_hook_key (attach_chip t);
+  Nic.set_creation_hook (attach_nic t);
+  Nvme.set_creation_hook (attach_nvme t);
+  Irq.set_creation_hook (attach_irq t)
+
+let clear_ambient () =
+  Chip.remove_creation_hook ~key:chip_hook_key;
+  Nic.clear_creation_hook ();
+  Nvme.clear_creation_hook ();
+  Irq.clear_creation_hook ()
+
+let with_ambient t f =
+  install_ambient t;
+  match f () with
+  | v ->
+    clear_ambient ();
+    v
+  | exception e ->
+    clear_ambient ();
+    raise e

@@ -1,0 +1,109 @@
+(** Deterministic, schedule-driven fault injection.
+
+    The paper's wakeup primitive assumes a perfect substrate: every DMA
+    doorbell lands, every [mwait] wakes exactly once, every IPI arrives.
+    This module makes those assumptions breakable on purpose — a
+    {!plan} assigns each fault class a probability, an injector ({!t})
+    samples per-class SplitMix64 streams split from the plan's seed, and
+    hooks installed into the existing layers perturb exactly the events
+    the plan names:
+
+    - NIC: dropped descriptor DMA, dropped and duplicated doorbell-tail
+      writes ([Sl_dev.Nic]);
+    - NVMe: completion stalls / latency spikes ([Sl_dev.Nvme]);
+    - chip: lost mwait wakeups (dropped monitor deliveries), spurious
+      mwait wakeups, delayed start hand-offs ([Switchless.Chip],
+      [Switchless.Monitor]);
+    - state store: context-read corruption, ECC-corrected (costed retry)
+      vs silent (counted only) ([Switchless.State_store]);
+    - interrupt baseline: dropped IPIs ([Sl_baseline.Irq]).
+
+    Everything is a pure function of the plan (seed included) and the
+    simulated schedule: no wall-clock, no global entropy — replaying a
+    run with the spec recorded in its JSON header reproduces every fault
+    at the same simulated instant. *)
+
+type plan = {
+  seed : int64;  (** Root of every per-class stream. *)
+  nic_doorbell_drop : float;  (** P(drop a tail-doorbell write). *)
+  nic_doorbell_dup : float;  (** P(replay a tail-doorbell write). *)
+  nic_dma_drop : float;  (** P(lose a descriptor DMA, packet and all). *)
+  nvme_stall : float;  (** P(a command's completion stalls). *)
+  nvme_stall_cycles : int;  (** Extra latency of a stalled completion. *)
+  mwait_lost : float;  (** P(drop one monitor delivery to one watcher). *)
+  mwait_spurious : float;  (** P(a parked thread wakes with no write). *)
+  mwait_spurious_delay : int;  (** Cycles from park to spurious wake. *)
+  start_delay : float;  (** P(a start hand-off is delayed). *)
+  start_delay_cycles : int;  (** Extra cycles of a delayed hand-off. *)
+  store_ecc : float;  (** P(context read hits an ECC-corrected flip). *)
+  store_silent : float;  (** P(context read corrupts silently). *)
+  ipi_drop : float;  (** P(an IPI is lost after the send cost). *)
+}
+
+val none : plan
+(** All probabilities zero, seed 1, default cycle knobs — the identity
+    plan.  Build real plans with [{ Fault.none with ... }]. *)
+
+val is_active : plan -> bool
+(** Whether any fault class has nonzero probability. *)
+
+(** {2 Spec strings}
+
+    The replay-friendly encoding used by the [SWITCHLESS_FAULTS]
+    environment hook and recorded in experiment JSON headers:
+    ["seed=42,nic.doorbell_drop=0.01,mwait.lost=0.05"].  Keys match plan
+    fields with the underscore after the subsystem replaced by a dot;
+    omitted keys keep their {!none} value. *)
+
+val parse_spec : string -> (plan, string) result
+
+val to_spec : plan -> string
+(** Canonical spec: seed plus every field differing from {!none}.
+    Round-trips through {!parse_spec}. *)
+
+(** {2 Injectors} *)
+
+type t
+(** A live injector: one plan, per-class RNG streams, hit counters. *)
+
+val create : plan -> t
+
+val plan : t -> plan
+
+val counts : t -> (string * int) list
+(** Faults actually injected so far, keyed by fault class (spec-key
+    names), nonzero entries only, in a fixed order. *)
+
+val count : t -> string -> int
+(** Injected count for one class key, 0 if none. *)
+
+val total_injected : t -> int
+
+(** {2 Attaching to targets}
+
+    Each [attach_*] installs this injector's hooks into one instance.
+    Draws consume randomness only for classes with nonzero probability,
+    so unrelated subsystems keep identical schedules. *)
+
+val attach_chip : t -> Switchless.Chip.t -> unit
+(** Installs the monitor delivery-drop hook, the chip spurious-wake and
+    start-delay hooks, and a corruption hook on every core's state
+    store. *)
+
+val attach_nic : t -> Sl_dev.Nic.t -> unit
+val attach_nvme : t -> Sl_dev.Nvme.t -> unit
+val attach_irq : t -> Sl_baseline.Irq.t -> unit
+
+(** {2 Ambient installation}
+
+    Experiments build chips and devices deep inside their runners, so the
+    injector can register creation hooks that attach it to every instance
+    created while installed — the mechanism behind the
+    [SWITCHLESS_FAULTS] env hook in [bench/main.ml]. *)
+
+val install_ambient : t -> unit
+val clear_ambient : unit -> unit
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Brackets [f] with {!install_ambient}/{!clear_ambient} (hooks cleared
+    even if [f] raises). *)

@@ -1,3 +1,4 @@
+module Sim = Sl_engine.Sim
 module Semaphore = Sl_engine.Semaphore
 module Chip = Switchless.Chip
 module Isa = Switchless.Isa
@@ -9,18 +10,21 @@ type t = {
   server_ptid : int;
   req_addr : Memory.addr;
   resp_addr : Memory.addr;
+  req_seq_addr : Memory.addr option;  (* Some = robust protocol *)
   lock : Semaphore.t;
   mutable served : int;
   mutable issued : int;
+  mutable retries : int;
 }
 
 let self_vtid = 0
 
 let create chip ~core ~server_ptid ?(mode = Ptid.Supervisor) ?(vector = false)
-    ?on_request () =
+    ?(robust = false) ?on_request () =
   let memory = Chip.memory chip in
   let req_addr = Memory.alloc memory 1 in
   let resp_addr = Memory.alloc memory 1 in
+  let req_seq_addr = if robust then Some (Memory.alloc memory 1) else None in
   let server = Chip.add_thread chip ~core ~ptid:server_ptid ~mode ~vector () in
   let stop_vtid =
     match mode with
@@ -33,22 +37,57 @@ let create chip ~core ~server_ptid ?(mode = Ptid.Supervisor) ?(vector = false)
       Chip.set_tdt server table;
       self_vtid
   in
-  let t = { server_ptid; req_addr; resp_addr; lock = Semaphore.create 1; served = 0; issued = 0 } in
+  let t =
+    {
+      server_ptid;
+      req_addr;
+      resp_addr;
+      req_seq_addr;
+      lock = Semaphore.create 1;
+      served = 0;
+      issued = 0;
+      retries = 0;
+    }
+  in
   let handle =
     match on_request with
     | Some f -> f
     | None -> fun th work -> Isa.exec th work
   in
   Chip.attach server (fun th ->
-      let rec serve () =
-        let work = Isa.load th t.req_addr in
-        handle th work;
-        t.served <- t.served + 1;
-        Isa.store th t.resp_addr (Int64.of_int t.served);
-        Isa.stop th ~vtid:stop_vtid;
+      match req_seq_addr with
+      | None ->
+        (* Classic protocol: every start means exactly one fresh request. *)
+        let rec serve () =
+          let work = Isa.load th t.req_addr in
+          handle th work;
+          t.served <- t.served + 1;
+          Isa.store th t.resp_addr (Int64.of_int t.served);
+          Isa.stop th ~vtid:stop_vtid;
+          serve ()
+        in
         serve ()
-      in
-      serve ());
+      | Some seq_addr ->
+        (* Robust protocol: the request carries a sequence number and the
+           server serves only unseen sequences, making starts idempotent —
+           a timed-out caller can safely re-ring the doorbell even if its
+           original start was merely delayed, not lost. *)
+        let rec serve last =
+          let seq = Isa.load th seq_addr in
+          let last =
+            if Int64.compare seq last > 0 then begin
+              let work = Isa.load th t.req_addr in
+              handle th work;
+              t.served <- t.served + 1;
+              Isa.store th t.resp_addr seq;
+              seq
+            end
+            else last
+          in
+          Isa.stop th ~vtid:stop_vtid;
+          serve last
+        in
+        serve 0L);
   t
 
 let grant t ~client ~vtid =
@@ -62,14 +101,23 @@ let grant t ~client ~vtid =
   in
   Tdt.set table ~vtid ~ptid:t.server_ptid { Tdt.perms_none with Tdt.can_start = true }
 
+(* Publish one request and ring the server's doorbell.  Returns the
+   sequence number the response word must reach. *)
+let issue t ~client ~start_vtid ~work =
+  t.issued <- t.issued + 1;
+  let seq = Int64.of_int t.issued in
+  Isa.monitor client t.resp_addr;
+  Isa.store client t.req_addr work;
+  (match t.req_seq_addr with
+  | Some seq_addr -> Isa.store client seq_addr seq
+  | None -> ());
+  Isa.start client ~vtid:start_vtid;
+  seq
+
 let call t ~client ?via ~work () =
   Semaphore.with_permit t.lock (fun () ->
-      t.issued <- t.issued + 1;
-      let seq = Int64.of_int t.issued in
       let start_vtid = match via with Some vtid -> vtid | None -> t.server_ptid in
-      Isa.monitor client t.resp_addr;
-      Isa.store client t.req_addr work;
-      Isa.start client ~vtid:start_vtid;
+      let seq = issue t ~client ~start_vtid ~work in
       (* A latched wakeup from an earlier caller's response is possible
          when clients share the channel; re-check the sequence word. *)
       let rec wait_response () =
@@ -78,5 +126,58 @@ let call t ~client ?via ~work () =
       in
       wait_response ())
 
+type call_error = [ `Lock_timeout | `Response_timeout ]
+
+let pp_call_error ppf = function
+  | `Lock_timeout -> Format.pp_print_string ppf "lock-timeout"
+  | `Response_timeout -> Format.pp_print_string ppf "response-timeout"
+
+let call_with_deadline t ~client ?via ?(max_retries = 3) ~timeout ~work () =
+  if t.req_seq_addr = None then
+    invalid_arg
+      "Hw_channel.call_with_deadline: channel not created with ~robust:true";
+  if Int64.compare timeout 0L <= 0 then
+    invalid_arg "Hw_channel.call_with_deadline: timeout must be positive";
+  (* The reservation wait is bounded too: a caller parked behind a caller
+     whose server died must not inherit the hang. *)
+  if not (Semaphore.acquire_for t.lock ~within:timeout) then Error `Lock_timeout
+  else begin
+    let release () = Semaphore.release t.lock in
+    let result =
+      let start_vtid = match via with Some vtid -> vtid | None -> t.server_ptid in
+      let seq = issue t ~client ~start_vtid ~work in
+      (* Absolute deadlines per attempt: a stale or spurious wake re-checks
+         and keeps waiting without extending the attempt's budget.
+         Timeouts back off exponentially; every retry re-rings the
+         doorbell, which the robust server treats as idempotent. *)
+      (* The response word is checked *before* each park: when the
+         server's store landed but its monitor delivery was lost, no
+         further write will ever come (the robust server skips served
+         sequences), so parking first would sleep through every retry. *)
+      let rec attempt n ~budget =
+        let deadline = Int64.add (Sim.now ()) budget in
+        let rec wait () =
+          if Int64.compare (Isa.load client t.resp_addr) seq >= 0 then Ok ()
+          else
+            match Isa.mwait_for client ~deadline with
+            | Some _ -> wait ()  (* a wake: re-check whose response it is *)
+            | None ->
+              if Int64.compare (Isa.load client t.resp_addr) seq >= 0 then Ok ()
+              else if n >= max_retries then Error `Response_timeout
+              else begin
+                t.retries <- t.retries + 1;
+                Isa.start client ~vtid:start_vtid;
+                attempt (n + 1) ~budget:(Int64.mul budget 2L)
+              end
+        in
+        wait ()
+      in
+      attempt 0 ~budget:timeout
+    in
+    release ();
+    result
+  end
+
 let served t = t.served
 let server_ptid t = t.server_ptid
+let retry_count t = t.retries

@@ -20,12 +20,19 @@ type t
 
 val create :
   Switchless.Chip.t -> core:int -> server_ptid:int ->
-  ?mode:Switchless.Ptid.mode -> ?vector:bool ->
+  ?mode:Switchless.Ptid.mode -> ?vector:bool -> ?robust:bool ->
   ?on_request:(Switchless.Isa.thread -> int64 -> unit) -> unit -> t
 (** Install the server thread (born parked; the first {!call} starts it).
     [on_request server work] overrides the default request handler (which
     is [Isa.exec server work]); use it to model services that touch
-    devices or fault. *)
+    devices or fault.
+
+    [robust] (default [false]) switches the wire protocol to a
+    sequence-numbered variant in which the server only serves unseen
+    request sequences, making doorbell starts idempotent — required by
+    {!call_with_deadline}, whose retries may re-ring a server that
+    already saw the request.  The default protocol is byte-identical to
+    the original, so existing experiments measure unchanged costs. *)
 
 val self_vtid : int
 (** The vtid under which a user-mode server's private TDT names itself. *)
@@ -40,6 +47,31 @@ val call :
 (** Round trip: request [work], start the server ([via] the client's TDT
     vtid, or by raw ptid for supervisor clients), park until the response
     lands.  Must run inside the client's body. *)
+
+(** {2 Failure-hardened calls} *)
+
+type call_error = [ `Lock_timeout | `Response_timeout ]
+(** [`Lock_timeout]: the channel reservation did not free up in time (a
+    previous caller is wedged behind a faulted server).
+    [`Response_timeout]: the request was issued but no response landed
+    within any retry budget. *)
+
+val pp_call_error : Format.formatter -> call_error -> unit
+
+val call_with_deadline :
+  t -> client:Switchless.Isa.thread -> ?via:int -> ?max_retries:int ->
+  timeout:int64 -> work:int64 -> unit ->
+  (unit, call_error) result
+(** {!call} that survives a faulted substrate instead of parking forever.
+    The reservation wait is bounded by [timeout] cycles; each response
+    wait uses [mwait] with a deadline, retrying up to [max_retries]
+    (default 3) times with exponentially doubling budgets, re-ringing the
+    server's doorbell on each retry (idempotent thanks to the robust
+    protocol).  Requires a channel created with [~robust:true]; raises
+    [Invalid_argument] otherwise. *)
+
+val retry_count : t -> int
+(** Doorbell re-rings issued by timed-out {!call_with_deadline} waits. *)
 
 val served : t -> int
 

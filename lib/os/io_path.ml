@@ -115,6 +115,121 @@ let run_mwait cfg =
   collect_chip_stats ~sim ~core:(Chip.exec_core chip 0) ~latencies ~nic
     ~background_work:(fun () -> !background_done)
 
+(* --- failure-hardened mwait: deadlines + fallback + watchdog ------------ *)
+
+type hardened_stats = {
+  base : stats;
+  dma_dropped : int;
+  mwait_timeouts : int;
+  missed_wakeups : int;
+  fallbacks : int;
+  recoveries : int;
+  watchdog_sweeps : int;
+  watchdog_nudges : int;
+}
+
+let run_mwait_hardened ?(wait_budget = 20_000L) ?(miss_threshold = 3)
+    ?(poll_recovery_checks = 64) ?(poll_gap = 20L) ?(with_watchdog = false) cfg =
+  let sim = Sim.create () in
+  let chip = Chip.create sim cfg.params ~cores:1 in
+  let nic = Nic.create sim cfg.params (Chip.memory chip) ~queue_depth:4096 () in
+  let latencies = Histogram.create () in
+  let stop = ref false in
+  let background_done = ref 0.0 in
+  let mwait_timeouts = ref 0 in
+  let missed_wakeups = ref 0 in
+  let fallbacks = ref 0 in
+  let recoveries = ref 0 in
+  let watchdog =
+    if with_watchdog then Some (Watchdog.create chip ~core:0 ~ptid:99 ())
+    else None
+  in
+  let net = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach net (fun th ->
+      Isa.monitor th (Nic.rx_tail_addr nic);
+      let processed = ref 0 in
+      (* Lost packets (descriptor-DMA drops, ring-full drops) never arrive;
+         counting them towards completion is what keeps the loop from
+         waiting forever for a packet that no longer exists. *)
+      let accounted () =
+        !processed + Nic.dma_dropped nic + Nic.dropped nic
+      in
+      let consecutive_misses = ref 0 in
+      let empty_checks = ref 0 in
+      let polling = ref false in
+      while accounted () < cfg.count do
+        (if !polling then begin
+           (* Degraded mode: the wakeup path proved unreliable, so spin
+              like a kernel-bypass stack until it looks healthy again. *)
+           if Nic.pending nic = 0 then begin
+             Isa.exec th ~kind:Smt_core.Poll poll_gap;
+             incr empty_checks;
+             if !empty_checks >= poll_recovery_checks then begin
+               polling := false;
+               incr recoveries;
+               consecutive_misses := 0
+             end
+           end
+           else empty_checks := 0
+         end
+         else if Nic.pending nic = 0 then
+           let deadline = Int64.add (Sim.now ()) wait_budget in
+           match Isa.mwait_for th ~deadline with
+           | Some _ -> consecutive_misses := 0
+           | None ->
+             incr mwait_timeouts;
+             (* Data present but no doorbell woke us: a missed wakeup.
+                A timeout with an empty queue is just idleness. *)
+             if Nic.pending nic > 0 then begin
+               incr missed_wakeups;
+               incr consecutive_misses;
+               if !consecutive_misses >= miss_threshold then begin
+                 polling := true;
+                 incr fallbacks;
+                 empty_checks := 0
+               end
+             end);
+        let rec drain () =
+          match Nic.poll nic with
+          | Some pkt ->
+            Isa.exec th cfg.per_packet_work;
+            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            incr processed;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      stop := true;
+      Option.iter Watchdog.stop watchdog);
+  Chip.boot net;
+  if cfg.background then begin
+    let bg = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.User ~weight:0.25 () in
+    Chip.attach bg (fun th ->
+        while not !stop do
+          Isa.exec th background_chunk;
+          background_done := !background_done +. Int64.to_float background_chunk
+        done);
+    Chip.boot bg
+  end;
+  Option.iter Watchdog.start watchdog;
+  start_generator sim cfg nic;
+  Sim.run sim;
+  let base =
+    collect_chip_stats ~sim ~core:(Chip.exec_core chip 0) ~latencies ~nic
+      ~background_work:(fun () -> !background_done)
+  in
+  {
+    base;
+    dma_dropped = Nic.dma_dropped nic;
+    mwait_timeouts = !mwait_timeouts;
+    missed_wakeups = !missed_wakeups;
+    fallbacks = !fallbacks;
+    recoveries = !recoveries;
+    watchdog_sweeps = (match watchdog with Some w -> Watchdog.sweeps w | None -> 0);
+    watchdog_nudges = (match watchdog with Some w -> Watchdog.nudges w | None -> 0);
+  }
+
 (* --- multi-queue mwait: one hardware thread per RX queue ---------------- *)
 
 let run_mwait_rss ~queues cfg =

@@ -47,6 +47,34 @@ val run_mwait : config -> stats
 val run_polling : ?poll_gap:int64 -> config -> stats
 val run_interrupt : config -> stats
 
+(** {2 Failure-hardened delivery} *)
+
+type hardened_stats = {
+  base : stats;
+  dma_dropped : int;  (** Packets lost to injected descriptor-DMA drops. *)
+  mwait_timeouts : int;  (** mwait deadline expiries (incl. pure idleness). *)
+  missed_wakeups : int;  (** Expiries that found data already pending. *)
+  fallbacks : int;  (** mwait → polling degradations. *)
+  recoveries : int;  (** polling → mwait restorations. *)
+  watchdog_sweeps : int;
+  watchdog_nudges : int;
+}
+
+val run_mwait_hardened :
+  ?wait_budget:int64 -> ?miss_threshold:int -> ?poll_recovery_checks:int ->
+  ?poll_gap:int64 -> ?with_watchdog:bool -> config -> hardened_stats
+(** {!run_mwait} that survives a faulty wakeup substrate.  The network
+    thread waits with {!Switchless.Isa.mwait_for} ([wait_budget] cycles,
+    default 20_000); a timeout that finds data pending is a missed
+    wakeup, and after [miss_threshold] (default 3) consecutive misses the
+    thread degrades to polling — paying [poll_gap] cycles per empty check
+    like {!run_polling} — until [poll_recovery_checks] (default 64)
+    consecutive empty checks suggest the storm has passed and it returns
+    to mwait.  Packets lost to injected descriptor-DMA or ring-full drops
+    are counted towards completion, so the run terminates even when
+    requests vanish.  [with_watchdog] (default false) additionally runs a
+    {!Watchdog} thread on the same core. *)
+
 val run_interrupt_napi : config -> stats
 (** Linux-NAPI-style coalescing: the first packet raises an IRQ, which
     masks further interrupts and schedules a poll loop; the network

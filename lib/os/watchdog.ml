@@ -1,0 +1,81 @@
+module Sim = Sl_engine.Sim
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Monitor = Switchless.Monitor
+module Ptid = Switchless.Ptid
+module Apic_timer = Sl_dev.Apic_timer
+
+type t = {
+  chip : Chip.t;
+  timer : Apic_timer.t;
+  wd : Chip.thread;
+  stuck_after : int64;
+  mutable sweeps : int;
+  mutable nudges : int;
+  mutable stopped : bool;
+}
+
+(* Chip bodies run as sim processes named by [Chip.run_body]. *)
+let ptid_of_name name =
+  match Scanf.sscanf name "ptid-%d" (fun p -> p) with
+  | p -> Some p
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+(* Re-store the current value of every address the stuck thread has armed.
+   The write is value-preserving — the nudge cannot corrupt protocol state —
+   but monitor delivery triggers on the store itself, so the parked thread
+   wakes, re-checks its predicate, and recovers from a lost wakeup.  If the
+   fault injector drops the nudge delivery too, a later sweep retries. *)
+let nudge t th ~target_ptid ~core_id =
+  let key = { Monitor.core_id; ptid = target_ptid } in
+  match Monitor.armed (Chip.monitor_table t.chip) key with
+  | [] -> ()
+  | addrs ->
+    t.nudges <- t.nudges + 1;
+    List.iter (fun addr -> Isa.store th addr (Isa.load th addr)) addrs
+
+let sweep t th =
+  t.sweeps <- t.sweeps + 1;
+  let now = Sim.now () in
+  let self = Chip.ptid t.wd in
+  List.iter
+    (fun { Sim.name; blocked_since; _ } ->
+      if Int64.sub now blocked_since >= t.stuck_after then
+        match Option.bind name ptid_of_name with
+        | Some p when p <> self -> (
+          match Chip.find_thread t.chip ~ptid:p with
+          | target ->
+            if Chip.state target = Ptid.Waiting then
+              nudge t th ~target_ptid:p ~core_id:(Chip.home_core target)
+          | exception Invalid_argument _ -> ())
+        | Some _ | None -> ())
+    (Sim.stuck (Chip.sim t.chip))
+
+let create chip ~core ~ptid ?(period = 10_000L) ?(stuck_after = 20_000L) () =
+  let timer =
+    Apic_timer.create (Chip.sim chip) (Chip.params chip) (Chip.memory chip)
+      ~period ()
+  in
+  let wd = Chip.add_thread chip ~core ~ptid ~mode:Ptid.Supervisor () in
+  let t = { chip; timer; wd; stuck_after; sweeps = 0; nudges = 0; stopped = false } in
+  Chip.attach wd (fun th ->
+      Isa.monitor th (Apic_timer.count_addr timer);
+      while not t.stopped do
+        let _ = Isa.mwait th in
+        if not t.stopped then sweep t th
+      done);
+  t
+
+let start t =
+  Chip.boot t.wd;
+  Apic_timer.start t.timer
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Apic_timer.stop t.timer;
+    Chip.shutdown t.wd
+  end
+
+let sweeps t = t.sweeps
+let nudges t = t.nudges

@@ -338,6 +338,36 @@ let test_lint_ignores_comments_strings_and_formatters () =
         "no findings" []
         (List.map Lint.to_string (Lint.scan_file path)))
 
+let blanket_catches path =
+  List.filter (fun i -> i.Lint.rule = "no-blanket-catch") (Lint.scan_file path)
+
+let test_lint_flags_blanket_catch () =
+  with_temp_dir (fun dir ->
+      let path =
+        write_file dir "swallow.ml"
+          "let a () = try x () with _ -> ()\n\
+           let b () = try x () with | _ -> ()\n\
+           let c () =\n\
+          \  try y ()\n\
+          \  with\n\
+          \  | _ -> 0\n"
+      in
+      check_int "all three blanket catches" 3 (List.length (blanket_catches path)))
+
+let test_lint_allows_named_exceptions () =
+  with_temp_dir (fun dir ->
+      let path =
+        write_file dir "fine.ml"
+          "let a x = match x with _ -> ()\n\
+           let b p = { p with a = 1 }\n\
+           let c () = try x () with Failure _ -> ()\n\
+           let d () = try x () with Not_found -> 1 | _ -> 2\n\
+           let e () = try x () with exception_pattern -> ()\n"
+      in
+      Alcotest.(check (list string))
+        "no blanket catches" []
+        (List.map Lint.to_string (blanket_catches path)))
+
 let test_lint_missing_mli () =
   with_temp_dir (fun dir ->
       let _ = write_file dir "orphan.ml" "let x = 1\n" in
@@ -381,5 +411,8 @@ let () =
           Alcotest.test_case "banned tokens" `Quick test_lint_catches_banned_tokens;
           Alcotest.test_case "comments and strings" `Quick test_lint_ignores_comments_strings_and_formatters;
           Alcotest.test_case "missing mli" `Quick test_lint_missing_mli;
+          Alcotest.test_case "blanket catch flagged" `Quick test_lint_flags_blanket_catch;
+          Alcotest.test_case "named exceptions allowed" `Quick
+            test_lint_allows_named_exceptions;
         ] );
     ]

@@ -1,0 +1,139 @@
+(* mwait-with-deadline (umwait-style) semantics: wake before the
+   deadline, empty-handed expiry, latched triggers, and the
+   write-after-expiry latch that makes timeouts lossless. *)
+
+module Sim = Sl_engine.Sim
+module Params = Switchless.Params
+module Memory = Switchless.Memory
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let p = Params.default
+let wake_latency = p.Params.monitor_wake_cycles + p.Params.pipeline_start_cycles
+
+let setup () =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:1 in
+  (sim, chip)
+
+let test_wakes_before_deadline () =
+  let sim, chip = setup () in
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let result = ref None and woke_at = ref 0L in
+  let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach a (fun th ->
+      Isa.monitor th addr;
+      result := Isa.mwait_for th ~deadline:10_000L;
+      woke_at := Sim.now ());
+  Chip.boot a;
+  Sim.spawn sim (fun () ->
+      Sim.delay 100L;
+      Memory.write mem addr 1L);
+  Sim.run sim;
+  check_bool "woke with the address" true (!result = Some addr);
+  (* Same cost as a plain mwait wake: the deadline must be free. *)
+  check_i64 "wake latency" (Int64.of_int (100 + wake_latency)) !woke_at
+
+let test_expires_empty_handed () =
+  let sim, chip = setup () in
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let result = ref (Some (-1)) and woke_at = ref 0L in
+  let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach a (fun th ->
+      Isa.monitor th addr;
+      result := Isa.mwait_for th ~deadline:500L;
+      woke_at := Sim.now ());
+  Chip.boot a;
+  Sim.run sim;
+  check_bool "returned None" true (!result = None);
+  (* The empty-handed resume pays the pipeline restart (state stayed
+     register-file resident, so no transfer cost). *)
+  check_i64 "resumed at deadline + restart"
+    (Int64.add 500L (Int64.of_int p.Params.pipeline_start_cycles))
+    !woke_at;
+  check_bool "no abandoned process" true (Sim.stuck sim = [])
+
+let test_latched_trigger_is_immediate () =
+  let sim, chip = setup () in
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let result = ref None in
+  let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach a (fun th ->
+      Isa.monitor th addr;
+      (* The write lands while we are still running: latched. *)
+      Isa.exec th 1_000L;
+      result := Isa.mwait_for th ~deadline:2_000L);
+  Chip.boot a;
+  Sim.spawn sim (fun () ->
+      Sim.delay 100L;
+      Memory.write mem addr 1L);
+  Sim.run sim;
+  check_bool "latched write returned immediately" true (!result = Some addr)
+
+let test_write_after_expiry_latches () =
+  let sim, chip = setup () in
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let first = ref (Some (-1)) and second = ref (-1) in
+  let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach a (fun th ->
+      Isa.monitor th addr;
+      first := Isa.mwait_for th ~deadline:500L;
+      (* Keep running past the t=1000 write, then wait again: the write
+         must have been latched, not lost with the expired wait. *)
+      Isa.exec th 2_000L;
+      second := Isa.mwait th);
+  Chip.boot a;
+  Sim.spawn sim (fun () ->
+      Sim.delay 1_000L;
+      Memory.write mem addr 1L);
+  Sim.run sim;
+  check_bool "first wait expired" true (!first = None);
+  check_int "second wait consumed the latched write" addr !second;
+  check_bool "terminated (nothing stuck)" true (Sim.stuck sim = [])
+
+let test_two_threads_independent_deadlines () =
+  let sim, chip = setup () in
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let a_result = ref (Some (-1)) and b_result = ref None in
+  let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  let b = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.Supervisor () in
+  Chip.attach a (fun th ->
+      Isa.monitor th addr;
+      a_result := Isa.mwait_for th ~deadline:300L);
+  Chip.attach b (fun th ->
+      Isa.monitor th addr;
+      b_result := Isa.mwait_for th ~deadline:5_000L);
+  Chip.boot a;
+  Chip.boot b;
+  Sim.spawn sim (fun () ->
+      Sim.delay 1_000L;
+      Memory.write mem addr 1L);
+  Sim.run sim;
+  check_bool "short deadline expired" true (!a_result = None);
+  check_bool "long deadline caught the write" true (!b_result = Some addr)
+
+let () =
+  Alcotest.run "hardened_wait"
+    [
+      ( "mwait_for",
+        [
+          Alcotest.test_case "wakes before deadline" `Quick test_wakes_before_deadline;
+          Alcotest.test_case "expires empty-handed" `Quick test_expires_empty_handed;
+          Alcotest.test_case "latched trigger immediate" `Quick
+            test_latched_trigger_is_immediate;
+          Alcotest.test_case "write after expiry latches" `Quick
+            test_write_after_expiry_latches;
+          Alcotest.test_case "independent deadlines" `Quick
+            test_two_threads_independent_deadlines;
+        ] );
+    ]

@@ -153,6 +153,74 @@ let test_nic_per_queue_overflow () =
   check_int "flow 0 dropped past depth" 3 (Nic.dropped nic);
   check_int "flow 1 unaffected" 1 (Nic.pending_queue nic 1)
 
+let test_nic_multiqueue_drop_accounting () =
+  (* Ring-full drops must land on the queue the packet was steered to,
+     and consuming descriptors must let the same queue accept again. *)
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queues:3 ~queue_depth:2 () in
+  let drops_before_refill = ref (-1) in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 5 do
+        Nic.inject ~flow:0 nic (* 2 land on q0, 3 drop *)
+      done;
+      for _ = 1 to 3 do
+        Nic.inject ~flow:1 nic (* 2 land on q1, 1 drops *)
+      done;
+      Nic.inject ~flow:2 nic;
+      drops_before_refill := Nic.dropped nic;
+      (* Refill after drop: free q0's slots, then the same flow fits. *)
+      ignore (Nic.poll_queue nic 0);
+      ignore (Nic.poll_queue nic 0);
+      Nic.inject ~flow:0 nic);
+  Sim.run sim;
+  check_int "drops before refill" 4 !drops_before_refill;
+  check_int "refill drops nothing" 4 (Nic.dropped nic);
+  check_int "q0 drops" 3 (Nic.dropped_queue nic 0);
+  check_int "q1 drops" 1 (Nic.dropped_queue nic 1);
+  check_int "q2 drops" 0 (Nic.dropped_queue nic 2);
+  check_int "per-queue drops sum to total" (Nic.dropped nic)
+    (Nic.dropped_queue nic 0 + Nic.dropped_queue nic 1 + Nic.dropped_queue nic 2);
+  check_int "refill accepted on q0" 1 (Nic.pending_queue nic 0);
+  check_int "delivered counts refill" 6 (Nic.delivered nic)
+
+let test_nic_fault_hooks () =
+  (* Drive one packet through each fault point and check both the
+     per-class counters and the memory-visible tail behaviour. *)
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queue_depth:8 () in
+  let pkts = ref 0 in
+  (* Packet 1: doorbell dropped.  Packet 2: doorbell duplicated.
+     Packet 3: descriptor DMA lost.  [dma_drop] runs first for every
+     packet, so it carries the per-packet counter. *)
+  Nic.set_faults nic
+    {
+      Nic.dma_drop =
+        (fun ~queue:_ ->
+          incr pkts;
+          !pkts = 3);
+      doorbell_drop = (fun ~queue:_ -> !pkts = 1);
+      doorbell_dup = (fun ~queue:_ -> !pkts = 2);
+    };
+  let tail_after_drop = ref (-1L) in
+  Sim.spawn sim (fun () ->
+      Nic.inject nic;
+      tail_after_drop := Memory.read mem (Nic.rx_tail_addr nic);
+      Nic.inject nic;
+      Nic.inject nic);
+  Sim.run sim;
+  (* The dropped doorbell left the tail word stale even though the
+     descriptor landed and is pollable. *)
+  check_i64 "tail stale after dropped doorbell" 0L !tail_after_drop;
+  check_int "both surviving packets pollable" 2 (Nic.pending nic);
+  check_int "delivered excludes the vanished packet" 2 (Nic.delivered nic);
+  check_int "dma dropped" 1 (Nic.dma_dropped nic);
+  check_int "doorbells dropped" 1 (Nic.doorbells_dropped nic);
+  check_int "doorbells duplicated" 1 (Nic.doorbells_duplicated nic);
+  check_i64 "final tail reflects second delivery" 2L
+    (Memory.read mem (Nic.rx_tail_addr nic))
+
 let test_nvme_completion_flow () =
   let sim = Sim.create () in
   let mem = Memory.create () in
@@ -204,6 +272,9 @@ let () =
           Alcotest.test_case "multiqueue steering" `Quick test_nic_multiqueue_steering;
           Alcotest.test_case "flow affinity" `Quick test_nic_flow_affinity;
           Alcotest.test_case "per-queue overflow" `Quick test_nic_per_queue_overflow;
+          Alcotest.test_case "multiqueue drop accounting" `Quick
+            test_nic_multiqueue_drop_accounting;
+          Alcotest.test_case "fault hooks" `Quick test_nic_fault_hooks;
         ] );
       ( "timer",
         [

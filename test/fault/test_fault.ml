@@ -1,0 +1,146 @@
+(* The fault injector: spec strings, per-class streams, determinism, and
+   hook attachment. *)
+
+module Fault = Sl_fault.Fault
+module Sim = Sl_engine.Sim
+module Memory = Switchless.Memory
+module Params = Switchless.Params
+module Nic = Sl_dev.Nic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let p = Params.default
+
+(* --- spec strings -------------------------------------------------------- *)
+
+let test_spec_roundtrip () =
+  let plan =
+    {
+      Fault.none with
+      Fault.seed = 42L;
+      nic_doorbell_drop = 0.01;
+      mwait_lost = 0.05;
+      nvme_stall = 0.25;
+      nvme_stall_cycles = 75_000;
+      ipi_drop = 1.0;
+    }
+  in
+  let spec = Fault.to_spec plan in
+  (match Fault.parse_spec spec with
+  | Ok plan' -> check_bool "round-trips" true (plan = plan')
+  | Error e -> Alcotest.fail e);
+  check_str "identity plan spec" "seed=1" (Fault.to_spec Fault.none)
+
+let test_spec_parsing () =
+  (match Fault.parse_spec "seed=9,mwait.lost=0.5" with
+  | Ok plan ->
+    check_bool "seed" true (plan.Fault.seed = 9L);
+    check_bool "prob" true (plan.Fault.mwait_lost = 0.5);
+    check_bool "others default" true
+      (plan = { Fault.none with Fault.seed = 9L; mwait_lost = 0.5 })
+  | Error e -> Alcotest.fail e);
+  let is_error = function Error _ -> true | Ok _ -> false in
+  check_bool "unknown key" true (is_error (Fault.parse_spec "nic.bogus=0.5"));
+  check_bool "out of range" true (is_error (Fault.parse_spec "mwait.lost=1.5"));
+  check_bool "bad float" true (is_error (Fault.parse_spec "mwait.lost=x"));
+  check_bool "bad seed" true (is_error (Fault.parse_spec "seed=abc"));
+  check_bool "not key=value" true (is_error (Fault.parse_spec "mwait.lost"));
+  check_bool "negative cycles" true
+    (is_error (Fault.parse_spec "nvme.stall_cycles=-5"))
+
+let test_is_active () =
+  check_bool "none inactive" false (Fault.is_active Fault.none);
+  check_bool "one class active" true
+    (Fault.is_active { Fault.none with Fault.store_silent = 0.01 })
+
+(* --- deterministic injection --------------------------------------------- *)
+
+let run_nic_workload inj =
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queue_depth:4096 () in
+  Fault.attach_nic inj nic;
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 200 do
+        Nic.inject nic;
+        Sim.delay 50L
+      done);
+  Sim.run sim;
+  nic
+
+let test_injection_replays () =
+  let plan = { Fault.none with Fault.seed = 7L; nic_doorbell_drop = 0.2 } in
+  let i1 = Fault.create plan in
+  let i2 = Fault.create plan in
+  let _ = run_nic_workload i1 in
+  let _ = run_nic_workload i2 in
+  check_bool "some faults fired" true (Fault.total_injected i1 > 0);
+  check_bool "identical schedules" true (Fault.counts i1 = Fault.counts i2)
+
+let test_disabled_classes_consume_no_randomness () =
+  (* Enabling an unrelated class (whose hooks never even run here) must
+     not perturb the NIC stream's schedule. *)
+  let base = { Fault.none with Fault.seed = 7L; nic_doorbell_drop = 0.2 } in
+  let plus = { base with Fault.ipi_drop = 0.9; nvme_stall = 0.9 } in
+  let i1 = Fault.create base in
+  let i2 = Fault.create plus in
+  let _ = run_nic_workload i1 in
+  let _ = run_nic_workload i2 in
+  check_int "same nic schedule"
+    (Fault.count i1 "nic.doorbell_drop")
+    (Fault.count i2 "nic.doorbell_drop")
+
+let test_counts_reflect_injections () =
+  let plan = { Fault.none with Fault.seed = 3L; nic_dma_drop = 0.3 } in
+  let inj = Fault.create plan in
+  let nic = run_nic_workload inj in
+  check_int "counter matches device accounting"
+    (Nic.dma_dropped nic)
+    (Fault.count inj "nic.dma_drop");
+  check_bool "reported in counts" true
+    (List.mem_assoc "nic.dma_drop" (Fault.counts inj))
+
+(* --- ambient installation ------------------------------------------------ *)
+
+let test_with_ambient_scopes_hooks () =
+  let plan = { Fault.none with Fault.seed = 11L; nic_doorbell_drop = 1.0 } in
+  let inj = Fault.create plan in
+  let inside =
+    Fault.with_ambient inj (fun () ->
+        let sim = Sim.create () in
+        let mem = Memory.create () in
+        let nic = Nic.create sim p mem ~queue_depth:64 () in
+        Sim.spawn sim (fun () -> Nic.inject nic);
+        Sim.run sim;
+        Nic.doorbells_dropped nic)
+  in
+  check_int "ambient nic got the faults" 1 inside;
+  (* After the bracket, new devices are clean. *)
+  let sim = Sim.create () in
+  let mem = Memory.create () in
+  let nic = Nic.create sim p mem ~queue_depth:64 () in
+  Sim.spawn sim (fun () -> Nic.inject nic);
+  Sim.run sim;
+  check_int "hooks cleared after bracket" 0 (Nic.doorbells_dropped nic)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "is_active" `Quick test_is_active;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "replays" `Quick test_injection_replays;
+          Alcotest.test_case "independent streams" `Quick
+            test_disabled_classes_consume_no_randomness;
+          Alcotest.test_case "counts" `Quick test_counts_reflect_injections;
+        ] );
+      ( "ambient",
+        [ Alcotest.test_case "scoped hooks" `Quick test_with_ambient_scopes_hooks ] );
+    ]
