@@ -1,0 +1,33 @@
+(* Output-capture shim for experiment modules.
+
+   Each experiment file does [open! Capture], which shadows the stdlib
+   printing entry points it uses with versions that route through the
+   per-domain [Sl_util.Sink].  Run sequentially with no redirection this
+   is byte-identical to printing directly; under the parallel runner
+   each worker domain's sink is a buffer, so concurrent experiments
+   never interleave and the harness replays outputs in canonical order.
+
+   [sprintf]/[asprintf]/[eprintf] and the rest of [Printf]/[Format] pass
+   through unchanged via [include]. *)
+
+module Sink = Sl_util.Sink
+
+module Printf = struct
+  include Stdlib.Printf
+
+  let printf fmt = Sink.printf fmt
+end
+
+module Format = struct
+  include Stdlib.Format
+
+  let printf fmt = kasprintf Sink.emit fmt
+end
+
+let print_string = Sink.emit
+
+let print_endline s =
+  Sink.emit s;
+  Sink.emit "\n"
+
+let print_newline () = Sink.emit "\n"

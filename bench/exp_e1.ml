@@ -11,6 +11,7 @@
    restart); the interrupt path ≥ 10x that (IRQ entry + scheduler +
    context switch + exit). *)
 
+open! Capture
 module Params = Switchless.Params
 module Io_path = Sl_os.Io_path
 module Histogram = Sl_util.Histogram

@@ -9,6 +9,7 @@
    Expected shape: latency grows roughly linearly in the nesting depth;
    depth 1 costs ≈ descriptor(16) + wake(26) + handler work + start(24). *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

@@ -12,6 +12,7 @@
    approaches wake(26) + 500 cycles, while the batch threads keep the
    remaining capacity (work conservation — no polling reserve needed). *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

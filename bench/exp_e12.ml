@@ -12,6 +12,7 @@
    p50 latency carries a ~30-60-cycle state-transfer surcharge and its
    RF-hit fraction collapses, while LIFO/Locality stay ≈ 100% RF wakes. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

@@ -11,6 +11,7 @@
    (vCPUs x switch cost) approaches the slice length — the paper's "the
    scheduler will run in much tighter loops" enabled quantitatively. *)
 
+open! Capture
 module Vm = Sl_os.Vm
 module Params = Switchless.Params
 module Tablefmt = Sl_util.Tablefmt

@@ -17,6 +17,7 @@
    preemption this cheap would cost an IPI + full context switch
    (~4-5 kcycles) per quantum in the conventional design. *)
 
+open! Capture
 module Server = Sl_dist.Server
 module Sched_policy = Sl_dist.Sched_policy
 module Params = Switchless.Params

@@ -11,6 +11,7 @@
    timeouts (6x link delay) pace recovery; exactly-once delivery
    throughout. *)
 
+open! Capture
 module Netstack = Sl_os.Netstack
 module Params = Switchless.Params
 module Tablefmt = Sl_util.Tablefmt

@@ -10,6 +10,7 @@
    polling's waste falls from ~100% toward the load level; the interrupt
    design pays a latency floor of the IRQ path at every load. *)
 
+open! Capture
 module Io_path = Sl_os.Io_path
 module Histogram = Sl_util.Histogram
 module Tablefmt = Sl_util.Tablefmt

@@ -11,6 +11,7 @@
    mechanism tax and beats FlexSC on latency whenever the batch window
    exceeds ~100 cycles. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

@@ -13,6 +13,7 @@
    - hardware-thread syscall whose server thread is vector-capable
      (measured end to end: the extra state affects only placement). *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

@@ -11,6 +11,7 @@
    row chains TWO hops (app → proxy → service), where the scheduler-based
    design pays the tax twice. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

@@ -14,6 +14,7 @@
    cost while holding zero privilege; SplitX approaches raw work latency
    but pays a polling core for it. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

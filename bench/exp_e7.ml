@@ -16,6 +16,7 @@
    with load while PS stays flat — short requests no longer wait behind
    long ones. *)
 
+open! Capture
 module Server = Sl_dist.Server
 module Params = Switchless.Params
 module Tablefmt = Sl_util.Tablefmt

@@ -18,6 +18,7 @@
    pinned thread stays at 26 cycles regardless of N; prefetched wakes
    return to RF cost. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

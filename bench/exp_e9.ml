@@ -11,6 +11,7 @@
    sufficiently high, we can avoid [per-thread multi-address polling]"
    within the limits of practical hardware. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Chip = Switchless.Chip

@@ -18,6 +18,7 @@
    chaos run under the given plan — the hook the smoke-test alias in the
    root dune file uses to pin one fixed fault schedule. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Mailbox = Sl_engine.Mailbox
 module Params = Switchless.Params
@@ -44,17 +45,7 @@ let p = Params.default
 let check name cond msg =
   if not cond then failwith (Printf.sprintf "r1/%s: %s" name msg)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Sl_util.Json.escape
 
 (* Run [scenario] twice under sanitizers + ambient injection: fail on any
    sanitizer finding, fail if the replay diverges, print one JSON line.

@@ -3,6 +3,7 @@
    entry we attempt start / stop / rpush-gp / rpush-rip through the real
    ISA and report what the hardware allowed. *)
 
+open! Capture
 module Sim = Sl_engine.Sim
 module Chip = Switchless.Chip
 module Isa = Switchless.Isa

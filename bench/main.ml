@@ -3,9 +3,22 @@
    EXPERIMENTS.md for paper-vs-measured notes).
 
    Usage:
-     dune exec bench/main.exe             # all experiments + microbench
-     dune exec bench/main.exe -- e3 e7    # a subset
-     dune exec bench/main.exe -- micro    # microbenchmarks only *)
+     dune exec bench/main.exe                    # all experiments + microbench
+     dune exec bench/main.exe -- e3 e7           # a subset
+     dune exec bench/main.exe -- micro           # microbenchmarks only
+     dune exec bench/main.exe -- -j 4 e1 e2 e7   # fan out over 4 domains
+     dune exec bench/main.exe -- -j auto         # one domain per core
+     dune exec bench/main.exe -- -perf-out BENCH_pr3.json
+
+   With [-j N] experiments run on N worker domains.  Each experiment's
+   stdout is captured into a per-domain buffer (Sl_util.Sink) and
+   replayed in the canonical sequential order, so stdout is
+   byte-identical at every -j level; only the [id done in Xs] timing
+   lines differ, and those go to stderr.  [-j 1] (the default) spawns no
+   domains at all and runs everything in this one. *)
+
+module Sink = Sl_util.Sink
+module Json = Sl_util.Json
 
 let experiments =
   [
@@ -51,8 +64,6 @@ let fault_plan =
       Printf.eprintf "SWITCHLESS_FAULTS: %s\n" msg;
       exit 2)
 
-let sanitizer_failures = ref 0
-
 (* The experiment's sims are collected so abandoned processes can be
    surfaced afterwards: [stuck] includes servers parked by design,
    [suspects] is the subset that looks like a genuine deadlock. *)
@@ -61,85 +72,165 @@ let report_abandoned id sims =
     List.fold_left (fun acc s -> acc + List.length (Sl_engine.Sim.stuck s)) 0 sims
   in
   if stuck_total > 0 then begin
-    let suspect_lines =
-      List.filter_map Sl_engine.Sim.suspect_summary sims
-    in
+    let suspect_lines = List.filter_map Sl_engine.Sim.suspect_summary sims in
     let suspects_total =
       List.fold_left
         (fun acc s -> acc + List.length (Sl_engine.Sim.suspects s))
         0 sims
     in
-    let escape s =
-      String.concat ""
-        (List.map
-           (function
-             | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
-           (List.init (String.length s) (String.get s)))
-    in
-    Printf.printf "{\"experiment\":%S,\"stuck\":%d,\"suspects\":%d%s}\n" id
+    Sink.printf "{\"experiment\":%S,\"stuck\":%d,\"suspects\":%d%s}\n" id
       stuck_total suspects_total
       (if suspect_lines = [] then ""
        else
          Printf.sprintf ",\"suspect_summary\":[%s]"
-           (String.concat ","
-              (List.map (fun l -> Printf.sprintf "\"%s\"" (escape l)) suspect_lines)))
+           (String.concat "," (List.map Json.quote suspect_lines)))
   end
 
-let run_one (id, title, f) =
-  Printf.printf "---------------------------------------------------------------\n";
-  Printf.printf "%s — %s\n" (String.uppercase_ascii id) title;
-  Printf.printf "---------------------------------------------------------------\n";
-  (* The machine-readable header records everything needed to replay this
-     run: sanitizer state and the canonical fault spec, seed included. *)
-  Printf.printf "{\"experiment\":%S,\"sanitize\":%b,\"faults\":%s}\n" id sanitize
-    (match fault_plan with
-    | None -> "null"
-    | Some plan -> Printf.sprintf "%S" (Sl_fault.Fault.to_spec plan));
-  let t0 = Unix.gettimeofday () in
-  (* r1 manages its own sanitizers and fault plans (each scenario gets a
-     dedicated injector and asserts on the findings itself). *)
-  let self_managed = id = "r1" in
-  let f =
-    if not (sanitize && not self_managed) then f
-    else fun () ->
-      let (), findings = Sl_analysis.Analysis.with_all f in
-      Printf.printf "[%s sanitizers: %s]\n" id
-        (Sl_analysis.Report.summary findings);
-      if findings <> [] then begin
-        incr sanitizer_failures;
-        List.iter
-          (fun fg -> Format.printf "%a@." Sl_analysis.Report.pp fg)
-          findings
-      end
-  in
-  let f =
-    match fault_plan with
-    | Some plan when not self_managed ->
-      fun () ->
-        Sl_fault.Fault.with_ambient (Sl_fault.Fault.create plan) f
-    | _ -> f
-  in
+(* Everything the scheduler needs back from one experiment, wherever it
+   ran.  [output] is the complete captured stdout; [failure] carries an
+   escaped exception so it re-raises at the experiment's canonical
+   position in the output order, after its partial output is printed. *)
+type job_result = {
+  id : string;
+  output : string;
+  wall_s : float;
+  events : int;
+  alloc_words : float;
+  sanitizer_failed : bool;
+  failure : (exn * Printexc.raw_backtrace) option;
+}
+
+let run_job (id, title, f) =
+  let sanitizer_failed = ref false in
   let sims = ref [] in
-  Sl_engine.Sim.set_creation_hook (fun s -> sims := s :: !sims);
-  Fun.protect ~finally:Sl_engine.Sim.clear_creation_hook f;
-  report_abandoned id (List.rev !sims);
-  Printf.printf "[%s done in %.1fs]\n\n" id (Unix.gettimeofday () -. t0)
+  let body () =
+    Sink.printf "---------------------------------------------------------------\n";
+    Sink.printf "%s — %s\n" (String.uppercase_ascii id) title;
+    Sink.printf "---------------------------------------------------------------\n";
+    (* The machine-readable header records everything needed to replay this
+       run: sanitizer state and the canonical fault spec, seed included. *)
+    Sink.printf "{\"experiment\":%S,\"sanitize\":%b,\"faults\":%s}\n" id sanitize
+      (match fault_plan with
+      | None -> "null"
+      | Some plan -> Printf.sprintf "%S" (Sl_fault.Fault.to_spec plan));
+    (* r1 manages its own sanitizers and fault plans (each scenario gets a
+       dedicated injector and asserts on the findings itself). *)
+    let self_managed = id = "r1" in
+    let f =
+      if not (sanitize && not self_managed) then f
+      else fun () ->
+        let (), findings = Sl_analysis.Analysis.with_all f in
+        Sink.printf "[%s sanitizers: %s]\n" id
+          (Sl_analysis.Report.summary findings);
+        if findings <> [] then begin
+          sanitizer_failed := true;
+          List.iter
+            (fun fg ->
+              Format.kasprintf Sink.emit "%a@." Sl_analysis.Report.pp fg)
+            findings
+        end
+    in
+    let f =
+      match fault_plan with
+      | Some plan when not self_managed ->
+        fun () -> Sl_fault.Fault.with_ambient (Sl_fault.Fault.create plan) f
+      | _ -> f
+    in
+    Sl_engine.Sim.set_creation_hook (fun s -> sims := s :: !sims);
+    Fun.protect ~finally:Sl_engine.Sim.clear_creation_hook f;
+    report_abandoned id (List.rev !sims)
+  in
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let failure, output =
+    Sink.with_buffer (fun () ->
+        match body () with
+        | () -> None
+        | exception e -> Some (e, Printexc.get_raw_backtrace ()))
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let alloc_words = (Gc.allocated_bytes () -. alloc0) /. 8.0 in
+  let events =
+    List.fold_left (fun acc s -> acc + Sl_engine.Sim.events_processed s) 0 !sims
+  in
+  { id; output; wall_s; events; alloc_words; sanitizer_failed = !sanitizer_failed;
+    failure }
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [-j N|auto] [-perf-out FILE] [experiment ids...]\n";
+  exit 2
+
+(* -j 0 / -j auto asks the runtime; explicit requests are honoured up to
+   a hard cap so a typo cannot fork-bomb the host. *)
+let parse_jobs = function
+  | "auto" | "0" -> Domain.recommended_domain_count ()
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> min n 16
+    | _ ->
+      Printf.eprintf "-j expects a positive count or 'auto'\n";
+      exit 2)
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map (fun (id, _, _) -> id) experiments
+  let jobs = ref 1 in
+  let perf_out = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: v :: rest ->
+      jobs := parse_jobs v;
+      parse rest
+    | "-perf-out" :: path :: rest ->
+      perf_out := Some path;
+      parse rest
+    | ("-j" | "-perf-out" | "-h" | "-help" | "--help") :: _ -> usage ()
+    | id :: rest ->
+      ids := id :: !ids;
+      parse rest
   in
-  List.iter
-    (fun id ->
-      match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
-      | Some exp -> run_one exp
-      | None ->
-        Printf.eprintf "unknown experiment %S; available: %s\n" id
-          (String.concat ", " (List.map (fun (eid, _, _) -> eid) experiments));
-        exit 1)
-    requested;
+  parse (List.tl (Array.to_list Sys.argv));
+  let requested =
+    match List.rev !ids with
+    | [] -> List.map (fun (id, _, _) -> id) experiments
+    | l -> l
+  in
+  let items =
+    List.map
+      (fun id ->
+        match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+        | Some exp -> exp
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" id
+            (String.concat ", " (List.map (fun (eid, _, _) -> eid) experiments));
+          exit 1)
+      requested
+    |> Array.of_list
+  in
+  let t0 = Unix.gettimeofday () in
+  let records = ref [] in
+  let sanitizer_failures = ref 0 in
+  Sl_util.Parallel.run_ordered ~jobs:!jobs run_job items ~consume:(fun _ r ->
+      print_string r.output;
+      flush stdout;
+      (* Timing is the one nondeterministic line, so it goes to stderr;
+         stdout keeps the blank separator and stays byte-stable. *)
+      Printf.eprintf "[%s done in %.1fs]\n" r.id r.wall_s;
+      flush stderr;
+      print_newline ();
+      if r.sanitizer_failed then incr sanitizer_failures;
+      records :=
+        { Perf.id = r.id; wall_s = r.wall_s; events = r.events;
+          alloc_words = r.alloc_words }
+        :: !records;
+      match r.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  Option.iter
+    (fun path ->
+      Perf.write ~path ~jobs:!jobs ~total_wall_s (List.rev !records))
+    !perf_out;
   if !sanitizer_failures > 0 then begin
     Printf.eprintf "sanitizers reported findings in %d experiment(s)\n"
       !sanitizer_failures;

@@ -3,6 +3,7 @@
    One Test.make per table/figure, so regressions in simulator speed are
    visible alongside the simulated results. *)
 
+open! Capture
 open Bechamel
 open Toolkit
 

@@ -1,0 +1,48 @@
+(* Performance accounting for the bench harness (see ANALYSIS.md,
+   "Performance accounting").
+
+   One record per experiment run: wall-clock seconds, simulation events
+   executed (summed over every Sim world the experiment built),
+   throughput, and words allocated in the running domain.  The harness
+   writes them as a JSON file (default BENCH_pr3.json via -perf-out) so
+   successive PRs accumulate a perf trajectory that CI can diff. *)
+
+module Json = Sl_util.Json
+
+type record = {
+  id : string;
+  wall_s : float;
+  events : int;
+  alloc_words : float;
+}
+
+let events_per_s r =
+  if r.wall_s > 0.0 then float_of_int r.events /. r.wall_s else 0.0
+
+let record_json r =
+  Json.obj
+    [
+      ("id", Json.quote r.id);
+      ("wall_s", Json.float r.wall_s);
+      ("events", string_of_int r.events);
+      ("events_per_s", Json.float (events_per_s r));
+      ("alloc_words", Json.float r.alloc_words);
+    ]
+
+let suite_json ~jobs ~total_wall_s records =
+  Json.obj
+    [
+      ("schema", Json.quote "switchless-bench-perf/1");
+      ("jobs", string_of_int jobs);
+      ("domains_available", string_of_int (Domain.recommended_domain_count ()));
+      ("total_wall_s", Json.float total_wall_s);
+      ("experiments", Json.arr (List.map record_json records));
+    ]
+
+let write ~path ~jobs ~total_wall_s records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (suite_json ~jobs ~total_wall_s records);
+      output_char oc '\n')

@@ -15,11 +15,13 @@ type t = {
 }
 
 (* Lets the fault injector attach to every IRQ fabric built inside
-   experiment runners, mirroring [Chip.add_creation_hook]. *)
-let creation_hook : (t -> unit) option ref = ref None
+   experiment runners, mirroring [Chip.add_creation_hook].  Domain-local,
+   like all ambient creation hooks. *)
+let creation_hook : (t -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_creation_hook f = creation_hook := Some f
-let clear_creation_hook () = creation_hook := None
+let set_creation_hook f = Domain.DLS.set creation_hook (Some f)
+let clear_creation_hook () = Domain.DLS.set creation_hook None
 
 (* The IRQ context's ptid on each core; chosen outside Swsched's range. *)
 let irq_ptid core_id = (core_id * 1024) + 999
@@ -60,7 +62,7 @@ let create sim params ~cores =
           in
           serve ()))
     cores;
-  (match !creation_hook with Some f -> f t | None -> ());
+  (match Domain.DLS.get creation_hook with Some f -> f t | None -> ());
   t
 
 let set_ipi_drop_fault t f = t.ipi_drop <- Some f

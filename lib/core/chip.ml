@@ -56,15 +56,20 @@ and thread = {
 (* Consulted at the end of [create]: lets observer libraries (analysis,
    fault injection) attach themselves to every chip built anywhere —
    including deep inside experiment runners — without the core depending
-   on them.  Keyed so several observers can coexist. *)
-let creation_hooks : (string * (t -> unit)) list ref = ref []
+   on them.  Keyed so several observers can coexist; domain-local so
+   observers installed by one parallel experiment runner never attach to
+   chips built by another. *)
+let creation_hooks : (string * (t -> unit)) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
 let add_creation_hook ~key f =
-  creation_hooks :=
-    List.filter (fun (k, _) -> k <> key) !creation_hooks @ [ (key, f) ]
+  Domain.DLS.set creation_hooks
+    (List.filter (fun (k, _) -> k <> key) (Domain.DLS.get creation_hooks)
+    @ [ (key, f) ])
 
 let remove_creation_hook ~key =
-  creation_hooks := List.filter (fun (k, _) -> k <> key) !creation_hooks
+  Domain.DLS.set creation_hooks
+    (List.filter (fun (k, _) -> k <> key) (Domain.DLS.get creation_hooks))
 
 let set_creation_hook f = add_creation_hook ~key:"default" f
 let clear_creation_hook () = remove_creation_hook ~key:"default"
@@ -96,7 +101,7 @@ let create sim params ~cores =
 
 let create sim params ~cores =
   let t = create sim params ~cores in
-  List.iter (fun (_, f) -> f t) !creation_hooks;
+  List.iter (fun (_, f) -> f t) (Domain.DLS.get creation_hooks);
   t
 
 let set_probe t f = t.probe <- Some f

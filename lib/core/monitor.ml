@@ -1,7 +1,8 @@
 type thread_key = { core_id : int; ptid : int }
 
 type thread_state = {
-  mutable armed : Memory.addr list;
+  mutable armed : Memory.addr list;  (* most recent first; see {!armed} *)
+  mutable armed_n : int;  (* [List.length armed], kept incrementally *)
   mutable pending : Memory.addr option;  (* latched trigger *)
   mutable waiter : (Memory.addr -> unit) option;  (* parked in mwait *)
 }
@@ -10,6 +11,10 @@ type t = {
   params : Params.t;
   by_addr : (Memory.addr, thread_key list ref) Hashtbl.t;
   by_thread : (thread_key, thread_state) Hashtbl.t;
+  (* Membership index over every armed (thread, addr) pair: [arm]/[disarm]
+     idempotence checks are O(1) instead of a walk of the thread's armed
+     list, which made arming K addresses O(K^2) (see E9). *)
+  armed_set : (thread_key * Memory.addr, unit) Hashtbl.t;
   core_armed : (int, int) Hashtbl.t;
   mutable fault_drop : (thread_key -> Memory.addr -> bool) option;
 }
@@ -19,6 +24,7 @@ let create params =
     params;
     by_addr = Hashtbl.create 256;
     by_thread = Hashtbl.create 256;
+    armed_set = Hashtbl.create 1024;
     core_armed = Hashtbl.create 16;
     fault_drop = None;
   }
@@ -30,7 +36,7 @@ let thread_state t key =
   match Hashtbl.find_opt t.by_thread key with
   | Some st -> st
   | None ->
-    let st = { armed = []; pending = None; waiter = None } in
+    let st = { armed = []; armed_n = 0; pending = None; waiter = None } in
     Hashtbl.replace t.by_thread key st;
     st
 
@@ -41,9 +47,11 @@ let bump_core t core_id delta =
   Hashtbl.replace t.core_armed core_id (core_armed_count t core_id + delta)
 
 let arm t key addr =
-  let st = thread_state t key in
-  if not (List.mem addr st.armed) then begin
+  if not (Hashtbl.mem t.armed_set (key, addr)) then begin
+    let st = thread_state t key in
+    Hashtbl.replace t.armed_set (key, addr) ();
     st.armed <- addr :: st.armed;
+    st.armed_n <- st.armed_n + 1;
     bump_core t key.core_id 1;
     let watchers =
       match Hashtbl.find_opt t.by_addr addr with
@@ -64,20 +72,27 @@ let remove_watcher t key addr =
     if !r = [] then Hashtbl.remove t.by_addr addr
 
 let disarm t key addr =
-  let st = thread_state t key in
-  if List.mem addr st.armed then begin
+  if Hashtbl.mem t.armed_set (key, addr) then begin
+    let st = thread_state t key in
+    Hashtbl.remove t.armed_set (key, addr);
     st.armed <- List.filter (fun a -> a <> addr) st.armed;
+    st.armed_n <- st.armed_n - 1;
     bump_core t key.core_id (-1);
     remove_watcher t key addr
   end
 
 let disarm_all t key =
   let st = thread_state t key in
-  List.iter (fun addr -> remove_watcher t key addr) st.armed;
-  bump_core t key.core_id (-List.length st.armed);
-  st.armed <- []
+  List.iter
+    (fun addr ->
+      Hashtbl.remove t.armed_set (key, addr);
+      remove_watcher t key addr)
+    st.armed;
+  bump_core t key.core_id (-st.armed_n);
+  st.armed <- [];
+  st.armed_n <- 0
 
-let armed_count t key = List.length (thread_state t key).armed
+let armed_count t key = (thread_state t key).armed_n
 
 let armed t key = List.rev (thread_state t key).armed
 

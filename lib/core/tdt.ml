@@ -33,11 +33,13 @@ let pp_perms ppf p =
 
 type t = { table_id : int; entries : (int, int * perms) Hashtbl.t }
 
-let next_id = ref 0
+(* Atomic: tables are created from every experiment-runner domain, and a
+   torn counter could hand two tables the same id (aliasing TDT-cache
+   lines within a chip). *)
+let next_id = Atomic.make 0
 
 let create () =
-  incr next_id;
-  { table_id = !next_id; entries = Hashtbl.create 16 }
+  { table_id = Atomic.fetch_and_add next_id 1 + 1; entries = Hashtbl.create 16 }
 
 let id t = t.table_id
 

@@ -35,11 +35,13 @@ type t = {
 }
 
 (* Lets the fault injector attach to every NIC built inside experiment
-   runners, mirroring [Chip.add_creation_hook]. *)
-let creation_hook : (t -> unit) option ref = ref None
+   runners, mirroring [Chip.add_creation_hook].  Domain-local, like all
+   ambient creation hooks. *)
+let creation_hook : (t -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_creation_hook f = creation_hook := Some f
-let clear_creation_hook () = creation_hook := None
+let set_creation_hook f = Domain.DLS.set creation_hook (Some f)
+let clear_creation_hook () = Domain.DLS.set creation_hook None
 
 let create sim params memory ?(notify = Notify.Silent) ?(queues = 1) ~queue_depth () =
   if queue_depth <= 0 then invalid_arg "Nic.create: queue_depth must be positive";
@@ -70,7 +72,7 @@ let create sim params memory ?(notify = Notify.Silent) ?(queues = 1) ~queue_dept
       doorbells_duplicated = 0;
     }
   in
-  (match !creation_hook with Some f -> f t | None -> ());
+  (match Domain.DLS.get creation_hook with Some f -> f t | None -> ());
   t
 
 let set_faults t f = t.faults <- Some f

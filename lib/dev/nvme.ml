@@ -23,11 +23,13 @@ type t = {
 }
 
 (* Lets the fault injector attach to every NVMe device built inside
-   experiment runners, mirroring [Chip.add_creation_hook]. *)
-let creation_hook : (t -> unit) option ref = ref None
+   experiment runners, mirroring [Chip.add_creation_hook].  Domain-local,
+   like all ambient creation hooks. *)
+let creation_hook : (t -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_creation_hook f = creation_hook := Some f
-let clear_creation_hook () = creation_hook := None
+let set_creation_hook f = Domain.DLS.set creation_hook (Some f)
+let clear_creation_hook () = Domain.DLS.set creation_hook None
 
 let create sim params memory ?(notify = Notify.Silent) ?(queue_depth = 64) ~latency ~rng () =
   if queue_depth <= 0 then invalid_arg "Nvme.create: queue_depth must be positive";
@@ -50,7 +52,7 @@ let create sim params memory ?(notify = Notify.Silent) ?(queue_depth = 64) ~late
       stall_cycles_total = 0L;
     }
   in
-  (match !creation_hook with Some f -> f t | None -> ());
+  (match Domain.DLS.get creation_hook with Some f -> f t | None -> ());
   t
 
 let set_stall_fault t f = t.stall_fault <- Some f

@@ -1,6 +1,11 @@
 type 'a entry = { time : int64; seq : int; payload : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+(* Slots at or past [size] are [None]: a popped entry's payload must
+   become collectable immediately, so the vacated slot is cleared rather
+   than left referencing the moved (or removed) entry.  The option also
+   keeps the grow path honest — fresh capacity is seeded with [None]
+   instead of a live payload pinned into every empty slot. *)
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
@@ -10,6 +15,11 @@ let is_empty t = t.size = 0
 let less a b =
   match Int64.compare a.time b.time with 0 -> a.seq < b.seq | c -> c < 0
 
+let get t i =
+  match t.data.(i) with
+  | Some e -> e
+  | None -> assert false (* i < size is guaranteed by the callers *)
+
 let swap t i j =
   let tmp = t.data.(i) in
   t.data.(i) <- t.data.(j);
@@ -18,7 +28,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
+    if less (get t i) (get t parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -27,36 +37,37 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.size && less (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && less (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t ~time ~seq payload =
-  let entry = { time; seq; payload } in
   let capacity = Array.length t.data in
   if t.size = capacity then begin
     let capacity' = max 16 (2 * capacity) in
-    let data = Array.make capacity' entry in
+    let data = Array.make capacity' None in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end;
-  t.data.(t.size) <- entry;
+  t.data.(t.size) <- Some { time; seq; payload };
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+let peek_time t = if t.size = 0 then None else Some (get t 0).time
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- None;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- None;
     Some (top.time, top.payload)
   end

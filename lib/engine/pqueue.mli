@@ -16,4 +16,7 @@ val peek_time : 'a t -> int64 option
 (** Time of the earliest element, if any. *)
 
 val pop : 'a t -> (int64 * 'a) option
-(** Remove and return the earliest element as [(time, payload)]. *)
+(** Remove and return the earliest element as [(time, payload)].  The
+    queue drops its own reference to the popped payload: once the caller
+    lets go of it, it is garbage-collectable (the backing array never
+    retains vacated slots). *)

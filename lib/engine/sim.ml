@@ -19,6 +19,7 @@ type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable next_pid : int;
   procs : (int, proc) Hashtbl.t;  (* live (not yet returned) processes *)
+  mutable events : int;  (* events popped by {!run}, for perf accounting *)
 }
 
 type _ Effect.t +=
@@ -30,20 +31,31 @@ type _ Effect.t +=
 
 (* Lets the bench harness observe every simulation world an experiment
    builds (for end-of-run stuck reporting) without the experiments
-   threading the worlds out themselves. *)
-let creation_hook : (t -> unit) option ref = ref None
+   threading the worlds out themselves.  Domain-local: each runner domain
+   installs (and sees) only its own hook, so experiments fanned out over
+   [Domain.spawn] never observe one another's worlds. *)
+let creation_hook : (t -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_creation_hook f = creation_hook := Some f
-let clear_creation_hook () = creation_hook := None
+let set_creation_hook f = Domain.DLS.set creation_hook (Some f)
+let clear_creation_hook () = Domain.DLS.set creation_hook None
 
 let create () =
   let t =
-    { now = 0L; seq = 0; queue = Pqueue.create (); next_pid = 0; procs = Hashtbl.create 32 }
+    {
+      now = 0L;
+      seq = 0;
+      queue = Pqueue.create ();
+      next_pid = 0;
+      procs = Hashtbl.create 32;
+      events = 0;
+    }
   in
-  (match !creation_hook with Some f -> f t | None -> ());
+  (match Domain.DLS.get creation_hook with Some f -> f t | None -> ());
   t
 
 let time t = t.now
+let events_processed t = t.events
 
 let push t ~at thunk =
   t.seq <- t.seq + 1;
@@ -156,6 +168,7 @@ let run ?until t =
       | None -> ()
       | Some (time, thunk) ->
         t.now <- time;
+        t.events <- t.events + 1;
         thunk ();
         loop ())
   in

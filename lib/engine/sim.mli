@@ -25,6 +25,12 @@ val create : unit -> t
 val time : t -> int64
 (** Current simulated time, readable from outside any process. *)
 
+val events_processed : t -> int
+(** Number of events the event loop has executed so far in this world.
+    The unit of throughput accounting: the bench harness sums this over
+    every world an experiment builds and reports events per wall-clock
+    second in its perf trailer. *)
+
 val spawn : ?name:string -> ?daemon:bool -> t -> (unit -> unit) -> unit
 (** [spawn t f] registers [f] as a process starting at the current time.
     When called before {!run}, the process starts at time 0.  [name] is
@@ -76,9 +82,13 @@ val suspect_summary : t -> string option
 val set_creation_hook : (t -> unit) -> unit
 (** Install a callback invoked on every subsequent {!create}.  Used by the
     bench harness to collect the simulation worlds an experiment builds so
-    it can report {!suspects} afterwards.  Only one hook at a time. *)
+    it can report {!suspects} afterwards.  Only one hook at a time, and
+    the hook is domain-local: a hook installed in one domain never fires
+    for worlds created in another, so parallel experiment runners do not
+    share observer state. *)
 
 val clear_creation_hook : unit -> unit
+(** Remove the calling domain's hook, if any. *)
 
 (** {2 Operations available inside a process}
 

@@ -1,0 +1,26 @@
+(** Minimal JSON emission helpers.
+
+    One shared, correct string escaper for every machine-readable line
+    the harness writes (experiment headers, stuck/suspects trailers, the
+    perf file), instead of per-call-site hand-rolled escapes that forget
+    control characters. *)
+
+val escape : string -> string
+(** Escape the contents of a JSON string literal (no surrounding
+    quotes): the double quote, the backslash, and all control characters
+    below 0x20 — the named short escapes (backslash-n/t/r/b/f) where
+    JSON has them, [\u00XX] otherwise. *)
+
+val quote : string -> string
+(** [escape] wrapped in double quotes: a complete JSON string token. *)
+
+val float : float -> string
+(** A JSON number for [f]; NaN and infinities (which JSON cannot
+    represent) become [null]. *)
+
+val obj : (string * string) list -> string
+(** [obj fields] renders an object (keys quoted for you); values must
+    already be valid JSON fragments (use {!quote}/{!float} for leaves). *)
+
+val arr : string list -> string
+(** [arr items] renders [[i1,...]]; items must be valid JSON fragments. *)

@@ -1,0 +1,29 @@
+(** Domain fan-out with in-order result delivery.
+
+    The parallel backbone of the bench harness: N jobs run concurrently
+    on worker domains, but their results are handed back to the calling
+    domain strictly in input order, so result-side effects (printing an
+    experiment's buffered output) are indistinguishable from a
+    sequential run. *)
+
+val run_ordered :
+  jobs:int -> ('a -> 'b) -> 'a array -> consume:(int -> 'b -> unit) -> unit
+(** [run_ordered ~jobs f items ~consume] applies [f] to every item,
+    using up to [jobs] worker domains, and calls [consume i result] in
+    the calling domain for [i = 0, 1, 2, ...] — in input order, each as
+    soon as that item (and all before it) have finished.  With
+    [jobs <= 1] everything runs sequentially in the calling domain and
+    no worker domain is spawned (so domain-local ambient state behaves
+    exactly as in the classic sequential harness).
+
+    Worker domains start with fresh domain-local storage: [f] must
+    install any ambient hooks it needs itself and must not rely on
+    caller-domain mutable state.
+
+    If [f] raises for some item, consumption stops at that item's
+    position (earlier results are still consumed), all workers are
+    joined, and the exception is re-raised in the caller. *)
+
+val map_ordered : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_ordered ~jobs f items] is {!run_ordered} collecting results
+    into an array, in input order. *)

@@ -1,0 +1,27 @@
+(* Per-domain output routing.
+
+   Experiment code prints its tables through this module (directly or
+   via the bench harness's shadowing shim).  By default everything goes
+   straight to stdout, preserving the classic sequential behaviour; a
+   parallel runner redirects its own domain's sink into a buffer so
+   concurrently-running experiments never interleave bytes, and the
+   harness can emit each experiment's output whole, in canonical order. *)
+
+let sink : (string -> unit) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let emit s =
+  match Domain.DLS.get sink with
+  | None -> print_string s
+  | Some f -> f s
+
+let printf fmt = Printf.ksprintf emit fmt
+
+let with_sink f fn =
+  let saved = Domain.DLS.get sink in
+  Domain.DLS.set sink (Some f);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sink saved) fn
+
+let with_buffer fn =
+  let b = Buffer.create 4096 in
+  let result = with_sink (Buffer.add_string b) fn in
+  (result, Buffer.contents b)

@@ -64,5 +64,5 @@ let render_series ~title ~x_label ~columns points =
   render ~title ~header rows
 
 let print block =
-  print_string block;
-  print_newline ()
+  Sink.emit block;
+  Sink.emit "\n"

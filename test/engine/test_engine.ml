@@ -36,6 +36,74 @@ let test_pqueue_seq_tiebreak () =
     | None -> Alcotest.fail "queue exhausted early"
   done
 
+(* Random interleaving of pushes and pops checked move-by-move against a
+   naive list model with the same (time, seq) order.  Exercises the
+   slot-clearing pop and the grow path together. *)
+let test_pqueue_model_interleaved () =
+  let rng = Sl_util.Rng.create 2024L in
+  let q = Pqueue.create () in
+  let model = ref [] in
+  let seq = ref 0 in
+  let model_min () =
+    List.fold_left
+      (fun acc ((t, s, _) as e) ->
+        match acc with
+        | Some (t', s', _) when Int64.compare t' t < 0 || (t' = t && s' < s) ->
+          acc
+        | _ -> Some e)
+      None !model
+  in
+  let pop_both () =
+    match (Pqueue.pop q, model_min ()) with
+    | None, None -> ()
+    | Some (t, v), Some (mt, ms, mv) ->
+      check_i64 "model time" mt t;
+      check_int "model payload" mv v;
+      model := List.filter (fun (_, s, _) -> s <> ms) !model
+    | Some _, None -> Alcotest.fail "queue has elements the model lacks"
+    | None, Some _ -> Alcotest.fail "queue lost elements the model kept"
+  in
+  for _ = 1 to 10_000 do
+    if !model = [] || Sl_util.Rng.int rng 3 > 0 then begin
+      let time = Int64.of_int (Sl_util.Rng.int rng 64) in
+      Pqueue.push q ~time ~seq:!seq !seq;
+      model := (time, !seq, !seq) :: !model;
+      incr seq
+    end
+    else pop_both ()
+  done;
+  while not (Pqueue.is_empty q) do
+    pop_both ()
+  done;
+  check_bool "model drained too" true (!model = [])
+
+(* Popped payloads must be collectable while the queue object lives on:
+   pop clears its slot instead of leaving the boxed entry behind in the
+   backing array. *)
+let test_pqueue_pop_releases_payload () =
+  let q = Pqueue.create () in
+  let n = 64 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    Pqueue.push q ~time:(Int64.of_int i) ~seq:i payload
+  done;
+  (* Pop the first half; those payloads must die, the rest must survive. *)
+  for _ = 1 to n / 2 do
+    ignore (Pqueue.pop q : (int64 * int ref) option)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to (n / 2) - 1 do
+    check_bool (Printf.sprintf "popped payload %d collected" i) false
+      (Weak.check w i)
+  done;
+  for i = n / 2 to n - 1 do
+    check_bool (Printf.sprintf "queued payload %d alive" i) true (Weak.check w i)
+  done;
+  ignore (Sys.opaque_identity q)
+
 let test_pqueue_random_sorted () =
   let rng = Sl_util.Rng.create 42L in
   let q = Pqueue.create () in
@@ -469,6 +537,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_pqueue_order;
           Alcotest.test_case "seq tiebreak" `Quick test_pqueue_seq_tiebreak;
           Alcotest.test_case "random sorted" `Quick test_pqueue_random_sorted;
+          Alcotest.test_case "model interleaved" `Quick test_pqueue_model_interleaved;
+          Alcotest.test_case "pop releases payload" `Quick test_pqueue_pop_releases_payload;
         ] );
       ( "sim",
         [

@@ -5,6 +5,8 @@ module Dist = Sl_util.Dist
 module Histogram = Sl_util.Histogram
 module Welford = Sl_util.Welford
 module Tablefmt = Sl_util.Tablefmt
+module Json = Sl_util.Json
+module Parallel = Sl_util.Parallel
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -308,10 +310,125 @@ let test_series_rejects_wrong_arity () =
         (Tablefmt.render_series ~title:"t" ~x_label:"x" ~columns:[ "a" ]
            [ (1.0, [ 1.0; 2.0 ]) ]))
 
+(* --- Json --- *)
+
+let check_str = Alcotest.(check string)
+
+let test_json_escape_basics () =
+  check_str "plain" "hello" (Json.escape "hello");
+  check_str "quote" "a\\\"b" (Json.escape "a\"b");
+  check_str "backslash" "a\\\\b" (Json.escape "a\\b");
+  check_str "newline" "a\\nb" (Json.escape "a\nb")
+
+let test_json_escape_control_chars () =
+  (* The cases the old hand-rolled escapers dropped on the floor. *)
+  check_str "tab" "a\\tb" (Json.escape "a\tb");
+  check_str "carriage return" "a\\rb" (Json.escape "a\rb");
+  check_str "backspace" "a\\bb" (Json.escape "a\bb");
+  check_str "form feed" "a\\fb" (Json.escape "a\012b");
+  check_str "nul" "a\\u0000b" (Json.escape "a\000b");
+  check_str "escape char" "a\\u001bb" (Json.escape "a\027b")
+
+let test_json_quote () =
+  check_str "quoted" "\"a\\tb\"" (Json.quote "a\tb")
+
+let test_json_float () =
+  check_str "integral" "3" (Json.float 3.0);
+  check_str "fractional" "0.25" (Json.float 0.25);
+  check_str "nan is null" "null" (Json.float Float.nan);
+  check_str "inf is null" "null" (Json.float Float.infinity);
+  check_str "neg inf is null" "null" (Json.float Float.neg_infinity)
+
+let test_json_obj_arr () =
+  check_str "obj"
+    "{\"a\":1,\"b\":\"x\"}"
+    (Json.obj [ ("a", "1"); ("b", Json.quote "x") ]);
+  check_str "arr" "[1,2]" (Json.arr [ "1"; "2" ]);
+  check_str "empty obj" "{}" (Json.obj []);
+  check_str "empty arr" "[]" (Json.arr [])
+
+let prop_json_escape_no_raw_controls =
+  QCheck.Test.make ~name:"escaped strings have no raw control chars or quotes"
+    ~count:500 QCheck.string (fun s ->
+      let e = Json.escape s in
+      String.for_all (fun c -> Char.code c >= 0x20) e
+      &&
+      (* any remaining quote must be preceded by a backslash *)
+      let ok = ref true in
+      String.iteri
+        (fun i c ->
+          if c = '"' && (i = 0 || e.[i - 1] <> '\\') then ok := false)
+        e;
+      !ok)
+
+(* --- Parallel --- *)
+
+let test_parallel_map_ordered () =
+  let items = Array.init 40 (fun i -> i) in
+  let out = Parallel.map_ordered ~jobs:4 (fun i -> i * i) items in
+  Alcotest.(check (array int)) "squares in order"
+    (Array.init 40 (fun i -> i * i))
+    out
+
+let test_parallel_consume_in_order () =
+  let seen = ref [] in
+  Parallel.run_ordered ~jobs:4
+    (fun i -> i)
+    (Array.init 25 (fun i -> i))
+    ~consume:(fun i v ->
+      check_int "index matches value" i v;
+      seen := i :: !seen);
+  Alcotest.(check (list int)) "consumed 0..24 in order"
+    (List.init 25 (fun i -> 24 - i))
+    !seen
+
+let test_parallel_sequential_interleaves () =
+  (* jobs=1 must run f and consume interleaved in the calling domain —
+     the classic sequential harness behaviour. *)
+  let trace = ref [] in
+  Parallel.run_ordered ~jobs:1
+    (fun i ->
+      trace := ("f", i) :: !trace;
+      i)
+    [| 0; 1; 2 |]
+    ~consume:(fun i _ -> trace := ("c", i) :: !trace);
+  Alcotest.(check (list (pair string int)))
+    "f/consume strictly alternate"
+    [ ("f", 0); ("c", 0); ("f", 1); ("c", 1); ("f", 2); ("c", 2) ]
+    (List.rev !trace)
+
+let test_parallel_propagates_failure () =
+  let consumed = ref [] in
+  let run () =
+    Parallel.run_ordered ~jobs:3
+      (fun i -> if i = 2 then failwith "boom" else i)
+      (Array.init 6 (fun i -> i))
+      ~consume:(fun i _ -> consumed := i :: !consumed)
+  in
+  (match run () with
+  | () -> Alcotest.fail "expected failure to propagate"
+  | exception Failure msg -> check_str "original exception" "boom" msg);
+  Alcotest.(check (list int)) "items before the failure were consumed" [ 1; 0 ]
+    !consumed
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"map_ordered agrees with sequential map at any jobs"
+    ~count:50
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, xs) ->
+      let items = Array.of_list xs in
+      Parallel.map_ordered ~jobs (fun x -> (2 * x) + 1) items
+      = Array.map (fun x -> (2 * x) + 1) items)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_histogram_quantile_bounds; prop_histogram_quantile_monotone ]
+      [
+        prop_histogram_quantile_bounds;
+        prop_histogram_quantile_monotone;
+        prop_json_escape_no_raw_controls;
+        prop_parallel_matches_sequential;
+      ]
   in
   Alcotest.run "util"
     [
@@ -354,6 +471,21 @@ let () =
         [
           Alcotest.test_case "known values" `Quick test_welford_known_values;
           Alcotest.test_case "empty" `Quick test_welford_empty;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escape basics" `Quick test_json_escape_basics;
+          Alcotest.test_case "escape control chars" `Quick test_json_escape_control_chars;
+          Alcotest.test_case "quote" `Quick test_json_quote;
+          Alcotest.test_case "float" `Quick test_json_float;
+          Alcotest.test_case "obj and arr" `Quick test_json_obj_arr;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map ordered" `Quick test_parallel_map_ordered;
+          Alcotest.test_case "consume in order" `Quick test_parallel_consume_in_order;
+          Alcotest.test_case "jobs=1 interleaves" `Quick test_parallel_sequential_interleaves;
+          Alcotest.test_case "failure propagates" `Quick test_parallel_propagates_failure;
         ] );
       ( "tablefmt",
         [
