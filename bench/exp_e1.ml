@@ -23,14 +23,14 @@ let latency_row name h =
   [
     Tablefmt.String name;
     Tablefmt.Int (Histogram.count h);
-    Tablefmt.Int64 (Histogram.quantile h 0.5);
-    Tablefmt.Int64 (Histogram.quantile h 0.99);
-    Tablefmt.Int64 (Histogram.max_value h);
+    Tablefmt.Int (Histogram.quantile h 0.5);
+    Tablefmt.Int (Histogram.quantile h 0.99);
+    Tablefmt.Int (Histogram.max_value h);
     Tablefmt.Float (Params.cycles_to_ns p (Histogram.quantile h 0.5));
   ]
 
 let run () =
-  let ticks = 2000 and period = 50_000L in
+  let ticks = 2000 and period = 50_000 in
   let mwait = Io_path.timer_wakeup_mwait p ~ticks ~period in
   let irq = Io_path.timer_wakeup_interrupt p ~ticks ~period in
   Tablefmt.print
@@ -42,7 +42,7 @@ let run () =
       Io_path.default_config with
       Io_path.count = 1000;
       rate_per_kcycle = 0.02;  (* one packet per 50k cycles: pure latency *)
-      per_packet_work = 10L;
+      per_packet_work = 10;
     }
   in
   let m = Io_path.run_mwait cfg in
@@ -58,5 +58,5 @@ let run () =
        ]);
   Printf.printf
     "mwait p50 / irq p50 = %.1fx improvement (paper predicts >= 10x)\n\n"
-    (Int64.to_float (Histogram.quantile irq 0.5)
-    /. Int64.to_float (Histogram.quantile mwait 0.5))
+    (float_of_int (Histogram.quantile irq 0.5)
+    /. float_of_int (Histogram.quantile mwait 0.5))

@@ -21,7 +21,7 @@ module Exception_desc = Switchless.Exception_desc
 module Tablefmt = Sl_util.Tablefmt
 
 let p = Params.default
-let handler_work = 100L
+let handler_work = 100
 
 (* Build a chain of [depth] handlers; handler i faults once itself on its
    first activation (except the last), so a depth-k chain exercises k
@@ -37,11 +37,11 @@ let chain_latency depth =
   let victim = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Regstate.set (Chip.regs victim) Regstate.Exception_descriptor_ptr
     (Int64.of_int descs.(0));
-  let latency = ref 0L in
+  let latency = ref 0 in
   Chip.attach victim (fun th ->
       let t0 = Sim.now () in
       Isa.fault th Exception_desc.Divide_error ~info:0L;
-      latency := Int64.sub (Sim.now ()) t0);
+      latency := Sim.now () - t0);
   (* Handler i (ptid 10+i) watches descs.(i); all but the last fault once
      through descs.(i+1) while handling. *)
   for i = 0 to depth - 1 do
@@ -69,7 +69,7 @@ let chain_latency depth =
   done;
   Chip.boot victim;
   Sim.run sim;
-  Int64.to_int !latency
+  !latency
 
 let triple_fault_check () =
   let sim = Sim.create () in

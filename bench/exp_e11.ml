@@ -24,8 +24,8 @@ module Histogram = Sl_util.Histogram
 module Tablefmt = Sl_util.Tablefmt
 
 let p = Params.default
-let handler_work = 500L
-let period = 5_000L
+let handler_work = 500
+let period = 5_000
 let events = 400
 let batch_threads = 8
 
@@ -42,8 +42,7 @@ let measure weight =
       for i = 1 to events do
         let _ = Isa.mwait th in
         Isa.exec th handler_work;
-        Histogram.record latencies
-          (Int64.sub (Sim.now ()) (Int64.mul (Int64.of_int i) period));
+        Histogram.record latencies (Sim.now () - (i * period));
         ignore i
       done;
       stop := true);
@@ -52,7 +51,7 @@ let measure weight =
     let bg = Chip.add_thread chip ~core:0 ~ptid:(100 + b) ~mode:Ptid.User () in
     Chip.attach bg (fun th ->
         while not !stop do
-          Isa.exec th 200L
+          Isa.exec th 200
         done);
     Chip.boot bg
   done;
@@ -64,7 +63,7 @@ let measure weight =
   Sim.run sim;
   let batch_done =
     Smt_core.work_done (Chip.exec_core chip 0) Smt_core.Useful
-    -. Int64.to_float handler_work *. float_of_int events
+    -. float_of_int handler_work *. float_of_int events
   in
   (latencies, batch_done)
 
@@ -75,8 +74,8 @@ let run () =
         let latencies, batch_done = measure weight in
         [
           Tablefmt.Float weight;
-          Tablefmt.Int64 (Histogram.quantile latencies 0.5);
-          Tablefmt.Int64 (Histogram.quantile latencies 0.99);
+          Tablefmt.Int (Histogram.quantile latencies 0.5);
+          Tablefmt.Int (Histogram.quantile latencies 0.99);
           Tablefmt.Float (batch_done /. 1.0e6);
         ])
       [ 1.0; 4.0; 16.0; 64.0 ]

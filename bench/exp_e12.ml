@@ -25,7 +25,7 @@ module Openloop = Sl_workload.Openloop
 
 let p = Params.default
 let workers = 600
-let service = 400L
+let service = 400
 let count = 4000
 let rate = 1.2
 
@@ -43,7 +43,7 @@ let measure policy =
             Isa.exec th service;
             (match Hashtbl.find_opt arrivals payload with
             | Some arrival ->
-              Histogram.record latencies (Int64.sub (Sim.now ()) arrival)
+              Histogram.record latencies (Sim.now () - arrival)
             | None -> ());
             incr done_count));
     Chip.boot th
@@ -51,13 +51,13 @@ let measure policy =
   let rng = Sl_util.Rng.create 31L in
   Openloop.run sim rng
     ~interarrival:(Openloop.poisson ~rate_per_kcycle:rate)
-    ~service:(Sl_util.Dist.Constant (Int64.to_float service))
+    ~service:(Sl_util.Dist.Constant (float_of_int service))
     ~count
     ~sink:(fun req ->
       Hashtbl.replace arrivals (Int64.of_int req.Openloop.req_id) req.Openloop.arrival;
       Hw_dispatch.submit dispatch (Int64.of_int req.Openloop.req_id));
   (* Workers park forever once the stream ends; bound the run. *)
-  Sim.run ~until:(Int64.of_int (count * 1200) |> Int64.add 100_000L) sim;
+  Sim.run ~until:((count * 1200) + 100_000) sim;
   let stats = Chip.stats chip in
   let total_wakes =
     stats.Chip.rf_wakes + stats.Chip.l2_wakes + stats.Chip.l3_wakes
@@ -77,8 +77,8 @@ let run () =
         [
           Tablefmt.String name;
           Tablefmt.Int completed;
-          Tablefmt.Int64 (Histogram.quantile latencies 0.5);
-          Tablefmt.Int64 (Histogram.quantile latencies 0.99);
+          Tablefmt.Int (Histogram.quantile latencies 0.5);
+          Tablefmt.Int (Histogram.quantile latencies 0.99);
           Tablefmt.Float rf_frac;
           Tablefmt.Int demotions;
         ])

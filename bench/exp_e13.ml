@@ -17,17 +17,17 @@ module Params = Switchless.Params
 module Tablefmt = Sl_util.Tablefmt
 
 let p = Params.default
-let duration = 4_000_000L
+let duration = 4_000_000
 
 let run () =
-  let slices = [ 500_000L; 100_000L; 20_000L; 5_000L ] in
+  let slices = [ 500_000; 100_000; 20_000; 5_000 ] in
   let rows =
     List.map
       (fun slice ->
         let hw = Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice ~duration in
         let sw = Vm.sw_timeshare p ~vms:2 ~vcpus:2 ~slice ~duration in
         [
-          Tablefmt.Int64 slice;
+          Tablefmt.Int slice;
           Tablefmt.Float (100.0 *. hw.Vm.utilization);
           Tablefmt.Float (100.0 *. sw.Vm.utilization);
           Tablefmt.Float (hw.Vm.overhead_cycles /. float_of_int (max 1 hw.Vm.switches));

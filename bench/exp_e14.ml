@@ -42,7 +42,7 @@ let run () =
       (fun rate ->
         let fcfs = Sched_policy.run ~mode:Sched_policy.Fcfs (cfg rate) in
         let preempt =
-          Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000L) (cfg rate)
+          Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000) (cfg rate)
         in
         ( rate,
           [

@@ -31,7 +31,7 @@ let run () =
           Tablefmt.Int s.Netstack.duplicates;
           Tablefmt.Float s.Netstack.goodput_per_kcycle;
           Tablefmt.Float
-            (Int64.to_float s.Netstack.elapsed_cycles /. 300.0);
+            (float_of_int s.Netstack.elapsed_cycles /. 300.0);
         ])
       losses
   in

@@ -30,17 +30,17 @@ let rss_sweep () =
           Io_path.default_config with
           Io_path.count = 2000;
           rate_per_kcycle = rate;
-          per_packet_work = 500L;
+          per_packet_work = 500;
         }
       in
       let single = Io_path.run_mwait cfg in
       let rss = Io_path.run_mwait_rss ~queues:4 cfg in
       let p99 (s : Io_path.stats) =
-        Int64.to_float (Histogram.quantile s.Io_path.latencies 0.99)
+        float_of_int (Histogram.quantile s.Io_path.latencies 0.99)
       in
       let tput (s : Io_path.stats) =
         1000.0 *. float_of_int s.Io_path.processed
-        /. Int64.to_float s.Io_path.elapsed_cycles
+        /. float_of_int s.Io_path.elapsed_cycles
       in
       (rate, [ p99 single; p99 rss; tput single; tput rss ]))
     rss_rates
@@ -54,7 +54,7 @@ let run () =
             Io_path.default_config with
             Io_path.count = 2000;
             rate_per_kcycle = rate;
-            per_packet_work = 500L;
+            per_packet_work = 500;
           }
         in
         ( rate,
@@ -64,8 +64,8 @@ let run () =
           Io_path.run_interrupt_napi cfg ))
       rates
   in
-  let p99 (s : Io_path.stats) = Int64.to_float (Histogram.quantile s.Io_path.latencies 0.99) in
-  let p50 (s : Io_path.stats) = Int64.to_float (Histogram.quantile s.Io_path.latencies 0.5) in
+  let p99 (s : Io_path.stats) = float_of_int (Histogram.quantile s.Io_path.latencies 0.99) in
+  let p50 (s : Io_path.stats) = float_of_int (Histogram.quantile s.Io_path.latencies 0.5) in
   Tablefmt.print
     (Tablefmt.render_series ~title:"E2a: p50 latency (cycles) vs offered load"
        ~x_label:"pkts/kcycle"

@@ -29,49 +29,49 @@ let measure_trap work =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let app = Swsched.thread sched () in
-  let total = ref 0L in
+  let total = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec app 10L;
+      Swsched.exec app 10;
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Syscall.Trap.call app p ~kernel_work:work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let measure_flexsc work =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let kernel_core = Smt_core.create sim p ~core_id:50 in
-  let fx = Syscall.Flexsc.create sim p ~batch_window:300L ~kernel_core () in
+  let fx = Syscall.Flexsc.create sim p ~batch_window:300 ~kernel_core () in
   let app = Swsched.thread sched () in
-  let total = ref 0L in
+  let total = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec app 10L;
+      Swsched.exec app 10;
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Syscall.Flexsc.call fx app ~kernel_work:work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let measure_hw work =
   let sim = Sim.create () in
   let chip = Chip.create sim p ~cores:2 in
   let sys = Syscall.Hw_thread.create chip ~core:1 ~server_ptid:100 in
-  let total = ref 0L in
+  let total = ref 0 in
   let app = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach app (fun th ->
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Syscall.Hw_thread.call sys ~client:th ~kernel_work:work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Chip.boot app;
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 (* E3b: how good is the flat 300-cycle pollution charge?  Replay working
    sets through the measured cache/TLB model: warm the set, apply one
@@ -97,16 +97,16 @@ let pollution_sensitivity () =
     [ 4; 16; 64; 256 ]
 
 let run () =
-  let works = [ 0L; 100L; 500L; 2000L; 10000L ] in
+  let works = [ 0; 100; 500; 2000; 10000 ] in
   let rows =
     List.map
       (fun work ->
         let trap = measure_trap work in
         let fx = measure_flexsc work in
         let hw = measure_hw work in
-        let w = Int64.to_float work in
+        let w = float_of_int work in
         [
-          Tablefmt.Int64 work;
+          Tablefmt.Int work;
           Tablefmt.Float trap;
           Tablefmt.Float fx;
           Tablefmt.Float hw;
@@ -124,9 +124,9 @@ let run () =
        rows);
   Printf.printf
     "Mechanism tax at work=500: trap %.0f, flexsc %.0f, hw %.0f cycles\n\n"
-    (measure_trap 500L -. 500.0)
-    (measure_flexsc 500L -. 500.0)
-    (measure_hw 500L -. 500.0);
+    (measure_trap 500 -. 500.0)
+    (measure_flexsc 500 -. 500.0)
+    (measure_hw 500 -. 500.0);
   Tablefmt.print
     (Tablefmt.render
        ~title:

@@ -25,7 +25,7 @@ module Hw_channel = Sl_os.Hw_channel
 module Tablefmt = Sl_util.Tablefmt
 
 let p = Params.default
-let work = 500L
+let work = 500
 let calls = 100
 
 (* Extra cycles a trap pays when the kernel touches vector registers:
@@ -38,34 +38,34 @@ let measure_trap_with_fp () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let app = Swsched.thread sched () in
-  let total = ref 0L in
+  let total = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec app 10L;
+      Swsched.exec app 10;
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Swsched.exec app ~kind:Switchless.Smt_core.Overhead
-          (Int64.of_int kernel_fp_trap_extra);
+          kernel_fp_trap_extra;
         Syscall.Trap.call app p ~kernel_work:work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let measure_hw ~vector =
   let sim = Sim.create () in
   let chip = Chip.create sim p ~cores:2 in
   let sys = Hw_channel.create chip ~core:1 ~server_ptid:100 ~vector () in
-  let total = ref 0L in
+  let total = ref 0 in
   let app = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach app (fun th ->
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Hw_channel.call sys ~client:th ~work ()
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Chip.boot app;
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let run () =
   let sw_gp = Ctx_cost.software_switch_cycles p ~out_vector:false ~in_vector:false () in

@@ -29,32 +29,32 @@ let measure_monolithic work =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let client = Swsched.thread sched () in
-  let total = ref 0L in
+  let total = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec client 10L;
+      Swsched.exec client 10;
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Microkernel.monolithic_call client p ~service_work:work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let measure_sw_ipc work =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let service = Microkernel.Sw_service.create sim sched p in
   let client = Swsched.thread sched () in
-  let total = ref 0L in
+  let total = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec client 10L;
+      Swsched.exec client 10;
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Microkernel.Sw_service.call service ~client ~service_work:work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let measure_hw_ipc work =
   let sim = Sim.create () in
@@ -62,16 +62,16 @@ let measure_hw_ipc work =
   let service = Microkernel.Hw_service.create chip ~core:1 ~server_ptid:100 () in
   let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Hw_channel.grant service ~client ~vtid:7;
-  let total = ref 0L in
+  let total = ref 0 in
   Chip.attach client (fun th ->
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Microkernel.Hw_service.call service ~client:th ~via:7 ~service_work:work ()
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Chip.boot client;
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 (* Container proxy: app -> proxy (work 200) -> service (work).  The proxy
    is itself an isolated hardware thread that calls the service. *)
@@ -82,9 +82,10 @@ let measure_proxy_chain_hw work =
   let proxy =
     Hw_channel.create chip ~core:1 ~server_ptid:101 ~mode:Ptid.User
       ~on_request:(fun th w ->
-        Isa.exec th 200L;
+        Isa.exec th 200;
         (* The proxy forwards to the backing service. *)
-        Microkernel.Hw_service.call service ~client:th ~via:9 ~service_work:w ())
+        Microkernel.Hw_service.call service ~client:th ~via:9
+          ~service_work:(Int64.to_int w) ())
       ()
   in
   (* The proxy thread needs rights on the service. *)
@@ -92,16 +93,16 @@ let measure_proxy_chain_hw work =
   Hw_channel.grant service ~client:proxy_thread ~vtid:9;
   let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Hw_channel.grant proxy ~client ~vtid:7;
-  let total = ref 0L in
+  let total = ref 0 in
   Chip.attach client (fun th ->
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Hw_channel.call proxy ~client:th ~via:7 ~work ()
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Chip.boot client;
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let measure_proxy_chain_sw work =
   let sim = Sim.create () in
@@ -114,40 +115,40 @@ let measure_proxy_chain_sw work =
       let rec serve () =
         let (w, reply) = Sl_engine.Mailbox.recv inbox in
         Swsched.exec proxy_thread ~kind:Switchless.Smt_core.Overhead
-          (Int64.of_int p.Params.trap_exit_cycles);
-        Swsched.exec proxy_thread 200L;
+          p.Params.trap_exit_cycles;
+        Swsched.exec proxy_thread 200;
         Microkernel.Sw_service.call service ~client:proxy_thread ~service_work:w;
         Swsched.exec proxy_thread ~kind:Switchless.Smt_core.Overhead
-          (Int64.of_int (p.Params.trap_entry_cycles + p.Params.sched_decision_cycles));
+          (p.Params.trap_entry_cycles + p.Params.sched_decision_cycles);
         Sl_engine.Ivar.fill reply ();
         serve ()
       in
       serve ());
   let client = Swsched.thread sched () in
-  let total = ref 0L in
+  let total = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec client 10L;
+      Swsched.exec client 10;
       let t0 = Sim.now () in
       for _ = 1 to calls do
         Swsched.exec client ~kind:Switchless.Smt_core.Overhead
-          (Int64.of_int (p.Params.trap_entry_cycles + p.Params.sched_decision_cycles));
+          (p.Params.trap_entry_cycles + p.Params.sched_decision_cycles);
         let reply = Sl_engine.Ivar.create () in
         Sl_engine.Mailbox.send inbox (work, reply);
         Sl_engine.Ivar.read reply;
         Swsched.exec client ~kind:Switchless.Smt_core.Overhead
-          (Int64.of_int p.Params.trap_exit_cycles)
+          p.Params.trap_exit_cycles
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_float !total /. float_of_int calls
+  float_of_int !total /. float_of_int calls
 
 let run () =
-  let works = [ 100L; 500L; 2000L ] in
+  let works = [ 100; 500; 2000 ] in
   let rows =
     List.map
       (fun work ->
         [
-          Tablefmt.Int64 work;
+          Tablefmt.Int work;
           Tablefmt.Float (measure_monolithic work);
           Tablefmt.Float (measure_sw_ipc work);
           Tablefmt.Float (measure_hw_ipc work);
@@ -158,7 +159,7 @@ let run () =
     (Tablefmt.render ~title:"E5a: service round trip (cycles) by IPC design"
        ~header:[ "service work"; "monolithic"; "microkernel sw IPC"; "hw-thread IPC" ]
        rows);
-  let work = 500L in
+  let work = 500 in
   Tablefmt.print
     (Tablefmt.render
        ~title:"E5b: container proxy chain (app -> proxy(200) -> service(500))"

@@ -26,22 +26,22 @@ module Tablefmt = Sl_util.Tablefmt
 
 let p = Params.default
 let exits = 100
-let handle_work = 300L
+let handle_work = 300
 
 let measure_inkernel () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let guest = Swsched.thread sched () in
-  let total = ref 0L in
+  let total = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec guest 10L;
+      Swsched.exec guest 10;
       let t0 = Sim.now () in
       for _ = 1 to exits do
         Hypervisor.inkernel_exit guest p ~handle_work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Sim.run sim;
-  (Int64.to_float !total /. float_of_int exits, 0.0)
+  (float_of_int !total /. float_of_int exits, 0.0)
 
 let measure_isolated () =
   let sim = Sim.create () in
@@ -49,7 +49,7 @@ let measure_isolated () =
   let hyp = Hypervisor.Isolated.create chip ~core:1 ~hyp_ptid:200 in
   let guest = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Hypervisor.Isolated.install_guest hyp ~guest;
-  let total = ref 0L in
+  let total = ref 0 in
   Chip.attach guest (fun th ->
       (* One warm-up exit to fill the hypervisor's TDT cache. *)
       Hypervisor.Isolated.vmexit th ~handle_work;
@@ -57,29 +57,29 @@ let measure_isolated () =
       for _ = 1 to exits do
         Hypervisor.Isolated.vmexit th ~handle_work
       done;
-      total := Int64.sub (Sim.now ()) t0);
+      total := Sim.now () - t0);
   Chip.boot guest;
   Sim.run sim;
   let hyp_core = Chip.exec_core chip 1 in
-  (Int64.to_float !total /. float_of_int exits, Smt_core.work_done hyp_core Smt_core.Poll)
+  (float_of_int !total /. float_of_int exits, Smt_core.work_done hyp_core Smt_core.Poll)
 
 let measure_remote () =
   let sim = Sim.create () in
   let chip = Chip.create sim p ~cores:2 in
   let remote = Hypervisor.Remote.create chip ~core:1 ~hyp_ptid:200 () in
   let guest = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
-  let total = ref 0L in
+  let total = ref 0 in
   Chip.attach guest (fun th ->
       let t0 = Sim.now () in
       for _ = 1 to exits do
         Hypervisor.Remote.vmexit remote ~guest:th ~handle_work
       done;
-      total := Int64.sub (Sim.now ()) t0;
+      total := Sim.now () - t0;
       Hypervisor.Remote.shutdown remote);
   Chip.boot guest;
   Sim.run sim;
   let hyp_core = Chip.exec_core chip 1 in
-  (Int64.to_float !total /. float_of_int exits, Smt_core.work_done hyp_core Smt_core.Poll)
+  (float_of_int !total /. float_of_int exits, Smt_core.work_done hyp_core Smt_core.Poll)
 
 let run () =
   let ik, ik_poll = measure_inkernel () in
@@ -89,7 +89,7 @@ let run () =
     [
       Tablefmt.String name;
       Tablefmt.Float cost;
-      Tablefmt.Float (cost -. Int64.to_float handle_work);
+      Tablefmt.Float (cost -. float_of_int handle_work);
       Tablefmt.Float (poll /. 1000.0);
       Tablefmt.String privileged;
     ]

@@ -41,7 +41,7 @@ let sweep ~service =
     (fun rate ->
       let c = cfg ~rate ~service in
       let fcfs = Server.run_software c in
-      let rr = Server.run_software ~quantum:5000L c in
+      let rr = Server.run_software ~quantum:5000 c in
       let hw = Server.run_hw_pool c in
       let p99 (s : Server.stats) = Server.percentile s.Server.slowdowns 0.99 in
       (rate, [ p99 fcfs; p99 rr; p99 hw ]))
@@ -86,7 +86,7 @@ let run () =
   (* Context-switch tax of the software designs at the highest load. *)
   let c = cfg ~rate:1.2 ~service:high_disp in
   let fcfs = Server.run_software c in
-  let rr = Server.run_software ~quantum:5000L c in
+  let rr = Server.run_software ~quantum:5000 c in
   Tablefmt.print
     (Tablefmt.render ~title:"E7d: software switch overhead at req/kcycle = 1.2, CV^2 = 16"
        ~header:[ "design"; "switch Mcycles"; "per request" ]

@@ -90,7 +90,7 @@ let wake_latency_for_tier tier =
   for i = 1 to fillers do
     State_store.register store ~ptid:(1000 + i) ~bytes:272
   done;
-  let woke_at = ref 0L in
+  let woke_at = ref 0 in
   Chip.attach th (fun t ->
       Isa.monitor t doorbell;
       let _ = Isa.mwait t in
@@ -100,7 +100,7 @@ let wake_latency_for_tier tier =
       (* After ptid 1 has parked, heat every filler (making ptid 1 the
          global LRU victim) and promote them all: ptid 1 sinks exactly to
          the target tier. *)
-      Sim.delay 10_000L;
+      Sim.delay 10_000;
       for i = 1 to fillers do
         State_store.touch store ~ptid:(1000 + i)
       done;
@@ -108,10 +108,10 @@ let wake_latency_for_tier tier =
         ignore (State_store.wake_transfer_cycles store ~ptid:(1000 + i))
       done;
       assert (fillers = 0 || State_store.tier_of store ~ptid:1 = tier);
-      Sim.delay 10_000L;
+      Sim.delay 10_000;
       Memory.write memory doorbell 1L);
   Sim.run sim;
-  Int64.to_int !woke_at - 20_000
+  !woke_at - 20_000
 
 let latency_ladder () =
   let rows =
@@ -140,14 +140,14 @@ let wake_sweep ~pin_first ~prefetch n =
   let lat = Histogram.create () in
   let first_lat = Histogram.create () in
   let doorbells = Array.init n (fun _ -> Memory.alloc memory 1) in
-  let wake_request = Array.make n 0L in
+  let wake_request = Array.make n 0 in
   for i = 0 to n - 1 do
     let th = Chip.add_thread chip ~core:0 ~ptid:(i + 1) ~mode:Ptid.User () in
     Chip.attach th (fun t ->
         Isa.monitor t doorbells.(i);
         let rec loop () =
           let _ = Isa.mwait t in
-          let latency = Int64.sub (Sim.now ()) wake_request.(i) in
+          let latency = Sim.now () - wake_request.(i) in
           Histogram.record lat latency;
           if i = 0 then Histogram.record first_lat latency;
           loop ()
@@ -160,18 +160,18 @@ let wake_sweep ~pin_first ~prefetch n =
   Sim.spawn sim (fun () ->
       (* Let the boot storm (every thread arming its monitor) drain before
          measuring wakes. *)
-      Sim.delay (Int64.of_int (max 1000 (20 * n)));
+      Sim.delay (max 1000 (20 * n));
       for _ = 1 to rounds do
         for i = 0 to n - 1 do
           if prefetch then State_store.prefetch store ~ptid:(i + 1);
           wake_request.(i) <- Sim.now ();
           Memory.write memory doorbells.(i) 1L;
           (* Give the wake time to complete before the next one. *)
-          Sim.delay 400L
+          Sim.delay 400
         done
       done);
-  Sim.run ~until:(Int64.of_int (max 1000 (20 * n) + (rounds * n * 400) + 1000)) sim;
-  (Histogram.mean lat, Int64.to_int (Histogram.max_value lat), Histogram.mean first_lat)
+  Sim.run ~until:(max 1000 (20 * n) + (rounds * n * 400) + 1000) sim;
+  (Histogram.mean lat, Histogram.max_value lat, Histogram.mean first_lat)
 
 let thread_count_sweep () =
   let counts = [ 16; 64; 240; 500; 1000; 2000 ] in

@@ -36,7 +36,7 @@ let wake_latency_with_armed armed =
     Monitor.arm mon filler_key (Memory.alloc memory 1)
   done;
   let doorbell = Memory.alloc memory 1 in
-  let woke = ref 0L in
+  let woke = ref 0 in
   let th = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Chip.attach th (fun t ->
       Isa.monitor t doorbell;
@@ -44,10 +44,10 @@ let wake_latency_with_armed armed =
       woke := Sim.now ());
   Chip.boot th;
   Sim.spawn sim (fun () ->
-      Sim.delay 1000L;
+      Sim.delay 1000;
       Memory.write memory doorbell 1L);
   Sim.run sim;
-  Int64.to_int !woke - 1000
+  !woke - 1000
 
 let run () =
   let counts = [ 16; 128; 512; 1024; 1536; 2048; 4096 ] in

@@ -91,7 +91,7 @@ let io_cfg =
     Io_path.default_config with
     Io_path.count = 400;
     rate_per_kcycle = 0.5;
-    per_packet_work = 300L;
+    per_packet_work = 300;
   }
 
 let hardened_io ~with_watchdog ~name =
@@ -107,8 +107,8 @@ let hardened_io ~with_watchdog ~name =
        io_cfg.Io_path.count);
   let p99 = Histogram.quantile b.Io_path.latencies 0.99 in
   check name
-    (Int64.compare p99 500_000L <= 0)
-    (Printf.sprintf "p99 latency unbounded: %Ld cycles" p99);
+    (p99 <= 500_000)
+    (Printf.sprintf "p99 latency unbounded: %d cycles" p99);
   [
     ("processed", string_of_int b.Io_path.processed);
     ("ring_dropped", string_of_int b.Io_path.dropped);
@@ -118,8 +118,8 @@ let hardened_io ~with_watchdog ~name =
     ("fallbacks", string_of_int r.Io_path.fallbacks);
     ("recoveries", string_of_int r.Io_path.recoveries);
     ("watchdog_nudges", string_of_int r.Io_path.watchdog_nudges);
-    ("p50", Int64.to_string (Histogram.quantile b.Io_path.latencies 0.5));
-    ("p99", Int64.to_string p99);
+    ("p50", string_of_int (Histogram.quantile b.Io_path.latencies 0.5));
+    ("p99", string_of_int p99);
   ]
 
 (* --- robust hardware channel under start-delay / lost-response faults ---- *)
@@ -135,8 +135,8 @@ let channel_deadline ~name =
   Chip.attach client (fun th ->
       for _ = 1 to channel_calls do
         match
-          Hw_channel.call_with_deadline ch ~client:th ~timeout:8_000L
-            ~work:200L ()
+          Hw_channel.call_with_deadline ch ~client:th ~timeout:8_000
+            ~work:200 ()
         with
         | Ok () -> incr ok
         | Error _ -> incr errors
@@ -176,9 +176,9 @@ let nvme_stall ~name =
         match Nvme.poll_completion nvme with
         | Some c ->
           incr completed;
-          Histogram.record lat (Int64.sub c.Nvme.completed_at c.Nvme.submitted_at)
+          Histogram.record lat (c.Nvme.completed_at - c.Nvme.submitted_at)
         | None -> (
-          match Isa.mwait_for t ~deadline:(Int64.add (Sim.now ()) 200_000L) with
+          match Isa.mwait_for t ~deadline:(Sim.now () + 200_000) with
           | Some _ -> ()
           | None -> incr idle_timeouts)
       done);
@@ -188,14 +188,14 @@ let nvme_stall ~name =
     (Printf.sprintf "only %d/%d completions" !completed total);
   let p99 = Histogram.quantile lat 0.99 in
   check name
-    (Int64.compare p99 500_000L <= 0)
-    (Printf.sprintf "stalled completion latency unbounded: %Ld" p99);
+    (p99 <= 500_000)
+    (Printf.sprintf "stalled completion latency unbounded: %d" p99);
   [
     ("completed", string_of_int !completed);
     ("stalls", string_of_int (Nvme.stall_count nvme));
-    ("stall_cycles", Int64.to_string (Nvme.stall_cycles_total nvme));
+    ("stall_cycles", string_of_int (Nvme.stall_cycles_total nvme));
     ("idle_timeouts", string_of_int !idle_timeouts);
-    ("p99", Int64.to_string p99);
+    ("p99", string_of_int p99);
   ]
 
 (* --- dropped IPIs against the interrupt baseline ------------------------- *)
@@ -210,16 +210,16 @@ let ipi_drop ~name =
   let sender_done = ref false in
   Sim.spawn sim ~name:"ipi-sender" (fun () ->
       for _ = 1 to n do
-        Sim.delay 2_000L;
+        Sim.delay 2_000;
         Irq.send_ipi irq ~core:0 ~handler:(fun ~exec ->
-            exec 300L;
+            exec 300;
             Mailbox.send doorbell ())
       done;
       sender_done := true);
   Sim.spawn sim ~name:"ipi-consumer" (fun () ->
       let stop = ref false in
       while not !stop do
-        match Mailbox.recv_for doorbell ~within:20_000L with
+        match Mailbox.recv_for doorbell ~within:20_000 with
         | Some () -> incr received
         | None ->
           incr timeouts;
@@ -247,7 +247,7 @@ let watchdog_rescue ~name =
   let sim = Sim.create () in
   let chip = Chip.create sim p ~cores:1 in
   let nic = Nic.create sim p (Chip.memory chip) ~queue_depth:4096 () in
-  let wd = Watchdog.create chip ~core:0 ~ptid:99 ~period:10_000L ~stuck_after:15_000L () in
+  let wd = Watchdog.create chip ~core:0 ~ptid:99 ~period:10_000 ~stuck_after:15_000 () in
   let count = 300 in
   let processed = ref 0 in
   let consumer = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
@@ -260,7 +260,7 @@ let watchdog_rescue ~name =
         let rec drain () =
           match Nic.poll nic with
           | Some _ ->
-            Isa.exec th 300L;
+            Isa.exec th 300;
             incr processed;
             drain ()
           | None -> ()

@@ -59,7 +59,7 @@ let attempt op vtid =
       | `Rpush_gp -> Isa.rpush th ~vtid (Regstate.Gp 0) 1L
       | `Rpush_rip -> Isa.rpush th ~vtid Regstate.Rip 1L);
   Chip.boot caller;
-  Sim.run ~until:100_000L sim;
+  Sim.run ~until:100_000 sim;
   if !faulted then "fault" else "ok"
 
 let run () =

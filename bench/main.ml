@@ -96,11 +96,14 @@ type job_result = {
   wall_s : float;
   events : int;
   alloc_words : float;
+  minor_collections : int;
+  major_collections : int;
+  top_heap_words : int;
   sanitizer_failed : bool;
   failure : (exn * Printexc.raw_backtrace) option;
 }
 
-let run_job (id, title, f) =
+let run_job_once (id, title, f) =
   let sanitizer_failed = ref false in
   let sims = ref [] in
   let body () =
@@ -141,6 +144,7 @@ let run_job (id, title, f) =
     report_abandoned id (List.rev !sims)
   in
   let alloc0 = Gc.allocated_bytes () in
+  let gc0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let failure, output =
     Sink.with_buffer (fun () ->
@@ -149,16 +153,42 @@ let run_job (id, title, f) =
         | exception e -> Some (e, Printexc.get_raw_backtrace ()))
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let gc1 = Gc.quick_stat () in
   let alloc_words = (Gc.allocated_bytes () -. alloc0) /. 8.0 in
   let events =
     List.fold_left (fun acc s -> acc + Sl_engine.Sim.events_processed s) 0 !sims
   in
-  { id; output; wall_s; events; alloc_words; sanitizer_failed = !sanitizer_failed;
-    failure }
+  {
+    id;
+    output;
+    wall_s;
+    events;
+    alloc_words;
+    minor_collections = gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+    major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+    top_heap_words = gc1.Gc.top_heap_words;
+    sanitizer_failed = !sanitizer_failed;
+    failure;
+  }
+
+(* Best-of-N: rerun the (deterministic) experiment and keep the fastest
+   run's resource numbers.  The first run's captured stdout is kept —
+   repeats produce byte-identical output — and a failure on any repeat is
+   reported rather than papered over. *)
+let run_job ~repeat item =
+  let best = ref (run_job_once item) in
+  let n = ref 1 in
+  while !n < repeat && (!best).failure = None do
+    incr n;
+    let r = run_job_once item in
+    if r.failure <> None then best := r
+    else if r.wall_s < (!best).wall_s then best := { r with output = (!best).output }
+  done;
+  !best
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N|auto] [-perf-out FILE] [experiment ids...]\n";
+    "usage: main.exe [-j N|auto] [-repeat N] [-perf-out FILE] [experiment ids...]\n";
   exit 2
 
 (* -j 0 / -j auto asks the runtime; explicit requests are honoured up to
@@ -172,8 +202,16 @@ let parse_jobs = function
       Printf.eprintf "-j expects a positive count or 'auto'\n";
       exit 2)
 
+let parse_repeat s =
+  match int_of_string_opt s with
+  | Some n when n > 0 -> min n 100
+  | _ ->
+    Printf.eprintf "-repeat expects a positive count\n";
+    exit 2
+
 let () =
   let jobs = ref 1 in
+  let repeat = ref 1 in
   let perf_out = ref None in
   let ids = ref [] in
   let rec parse = function
@@ -181,10 +219,13 @@ let () =
     | "-j" :: v :: rest ->
       jobs := parse_jobs v;
       parse rest
+    | "-repeat" :: v :: rest ->
+      repeat := parse_repeat v;
+      parse rest
     | "-perf-out" :: path :: rest ->
       perf_out := Some path;
       parse rest
-    | ("-j" | "-perf-out" | "-h" | "-help" | "--help") :: _ -> usage ()
+    | ("-j" | "-repeat" | "-perf-out" | "-h" | "-help" | "--help") :: _ -> usage ()
     | id :: rest ->
       ids := id :: !ids;
       parse rest
@@ -210,7 +251,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   let records = ref [] in
   let sanitizer_failures = ref 0 in
-  Sl_util.Parallel.run_ordered ~jobs:!jobs run_job items ~consume:(fun _ r ->
+  Sl_util.Parallel.run_ordered ~jobs:!jobs (run_job ~repeat:!repeat) items
+    ~consume:(fun _ r ->
       print_string r.output;
       flush stdout;
       (* Timing is the one nondeterministic line, so it goes to stderr;
@@ -221,7 +263,9 @@ let () =
       if r.sanitizer_failed then incr sanitizer_failures;
       records :=
         { Perf.id = r.id; wall_s = r.wall_s; events = r.events;
-          alloc_words = r.alloc_words }
+          alloc_words = r.alloc_words; minor_collections = r.minor_collections;
+          major_collections = r.major_collections;
+          top_heap_words = r.top_heap_words }
         :: !records;
       match r.failure with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -229,7 +273,8 @@ let () =
   let total_wall_s = Unix.gettimeofday () -. t0 in
   Option.iter
     (fun path ->
-      Perf.write ~path ~jobs:!jobs ~total_wall_s (List.rev !records))
+      Perf.write ~path ~jobs:!jobs ~repeat:!repeat ~total_wall_s
+        (List.rev !records))
     !perf_out;
   if !sanitizer_failures > 0 then begin
     Printf.eprintf "sanitizers reported findings in %d experiment(s)\n"

@@ -21,9 +21,9 @@ let p = Params.default
 let bench_pqueue =
   Test.make ~name:"primitive:pqueue push/pop x1k"
     (Staged.stage (fun () ->
-         let q = Pqueue.create () in
+         let q = Pqueue.create ~dummy:0 in
          for i = 0 to 999 do
-           Pqueue.push q ~time:(Int64.of_int ((i * 7919) mod 1000)) ~seq:i i
+           Pqueue.push q ~time:((i * 7919) mod 1000) ~seq:i i
          done;
          let rec drain () = match Pqueue.pop q with Some _ -> drain () | None -> () in
          drain ()))
@@ -33,7 +33,7 @@ let bench_histogram =
     (Staged.stage (fun () ->
          let h = Histogram.create () in
          for i = 1 to 1000 do
-           Histogram.record h (Int64.of_int (i * i))
+           Histogram.record h (i * i)
          done;
          ignore (Histogram.quantile h 0.99)))
 
@@ -43,7 +43,7 @@ let bench_sim_pingpong =
          let sim = Sim.create () in
          Sim.spawn sim (fun () ->
              for _ = 1 to 1000 do
-               Sim.delay 1L
+               Sim.delay 1
              done);
          Sim.run sim))
 
@@ -54,7 +54,7 @@ let tiny_io count rate = { Io_path.default_config with Io_path.count; rate_per_k
 let bench_e1 =
   Test.make ~name:"E1:timer wakeup x200"
     (Staged.stage (fun () ->
-         ignore (Io_path.timer_wakeup_mwait p ~ticks:200 ~period:5_000L)))
+         ignore (Io_path.timer_wakeup_mwait p ~ticks:200 ~period:5_000)))
 
 let bench_e2 =
   Test.make ~name:"E2:io sweep point (mwait, 500 pkts)"
@@ -81,7 +81,7 @@ let bench_e7 =
 let bench_e13 =
   Test.make ~name:"E13:vm timeshare point (hw, 1 Mcycle)"
     (Staged.stage (fun () ->
-         ignore (Sl_os.Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice:20_000L ~duration:1_000_000L)))
+         ignore (Sl_os.Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice:20_000 ~duration:1_000_000)))
 
 let bench_e15 =
   Test.make ~name:"E15:netstack 100 segments, 10% loss"

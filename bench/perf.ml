@@ -3,9 +3,12 @@
 
    One record per experiment run: wall-clock seconds, simulation events
    executed (summed over every Sim world the experiment built),
-   throughput, and words allocated in the running domain.  The harness
-   writes them as a JSON file (default BENCH_pr3.json via -perf-out) so
-   successive PRs accumulate a perf trajectory that CI can diff. *)
+   throughput, words allocated in the running domain, and GC pressure
+   (minor/major collections during the run, top-of-heap words after it).
+   The harness writes them as a JSON file (via -perf-out) so successive
+   PRs accumulate a perf trajectory that CI can diff.  With [-repeat N]
+   each experiment runs N times and the fastest run's numbers are kept,
+   so committed numbers are stable on noisy containers. *)
 
 module Json = Sl_util.Json
 
@@ -14,6 +17,9 @@ type record = {
   wall_s : float;
   events : int;
   alloc_words : float;
+  minor_collections : int;
+  major_collections : int;
+  top_heap_words : int;
 }
 
 let events_per_s r =
@@ -27,22 +33,26 @@ let record_json r =
       ("events", string_of_int r.events);
       ("events_per_s", Json.float (events_per_s r));
       ("alloc_words", Json.float r.alloc_words);
+      ("minor_collections", string_of_int r.minor_collections);
+      ("major_collections", string_of_int r.major_collections);
+      ("top_heap_words", string_of_int r.top_heap_words);
     ]
 
-let suite_json ~jobs ~total_wall_s records =
+let suite_json ~jobs ~repeat ~total_wall_s records =
   Json.obj
     [
-      ("schema", Json.quote "switchless-bench-perf/1");
+      ("schema", Json.quote "switchless-bench-perf/2");
       ("jobs", string_of_int jobs);
+      ("repeat", string_of_int repeat);
       ("domains_available", string_of_int (Domain.recommended_domain_count ()));
       ("total_wall_s", Json.float total_wall_s);
       ("experiments", Json.arr (List.map record_json records));
     ]
 
-let write ~path ~jobs ~total_wall_s records =
+let write ~path ~jobs ~repeat ~total_wall_s records =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc (suite_json ~jobs ~total_wall_s records);
+      output_string oc (suite_json ~jobs ~repeat ~total_wall_s records);
       output_char oc '\n')

@@ -93,7 +93,7 @@ let io_cmd =
         Io_path.params = p;
         seed;
         rate_per_kcycle = rate;
-        per_packet_work = Int64.of_int work;
+        per_packet_work = work;
         count;
         background;
       }
@@ -104,7 +104,7 @@ let io_cmd =
       | Polling -> Io_path.run_polling cfg
       | Interrupt -> Io_path.run_interrupt cfg
     in
-    Printf.printf "processed %d (dropped %d) in %Ld cycles\n" stats.Io_path.processed
+    Printf.printf "processed %d (dropped %d) in %d cycles\n" stats.Io_path.processed
       stats.Io_path.dropped stats.Io_path.elapsed_cycles;
     Printf.printf "latency: %s\n"
       (Format.asprintf "%a" Histogram.pp_summary stats.Io_path.latencies);
@@ -126,8 +126,7 @@ let wakeup_cmd =
     Arg.(value & opt int 10_000 & info [ "period" ] ~docv:"CYCLES" ~doc:"Tick period.")
   in
   let run ticks period =
-    let period = Int64.of_int period in
-    let m = Io_path.timer_wakeup_mwait p ~ticks ~period in
+        let m = Io_path.timer_wakeup_mwait p ~ticks ~period in
     let i = Io_path.timer_wakeup_interrupt p ~ticks ~period in
     Printf.printf "mwait:     %s\n" (Format.asprintf "%a" Histogram.pp_summary m);
     Printf.printf "interrupt: %s\n" (Format.asprintf "%a" Histogram.pp_summary i)
@@ -157,57 +156,56 @@ let syscall_cmd =
     let module Ptid = Switchless.Ptid in
     let module Swsched = Sl_baseline.Swsched in
     let module Syscall = Sl_os.Syscall in
-    let work = Int64.of_int work in
-    let per_call =
+        let per_call =
       match design with
       | Trap ->
         let sim = Sim.create () in
         let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
         let app = Swsched.thread sched () in
-        let total = ref 0L in
+        let total = ref 0 in
         Sim.spawn sim (fun () ->
-            Swsched.exec app 10L;
+            Swsched.exec app 10;
             let t0 = Sim.now () in
             for _ = 1 to calls do
               Syscall.Trap.call app p ~kernel_work:work
             done;
-            total := Int64.sub (Sim.now ()) t0);
+            total := Sim.now () - t0);
         Sim.run sim;
-        Int64.to_float !total /. float_of_int calls
+        float_of_int !total /. float_of_int calls
       | Flexsc ->
         let sim = Sim.create () in
         let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
         let kernel_core = Switchless.Smt_core.create sim p ~core_id:50 in
         let fx = Syscall.Flexsc.create sim p ~kernel_core () in
         let app = Swsched.thread sched () in
-        let total = ref 0L in
+        let total = ref 0 in
         Sim.spawn sim (fun () ->
-            Swsched.exec app 10L;
+            Swsched.exec app 10;
             let t0 = Sim.now () in
             for _ = 1 to calls do
               Syscall.Flexsc.call fx app ~kernel_work:work
             done;
-            total := Int64.sub (Sim.now ()) t0);
+            total := Sim.now () - t0);
         Sim.run sim;
-        Int64.to_float !total /. float_of_int calls
+        float_of_int !total /. float_of_int calls
       | Hw ->
         let sim = Sim.create () in
         let chip = Chip.create sim p ~cores:2 in
         let sys = Syscall.Hw_thread.create chip ~core:1 ~server_ptid:100 in
-        let total = ref 0L in
+        let total = ref 0 in
         let app = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
         Chip.attach app (fun th ->
             let t0 = Sim.now () in
             for _ = 1 to calls do
               Syscall.Hw_thread.call sys ~client:th ~kernel_work:work
             done;
-            total := Int64.sub (Sim.now ()) t0);
+            total := Sim.now () - t0);
         Chip.boot app;
         Sim.run sim;
-        Int64.to_float !total /. float_of_int calls
+        float_of_int !total /. float_of_int calls
     in
     Printf.printf "%.1f cycles/call (%.1f mechanism tax)\n" per_call
-      (per_call -. Int64.to_float work)
+      (per_call -. float_of_int work)
   in
   Cmd.v
     (Cmd.info "syscall" ~doc:"Cycles per system call under one design.")
@@ -247,10 +245,10 @@ let server_cmd =
     let stats =
       match design with
       | Sw -> Server.run_software cfg
-      | Sw_rr -> Server.run_software ~quantum:5000L cfg
+      | Sw_rr -> Server.run_software ~quantum:5000 cfg
       | Hwpool -> Server.run_hw_pool cfg
     in
-    Printf.printf "completed %d in %Ld cycles\n" stats.Server.completed
+    Printf.printf "completed %d in %d cycles\n" stats.Server.completed
       stats.Server.elapsed_cycles;
     Printf.printf "latency: %s\n"
       (Format.asprintf "%a" Histogram.pp_summary stats.Server.latencies);
@@ -282,14 +280,14 @@ let netstack_cmd =
   in
   let run seed loss segments link_delay =
     let s =
-      Sl_os.Netstack.run ~seed ~loss ~link_delay:(Int64.of_int link_delay) ~params:p
+      Sl_os.Netstack.run ~seed ~loss ~link_delay ~params:p
         ~segments ()
     in
     Printf.printf
       "delivered %d | retransmissions %d | duplicates %d | acks %d\n"
       s.Sl_os.Netstack.delivered s.Sl_os.Netstack.retransmissions
       s.Sl_os.Netstack.duplicates s.Sl_os.Netstack.acks_sent;
-    Printf.printf "elapsed %Ld cycles | goodput %.4f segments/kcycle\n"
+    Printf.printf "elapsed %d cycles | goodput %.4f segments/kcycle\n"
       s.Sl_os.Netstack.elapsed_cycles s.Sl_os.Netstack.goodput_per_kcycle
   in
   Cmd.v
@@ -305,9 +303,8 @@ let vm_cmd =
   let vms = Arg.(value & opt int 2 & info [ "vms" ] ~docv:"N" ~doc:"Virtual machines.") in
   let vcpus = Arg.(value & opt int 2 & info [ "vcpus" ] ~docv:"N" ~doc:"vCPUs per VM.") in
   let run slice vms vcpus =
-    let slice = Int64.of_int slice in
-    let hw = Sl_os.Vm.hw_timeshare p ~vms ~vcpus ~slice ~duration:2_000_000L in
-    let sw = Sl_os.Vm.sw_timeshare p ~vms ~vcpus ~slice ~duration:2_000_000L in
+        let hw = Sl_os.Vm.hw_timeshare p ~vms ~vcpus ~slice ~duration:2_000_000 in
+    let sw = Sl_os.Vm.sw_timeshare p ~vms ~vcpus ~slice ~duration:2_000_000 in
     Printf.printf "hardware threads: %.1f%% guest utilization (%d switches)\n"
       (100.0 *. hw.Sl_os.Vm.utilization) hw.Sl_os.Vm.switches;
     Printf.printf "software threads: %.1f%% guest utilization (%d switches)\n"

@@ -34,11 +34,11 @@ let () =
   Regstate.set (Chip.regs guest) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
   Chip.attach guest (fun th ->
       for msr = 1 to 50 do
-        Isa.exec th 5_000L;
+        Isa.exec th 5_000;
         let t0 = Sim.now () in
         (* "wrmsr msr, value": privileged — traps to the hypervisor. *)
         Isa.fault th Exception_desc.Privileged_instruction ~info:(Int64.of_int msr);
-        Welford.add exit_latency (Int64.to_float (Int64.sub (Sim.now ()) t0))
+        Welford.add exit_latency (float_of_int (Sim.now () - t0))
       done);
 
   (* Hypervisor: user-mode, owns a TDT naming only the guest. *)
@@ -53,7 +53,7 @@ let () =
         let _ = Isa.mwait th in
         let d = Exception_desc.read memory ~base:desc in
         (* Emulate: 200 cycles of decode + state edit via rpush. *)
-        Isa.exec th 200L;
+        Isa.exec th 200;
         Isa.rpush th ~vtid:1 (Regstate.Gp 11) d.Exception_desc.info;
         incr emulated;
         Isa.start th ~vtid:1;

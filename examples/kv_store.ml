@@ -22,7 +22,7 @@ module Openloop = Sl_workload.Openloop
 
 type op = Get | Put
 
-type request = { tenant : int; op : op; key : int; arrival : int64 }
+type request = { tenant : int; op : op; key : int; arrival : int }
 
 let () =
   let params = Params.default in
@@ -38,7 +38,7 @@ let () =
   let tenants = 2 in
   let per_tenant_cycles = Array.make tenants 0.0 in
   let per_tenant_lat = Array.init tenants (fun _ -> Histogram.create ()) in
-  let get_cycles = 300L and put_cycles = 600L in
+  let get_cycles = 300 and put_cycles = 600 in
 
   (* Worker pool. *)
   let workers = 32 in
@@ -58,9 +58,9 @@ let () =
             in
             Isa.exec th cost;
             per_tenant_cycles.(req.tenant) <-
-              per_tenant_cycles.(req.tenant) +. Int64.to_float cost;
+              per_tenant_cycles.(req.tenant) +. float_of_int cost;
             Histogram.record per_tenant_lat.(req.tenant)
-              (Int64.sub (Sim.now ()) req.arrival)));
+              (Sim.now () - req.arrival)));
     Chip.boot th
   done;
 
@@ -91,8 +91,8 @@ let () =
         [
           Tablefmt.String (Printf.sprintf "tenant %d" t);
           Tablefmt.Int (Histogram.count per_tenant_lat.(t));
-          Tablefmt.Int64 (Histogram.quantile per_tenant_lat.(t) 0.5);
-          Tablefmt.Int64 (Histogram.quantile per_tenant_lat.(t) 0.99);
+          Tablefmt.Int (Histogram.quantile per_tenant_lat.(t) 0.5);
+          Tablefmt.Int (Histogram.quantile per_tenant_lat.(t) 0.99);
           Tablefmt.Float (per_tenant_cycles.(t) /. 1000.0);
         ])
   in

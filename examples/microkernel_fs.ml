@@ -27,7 +27,7 @@ let op_create = 1
 let op_append = 2
 let op_read = 3
 
-let encode ~op ~arg = Int64.logor (Int64.shift_left (Int64.of_int op) 32) (Int64.of_int arg)
+let encode ~op ~arg = (op lsl 32) lor arg
 let decode w = (Int64.to_int (Int64.shift_right_logical w 32), Int64.to_int (Int64.logand w 0xFFFFFFFFL))
 
 let () =
@@ -65,18 +65,18 @@ let () =
       let call ~op ~arg hist =
         let t0 = Sim.now () in
         Hw_channel.call service ~client:th ~via:5 ~work:(encode ~op ~arg) ();
-        Histogram.record hist (Int64.sub (Sim.now ()) t0)
+        Histogram.record hist (Sim.now () - t0)
       in
       for f = 0 to 7 do
         call ~op:op_create ~arg:f append_lat
       done;
       for i = 0 to 63 do
         call ~op:op_append ~arg:i append_lat;
-        Isa.exec th 1000L
+        Isa.exec th 1000
       done;
       for i = 0 to 127 do
         call ~op:op_read ~arg:i read_lat;
-        Isa.exec th 500L
+        Isa.exec th 500
       done);
   Chip.boot app;
   Sim.run sim;

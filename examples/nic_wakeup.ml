@@ -17,7 +17,7 @@ let () =
       Io_path.default_config with
       Io_path.count = 3000;
       rate_per_kcycle = 0.4;
-      per_packet_work = 500L;
+      per_packet_work = 500;
       background = true;
     }
   in
@@ -34,8 +34,8 @@ let () =
         [
           Tablefmt.String name;
           Tablefmt.Int s.Io_path.processed;
-          Tablefmt.Int64 (Histogram.quantile s.Io_path.latencies 0.5);
-          Tablefmt.Int64 (Histogram.quantile s.Io_path.latencies 0.99);
+          Tablefmt.Int (Histogram.quantile s.Io_path.latencies 0.5);
+          Tablefmt.Int (Histogram.quantile s.Io_path.latencies 0.99);
           Tablefmt.Float (100.0 *. Io_path.wasted_fraction s);
           Tablefmt.Float (s.Io_path.background_cycles /. 1.0e6);
         ])

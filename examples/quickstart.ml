@@ -21,7 +21,7 @@ let () =
   let memory = Chip.memory chip in
   let doorbell = Memory.alloc memory 1 in
 
-  let log fmt = Printf.printf ("[%8Ld] " ^^ fmt ^^ "\n") (Sim.time sim) in
+  let log fmt = Printf.printf ("[%8d] " ^^ fmt ^^ "\n") (Sim.time sim) in
 
   (* A worker hardware thread: waits on the doorbell, then computes. *)
   let worker = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.User () in
@@ -31,7 +31,7 @@ let () =
       log "worker: woken by a write to %#x" hit;
       let budget = Regstate.get (Chip.regs worker) (Regstate.Gp 0) in
       log "worker: boss left %Ld cycles of work in gp0" budget;
-      Isa.exec th budget;
+      Isa.exec th (Int64.to_int budget);
       log "worker: done");
 
   (* A supervisor thread that manages the worker. *)
@@ -41,16 +41,16 @@ let () =
       Isa.rpush th ~vtid:2 (Regstate.Gp 0) 5000L;
       Isa.start th ~vtid:2;
       log "boss: worker started";
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.store th doorbell 1L;
       log "boss: doorbell rung";
       (* Let it run a while, then freeze and inspect it. *)
-      Sim.delay 2000L;
+      Sim.delay 2000;
       Isa.stop th ~vtid:2;
       log "boss: worker frozen mid-computation";
       let pc = Isa.rpull th ~vtid:2 Regstate.Rip in
       log "boss: worker rip=%Ld (rpull of a disabled thread)" pc;
-      Sim.delay 500L;
+      Sim.delay 500;
       Isa.start th ~vtid:2;
       log "boss: worker resumed");
 
@@ -58,6 +58,6 @@ let () =
   Sim.run sim;
   let stats = Chip.stats chip in
   Printf.printf
-    "\nfinal time: %Ld cycles | wakeups: %d | starts: %d | demotions: %d\n"
+    "\nfinal time: %d cycles | wakeups: %d | starts: %d | demotions: %d\n"
     (Sim.time sim) stats.Chip.total_wakeups stats.Chip.total_starts
     stats.Chip.demotions

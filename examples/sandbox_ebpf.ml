@@ -28,7 +28,7 @@ let () =
   let memory = Chip.memory chip in
 
   let packets = 400 in
-  let filter_cost = 120L in
+  let filter_cost = 120 in
   let crash_every = 100 in
 
   (* The untrusted filter: ordinary work, except that it divides by zero
@@ -64,7 +64,7 @@ let () =
         (* "Reload" the filter: clear its registers, restart it.  The
            channel's pending response is completed by the restart because
            the filter resumes right after its fault point. *)
-        Isa.exec th 200L;
+        Isa.exec th 200;
         Isa.rpush th ~vtid:d.Exception_desc.ptid (Regstate.Gp 0) 0L;
         Isa.start th ~vtid:d.Exception_desc.ptid;
         serve ()
@@ -74,23 +74,23 @@ let () =
 
   (* The kernel network thread pushes every packet through the filter. *)
   let kernel = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
-  let t0 = ref 0L and t_end = ref 0L in
+  let t0 = ref 0 and t_end = ref 0 in
   Chip.attach kernel (fun th ->
       t0 := Sim.now ();
       for pkt = 1 to packets do
-        Hw_channel.call filter ~client:th ~work:(Int64.of_int pkt) ();
+        Hw_channel.call filter ~client:th ~work:pkt ();
         (* Kernel-side per-packet processing. *)
-        Isa.exec th 300L
+        Isa.exec th 300
       done;
       t_end := Sim.now ());
   Chip.boot kernel;
   Sim.run sim;
 
-  let total = Int64.to_float (Int64.sub !t_end !t0) in
+  let total = float_of_int (!t_end - !t0) in
   Printf.printf "sandboxed eBPF filter: %d packets through a user-mode filter thread\n"
     packets;
   Printf.printf "  filtered OK: %d | sandbox crashes contained: %d\n" !filtered !crashes;
-  Printf.printf "  cycles/packet end-to-end: %.0f (filter %Ld + kernel 300 + ~70 hand-off)\n"
+  Printf.printf "  cycles/packet end-to-end: %.0f (filter %d + kernel 300 + ~70 hand-off)\n"
     (total /. float_of_int packets)
     filter_cost;
   Printf.printf "  kernel privilege ever granted to the filter: none (mode = %s)\n"

@@ -29,7 +29,7 @@ let latency_hiding () =
     let chip = Chip.create sim Params.default ~cores:1 in
     let rng = Sl_util.Rng.create 7L in
     let remote =
-      Rpc.create_remote chip ~rtt:(Sl_util.Dist.Exponential 5000.0) ~server_work:0L ~rng
+      Rpc.create_remote chip ~rtt:(Sl_util.Dist.Exponential 5000.0) ~server_work:0 ~rng
     in
     for i = 1 to n_threads do
       let session = Rpc.session remote in
@@ -37,12 +37,12 @@ let latency_hiding () =
       Chip.attach client (fun th ->
           for _ = 1 to 20 do
             Rpc.call session ~client:th;
-            Isa.exec th 250L
+            Isa.exec th 250
           done);
       Chip.boot client
     done;
     Sim.run sim;
-    1.0e6 *. float_of_int (Rpc.completed remote) /. Int64.to_float (Sim.time sim)
+    1.0e6 *. float_of_int (Rpc.completed remote) /. float_of_int (Sim.time sim)
   in
   List.iter
     (fun n -> Printf.printf "  %4d blocking threads: %8.1f RPCs per Mcycle\n" n (throughput n))
@@ -61,7 +61,7 @@ let tail_latency () =
     }
   in
   let sw = Server.run_software cfg in
-  let rr = Server.run_software ~quantum:1000L cfg in
+  let rr = Server.run_software ~quantum:1000 cfg in
   let hw = Server.run_hw_pool cfg in
   let row name (s : Server.stats) =
     [

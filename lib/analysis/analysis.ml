@@ -36,7 +36,7 @@ let addr_writes t addr =
   | Some c -> (c.total, c.tracked)
 
 let context t =
-  List.map (fun (time, msg) -> Printf.sprintf "t=%Ld %s" time msg) (Trace.events t.trace)
+  List.map (fun (time, msg) -> Printf.sprintf "t=%d %s" time msg) (Trace.events t.trace)
 
 let record t ~rule ~key ~message =
   if not (Hashtbl.mem t.seen key) then begin

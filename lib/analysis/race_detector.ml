@@ -1,6 +1,6 @@
 open Switchless
 
-type access = { ptid : int; epoch : int; time : int64 }
+type access = { ptid : int; epoch : int; time : int }
 
 type addr_state = {
   mutable writer : access option;
@@ -10,7 +10,7 @@ type addr_state = {
 
 type t = {
   check_reads : bool;
-  now : unit -> int64;
+  now : unit -> int;
   report : rule:string -> key:string -> message:string -> unit;
   clocks : (int, Vclock.t) Hashtbl.t;
   addrs : (Memory.addr, addr_state) Hashtbl.t;
@@ -86,7 +86,7 @@ let on_write t ~ptid ~addr =
       ~key:(race_key "ww" addr ptid prev.ptid)
       ~message:
         (Printf.sprintf
-           "write-write race on [0x%x]: ptid %d (now, t=%Ld) vs ptid %d (t=%Ld) \
+           "write-write race on [0x%x]: ptid %d (now, t=%d) vs ptid %d (t=%d) \
             are unordered by any start/stop/rpull/rpush/mwait edge"
            addr ptid (t.now ()) prev.ptid prev.time)
   | _ -> ());
@@ -98,8 +98,8 @@ let on_write t ~ptid ~addr =
             ~key:(race_key "rw" addr ptid rptid)
             ~message:
               (Printf.sprintf
-                 "read-write race on [0x%x]: write by ptid %d (t=%Ld) vs read \
-                  by ptid %d (t=%Ld) are unordered"
+                 "read-write race on [0x%x]: write by ptid %d (t=%d) vs read \
+                  by ptid %d (t=%d) are unordered"
                  addr ptid (t.now ()) rptid racc.time))
       st.readers;
   st.writer <- Some { ptid; epoch = Vclock.get c ptid; time = t.now () };
@@ -118,8 +118,8 @@ let on_read t ~ptid ~addr =
         ~key:(race_key "wr" addr ptid prev.ptid)
         ~message:
           (Printf.sprintf
-             "write-read race on [0x%x]: read by ptid %d (t=%Ld) vs write by \
-              ptid %d (t=%Ld) are unordered"
+             "write-read race on [0x%x]: read by ptid %d (t=%d) vs write by \
+              ptid %d (t=%d) are unordered"
              addr ptid (t.now ()) prev.ptid prev.time)
     | _ -> ());
     Hashtbl.replace st.readers ptid

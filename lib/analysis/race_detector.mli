@@ -38,7 +38,7 @@ type t
 
 val create :
   check_reads:bool ->
-  now:(unit -> int64) ->
+  now:(unit -> Sl_engine.Sim.Time.t) ->
   report:(rule:string -> key:string -> message:string -> unit) ->
   t
 (** [now] supplies simulated time for finding messages; [report] receives

@@ -1,13 +1,13 @@
 type finding = {
   rule : string;
   key : string;
-  time : int64;
+  time : int;
   message : string;
   context : string list;
 }
 
 let pp ppf f =
-  Format.fprintf ppf "@[<v 2>[%s] t=%Ld %s" f.rule f.time f.message;
+  Format.fprintf ppf "@[<v 2>[%s] t=%d %s" f.rule f.time f.message;
   List.iter (fun line -> Format.fprintf ppf "@,| %s" line) f.context;
   Format.fprintf ppf "@]"
 

@@ -9,7 +9,7 @@ type finding = {
       (** Deduplication key: repeated dynamic instances of the same static
           problem (same addresses, same thread pair) collapse to one
           finding. *)
-  time : int64;  (** Simulated time of first detection. *)
+  time : Sl_engine.Sim.Time.t;  (** Simulated time of first detection. *)
   message : string;
   context : string list;
       (** The most recent probe events before detection, oldest first. *)

@@ -3,7 +3,7 @@ module Ivar = Sl_engine.Ivar
 module Mailbox = Sl_engine.Mailbox
 module Smt_core = Switchless.Smt_core
 
-type entry = { kernel_work : int64; done_ : unit Ivar.t }
+type entry = { kernel_work : int; done_ : unit Ivar.t }
 
 type t = {
   entries : entry Mailbox.t;
@@ -13,7 +13,7 @@ type t = {
 
 let worker_ptid = 777_777
 
-let create sim _params ?(batch_window = 500L) ~core () =
+let create sim _params ?(batch_window = 500) ~core () =
   let t = { entries = Mailbox.create (); calls = 0; batches = 0 } in
   Sim.spawn sim (fun () ->
       Smt_core.set_runnable core ~ptid:worker_ptid ~weight:1.0 true;

@@ -10,13 +10,13 @@
 type t
 
 val create :
-  Sl_engine.Sim.t -> Switchless.Params.t -> ?batch_window:int64 ->
+  Sl_engine.Sim.t -> Switchless.Params.t -> ?batch_window:Sl_engine.Sim.Time.t ->
   core:Switchless.Smt_core.t -> unit -> t
 (** The worker occupies a context on [core] (typically a core reserved
     for kernel work).  [batch_window] (default 500 cycles) is how long
     the worker accumulates entries after noticing the first one. *)
 
-val call : t -> kernel_work:int64 -> unit
+val call : t -> kernel_work:Sl_engine.Sim.Time.t -> unit
 (** Post an entry (the caller pays only a couple of store cycles at its
     own core — charge those before calling) and block until the worker
     has executed [kernel_work] for it. *)

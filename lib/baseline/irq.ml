@@ -3,7 +3,7 @@ module Mailbox = Sl_engine.Mailbox
 module Params = Switchless.Params
 module Smt_core = Switchless.Smt_core
 
-type pending = { handler : exec:(int64 -> unit) -> unit }
+type pending = { handler : exec:(int -> unit) -> unit }
 
 type t = {
   params : Params.t;
@@ -54,9 +54,9 @@ let create sim params ~cores =
           let rec serve () =
             let { handler } = Mailbox.recv queue in
             Smt_core.set_runnable core ~ptid ~weight:irq_weight true;
-            exec (Int64.of_int params.Params.interrupt_entry_cycles);
+            exec params.Params.interrupt_entry_cycles;
             handler ~exec;
-            exec (Int64.of_int params.Params.interrupt_exit_cycles);
+            exec params.Params.interrupt_exit_cycles;
             Smt_core.set_runnable core ~ptid ~weight:irq_weight false;
             serve ()
           in
@@ -74,7 +74,7 @@ let raise_irq t ~core ~handler =
 
 let send_ipi t ~core ~handler =
   t.ipis <- t.ipis + 1;
-  Sim.delay (Int64.of_int t.params.Params.ipi_cycles);
+  Sim.delay t.params.Params.ipi_cycles;
   (* Fault injection: the IPI message is lost in the interconnect after
      the send cost was paid — the target core never runs the handler. *)
   let lost = match t.ipi_drop with Some f -> f () | None -> false in

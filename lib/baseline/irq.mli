@@ -13,12 +13,12 @@ type t
 
 val create : Sl_engine.Sim.t -> Switchless.Params.t -> cores:Switchless.Smt_core.t array -> t
 
-val raise_irq : t -> core:int -> handler:(exec:(int64 -> unit) -> unit) -> unit
+val raise_irq : t -> core:int -> handler:(exec:(int -> unit) -> unit) -> unit
 (** Deliver an interrupt to [core] at the current time.  Safe to call from
     any process or callback; the handler runs asynchronously in IRQ
     context. *)
 
-val send_ipi : t -> core:int -> handler:(exec:(int64 -> unit) -> unit) -> unit
+val send_ipi : t -> core:int -> handler:(exec:(int -> unit) -> unit) -> unit
 (** Cross-core interrupt: like {!raise_irq} after the IPI delivery
     latency.  Must be called from a process. *)
 

@@ -17,7 +17,7 @@ type t = {
   mutable free : context list;  (* idle contexts *)
   waiters : (context -> unit) Queue.t;  (* threads queued for a context *)
   warmup : bool;
-  quantum : int64 option;
+  quantum : int option;
   n_contexts : int;
   mutable next_thread_id : int;
   mutable switches : int;
@@ -29,7 +29,7 @@ type thread = { sched : t; id : int; vector : bool; mutable last_ctx : context o
 let create sim params ?(warmup = true) ?quantum ~cores:n_cores () =
   if n_cores <= 0 then invalid_arg "Swsched.create: need at least one core";
   (match quantum with
-  | Some q when Int64.compare q 1L < 0 ->
+  | Some q when q < 1 ->
     invalid_arg "Swsched.create: quantum must be >= 1"
   | _ -> ());
   let cores =
@@ -91,13 +91,13 @@ let charge_switch t ctx ~incoming_vector =
   in
   t.switches <- t.switches + 1;
   t.switch_overhead <- t.switch_overhead +. float_of_int cost;
-  Smt_core.execute ctx.core ~ptid:ctx.ptid ~kind:Smt_core.Overhead (Int64.of_int cost)
+  Smt_core.execute ctx.core ~ptid:ctx.ptid ~kind:Smt_core.Overhead cost
 
 let exec thread ?(kind = Smt_core.Useful) cycles =
-  if Int64.compare cycles 0L < 0 then invalid_arg "Swsched.exec: negative cycles";
+  if cycles < 0 then invalid_arg "Swsched.exec: negative cycles";
   let t = thread.sched in
   let remaining = ref cycles in
-  while Int64.compare !remaining 0L > 0 do
+  while !remaining > 0 do
     let ctx = acquire t thread in
     thread.last_ctx <- Some ctx;
     if ctx.last_thread <> thread.id then begin
@@ -108,10 +108,10 @@ let exec thread ?(kind = Smt_core.Useful) cycles =
     let slice =
       match t.quantum with
       | None -> !remaining
-      | Some q -> if Int64.compare q !remaining < 0 then q else !remaining
+      | Some q -> if q < !remaining then q else !remaining
     in
     Smt_core.execute ctx.core ~ptid:ctx.ptid ~kind slice;
-    remaining := Int64.sub !remaining slice;
+    remaining := !remaining - slice;
     (* Hand off to the longest-waiting thread: with a quantum this is
        round-robin. *)
     release t ctx

@@ -24,13 +24,13 @@ type thread
 
 val create :
   Sl_engine.Sim.t -> Switchless.Params.t -> ?warmup:bool ->
-  ?quantum:int64 -> cores:int -> unit -> t
+  ?quantum:Sl_engine.Sim.Time.t -> cores:int -> unit -> t
 
 val thread : t -> ?vector:bool -> unit -> thread
 (** Register a software thread.  [vector] threads carry the 784-byte
     context (FP/SSE state) and make switches against them dearer. *)
 
-val exec : thread -> ?kind:Switchless.Smt_core.kind -> int64 -> unit
+val exec : thread -> ?kind:Switchless.Smt_core.kind -> int -> unit
 (** Consume CPU: queue for a context, pay the switch cost if the context
     last ran someone else, run (in quanta if preemptive), release.  Must
     be called from within a process. *)

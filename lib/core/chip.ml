@@ -219,7 +219,7 @@ let exec th ?(kind = Smt_core.Useful) cycles =
   wait_until_runnable th;
   Smt_core.execute (own_core th).exec_unit ~ptid:(ptid th) ~kind cycles
 
-let exec_int th ?kind cycles = exec th ?kind (Int64.of_int cycles)
+let exec_int th ?kind cycles = exec th ?kind cycles
 
 (* --- wakeup machinery -------------------------------------------------- *)
 
@@ -244,7 +244,7 @@ let schedule_wakeup th ~extra ~reason ~(on_ready : unit -> unit) =
     extra + fault_extra + transfer + chip.params.Params.pipeline_start_cycles
   in
   Sim.schedule chip.sim
-    ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
+    ~at:((Sim.time chip.sim + latency))
     (fun () ->
       make_runnable th ~reason;
       Signal.emit th.resume ();
@@ -276,7 +276,7 @@ let insn_mwait_generic th ~deadline =
         + chip.params.Params.pipeline_start_cycles
       in
       Sim.schedule chip.sim
-        ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
+        ~at:((Sim.time chip.sim + latency))
         (fun () ->
           if Ivar.is_full ivar then
             (* A force-stop or deadline expiry raced the in-flight wakeup
@@ -307,7 +307,7 @@ let insn_mwait_generic th ~deadline =
       | Some at ->
         let at =
           let now = Sim.time chip.sim in
-          if Int64.compare at now < 0 then now else at
+          if at < now then now else at
         in
         Sim.schedule chip.sim ~at (fun () ->
             (* Expire only if nothing else claimed the wait: no wake in
@@ -323,7 +323,7 @@ let insn_mwait_generic th ~deadline =
                 + chip.params.Params.pipeline_start_cycles
               in
               Sim.schedule chip.sim
-                ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int latency))
+                ~at:((Sim.time chip.sim + latency))
                 (fun () ->
                   (* A force-stop may land inside the restart window; it
                      wins, and a later start re-runs the thread. *)
@@ -343,7 +343,7 @@ let insn_mwait_generic th ~deadline =
         | None -> ()
         | Some d ->
           Sim.schedule chip.sim
-            ~at:(Int64.add (Sim.time chip.sim) (Int64.of_int d))
+            ~at:((Sim.time chip.sim + d))
             (fun () ->
               match Monitor.take_waiter chip.monitor key with
               | None -> ()  (* already woken, stopped or expired *)
@@ -398,7 +398,7 @@ let raise_exception th kind ~info =
     (* Faults are involuntary: a latched start must not absorb them. *)
     th.pending_start <- false;
     make_not_runnable th Ptid.Disabled ~reason:"fault";
-    Sim.delay (Int64.of_int chip.params.Params.exception_descriptor_cycles);
+    Sim.delay chip.params.Params.exception_descriptor_cycles;
     chip.exn_seq <- Int64.add chip.exn_seq 1L;
     Exception_desc.write chip.memory ~base:(Int64.to_int edp) ~seq:chip.exn_seq
       ~core_id:(home_core th) ~ptid:(ptid th) kind ~info;
@@ -647,13 +647,13 @@ let insn_set_tdt th table =
   else raise_exception th Exception_desc.Privileged_instruction ~info:0L
 
 let load th addr =
-  exec th ~kind:Smt_core.Useful 1L;
+  exec th ~kind:Smt_core.Useful 1;
   let value = Memory.read th.chip.memory addr in
   emit th.chip (Probe.Mem_read { ptid = ptid th; addr; value });
   value
 
 let store th addr value =
-  exec th ~kind:Smt_core.Useful 1L;
+  exec th ~kind:Smt_core.Useful 1;
   Memory.write th.chip.memory addr value;
   emit th.chip (Probe.Mem_write { ptid = ptid th; addr; value })
 

@@ -130,7 +130,7 @@ val pin_state : thread -> unit
     All of these must be invoked from within the calling thread's body
     (they consume simulated time). *)
 
-val exec : thread -> ?kind:Smt_core.kind -> int64 -> unit
+val exec : thread -> ?kind:Smt_core.kind -> int -> unit
 (** Consume pipeline cycles on the thread's home core ({!Smt_core.execute}). *)
 
 val insn_monitor : thread -> Memory.addr -> unit
@@ -140,7 +140,7 @@ val insn_mwait : thread -> Memory.addr
     the deadline passes with no monitored write, after paying the normal
     restart latency.  A pending latched trigger still returns immediately;
     a write racing the expiry is latched for the next mwait, never lost. *)
-val insn_mwait_for : thread -> deadline:int64 -> Memory.addr option
+val insn_mwait_for : thread -> deadline:Sl_engine.Sim.Time.t -> Memory.addr option
 val insn_start : thread -> vtid:int -> unit
 val insn_stop : thread -> vtid:int -> unit
 val insn_rpull : thread -> vtid:int -> Regstate.reg -> int64

@@ -59,7 +59,7 @@ let ring t worker payload =
   t.dispatched <- t.dispatched + 1;
   let memory = Chip.memory t.chip in
   let at =
-    Int64.add (Sim.time (Chip.sim t.chip)) (Int64.of_int t.dispatch_cycles)
+    Sim.time (Chip.sim t.chip) + t.dispatch_cycles
   in
   Sim.schedule (Chip.sim t.chip) ~at (fun () ->
       Memory.write memory worker.doorbell 1L)
@@ -80,7 +80,7 @@ let worker_loop t th handle =
     (* Pull directly from the hardware queue when work is waiting — no
        park, no wake cost.  One cycle for the queue probe. *)
     match
-      Isa.exec th ~kind:Smt_core.Overhead 1L;
+      Isa.exec th ~kind:Smt_core.Overhead 1;
       Queue.take_opt t.pending
     with
     | Some payload ->

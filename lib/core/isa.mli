@@ -26,7 +26,7 @@
 
 type thread = Chip.thread
 
-val exec : thread -> ?kind:Smt_core.kind -> int64 -> unit
+val exec : thread -> ?kind:Smt_core.kind -> int -> unit
 (** Run [cycles] worth of ordinary instructions (placeholder for "the
     thread computes").  Default kind is [Useful]. *)
 
@@ -39,7 +39,7 @@ val mwait : thread -> Memory.addr
     write already arrived since the last wait — the race-free x86
     contract. *)
 
-val mwait_for : thread -> deadline:int64 -> Memory.addr option
+val mwait_for : thread -> deadline:Sl_engine.Sim.Time.t -> Memory.addr option
 (** [mwait] bounded by an absolute deadline (the umwait instruction):
     [None] means the deadline passed with no monitored write.  The basis
     of every failure-hardened wait — a caller that can time out can retry,

@@ -75,9 +75,9 @@ let default =
     msix_translation_cycles = 10;
   }
 
-let cycles_to_ns t cycles = Int64.to_float cycles /. t.freq_ghz
+let cycles_to_ns t cycles = float_of_int cycles /. t.freq_ghz
 
-let ns_to_cycles t ns = Int64.of_float (Float.round (ns *. t.freq_ghz))
+let ns_to_cycles t ns = int_of_float (Float.round (ns *. t.freq_ghz))
 
 let regstate_bytes t ~vector =
   if vector then t.regstate_bytes_full else t.regstate_bytes_gp

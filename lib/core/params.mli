@@ -82,8 +82,8 @@ type t = {
 val default : t
 (** The paper's cost model, as tabulated in DESIGN.md. *)
 
-val cycles_to_ns : t -> int64 -> float
-val ns_to_cycles : t -> float -> int64
+val cycles_to_ns : t -> int -> float
+val ns_to_cycles : t -> float -> int
 
 val regstate_bytes : t -> vector:bool -> int
 (** Context footprint for a thread with or without vector state. *)

@@ -8,22 +8,54 @@ let kind_index = function Useful -> 0 | Poll -> 1 | Overhead -> 2
 type job = {
   job_ptid : int;
   kind : kind;
-  mutable remaining : float;  (* cycles of service still owed *)
+  remaining : float ref;  (* cycles of service still owed *)
   completion : unit Ivar.t;
 }
 
+(* Hot-path note: [advance]/[reschedule] run on every runnability change
+   and every [execute], so with N runnable threads a boot storm that arms
+   N monitors is N calls touching N jobs each.  The active set and its
+   rates therefore live in reusable scratch arrays ([sjobs]/[sweight]/
+   [srate]/[scapped]) instead of freshly consed lists, and per-job floats
+   ([remaining], billing counters, [busy]) sit behind [float ref]s so
+   updates stay unboxed.  Iteration order over the scratch arrays is
+   index-descending, which reproduces exactly the head-first order of the
+   association lists this replaced (they were built by consing onto a
+   [Hashtbl.fold] accumulator) — the floating-point accumulation order,
+   and thus every reported statistic, is unchanged. *)
 type t = {
   sim : Sim.t;
   params : Params.t;
   core_id : int;
   jobs : (int, job) Hashtbl.t;  (* ptid -> in-flight job (runnable or frozen) *)
   weights : (int, float) Hashtbl.t;  (* ptid -> weight, for runnable ptids *)
-  mutable last_update : int64;
+  mutable last_update : Sim.Time.t;
   mutable epoch : int;  (* stamps completion events; bumps invalidate them *)
-  mutable busy : float;
+  busy : float ref;
   work : float array;  (* indexed by kind *)
-  billing : (int, float) Hashtbl.t;  (* ptid -> cycles consumed *)
+  billing : (int, float ref) Hashtbl.t;  (* ptid -> cycles consumed *)
+  (* Scratch state for the active set; valid between [collect_active] and
+     the end of the computation using it. *)
+  mutable sjobs : job array;
+  mutable sweight : float array;
+  mutable srate : float array;
+  mutable scapped : bool array;
+  mutable scount : int;
+  (* Fast-path bookkeeping for [reschedule].  With every job runnable
+     ([frozen = 0]) and every runnable weight exactly 1.0 ([nonunit = 0]),
+     processor sharing degenerates to rate [min(1, width/n)] for all n
+     active jobs, and the earliest completion is that of the job with the
+     least remaining work — so the next event time follows from
+     [min_rem] alone, in O(1), bit-identical to the full water-filling
+     (the uncapped weight total of n unit weights is exactly [float n]). *)
+  mutable frozen : int;  (* jobs whose ptid is not currently runnable *)
+  mutable nonunit : int;  (* runnable ptids whose weight is not 1.0 *)
+  mutable min_rem : float;  (* least remaining over active jobs ... *)
+  mutable min_valid : bool;  (* ... valid only when this is set *)
 }
+
+let dummy_job =
+  { job_ptid = min_int; kind = Useful; remaining = ref 0.0; completion = Ivar.create () }
 
 let create sim params ~core_id =
   {
@@ -32,135 +64,233 @@ let create sim params ~core_id =
     core_id;
     jobs = Hashtbl.create 64;
     weights = Hashtbl.create 64;
-    last_update = 0L;
+    last_update = 0;
     epoch = 0;
-    busy = 0.0;
+    busy = ref 0.0;
     work = Array.make 3 0.0;
     billing = Hashtbl.create 64;
+    sjobs = Array.make 16 dummy_job;
+    sweight = Array.make 16 0.0;
+    srate = Array.make 16 0.0;
+    scapped = Array.make 16 false;
+    scount = 0;
+    frozen = 0;
+    nonunit = 0;
+    min_rem = infinity;
+    min_valid = false;
   }
 
 let core_id t = t.core_id
 
 let is_runnable t ~ptid = Hashtbl.mem t.weights ptid
 
-(* Jobs of currently runnable ptids, paired with their weight. *)
-let active t =
-  Hashtbl.fold
-    (fun ptid weight acc ->
-      match Hashtbl.find_opt t.jobs ptid with
-      | Some job -> (job, weight) :: acc
-      | None -> acc)
-    t.weights []
+let ensure_scratch t n =
+  if Array.length t.sjobs < n then begin
+    let cap = max n (2 * Array.length t.sjobs) in
+    t.sjobs <- Array.make cap dummy_job;
+    t.sweight <- Array.make cap 0.0;
+    t.srate <- Array.make cap 0.0;
+    t.scapped <- Array.make cap false
+  end
+
+(* Fill the scratch arrays with the jobs of currently runnable ptids and
+   their weights.  Indices ascend in [Hashtbl.fold] order over [weights];
+   consumers iterate descending to reproduce the order of the cons-built
+   list this replaced. *)
+let collect_active t =
+  if Hashtbl.length t.jobs = 0 then t.scount <- 0
+  else begin
+    ensure_scratch t (Hashtbl.length t.jobs);
+    let k = ref 0 in
+    Hashtbl.iter
+      (fun ptid weight ->
+        match Hashtbl.find_opt t.jobs ptid with
+        | Some job ->
+          t.sjobs.(!k) <- job;
+          t.sweight.(!k) <- weight;
+          incr k
+        | None -> ())
+      t.weights;
+    t.scount <- !k
+  end
 
 (* Weighted processor sharing with per-thread rate cap 1.0: water-filling.
-   Returns [(job, rate)] for every active job. *)
-let rates t actives =
+   Fills [srate.(i)] for every active job. *)
+let compute_rates t =
   let width = float_of_int t.params.Params.smt_width in
-  let n = List.length actives in
-  if n = 0 then []
+  let n = t.scount in
+  if n = 0 then ()
   else if n <= t.params.Params.smt_width then
-    List.map (fun (job, _) -> (job, 1.0)) actives
+    for i = 0 to n - 1 do
+      t.srate.(i) <- 1.0
+    done
   else begin
     (* Iteratively cap threads whose fair share exceeds 1.0. *)
-    let capped = Hashtbl.create n in
+    for i = 0 to n - 1 do
+      t.scapped.(i) <- false
+    done;
+    let uncapped_total () =
+      let total = ref 0.0 in
+      for i = n - 1 downto 0 do
+        if not t.scapped.(i) then total := !total +. t.sweight.(i)
+      done;
+      !total
+    in
+    let uncapped_count () =
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        if not t.scapped.(i) then incr c
+      done;
+      !c
+    in
     let rec settle capacity =
-      let uncapped =
-        List.filter (fun (job, _) -> not (Hashtbl.mem capped job.job_ptid)) actives
-      in
-      let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 uncapped in
-      if uncapped = [] || total_weight <= 0.0 then ()
+      let total_weight = uncapped_total () in
+      if uncapped_count () = 0 || total_weight <= 0.0 then ()
       else begin
-        let overflow =
-          List.filter
-            (fun (_, w) -> capacity *. w /. total_weight >= 1.0)
-            uncapped
-        in
-        if overflow = [] then ()
-        else begin
-          List.iter (fun (job, _) -> Hashtbl.replace capped job.job_ptid ()) overflow;
-          settle (capacity -. float_of_int (List.length overflow))
-        end
+        let overflow = ref 0 in
+        for i = 0 to n - 1 do
+          if
+            (not t.scapped.(i))
+            && capacity *. t.sweight.(i) /. total_weight >= 1.0
+          then begin
+            t.scapped.(i) <- true;
+            incr overflow
+          end
+        done;
+        if !overflow > 0 then settle (capacity -. float_of_int !overflow)
       end
     in
     settle width;
-    let uncapped =
-      List.filter (fun (job, _) -> not (Hashtbl.mem capped job.job_ptid)) actives
-    in
-    let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 uncapped in
-    let residual = width -. float_of_int (Hashtbl.length capped) in
-    List.map
-      (fun (job, w) ->
-        if Hashtbl.mem capped job.job_ptid then (job, 1.0)
-        else (job, residual *. w /. total_weight))
-      actives
+    let total_weight = uncapped_total () in
+    let residual = width -. float_of_int (n - uncapped_count ()) in
+    for i = 0 to n - 1 do
+      t.srate.(i) <-
+        (if t.scapped.(i) then 1.0 else residual *. t.sweight.(i) /. total_weight)
+    done
   end
 
+let bill t ptid served =
+  match Hashtbl.find_opt t.billing ptid with
+  | Some r -> r := !r +. served
+  | None -> Hashtbl.replace t.billing ptid (ref served)
+
 (* Deliver service for the time elapsed since the last update, completing
-   any jobs that finished. *)
+   any jobs that finished.  When no time has passed nothing can have
+   finished either — every job in [jobs] still owes > 1e-6 cycles
+   ([execute] admits only positive work and finished jobs are removed the
+   moment they are served down) — so the whole pass is skipped. *)
 let advance t =
   let now = Sim.time t.sim in
-  let elapsed = Int64.to_float (Int64.sub now t.last_update) in
+  let elapsed = float_of_int (now - t.last_update) in
+  t.last_update <- now;
   if elapsed > 0.0 then begin
-    let actives = active t in
-    let job_rates = rates t actives in
+    collect_active t;
+    compute_rates t;
+    let live_min = ref infinity in
+    for i = t.scount - 1 downto 0 do
+      let job = t.sjobs.(i) in
+      let served = Float.min !(job.remaining) (elapsed *. t.srate.(i)) in
+      let left = !(job.remaining) -. served in
+      job.remaining := left;
+      if left > 1e-6 && left < !live_min then live_min := left;
+      t.busy := !(t.busy) +. served;
+      t.work.(kind_index job.kind) <- t.work.(kind_index job.kind) +. served;
+      bill t job.job_ptid served
+    done;
+    if t.frozen = 0 then begin
+      t.min_rem <- !live_min;
+      t.min_valid <- !live_min < infinity
+    end
+    else t.min_valid <- false;
+    (* Complete finished jobs. *)
+    let finished =
+      Hashtbl.fold
+        (fun ptid job acc ->
+          if !(job.remaining) <= 1e-6 then (ptid, job) :: acc else acc)
+        t.jobs []
+    in
     List.iter
-      (fun (job, rate) ->
-        let served = Float.min job.remaining (elapsed *. rate) in
-        job.remaining <- job.remaining -. served;
-        t.busy <- t.busy +. served;
-        t.work.(kind_index job.kind) <- t.work.(kind_index job.kind) +. served;
-        let billed =
-          match Hashtbl.find_opt t.billing job.job_ptid with
-          | Some c -> c
-          | None -> 0.0
-        in
-        Hashtbl.replace t.billing job.job_ptid (billed +. served))
-      job_rates;
-    t.last_update <- now
+      (fun (ptid, job) ->
+        Hashtbl.remove t.jobs ptid;
+        Ivar.fill job.completion ())
+      finished
   end
-  else t.last_update <- now;
-  (* Complete finished jobs. *)
-  let finished =
-    Hashtbl.fold
-      (fun ptid job acc -> if job.remaining <= 1e-6 then (ptid, job) :: acc else acc)
-      t.jobs []
-  in
-  List.iter
-    (fun (ptid, job) ->
-      Hashtbl.remove t.jobs ptid;
-      Ivar.fill job.completion ())
-    finished
 
 (* Schedule the next completion event, invalidating older ones. *)
 let rec reschedule t =
   t.epoch <- t.epoch + 1;
   let epoch = t.epoch in
-  let actives = active t in
-  let job_rates = rates t actives in
   let next =
-    List.fold_left
-      (fun acc (job, rate) ->
-        if rate <= 0.0 then acc
-        else
-          let dt = Float.max 1.0 (Float.round (Float.ceil (job.remaining /. rate))) in
-          match acc with None -> Some dt | Some best -> Some (Float.min best dt))
-      None job_rates
+    if t.frozen = 0 && t.nonunit = 0 && t.min_valid then begin
+      (* Unit weights, nothing frozen: every job is active at the same
+         rate, so the earliest completion is the least-remaining job's.
+         [dt] below is bit-identical to the general path: the rate for
+         n > width jobs is [residual * w / total] with residual = width,
+         w = 1.0 and total = float n (n exact unit-weight additions), and
+         ceil/round/max are monotone, so applying them to the minimum
+         remaining yields the minimum dt. *)
+      let n = Hashtbl.length t.jobs in
+      if n = 0 then infinity
+      else begin
+        let rate =
+          if n <= t.params.Params.smt_width then 1.0
+          else float_of_int t.params.Params.smt_width /. float_of_int n
+        in
+        Float.max 1.0 (Float.round (Float.ceil (t.min_rem /. rate)))
+      end
+    end
+    else begin
+      collect_active t;
+      if t.scount = 0 then infinity
+      else begin
+        compute_rates t;
+        let next = ref infinity in
+        for i = t.scount - 1 downto 0 do
+          let rate = t.srate.(i) in
+          if rate > 0.0 then begin
+            let dt =
+              Float.max 1.0
+                (Float.round (Float.ceil (!(t.sjobs.(i).remaining) /. rate)))
+            in
+            if dt < !next then next := dt
+          end
+        done;
+        !next
+      end
+    end
   in
-  match next with
-  | None -> ()
-  | Some dt ->
-    let at = Int64.add (Sim.time t.sim) (Int64.of_float dt) in
+  if next < infinity then begin
+    let at = Sim.time t.sim + int_of_float next in
     Sim.schedule t.sim ~at (fun () ->
         if epoch = t.epoch then begin
           advance t;
           reschedule t
         end)
+  end
 
 let set_runnable t ~ptid ~weight runnable =
   if weight <= 0.0 then invalid_arg "Smt_core.set_runnable: weight must be positive";
   advance t;
-  if runnable then Hashtbl.replace t.weights ptid weight
-  else Hashtbl.remove t.weights ptid;
+  let old = Hashtbl.find_opt t.weights ptid in
+  (match old with Some w when w <> 1.0 -> t.nonunit <- t.nonunit - 1 | _ -> ());
+  if runnable then begin
+    Hashtbl.replace t.weights ptid weight;
+    if weight <> 1.0 then t.nonunit <- t.nonunit + 1;
+    if old = None && Hashtbl.mem t.jobs ptid then begin
+      (* A frozen job thaws back into the active set. *)
+      t.frozen <- t.frozen - 1;
+      if t.min_valid then
+        t.min_rem <- Float.min t.min_rem !((Hashtbl.find t.jobs ptid).remaining)
+    end
+  end
+  else begin
+    Hashtbl.remove t.weights ptid;
+    if old <> None && Hashtbl.mem t.jobs ptid then begin
+      (* Freezing an in-flight job: it may have carried the minimum. *)
+      t.frozen <- t.frozen + 1;
+      t.min_valid <- false
+    end
+  end;
   reschedule t
 
 let set_weight t ~ptid weight =
@@ -168,20 +298,28 @@ let set_weight t ~ptid weight =
   if not (Hashtbl.mem t.weights ptid) then
     invalid_arg "Smt_core.set_weight: ptid not runnable";
   advance t;
+  if Hashtbl.find t.weights ptid <> 1.0 then t.nonunit <- t.nonunit - 1;
   Hashtbl.replace t.weights ptid weight;
+  if weight <> 1.0 then t.nonunit <- t.nonunit + 1;
   reschedule t
 
 let execute t ~ptid ~kind cycles =
-  if Int64.compare cycles 0L < 0 then invalid_arg "Smt_core.execute: negative cycles";
-  if Int64.compare cycles 0L > 0 then begin
+  if cycles < 0 then invalid_arg "Smt_core.execute: negative cycles";
+  if cycles > 0 then begin
     if not (Hashtbl.mem t.weights ptid) then
       invalid_arg "Smt_core.execute: ptid is not runnable";
     if Hashtbl.mem t.jobs ptid then
       invalid_arg "Smt_core.execute: ptid already has in-flight work";
     advance t;
+    let rem = float_of_int cycles in
     let job =
-      { job_ptid = ptid; kind; remaining = Int64.to_float cycles; completion = Ivar.create () }
+      { job_ptid = ptid; kind; remaining = ref rem; completion = Ivar.create () }
     in
+    if Hashtbl.length t.jobs = 0 then begin
+      t.min_rem <- rem;
+      t.min_valid <- true
+    end
+    else if t.min_valid then t.min_rem <- Float.min t.min_rem rem;
     Hashtbl.replace t.jobs ptid job;
     reschedule t;
     Ivar.read job.completion
@@ -189,11 +327,14 @@ let execute t ~ptid ~kind cycles =
 
 let runnable_count t = Hashtbl.length t.weights
 
-let active_jobs t = List.length (active t)
+let active_jobs t =
+  Hashtbl.fold
+    (fun ptid _ acc -> if Hashtbl.mem t.jobs ptid then acc + 1 else acc)
+    t.weights 0
 
 let busy_capacity_cycles t =
   advance t;
-  t.busy
+  !(t.busy)
 
 let work_done t kind =
   advance t;
@@ -201,8 +342,8 @@ let work_done t kind =
 
 let thread_cycles t ~ptid =
   advance t;
-  match Hashtbl.find_opt t.billing ptid with Some c -> c | None -> 0.0
+  match Hashtbl.find_opt t.billing ptid with Some r -> !r | None -> 0.0
 
 let billed_threads t =
   advance t;
-  Hashtbl.fold (fun ptid cycles acc -> (ptid, cycles) :: acc) t.billing []
+  Hashtbl.fold (fun ptid r acc -> (ptid, !r) :: acc) t.billing []

@@ -39,7 +39,7 @@ val is_runnable : t -> ptid:int -> bool
 val set_weight : t -> ptid:int -> float -> unit
 (** Adjust the share weight of a currently runnable ptid. *)
 
-val execute : t -> ptid:int -> kind:kind -> int64 -> unit
+val execute : t -> ptid:int -> kind:kind -> int -> unit
 (** [execute t ~ptid ~kind cycles] consumes [cycles] of service on behalf
     of the ptid.  Blocks the calling process until done.  The ptid must be
     runnable when called; it may be paused and resumed while in flight.

@@ -15,20 +15,37 @@ let tier_of_index = function
   | 2 -> L3
   | _ -> Dram
 
+(* Entries are intrusively linked into a per-tier recency list (see [t]),
+   so eviction never scans the whole table.  [prev]/[next] are physical
+   links; an unlinked entry points to itself. *)
 type entry = {
   ptid : int;
   bytes : int;
   mutable tier : tier;
   mutable last_touch : int;
   mutable pinned : bool;
+  mutable prev : entry;
+  mutable next : entry;
 }
 
 type corruption = Ecc_corrected | Silent
 
+(* Each tier keeps its resident entries on a circular doubly-linked list
+   threaded through the entries themselves, sorted by recency:
+   [sent.next] is the most recently touched, [sent.prev] the coldest.
+   [last_touch] ticks are globally unique and monotone, so the sort order
+   is total and the coldest unpinned entry is simply the first unpinned
+   entry walking back from the tail — the same victim the previous
+   whole-table minimum scan selected, found in O(1) instead of O(n) per
+   eviction.  Freshly-touched entries go to the head directly; only moves
+   that keep an old tick (demotion, pin/wake promotion) need a sorted
+   insert, and those walk from the tail, which is short for the cold
+   entries demotion deals in. *)
 type t = {
   params : Params.t;
   entries : (int, entry) Hashtbl.t;
   used : int array;  (* bytes per tier; index by tier_index *)
+  recency : entry array;  (* per-tier list sentinel; index by tier_index *)
   mutable clock : int;  (* recency counter *)
   transfers : int array;  (* wake transfers served per tier *)
   mutable demotions : int;
@@ -37,11 +54,26 @@ type t = {
   mutable silent_corruptions : int;
 }
 
+let make_sentinel tier =
+  let rec sent =
+    {
+      ptid = min_int;
+      bytes = 0;
+      tier;
+      last_touch = max_int;
+      pinned = false;
+      prev = sent;
+      next = sent;
+    }
+  in
+  sent
+
 let create params =
   {
     params;
     entries = Hashtbl.create 64;
     used = Array.make 4 0;
+    recency = Array.init 4 (fun i -> make_sentinel (tier_of_index i));
     clock = 0;
     transfers = Array.make 4 0;
     demotions = 0;
@@ -49,6 +81,38 @@ let create params =
     ecc_retries = 0;
     silent_corruptions = 0;
   }
+
+let unlink e =
+  e.prev.next <- e.next;
+  e.next.prev <- e.prev;
+  e.prev <- e;
+  e.next <- e
+
+(* Link [e] as the most-recent entry of its tier.  Only valid when
+   [e.last_touch] is the newest tick in the store (every caller has just
+   refreshed it), which keeps the list sorted without scanning. *)
+let link_mru t e =
+  let sent = t.recency.(tier_index e.tier) in
+  e.prev <- sent;
+  e.next <- sent.next;
+  sent.next.prev <- e;
+  sent.next <- e
+
+(* Link [e] into its tier's list at the position its (old) tick dictates.
+   Walks from the cold end: entries arriving here are demotion victims or
+   promoted-with-old-tick contexts, both cold relative to the list. *)
+let link_by_recency t e =
+  let sent = t.recency.(tier_index e.tier) in
+  let rec scan pos =
+    if pos == sent || pos.last_touch > e.last_touch then begin
+      e.prev <- pos;
+      e.next <- pos.next;
+      pos.next.prev <- e;
+      pos.next <- e
+    end
+    else scan pos.prev
+  in
+  scan sent.prev
 
 let set_fault_hook t f = t.fault <- Some f
 let clear_fault_hook t = t.fault <- None
@@ -81,21 +145,21 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-(* Coldest unpinned entry currently resident in [tier]. *)
+(* Coldest unpinned entry currently resident in [tier]: first unpinned
+   entry from the cold end of the recency list. *)
 let coldest t tier =
-  Hashtbl.fold
-    (fun _ e acc ->
-      if e.tier = tier && not e.pinned then
-        match acc with
-        | Some best when best.last_touch <= e.last_touch -> acc
-        | _ -> Some e
-      else acc)
-    t.entries None
+  let sent = t.recency.(tier_index tier) in
+  let rec go pos =
+    if pos == sent then None else if pos.pinned then go pos.prev else Some pos
+  in
+  go sent.prev
 
 let move t e tier =
+  unlink e;
   t.used.(tier_index e.tier) <- t.used.(tier_index e.tier) - e.bytes;
   e.tier <- tier;
-  t.used.(tier_index tier) <- t.used.(tier_index tier) + e.bytes
+  t.used.(tier_index tier) <- t.used.(tier_index tier) + e.bytes;
+  link_by_recency t e
 
 (* Demote cold entries out of [tier] until [bytes] fit, cascading down. *)
 let rec make_room t tier bytes =
@@ -126,9 +190,12 @@ let register t ~ptid ~bytes =
     else first_fit (idx + 1)
   in
   let tier = first_fit 0 in
-  let e = { ptid; bytes; tier; last_touch = tick t; pinned = false } in
+  let rec e =
+    { ptid; bytes; tier; last_touch = tick t; pinned = false; prev = e; next = e }
+  in
   t.used.(tier_index tier) <- t.used.(tier_index tier) + bytes;
-  Hashtbl.replace t.entries ptid e
+  Hashtbl.replace t.entries ptid e;
+  link_mru t e
 
 let tier_of t ~ptid = (find t ptid).tier
 
@@ -137,6 +204,11 @@ let promote_to_rf t e =
     make_room t Register_file e.bytes;
     move t e Register_file
   end
+
+let refresh t e =
+  unlink e;
+  e.last_touch <- tick t;
+  link_mru t e
 
 let wake_transfer_cycles t ~ptid =
   let e = find t ptid in
@@ -160,13 +232,13 @@ let wake_transfer_cycles t ~ptid =
       | None -> cost)
   in
   t.transfers.(tier_index from) <- t.transfers.(tier_index from) + 1;
+  (* Promote with the entry's old tick first — while making room it can
+     itself be the coldest RF resident — then refresh its recency. *)
   promote_to_rf t e;
-  e.last_touch <- tick t;
+  refresh t e;
   cost
 
-let touch t ~ptid =
-  let e = find t ptid in
-  e.last_touch <- tick t
+let touch t ~ptid = refresh t (find t ptid)
 
 let pin t ~ptid =
   let e = find t ptid in
@@ -180,7 +252,7 @@ let unpin t ~ptid = (find t ptid).pinned <- false
 let prefetch t ~ptid =
   let e = find t ptid in
   promote_to_rf t e;
-  e.last_touch <- tick t
+  refresh t e
 
 let check t =
   let issues = ref [] in
@@ -200,7 +272,28 @@ let check t =
           (tier_name tier) t.used.(idx) resident.(idx);
       if tier <> Dram && t.used.(idx) > capacity_bytes t tier then
         problem "%s over capacity: %d bytes used of %d" (tier_name tier)
-          t.used.(idx) (capacity_bytes t tier))
+          t.used.(idx) (capacity_bytes t tier);
+      (* Recency-list integrity: every link resident in this tier, sorted
+         newest-to-coldest, one list node per resident entry. *)
+      let sent = t.recency.(idx) in
+      let listed = ref 0 in
+      let pos = ref sent.next in
+      while !pos != sent do
+        incr listed;
+        let e = !pos in
+        if e.tier <> tier then
+          problem "%s recency list holds ptid %d resident in %s" (tier_name tier)
+            e.ptid (tier_name e.tier);
+        if !pos.next != sent && !pos.next.last_touch > e.last_touch then
+          problem "%s recency list out of order at ptid %d" (tier_name tier) e.ptid;
+        pos := e.next
+      done;
+      let resident_count =
+        Hashtbl.fold (fun _ e n -> if e.tier = tier then n + 1 else n) t.entries 0
+      in
+      if !listed <> resident_count then
+        problem "%s recency list tracks %d entries, %d resident" (tier_name tier)
+          !listed resident_count)
     [ Register_file; L2; L3; Dram ];
   List.rev !issues
 

@@ -6,14 +6,14 @@ type t = {
   params : Switchless.Params.t;
   memory : Memory.t;
   notify : Notify.t;
-  period : int64;
+  period : int;
   count_addr : Memory.addr;
   mutable running : bool;
   mutable ticks : int;
 }
 
 let create sim params memory ?(notify = Notify.Silent) ~period () =
-  if Int64.compare period 1L < 0 then invalid_arg "Apic_timer.create: period must be >= 1";
+  if period < 1 then invalid_arg "Apic_timer.create: period must be >= 1";
   {
     sim;
     params;

@@ -8,7 +8,7 @@ type t
 
 val create :
   Sl_engine.Sim.t -> Switchless.Params.t -> Switchless.Memory.t ->
-  ?notify:Notify.t -> period:int64 -> unit -> t
+  ?notify:Notify.t -> period:Sl_engine.Sim.Time.t -> unit -> t
 
 val count_addr : t -> Switchless.Memory.addr
 (** The monitored tick-counter word. *)

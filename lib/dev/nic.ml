@@ -2,7 +2,7 @@ module Sim = Sl_engine.Sim
 module Memory = Switchless.Memory
 module Params = Switchless.Params
 
-type packet = { pkt_id : int; flow : int; injected_at : int64 }
+type packet = { pkt_id : int; flow : int; injected_at : int }
 
 type queue = {
   ring_base : Memory.addr;
@@ -94,7 +94,7 @@ let inject ?flow t =
     let pkt = { pkt_id = t.next_id; flow; injected_at = Sim.now () } in
     t.next_id <- t.next_id + 1;
     (* DMA of the descriptor, then the tail-pointer doorbell write. *)
-    Sim.delay (Int64.of_int t.params.Params.dma_write_cycles);
+    Sim.delay t.params.Params.dma_write_cycles;
     let dma_lost =
       match t.faults with Some f -> f.dma_drop ~queue:q_idx | None -> false
     in

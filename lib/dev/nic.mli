@@ -16,7 +16,7 @@
 type packet = {
   pkt_id : int;
   flow : int;  (** Flow label used for queue steering. *)
-  injected_at : int64;  (** Cycle of arrival at the device. *)
+  injected_at : Sl_engine.Sim.Time.t;  (** Cycle of arrival at the device. *)
 }
 
 type t

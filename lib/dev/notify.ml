@@ -10,7 +10,7 @@ type t =
 let fire _sim params memory = function
   | Silent -> ()
   | Msix addr ->
-    Sim.delay (Int64.of_int params.Params.msix_translation_cycles);
+    Sim.delay params.Params.msix_translation_cycles;
     let v = Memory.read memory addr in
     Memory.write memory addr (Int64.add v 1L)
   | Irq_line raise_line -> raise_line ()

@@ -2,7 +2,7 @@ module Sim = Sl_engine.Sim
 module Memory = Switchless.Memory
 module Params = Switchless.Params
 
-type completion = { cmd_id : int; submitted_at : int64; completed_at : int64 }
+type completion = { cmd_id : int; submitted_at : int; completed_at : int }
 
 type t = {
   sim : Sim.t;
@@ -19,7 +19,7 @@ type t = {
   mutable completed : int;
   mutable stall_fault : (unit -> int option) option;
   mutable stalls : int;
-  mutable stall_cycles_total : int64;
+  mutable stall_cycles_total : int;
 }
 
 (* Lets the fault injector attach to every NVMe device built inside
@@ -49,7 +49,7 @@ let create sim params memory ?(notify = Notify.Silent) ?(queue_depth = 64) ~late
       completed = 0;
       stall_fault = None;
       stalls = 0;
-      stall_cycles_total = 0L;
+      stall_cycles_total = 0;
     }
   in
   (match Domain.DLS.get creation_hook with Some f -> f t | None -> ());
@@ -69,9 +69,9 @@ let submit t =
   t.in_flight <- t.in_flight + 1;
   let submitted_at = Sim.now () in
   (* Doorbell MMIO write. *)
-  Sim.delay (Int64.of_int t.params.Params.nic_doorbell_cycles);
-  let service = Int64.of_float (Sl_util.Dist.sample t.latency t.rng) in
-  let service = if Int64.compare service 1L < 0 then 1L else service in
+  Sim.delay t.params.Params.nic_doorbell_cycles;
+  let service = int_of_float (Sl_util.Dist.sample t.latency t.rng) in
+  let service = if service < 1 then 1 else service in
   (* Fault injection, sampled at submission so the draw order is
      deterministic: a completion stall stretches this command's device
      latency (firmware hiccup, retried media op, deep power state). *)
@@ -81,14 +81,14 @@ let submit t =
       match f () with
       | Some extra when extra > 0 ->
         t.stalls <- t.stalls + 1;
-        t.stall_cycles_total <- Int64.add t.stall_cycles_total (Int64.of_int extra);
-        Int64.of_int extra
-      | Some _ | None -> 0L)
-    | None -> 0L
+        t.stall_cycles_total <- t.stall_cycles_total + extra;
+        extra
+      | Some _ | None -> 0)
+    | None -> 0
   in
   Sim.fork (fun () ->
-      Sim.delay (Int64.add service stall);
-      Sim.delay (Int64.of_int t.params.Params.dma_write_cycles);
+      Sim.delay (service + stall);
+      Sim.delay t.params.Params.dma_write_cycles;
       t.in_flight <- t.in_flight - 1;
       t.completed <- t.completed + 1;
       Queue.push { cmd_id = id; submitted_at; completed_at = Sim.now () } t.completions;

@@ -7,8 +7,8 @@
 
 type completion = {
   cmd_id : int;
-  submitted_at : int64;
-  completed_at : int64;
+  submitted_at : Sl_engine.Sim.Time.t;
+  completed_at : Sl_engine.Sim.Time.t;
 }
 
 type t
@@ -43,7 +43,7 @@ val set_stall_fault : t -> (unit -> int option) -> unit
 val clear_stall_fault : t -> unit
 
 val stall_count : t -> int
-val stall_cycles_total : t -> int64
+val stall_cycles_total : t -> int
 
 val set_creation_hook : (t -> unit) -> unit
 (** Global hook invoked on every {!create} (see [Nic.set_creation_hook]). *)

@@ -6,7 +6,7 @@ module Memory = Switchless.Memory
 type remote = {
   chip : Chip.t;
   rtt : Sl_util.Dist.t;
-  server_work : int64;
+  server_work : int;
   rng : Sl_util.Rng.t;
   mutable completed : int;
 }
@@ -34,9 +34,9 @@ let call s ~client =
      there" and the response lands as a DMA write. *)
   Isa.store client s.req seq;
   let delay =
-    Int64.add (Int64.of_float (Sl_util.Dist.sample r.rtt r.rng)) r.server_work
+    int_of_float (Sl_util.Dist.sample r.rtt r.rng) + r.server_work
   in
-  let delay = if Int64.compare delay 1L < 0 then 1L else delay in
+  let delay = if delay < 1 then 1 else delay in
   Sim.fork (fun () ->
       Sim.delay delay;
       r.completed <- r.completed + 1;

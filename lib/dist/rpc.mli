@@ -10,7 +10,7 @@
 type remote
 
 val create_remote :
-  Switchless.Chip.t -> rtt:Sl_util.Dist.t -> server_work:int64 ->
+  Switchless.Chip.t -> rtt:Sl_util.Dist.t -> server_work:Sl_engine.Sim.Time.t ->
   rng:Sl_util.Rng.t -> remote
 (** A remote node reachable with the given round-trip-time distribution
     that spends [server_work] cycles per request (modelled inside the

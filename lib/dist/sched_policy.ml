@@ -9,19 +9,19 @@ module Smt_core = Switchless.Smt_core
 module Histogram = Sl_util.Histogram
 module Openloop = Sl_workload.Openloop
 
-type mode = Fcfs | Preemptive of int64
+type mode = Fcfs | Preemptive of int
 
 type worker = {
   ptid : int;
   doorbell : Memory.addr;
   mutable req : Openloop.request option;
-  mutable admitted_at : int64;
+  mutable admitted_at : int;
 }
 
 type event = Arrival of Openloop.request | Done of worker | Tick
 
 (* Scheduler bookkeeping cost per decision (queue ops, policy check). *)
-let decision_cycles = 20L
+let decision_cycles = 20
 
 let run ?(pool = 256) ?runnable_limit ~mode (cfg : Server.config) =
   let params = cfg.Server.params in
@@ -41,7 +41,7 @@ let run ?(pool = 256) ?runnable_limit ~mode (cfg : Server.config) =
   (* Worker threads on core 0. *)
   let workers =
     Array.init pool (fun i ->
-        { ptid = i + 1; doorbell = Memory.alloc memory 1; req = None; admitted_at = 0L })
+        { ptid = i + 1; doorbell = Memory.alloc memory 1; req = None; admitted_at = 0 })
   in
   Array.iter
     (fun w ->
@@ -53,10 +53,10 @@ let run ?(pool = 256) ?runnable_limit ~mode (cfg : Server.config) =
             (match w.req with
             | Some req ->
               Isa.exec th req.Openloop.service_cycles;
-              let sojourn = Int64.sub (Sim.now ()) req.Openloop.arrival in
+              let sojourn = Sim.now () - req.Openloop.arrival in
               Histogram.record latencies sojourn;
-              let demand = Int64.to_float (Int64.max 1L req.Openloop.service_cycles) in
-              slowdowns := (Int64.to_float sojourn /. demand) :: !slowdowns;
+              let demand = float_of_int (max 1 req.Openloop.service_cycles) in
+              slowdowns := (float_of_int sojourn /. demand) :: !slowdowns;
               w.req <- None;
               incr done_count;
               if !done_count >= cfg.Server.count then finished := true;
@@ -114,13 +114,13 @@ let run ?(pool = 256) ?runnable_limit ~mode (cfg : Server.config) =
             let victim =
               List.fold_left
                 (fun acc w ->
-                  let age = Int64.sub now w.admitted_at in
+                  let age = now - w.admitted_at in
                   (* Never preempt a worker whose request already finished
                      (its Done event is in flight). *)
-                  if w.req = None || Int64.compare age quantum < 0 then acc
+                  if w.req = None || age < quantum then acc
                   else
                     match acc with
-                    | Some (best, best_age) when Int64.compare best_age age >= 0 ->
+                    | Some (best, best_age) when best_age >= age ->
                       Some (best, best_age)
                     | _ -> Some (w, age))
                 None !active

@@ -18,7 +18,7 @@
 
     The request queue is FIFO over both fresh and preempted work. *)
 
-type mode = Fcfs | Preemptive of int64  (** quantum in cycles *)
+type mode = Fcfs | Preemptive of Sl_engine.Sim.Time.t  (** quantum in cycles *)
 
 val run :
   ?pool:int -> ?runnable_limit:int -> mode:mode -> Server.config -> Server.stats

@@ -13,7 +13,7 @@ type stats = {
   completed : int;
   latencies : Histogram.t;
   slowdowns : float array;
-  elapsed_cycles : int64;
+  elapsed_cycles : int;
   switch_overhead_cycles : float;
 }
 
@@ -36,10 +36,10 @@ type config = {
 }
 
 let record latencies slowdowns (req : Openloop.request) =
-  let sojourn = Int64.sub (Sim.now ()) req.Openloop.arrival in
+  let sojourn = Sim.now () - req.Openloop.arrival in
   Histogram.record latencies sojourn;
-  let demand = Int64.to_float (Int64.max 1L req.Openloop.service_cycles) in
-  slowdowns := (Int64.to_float sojourn /. demand) :: !slowdowns
+  let demand = float_of_int (max 1 req.Openloop.service_cycles) in
+  slowdowns := (float_of_int sojourn /. demand) :: !slowdowns
 
 let finish ~sim ~latencies ~slowdowns ~switch_overhead =
   let arr = Array.of_list !slowdowns in

@@ -21,7 +21,7 @@ type stats = {
   completed : int;
   latencies : Sl_util.Histogram.t;  (** Sojourn times (cycles). *)
   slowdowns : float array;  (** Sorted ascending. *)
-  elapsed_cycles : int64;
+  elapsed_cycles : Sl_engine.Sim.Time.t;
   switch_overhead_cycles : float;  (** Software-world context-switch tax. *)
 }
 
@@ -37,7 +37,7 @@ type config = {
   count : int;
 }
 
-val run_software : ?quantum:int64 -> config -> stats
+val run_software : ?quantum:Sl_engine.Sim.Time.t -> config -> stats
 
 val run_hw_pool : ?pool_per_core:int -> config -> stats
 (** [pool_per_core] defaults to 64 hardware worker threads per core. *)

@@ -19,7 +19,7 @@ let recv t =
 let recv_for t ~within =
   match Queue.take_opt t.items with
   | Some v -> Some v
-  | None when Int64.compare within 0L <= 0 -> None
+  | None when within <= 0 -> None
   | None ->
     (* Same one-shot decision race as [Semaphore.acquire_for]: events are
        atomic, so a delivered receiver was not cancelled, and [send] skips

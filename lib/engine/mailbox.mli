@@ -14,7 +14,7 @@ val send : 'a t -> 'a -> unit
 val recv : 'a t -> 'a
 (** Dequeue the next item, blocking the calling process while empty. *)
 
-val recv_for : 'a t -> within:int64 -> 'a option
+val recv_for : 'a t -> within:Sim.Time.t -> 'a option
 (** [recv_for t ~within] dequeues like {!recv} but gives up after
     [within] cycles, returning [None] (and leaving no receiver behind).
     [within ≤ 0] degenerates to {!try_recv}.  Lets interrupt-driven

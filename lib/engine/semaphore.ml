@@ -29,7 +29,7 @@ let acquire_for t ~within =
     t.permits <- t.permits - 1;
     true
   end
-  else if Int64.compare within 0L <= 0 then false
+  else if within <= 0 then false
   else begin
     (* One-shot race between the releaser and the timeout: whoever fills
        [decided] first wins.  Events are atomic, so a waiter handed a

@@ -14,7 +14,7 @@ val acquire : t -> unit
 
 val try_acquire : t -> bool
 
-val acquire_for : t -> within:int64 -> bool
+val acquire_for : t -> within:Sim.Time.t -> bool
 (** [acquire_for t ~within] takes a permit like {!acquire} but gives up
     after [within] cycles, returning [false] without a permit (and without
     keeping a place in the queue).  Returns [true] immediately when a

@@ -1,9 +1,28 @@
 open Effect
 open Effect.Deep
 
-type blocked = { pid : int; name : string option; blocked_since : int64 }
+(* Simulated time as an immediate 63-bit int — see the .mli and
+   DESIGN.md ("Tick representation") for why this suffices and what the
+   overflow policy is.  Everything downstream of Sim states times in
+   terms of this module so the representation is written down exactly
+   once. *)
+module Time = struct
+  type t = int
 
-type status = Ready | Blocked of int64
+  let zero = 0
+  let max_tick = max_int
+  let of_int n = n
+  let to_int n = n
+  let to_float = float_of_int
+  let add = ( + )
+  let compare = Int.compare
+  let pp ppf n = Format.pp_print_int ppf n
+  let to_string = string_of_int
+end
+
+type blocked = { pid : int; name : string option; blocked_since : Time.t }
+
+type status = Ready | Blocked of Time.t
 
 type proc = {
   pid : int;
@@ -14,7 +33,7 @@ type proc = {
 }
 
 type t = {
-  mutable now : int64;
+  mutable now : Time.t;
   mutable seq : int;
   queue : (unit -> unit) Pqueue.t;
   mutable next_pid : int;
@@ -23,8 +42,8 @@ type t = {
 }
 
 type _ Effect.t +=
-  | Now_eff : int64 Effect.t
-  | Delay_eff : int64 -> unit Effect.t
+  | Now_eff : Time.t Effect.t
+  | Delay_eff : Time.t -> unit Effect.t
   | Fork_eff : (unit -> unit) -> unit Effect.t
   | Await_eff : (('a -> unit) -> unit) -> 'a Effect.t
   | Daemon_eff : bool -> unit Effect.t
@@ -40,12 +59,14 @@ let creation_hook : (t -> unit) option Domain.DLS.key =
 let set_creation_hook f = Domain.DLS.set creation_hook (Some f)
 let clear_creation_hook () = Domain.DLS.set creation_hook None
 
+let nop () = ()
+
 let create () =
   let t =
     {
-      now = 0L;
+      now = Time.zero;
       seq = 0;
-      queue = Pqueue.create ();
+      queue = Pqueue.create ~dummy:nop;
       next_pid = 0;
       procs = Hashtbl.create 32;
       events = 0;
@@ -62,8 +83,7 @@ let push t ~at thunk =
   Pqueue.push t.queue ~time:at ~seq:t.seq thunk
 
 let schedule t ~at thunk =
-  if Int64.compare at t.now < 0 then
-    invalid_arg "Sim.schedule: time in the past";
+  if at < t.now then invalid_arg "Sim.schedule: time in the past";
   push t ~at thunk
 
 let new_proc t ?name ?(daemon = false) () =
@@ -91,9 +111,9 @@ let rec exec t proc f =
           | Delay_eff d ->
             Some
               (fun (k : (a, _) continuation) ->
-                if Int64.compare d 0L < 0 then
+                if d < 0 then
                   discontinue k (Invalid_argument "Sim.delay: negative delay")
-                else push t ~at:(Int64.add t.now d) (fun () -> continue k ()))
+                else push t ~at:(t.now + d) (fun () -> continue k ()))
           | Fork_eff g ->
             Some
               (fun (k : (a, _) continuation) ->
@@ -140,8 +160,8 @@ let suspects t = blocked_procs t ~include_daemons:false
 
 let describe_blocked b =
   match b.name with
-  | Some n -> Printf.sprintf "%s (pid %d, since %Ld)" n b.pid b.blocked_since
-  | None -> Printf.sprintf "pid %d (since %Ld)" b.pid b.blocked_since
+  | Some n -> Printf.sprintf "%s (pid %d, since %d)" n b.pid b.blocked_since
+  | None -> Printf.sprintf "pid %d (since %d)" b.pid b.blocked_since
 
 let summary_of = function
   | [] -> None
@@ -153,24 +173,34 @@ let summary_of = function
 let stuck_summary t = summary_of (stuck t)
 let suspect_summary t = summary_of (suspects t)
 
+(* The hot loop: one [is_empty]/[min_time]/[pop_min] triple per event, no
+   option or tuple boxing.  Whichever way a bounded run ends — future
+   event left beyond the horizon, or queue drained dry — the clock parks
+   at the horizon, so [time] agrees between the two endings (it never
+   moves backwards: a second bounded run with an earlier horizon is a
+   no-op on the clock). *)
 let run ?until t =
+  let park_at_horizon () =
+    match until with Some h when h > t.now -> t.now <- h | _ -> ()
+  in
   let within_horizon time =
-    match until with None -> true | Some h -> Int64.compare time h <= 0
+    match until with None -> true | Some h -> time <= h
   in
   let rec loop () =
-    match Pqueue.peek_time t.queue with
-    | None -> ()
-    | Some time when not (within_horizon time) ->
-      (* Leave future events unprocessed; clock parks at the horizon. *)
-      (match until with Some h -> t.now <- h | None -> ())
-    | Some _ ->
-      (match Pqueue.pop t.queue with
-      | None -> ()
-      | Some (time, thunk) ->
+    if Pqueue.is_empty t.queue then park_at_horizon ()
+    else begin
+      let time = Pqueue.min_time t.queue in
+      if within_horizon time then begin
+        let thunk = Pqueue.pop_min t.queue in
         t.now <- time;
         t.events <- t.events + 1;
         thunk ();
-        loop ())
+        loop ()
+      end
+      else
+        (* Leave future events unprocessed; clock parks at the horizon. *)
+        park_at_horizon ()
+    end
   in
   loop ()
 
@@ -178,5 +208,5 @@ let now () = perform Now_eff
 let delay d = perform (Delay_eff d)
 let fork f = perform (Fork_eff f)
 let await register = perform (Await_eff register)
-let yield () = delay 0L
+let yield () = delay 0
 let set_daemon d = perform (Daemon_eff d)

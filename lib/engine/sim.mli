@@ -1,7 +1,8 @@
 (** Discrete-event simulation kernel with coroutine processes.
 
-    Time is a 64-bit cycle counter.  Simulated activities are ordinary
-    OCaml functions executed as effect-based coroutines: inside a process
+    Time is a cycle counter represented as an immediate 63-bit native
+    [int] (see {!Time}).  Simulated activities are ordinary OCaml
+    functions executed as effect-based coroutines: inside a process
     you call {!delay}, {!await}, {!fork} and {!now} directly, writing
     blocking-style code (the very model the paper advocates for systems
     software).  The event loop is single-threaded and deterministic: events
@@ -12,17 +13,44 @@
     {[
       let sim = Sim.create () in
       Sim.spawn sim (fun () ->
-          Sim.delay 10L;
-          Printf.printf "t=%Ld\n" (Sim.now ()));
+          Sim.delay 10;
+          Printf.printf "t=%d\n" (Sim.now ()));
       Sim.run sim
     ]} *)
+
+(** The simulated timebase, stated once for the whole stack.
+
+    A tick is one simulated cycle, held in an immediate native [int]
+    (63 bits on 64-bit platforms).  2{^62} cycles is ≈ 48 simulated
+    years at 3 GHz — far beyond any experiment horizon — so the boxed
+    [int64] the engine used previously bought nothing except an
+    allocation on every scheduled event.  Overflow policy: ticks are
+    never wrapped or masked; arithmetic past [max_tick] is a programming
+    error upstream (the engine itself only ever adds non-negative
+    delays to the current time and rejects negative delays).  The type
+    equality [t = int] is deliberately public: callers write plain
+    integer literals and arithmetic, and this module is the single
+    place documenting what those ints mean. *)
+module Time : sig
+  type t = int
+
+  val zero : t
+  val max_tick : t
+  val of_int : int -> t
+  val to_int : t -> int
+  val to_float : t -> float
+  val add : t -> t -> t
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
 
 type t
 (** A simulation world: clock, event queue, process bookkeeping. *)
 
 val create : unit -> t
 
-val time : t -> int64
+val time : t -> Time.t
 (** Current simulated time, readable from outside any process. *)
 
 val events_processed : t -> int
@@ -39,23 +67,27 @@ val spawn : ?name:string -> ?daemon:bool -> t -> (unit -> unit) -> unit
     forever (a server loop, an IRQ context): it still appears in {!stuck}
     but is excluded from {!suspects}. *)
 
-val schedule : t -> at:int64 -> (unit -> unit) -> unit
+val schedule : t -> at:Time.t -> (unit -> unit) -> unit
 (** [schedule t ~at f] runs callback [f] (not a blocking process) at
     absolute time [at].  [at] must not precede the current time. *)
 
-val run : ?until:int64 -> t -> unit
+val run : ?until:Time.t -> t -> unit
 (** Drive the event loop until the queue drains, or until simulated time
-    would exceed [until] (events at exactly [until] still fire).  Processes
-    still blocked in {!await} when the loop stops are abandoned — inspect
-    {!stuck} afterwards to find out whether that happened, instead of
-    discovering a wedged model by its silently-missing results. *)
+    would exceed [until] (events at exactly [until] still fire).  Either
+    way a bounded run ends — events left beyond the horizon or queue
+    drained dry — the clock parks at the horizon, so {!time} reads the
+    same in both cases (the clock never moves backwards when [until] is
+    already in the past).  Processes still blocked in {!await} when the
+    loop stops are abandoned — inspect {!stuck} afterwards to find out
+    whether that happened, instead of discovering a wedged model by its
+    silently-missing results. *)
 
 (** {2 Abandoned-process reporting} *)
 
 type blocked = {
   pid : int;  (** Process id, in spawn order starting at 1. *)
   name : string option;  (** The [?name] given to {!spawn}, if any. *)
-  blocked_since : int64;  (** Simulated time of the un-resumed {!await}. *)
+  blocked_since : Time.t;  (** Simulated time of the un-resumed {!await}. *)
 }
 
 val stuck : t -> blocked list
@@ -94,10 +126,10 @@ val clear_creation_hook : unit -> unit
 
     Calling these outside a running process raises [Effect.Unhandled]. *)
 
-val now : unit -> int64
+val now : unit -> Time.t
 (** Current simulated time.  Must be called from within a process. *)
 
-val delay : int64 -> unit
+val delay : Time.t -> unit
 (** Suspend the calling process for the given number of cycles (≥ 0). *)
 
 val fork : (unit -> unit) -> unit

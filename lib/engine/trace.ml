@@ -1,6 +1,6 @@
 type t = {
   capacity : int;
-  ring : (int64 * string) option array;
+  ring : (Sim.Time.t * string) option array;
   mutable next : int;  (* write cursor *)
   mutable total : int;
 }
@@ -38,5 +38,5 @@ let clear t =
 
 let pp ppf t =
   List.iter
-    (fun (time, message) -> Format.fprintf ppf "[%Ld] %s@." time message)
+    (fun (time, message) -> Format.fprintf ppf "[%d] %s@." time message)
     (events t)

@@ -16,7 +16,7 @@ val record : t -> Sim.t -> string -> unit
 val recordf : t -> Sim.t -> ('a, unit, string, unit) format4 -> 'a
 (** [recordf t sim "fmt" ...] — printf-style {!record}. *)
 
-val events : t -> (int64 * string) list
+val events : t -> (Sim.Time.t * string) list
 (** Retained events, oldest first. *)
 
 val length : t -> int

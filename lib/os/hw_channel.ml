@@ -52,7 +52,7 @@ let create chip ~core ~server_ptid ?(mode = Ptid.Supervisor) ?(vector = false)
   let handle =
     match on_request with
     | Some f -> f
-    | None -> fun th work -> Isa.exec th work
+    | None -> fun th work -> Isa.exec th (Int64.to_int work)
   in
   Chip.attach server (fun th ->
       match req_seq_addr with
@@ -107,7 +107,7 @@ let issue t ~client ~start_vtid ~work =
   t.issued <- t.issued + 1;
   let seq = Int64.of_int t.issued in
   Isa.monitor client t.resp_addr;
-  Isa.store client t.req_addr work;
+  Isa.store client t.req_addr (Int64.of_int work);
   (match t.req_seq_addr with
   | Some seq_addr -> Isa.store client seq_addr seq
   | None -> ());
@@ -136,7 +136,7 @@ let call_with_deadline t ~client ?via ?(max_retries = 3) ~timeout ~work () =
   if t.req_seq_addr = None then
     invalid_arg
       "Hw_channel.call_with_deadline: channel not created with ~robust:true";
-  if Int64.compare timeout 0L <= 0 then
+  if timeout <= 0 then
     invalid_arg "Hw_channel.call_with_deadline: timeout must be positive";
   (* The reservation wait is bounded too: a caller parked behind a caller
      whose server died must not inherit the hang. *)
@@ -155,7 +155,7 @@ let call_with_deadline t ~client ?via ?(max_retries = 3) ~timeout ~work () =
          further write will ever come (the robust server skips served
          sequences), so parking first would sleep through every retry. *)
       let rec attempt n ~budget =
-        let deadline = Int64.add (Sim.now ()) budget in
+        let deadline = Sim.now () + budget in
         let rec wait () =
           if Int64.compare (Isa.load client t.resp_addr) seq >= 0 then Ok ()
           else
@@ -167,7 +167,7 @@ let call_with_deadline t ~client ?via ?(max_retries = 3) ~timeout ~work () =
               else begin
                 t.retries <- t.retries + 1;
                 Isa.start client ~vtid:start_vtid;
-                attempt (n + 1) ~budget:(Int64.mul budget 2L)
+                attempt (n + 1) ~budget:(budget * 2)
               end
         in
         wait ()

@@ -43,7 +43,7 @@ val grant : t -> client:Switchless.Isa.thread -> vtid:int -> unit
     cycles charged. *)
 
 val call :
-  t -> client:Switchless.Isa.thread -> ?via:int -> work:int64 -> unit -> unit
+  t -> client:Switchless.Isa.thread -> ?via:int -> work:int -> unit -> unit
 (** Round trip: request [work], start the server ([via] the client's TDT
     vtid, or by raw ptid for supervisor clients), park until the response
     lands.  Must run inside the client's body. *)
@@ -60,7 +60,7 @@ val pp_call_error : Format.formatter -> call_error -> unit
 
 val call_with_deadline :
   t -> client:Switchless.Isa.thread -> ?via:int -> ?max_retries:int ->
-  timeout:int64 -> work:int64 -> unit ->
+  timeout:Sl_engine.Sim.Time.t -> work:int -> unit ->
   (unit, call_error) result
 (** {!call} that survives a faulted substrate instead of parking forever.
     The reservation wait is bounded by [timeout] cycles; each response

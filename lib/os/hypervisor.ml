@@ -11,10 +11,10 @@ module Swsched = Sl_baseline.Swsched
 
 let inkernel_exit guest params ~handle_work =
   Swsched.exec guest ~kind:Smt_core.Overhead
-    (Int64.of_int params.Params.vmexit_entry_cycles);
+    params.Params.vmexit_entry_cycles;
   Swsched.exec guest ~kind:Smt_core.Useful handle_work;
   Swsched.exec guest ~kind:Smt_core.Overhead
-    (Int64.of_int params.Params.vmexit_exit_cycles)
+    params.Params.vmexit_exit_cycles
 
 module Isolated = struct
   type t = {
@@ -38,7 +38,7 @@ module Isolated = struct
           let _ = Isa.mwait th in
           let d = Exception_desc.read memory ~base:t.desc_base in
           (* The descriptor's info word carries the work demand. *)
-          Isa.exec th d.Exception_desc.info;
+          Isa.exec th (Int64.to_int d.Exception_desc.info);
           t.exits <- t.exits + 1;
           (* Restart the guest through our TDT (guest ptid is its vtid). *)
           Isa.start th ~vtid:d.Exception_desc.ptid;
@@ -56,7 +56,7 @@ module Isolated = struct
       { Tdt.perms_none with Tdt.can_start = true; can_stop = true }
 
   let vmexit guest ~handle_work =
-    Isa.fault guest Exception_desc.Privileged_instruction ~info:handle_work
+    Isa.fault guest Exception_desc.Privileged_instruction ~info:(Int64.of_int handle_work)
 
   let exits t = t.exits
 end
@@ -66,13 +66,13 @@ module Remote = struct
     req_work : Memory.addr;
     req_seq : Memory.addr;
     resp_seq : Memory.addr;
-    poll_gap : int64;
+    poll_gap : int;
     mutable issued : int;
     mutable exits : int;
     mutable running : bool;
   }
 
-  let create chip ~core ~hyp_ptid ?(poll_gap = 20L) () =
+  let create chip ~core ~hyp_ptid ?(poll_gap = 20) () =
     let memory = Chip.memory chip in
     let t =
       {
@@ -91,7 +91,7 @@ module Remote = struct
           let seen = Isa.load th t.req_seq in
           if Int64.to_int seen > t.exits then begin
             let work = Isa.load th t.req_work in
-            Isa.exec th work;
+            Isa.exec th (Int64.to_int work);
             t.exits <- t.exits + 1;
             Isa.store th t.resp_seq (Int64.of_int t.exits)
           end
@@ -103,7 +103,7 @@ module Remote = struct
   let vmexit t ~guest ~handle_work =
     t.issued <- t.issued + 1;
     let seq = Int64.of_int t.issued in
-    Isa.store guest t.req_work handle_work;
+    Isa.store guest t.req_work (Int64.of_int handle_work);
     Isa.store guest t.req_seq seq;
     (* SplitX keeps the guest spinning on the response cache line. *)
     let rec spin () =

@@ -20,7 +20,7 @@
     software queue). *)
 
 val inkernel_exit :
-  Sl_baseline.Swsched.thread -> Switchless.Params.t -> handle_work:int64 -> unit
+  Sl_baseline.Swsched.thread -> Switchless.Params.t -> handle_work:Sl_engine.Sim.Time.t -> unit
 
 module Isolated : sig
   type t
@@ -33,7 +33,7 @@ module Isolated : sig
   (** Point the guest's exception-descriptor register at this hypervisor
       and grant the hypervisor restart rights.  Setup-time. *)
 
-  val vmexit : Switchless.Isa.thread -> handle_work:int64 -> unit
+  val vmexit : Switchless.Isa.thread -> handle_work:Sl_engine.Sim.Time.t -> unit
   (** Execute one exit from inside the guest's body: fault, wait to be
       emulated and restarted. *)
 
@@ -43,10 +43,10 @@ end
 module Remote : sig
   type t
 
-  val create : Switchless.Chip.t -> core:int -> hyp_ptid:int -> ?poll_gap:int64 -> unit -> t
+  val create : Switchless.Chip.t -> core:int -> hyp_ptid:int -> ?poll_gap:Sl_engine.Sim.Time.t -> unit -> t
   (** The hypervisor thread busy-polls its exit queue on [core]. *)
 
-  val vmexit : t -> guest:Switchless.Isa.thread -> handle_work:int64 -> unit
+  val vmexit : t -> guest:Switchless.Isa.thread -> handle_work:Sl_engine.Sim.Time.t -> unit
   (** Post the exit and spin (guest-side) until handled. *)
 
   val exits : t -> int

@@ -18,7 +18,7 @@ type stats = {
   processed : int;
   dropped : int;
   latencies : Histogram.t;
-  elapsed_cycles : int64;
+  elapsed_cycles : int;
   useful_cycles : float;
   poll_cycles : float;
   overhead_cycles : float;
@@ -33,7 +33,7 @@ type config = {
   params : Params.t;
   seed : int64;
   rate_per_kcycle : float;
-  per_packet_work : int64;
+  per_packet_work : int;
   count : int;
   background : bool;
 }
@@ -43,19 +43,19 @@ let default_config =
     params = Params.default;
     seed = 1L;
     rate_per_kcycle = 0.5;
-    per_packet_work = 500L;
+    per_packet_work = 500;
     count = 2000;
     background = false;
   }
 
-let background_chunk = 200L
+let background_chunk = 200
 
 (* Drive the open-loop packet stream into the NIC. *)
 let start_generator sim cfg nic =
   let rng = Sl_util.Rng.create cfg.seed in
   Openloop.run sim rng
     ~interarrival:(Openloop.poisson ~rate_per_kcycle:cfg.rate_per_kcycle)
-    ~service:(Sl_util.Dist.Constant (Int64.to_float cfg.per_packet_work))
+    ~service:(Sl_util.Dist.Constant (float_of_int cfg.per_packet_work))
     ~count:cfg.count
     ~sink:(fun _req -> Sim.fork (fun () -> Nic.inject nic))
 
@@ -92,7 +92,7 @@ let run_mwait cfg =
           match Nic.poll nic with
           | Some pkt ->
             Isa.exec th cfg.per_packet_work;
-            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            Histogram.record latencies (Sim.now () - pkt.Nic.injected_at);
             incr processed;
             drain ()
           | None -> ()
@@ -106,7 +106,7 @@ let run_mwait cfg =
     Chip.attach bg (fun th ->
         while not !stop do
           Isa.exec th background_chunk;
-          background_done := !background_done +. Int64.to_float background_chunk
+          background_done := !background_done +. float_of_int background_chunk
         done);
     Chip.boot bg
   end;
@@ -128,8 +128,8 @@ type hardened_stats = {
   watchdog_nudges : int;
 }
 
-let run_mwait_hardened ?(wait_budget = 20_000L) ?(miss_threshold = 3)
-    ?(poll_recovery_checks = 64) ?(poll_gap = 20L) ?(with_watchdog = false) cfg =
+let run_mwait_hardened ?(wait_budget = 20_000) ?(miss_threshold = 3)
+    ?(poll_recovery_checks = 64) ?(poll_gap = 20) ?(with_watchdog = false) cfg =
   let sim = Sim.create () in
   let chip = Chip.create sim cfg.params ~cores:1 in
   let nic = Nic.create sim cfg.params (Chip.memory chip) ~queue_depth:4096 () in
@@ -173,7 +173,7 @@ let run_mwait_hardened ?(wait_budget = 20_000L) ?(miss_threshold = 3)
            else empty_checks := 0
          end
          else if Nic.pending nic = 0 then
-           let deadline = Int64.add (Sim.now ()) wait_budget in
+           let deadline = Sim.now () + wait_budget in
            match Isa.mwait_for th ~deadline with
            | Some _ -> consecutive_misses := 0
            | None ->
@@ -193,7 +193,7 @@ let run_mwait_hardened ?(wait_budget = 20_000L) ?(miss_threshold = 3)
           match Nic.poll nic with
           | Some pkt ->
             Isa.exec th cfg.per_packet_work;
-            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            Histogram.record latencies (Sim.now () - pkt.Nic.injected_at);
             incr processed;
             drain ()
           | None -> ()
@@ -208,7 +208,7 @@ let run_mwait_hardened ?(wait_budget = 20_000L) ?(miss_threshold = 3)
     Chip.attach bg (fun th ->
         while not !stop do
           Isa.exec th background_chunk;
-          background_done := !background_done +. Int64.to_float background_chunk
+          background_done := !background_done +. float_of_int background_chunk
         done);
     Chip.boot bg
   end;
@@ -253,7 +253,7 @@ let run_mwait_rss ~queues cfg =
             match Nic.poll_queue nic q with
             | Some pkt ->
               Isa.exec th cfg.per_packet_work;
-              Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+              Histogram.record latencies (Sim.now () - pkt.Nic.injected_at);
               incr processed;
               if !processed >= cfg.count then stop := true;
               drain ()
@@ -268,7 +268,7 @@ let run_mwait_rss ~queues cfg =
     Chip.attach bg (fun th ->
         while not !stop do
           Isa.exec th background_chunk;
-          background_done := !background_done +. Int64.to_float background_chunk
+          background_done := !background_done +. float_of_int background_chunk
         done);
     Chip.boot bg
   end;
@@ -279,7 +279,7 @@ let run_mwait_rss ~queues cfg =
 
 (* --- the kernel-bypass status quo: spin on the queue -------------------- *)
 
-let run_polling ?(poll_gap = 20L) cfg =
+let run_polling ?(poll_gap = 20) cfg =
   let sim = Sim.create () in
   let chip = Chip.create sim cfg.params ~cores:1 in
   let nic = Nic.create sim cfg.params (Chip.memory chip) ~queue_depth:4096 () in
@@ -293,7 +293,7 @@ let run_polling ?(poll_gap = 20L) cfg =
         match Nic.poll nic with
         | Some pkt ->
           Isa.exec th cfg.per_packet_work;
-          Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+          Histogram.record latencies (Sim.now () - pkt.Nic.injected_at);
           incr processed
         | None ->
           (* An empty check: read the tail, compare, loop. *)
@@ -306,7 +306,7 @@ let run_polling ?(poll_gap = 20L) cfg =
     Chip.attach bg (fun th ->
         while not !stop do
           Isa.exec th background_chunk;
-          background_done := !background_done +. Int64.to_float background_chunk
+          background_done := !background_done +. float_of_int background_chunk
         done);
     Chip.boot bg
   end;
@@ -331,7 +331,7 @@ let run_interrupt cfg =
              Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
                  (* The handler's job: run the scheduler to wake the
                     blocked network thread. *)
-                 exec (Int64.of_int cfg.params.Params.sched_decision_cycles);
+                 exec cfg.params.Params.sched_decision_cycles;
                  Mailbox.send doorbell ())))
       ~queue_depth:4096 ()
   in
@@ -349,7 +349,7 @@ let run_interrupt cfg =
           match Nic.poll nic with
           | Some pkt ->
             Swsched.exec app cfg.per_packet_work;
-            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            Histogram.record latencies (Sim.now () - pkt.Nic.injected_at);
             incr processed;
             drain ()
           | None -> ()
@@ -362,7 +362,7 @@ let run_interrupt cfg =
     Sim.spawn sim (fun () ->
         while not !stop do
           Swsched.exec bg background_chunk;
-          background_done := !background_done +. Int64.to_float background_chunk
+          background_done := !background_done +. float_of_int background_chunk
         done)
   end;
   start_generator sim cfg nic;
@@ -397,7 +397,7 @@ let run_interrupt_napi cfg =
                (* Mask further interrupts until the poll loop runs dry. *)
                irq_enabled := false;
                Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
-                   exec (Int64.of_int cfg.params.Params.sched_decision_cycles);
+                   exec cfg.params.Params.sched_decision_cycles;
                    Mailbox.send doorbell ())
              end))
       ~queue_depth:4096 ()
@@ -416,14 +416,14 @@ let run_interrupt_napi cfg =
           match Nic.poll nic with
           | Some pkt ->
             Swsched.exec app cfg.per_packet_work;
-            Histogram.record latencies (Int64.sub (Sim.now ()) pkt.Nic.injected_at);
+            Histogram.record latencies (Sim.now () - pkt.Nic.injected_at);
             incr processed;
             drain ()
           | None ->
             (* Queue dry: re-enable interrupts (a device register write)
                and re-check for the race where a packet landed meanwhile. *)
             Swsched.exec app ~kind:Smt_core.Overhead
-              (Int64.of_int cfg.params.Params.nic_doorbell_cycles);
+              cfg.params.Params.nic_doorbell_cycles;
             irq_enabled := true;
             if Nic.pending nic > 0 then begin
               irq_enabled := false;
@@ -438,7 +438,7 @@ let run_interrupt_napi cfg =
     Sim.spawn sim (fun () ->
         while not !stop do
           Swsched.exec bg background_chunk;
-          background_done := !background_done +. Int64.to_float background_chunk
+          background_done := !background_done +. float_of_int background_chunk
         done)
   end;
   start_generator sim cfg nic;
@@ -469,7 +469,7 @@ let timer_wakeup_mwait params ~ticks ~period =
         let _ = Isa.mwait th in
         (* The tick fired at i * period; we are running now. *)
         Histogram.record latencies
-          (Int64.sub (Sim.now ()) (Int64.mul (Int64.of_int i) period))
+          (Sim.now () - (i * period))
       done;
       Apic_timer.stop timer);
   Chip.boot sched_thread;
@@ -489,7 +489,7 @@ let timer_wakeup_interrupt params ~ticks ~period =
         (Notify.Irq_line
            (fun () ->
              Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
-                 exec (Int64.of_int params.Params.sched_decision_cycles);
+                 exec params.Params.sched_decision_cycles;
                  Mailbox.send doorbell ())))
       ~period ()
   in
@@ -499,9 +499,9 @@ let timer_wakeup_interrupt params ~ticks ~period =
       for i = 1 to ticks do
         Mailbox.recv doorbell;
         (* Getting back on CPU requires the context (and its switch). *)
-        Swsched.exec kernel_thread 1L;
+        Swsched.exec kernel_thread 1;
         Histogram.record latencies
-          (Int64.sub (Sim.now ()) (Int64.mul (Int64.of_int i) period))
+          (Sim.now () - (i * period))
       done;
       Apic_timer.stop timer);
   Apic_timer.start timer;

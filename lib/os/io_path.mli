@@ -22,7 +22,7 @@ type stats = {
   processed : int;
   dropped : int;
   latencies : Sl_util.Histogram.t;
-  elapsed_cycles : int64;
+  elapsed_cycles : Sl_engine.Sim.Time.t;
   useful_cycles : float;  (** Packet + background work. *)
   poll_cycles : float;  (** Pure spinning waste. *)
   overhead_cycles : float;  (** Mode switches, IRQ paths, wake costs. *)
@@ -36,7 +36,7 @@ type config = {
   params : Switchless.Params.t;
   seed : int64;
   rate_per_kcycle : float;  (** Packet arrival rate (per 1000 cycles). *)
-  per_packet_work : int64;
+  per_packet_work : Sl_engine.Sim.Time.t;
   count : int;
   background : bool;  (** Run a best-effort batch job alongside. *)
 }
@@ -44,7 +44,7 @@ type config = {
 val default_config : config
 
 val run_mwait : config -> stats
-val run_polling : ?poll_gap:int64 -> config -> stats
+val run_polling : ?poll_gap:Sl_engine.Sim.Time.t -> config -> stats
 val run_interrupt : config -> stats
 
 (** {2 Failure-hardened delivery} *)
@@ -61,8 +61,8 @@ type hardened_stats = {
 }
 
 val run_mwait_hardened :
-  ?wait_budget:int64 -> ?miss_threshold:int -> ?poll_recovery_checks:int ->
-  ?poll_gap:int64 -> ?with_watchdog:bool -> config -> hardened_stats
+  ?wait_budget:Sl_engine.Sim.Time.t -> ?miss_threshold:int -> ?poll_recovery_checks:int ->
+  ?poll_gap:Sl_engine.Sim.Time.t -> ?with_watchdog:bool -> config -> hardened_stats
 (** {!run_mwait} that survives a faulty wakeup substrate.  The network
     thread waits with {!Switchless.Isa.mwait_for} ([wait_budget] cycles,
     default 20_000); a timeout that finds data pending is a missed
@@ -89,10 +89,10 @@ val run_mwait_rss : queues:int -> config -> stats
 
 (** {2 Timer-tick wakeups (the "no more interrupts" microbench)} *)
 
-val timer_wakeup_mwait : Switchless.Params.t -> ticks:int -> period:int64 -> Sl_util.Histogram.t
+val timer_wakeup_mwait : Switchless.Params.t -> ticks:int -> period:Sl_engine.Sim.Time.t -> Sl_util.Histogram.t
 (** A kernel thread mwaits on the APIC tick counter; returns the
     distribution of tick-to-running latency. *)
 
-val timer_wakeup_interrupt : Switchless.Params.t -> ticks:int -> period:int64 -> Sl_util.Histogram.t
+val timer_wakeup_interrupt : Switchless.Params.t -> ticks:int -> period:Sl_engine.Sim.Time.t -> Sl_util.Histogram.t
 (** The conventional path: timer IRQ → handler → scheduler wake of the
     blocked kernel thread. *)

@@ -8,15 +8,15 @@ module Swsched = Sl_baseline.Swsched
 
 let monolithic_call client params ~service_work =
   Swsched.exec client ~kind:Smt_core.Overhead
-    (Int64.of_int params.Params.trap_entry_cycles);
+    params.Params.trap_entry_cycles;
   Swsched.exec client ~kind:Smt_core.Useful service_work;
   Swsched.exec client ~kind:Smt_core.Overhead
-    (Int64.of_int params.Params.trap_exit_cycles);
+    params.Params.trap_exit_cycles;
   Swsched.exec client ~kind:Smt_core.Overhead
-    (Int64.of_int params.Params.trap_pollution_cycles)
+    params.Params.trap_pollution_cycles
 
 module Sw_service = struct
-  type request = { service_work : int64; reply : unit Ivar.t }
+  type request = { service_work : int; reply : unit Ivar.t }
 
   type t = {
     params : Params.t;
@@ -32,13 +32,12 @@ module Sw_service = struct
           let { service_work; reply } = Mailbox.recv t.inbox in
           (* Receive syscall return + the service's own work. *)
           Swsched.exec service_thread ~kind:Smt_core.Overhead
-            (Int64.of_int t.params.Params.trap_exit_cycles);
+            t.params.Params.trap_exit_cycles;
           Swsched.exec service_thread ~kind:Smt_core.Useful service_work;
           (* Reply syscall: trap in, scheduler wakes the client. *)
           Swsched.exec service_thread ~kind:Smt_core.Overhead
-            (Int64.of_int
-               (t.params.Params.trap_entry_cycles
-               + t.params.Params.sched_decision_cycles));
+            (t.params.Params.trap_entry_cycles
+               + t.params.Params.sched_decision_cycles);
           t.served <- t.served + 1;
           Ivar.fill reply ();
           serve ()
@@ -49,14 +48,13 @@ module Sw_service = struct
   let call t ~client ~service_work =
     (* Send syscall: trap in, enqueue, scheduler wakes the service. *)
     Swsched.exec client ~kind:Smt_core.Overhead
-      (Int64.of_int
-         (t.params.Params.trap_entry_cycles + t.params.Params.sched_decision_cycles));
+      (t.params.Params.trap_entry_cycles + t.params.Params.sched_decision_cycles);
     let reply = Ivar.create () in
     Mailbox.send t.inbox { service_work; reply };
     Ivar.read reply;
     (* Back on CPU: return-from-syscall on the client side. *)
     Swsched.exec client ~kind:Smt_core.Overhead
-      (Int64.of_int t.params.Params.trap_exit_cycles)
+      t.params.Params.trap_exit_cycles
 
   let served t = t.served
 end

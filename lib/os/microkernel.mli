@@ -16,7 +16,7 @@
       XPC-like direct switch without entering the kernel. *)
 
 val monolithic_call :
-  Sl_baseline.Swsched.thread -> Switchless.Params.t -> service_work:int64 -> unit
+  Sl_baseline.Swsched.thread -> Switchless.Params.t -> service_work:Sl_engine.Sim.Time.t -> unit
 
 (** Scheduler-mediated IPC to a software-thread service. *)
 module Sw_service : sig
@@ -25,7 +25,7 @@ module Sw_service : sig
   val create : Sl_engine.Sim.t -> Sl_baseline.Swsched.t -> Switchless.Params.t -> t
   (** Spawns the service loop as a software thread of [sched]. *)
 
-  val call : t -> client:Sl_baseline.Swsched.thread -> service_work:int64 -> unit
+  val call : t -> client:Sl_baseline.Swsched.thread -> service_work:Sl_engine.Sim.Time.t -> unit
   (** Must run inside the client's process.  Charges: send-side trap +
       scheduler wake on the client; the service thread's context switch
       and work; reply-side trap + scheduler + the client's re-switch. *)
@@ -43,5 +43,5 @@ module Hw_service : sig
   (** [mode] defaults to [User]: an isolated, unprivileged service. *)
 
   val call :
-    t -> client:Switchless.Isa.thread -> ?via:int -> service_work:int64 -> unit -> unit
+    t -> client:Switchless.Isa.thread -> ?via:int -> service_work:Sl_engine.Sim.Time.t -> unit -> unit
 end

@@ -7,8 +7,8 @@ exception Fs_error of string
 let block_bytes = 4096
 
 (* CPU cost of processing one block (copy/checksum) and of a cache hit. *)
-let block_process_cycles = 200L
-let cache_hit_cycles = 40L
+let block_process_cycles = 200
+let cache_hit_cycles = 40
 
 type inode = { mutable size : int; mutable blocks : int list (* newest first *) }
 

@@ -11,21 +11,21 @@ type stats = {
   retransmissions : int;
   duplicates : int;
   acks_sent : int;
-  elapsed_cycles : int64;
+  elapsed_cycles : int;
   goodput_per_kcycle : float;
 }
 
 (* Cost of assembling and pushing one segment/ACK to the device. *)
-let tx_cycles = 30L
+let tx_cycles = 30
 
 (* Per-segment receive processing. *)
-let rx_cycles = 100L
+let rx_cycles = 100
 
-let run ?(seed = 1L) ?(loss = 0.0) ?(link_delay = 2000L) ?rto ~params ~segments () =
+let run ?(seed = 1L) ?(loss = 0.0) ?(link_delay = 2000) ?rto ~params ~segments () =
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Netstack.run: loss must be in [0, 1)";
   if segments <= 0 then invalid_arg "Netstack.run: segments must be positive";
   let rto =
-    match rto with Some r -> r | None -> Int64.mul 6L link_delay
+    match rto with Some r -> r | None -> 6 * link_delay
   in
   let sim = Sim.create () in
   let chip = Chip.create sim params ~cores:2 in
@@ -41,12 +41,12 @@ let run ?(seed = 1L) ?(loss = 0.0) ?(link_delay = 2000L) ?rto ~params ~segments 
         Sim.delay link_delay;
         if not dropped then Nic.inject ~flow:seq ring)
   in
-  let timer = Apic_timer.create sim params memory ~period:(Int64.div rto 2L) () in
+  let timer = Apic_timer.create sim params memory ~period:(rto / 2) () in
   let retransmissions = ref 0 in
   let duplicates = ref 0 in
   let acks_sent = ref 0 in
   let delivered = ref 0 in
-  let finished_at = ref 0L in
+  let finished_at = ref 0 in
 
   (* Sender: stop-and-wait, woken by ACKs or timer ticks alike. *)
   let sender = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
@@ -74,7 +74,7 @@ let run ?(seed = 1L) ?(loss = 0.0) ?(link_delay = 2000L) ?rto ~params ~segments 
           drain_acks ();
           if
             !last_acked < seq
-            && Int64.compare (Int64.sub (Sim.now ()) !last_tx) rto >= 0
+            && Sim.now () - !last_tx >= rto
           then begin
             incr retransmissions;
             Isa.exec th tx_cycles;
@@ -126,7 +126,7 @@ let run ?(seed = 1L) ?(loss = 0.0) ?(link_delay = 2000L) ?rto ~params ~segments 
     acks_sent = !acks_sent;
     elapsed_cycles = elapsed;
     goodput_per_kcycle =
-      (if Int64.compare elapsed 0L > 0 then
-         1000.0 *. float_of_int segments /. Int64.to_float elapsed
+      (if elapsed > 0 then
+         1000.0 *. float_of_int segments /. float_of_int elapsed
        else 0.0);
   }

@@ -17,12 +17,12 @@ type stats = {
   retransmissions : int;
   duplicates : int;  (** Segments the receiver discarded as already seen. *)
   acks_sent : int;
-  elapsed_cycles : int64;
+  elapsed_cycles : Sl_engine.Sim.Time.t;
   goodput_per_kcycle : float;
 }
 
 val run :
-  ?seed:int64 -> ?loss:float -> ?link_delay:int64 -> ?rto:int64 ->
+  ?seed:int64 -> ?loss:float -> ?link_delay:Sl_engine.Sim.Time.t -> ?rto:Sl_engine.Sim.Time.t ->
   params:Switchless.Params.t -> segments:int -> unit -> stats
 (** Transfer [segments] segments from host A (core 0) to host B (core 1)
     over links with the given one-way [link_delay] (default 2000 cycles)

@@ -14,7 +14,7 @@
       stops itself when done.  No mode switch anywhere. *)
 
 module Trap : sig
-  val call : Sl_baseline.Swsched.thread -> Switchless.Params.t -> kernel_work:int64 -> unit
+  val call : Sl_baseline.Swsched.thread -> Switchless.Params.t -> kernel_work:Sl_engine.Sim.Time.t -> unit
   (** Must run inside the software thread's process. *)
 end
 
@@ -22,10 +22,10 @@ module Flexsc : sig
   type t
 
   val create :
-    Sl_engine.Sim.t -> Switchless.Params.t -> ?batch_window:int64 ->
+    Sl_engine.Sim.t -> Switchless.Params.t -> ?batch_window:Sl_engine.Sim.Time.t ->
     kernel_core:Switchless.Smt_core.t -> unit -> t
 
-  val call : t -> Sl_baseline.Swsched.thread -> kernel_work:int64 -> unit
+  val call : t -> Sl_baseline.Swsched.thread -> kernel_work:Sl_engine.Sim.Time.t -> unit
   (** Caller charges the entry-posting stores at its own core, then blocks
       until the worker completes the entry. *)
 end
@@ -40,7 +40,7 @@ module Hw_thread : sig
       reservation (zero simulated cost — a real kernel would give each
       application its own server thread, as the experiments do). *)
 
-  val call : t -> client:Switchless.Isa.thread -> kernel_work:int64 -> unit
+  val call : t -> client:Switchless.Isa.thread -> kernel_work:Sl_engine.Sim.Time.t -> unit
   (** Must run inside the client thread's body. *)
 
   val served : t -> int

@@ -15,7 +15,7 @@ type result = {
 
 (* Guest code runs in chunks; small enough that stops take effect
    promptly, large enough not to dominate simulation cost. *)
-let guest_chunk = 200L
+let guest_chunk = 200
 
 let hw_timeshare params ~vms ~vcpus ~slice ~duration =
   if vms <= 0 || vcpus <= 0 then invalid_arg "Vm.hw_timeshare: need vms and vcpus";
@@ -61,7 +61,7 @@ let hw_timeshare params ~vms ~vcpus ~slice ~duration =
   let core = Chip.exec_core chip 0 in
   let useful = Smt_core.work_done core Smt_core.Useful in
   let capacity =
-    Int64.to_float duration *. float_of_int params.Params.smt_width
+    float_of_int duration *. float_of_int params.Params.smt_width
   in
   {
     utilization = useful /. capacity;
@@ -101,7 +101,7 @@ let sw_timeshare params ~vms ~vcpus ~slice ~duration =
   let core = (Swsched.cores sched).(0) in
   let useful = Smt_core.work_done core Smt_core.Useful in
   let capacity =
-    Int64.to_float duration *. float_of_int params.Params.smt_width
+    float_of_int duration *. float_of_int params.Params.smt_width
   in
   {
     utilization = useful /. capacity;

@@ -22,13 +22,13 @@ type result = {
 }
 
 val hw_timeshare :
-  Switchless.Params.t -> vms:int -> vcpus:int -> slice:int64 ->
-  duration:int64 -> result
+  Switchless.Params.t -> vms:int -> vcpus:int -> slice:Sl_engine.Sim.Time.t ->
+  duration:Sl_engine.Sim.Time.t -> result
 (** One guest core (plus a hypervisor core); [vms] VMs of [vcpus] hardware
     threads each, round-robin time-sliced every [slice] cycles for
     [duration] cycles. *)
 
 val sw_timeshare :
-  Switchless.Params.t -> vms:int -> vcpus:int -> slice:int64 ->
-  duration:int64 -> result
+  Switchless.Params.t -> vms:int -> vcpus:int -> slice:Sl_engine.Sim.Time.t ->
+  duration:Sl_engine.Sim.Time.t -> result
 (** The conventional equivalent on one software-scheduled core. *)

@@ -9,7 +9,7 @@ type t = {
   chip : Chip.t;
   timer : Apic_timer.t;
   wd : Chip.thread;
-  stuck_after : int64;
+  stuck_after : int;
   mutable sweeps : int;
   mutable nudges : int;
   mutable stopped : bool;
@@ -40,7 +40,7 @@ let sweep t th =
   let self = Chip.ptid t.wd in
   List.iter
     (fun { Sim.name; blocked_since; _ } ->
-      if Int64.sub now blocked_since >= t.stuck_after then
+      if now - blocked_since >= t.stuck_after then
         match Option.bind name ptid_of_name with
         | Some p when p <> self -> (
           match Chip.find_thread t.chip ~ptid:p with
@@ -51,7 +51,7 @@ let sweep t th =
         | Some _ | None -> ())
     (Sim.stuck (Chip.sim t.chip))
 
-let create chip ~core ~ptid ?(period = 10_000L) ?(stuck_after = 20_000L) () =
+let create chip ~core ~ptid ?(period = 10_000) ?(stuck_after = 20_000) () =
   let timer =
     Apic_timer.create (Chip.sim chip) (Chip.params chip) (Chip.memory chip)
       ~period ()

@@ -19,8 +19,8 @@
 type t
 
 val create :
-  Switchless.Chip.t -> core:int -> ptid:int -> ?period:int64 ->
-  ?stuck_after:int64 -> unit -> t
+  Switchless.Chip.t -> core:int -> ptid:int -> ?period:Sl_engine.Sim.Time.t ->
+  ?stuck_after:Sl_engine.Sim.Time.t -> unit -> t
 (** Build the watchdog thread and its private timer.  [period] (default
     10_000 cycles) is the sweep tick; [stuck_after] (default 20_000
     cycles) is how long a thread must have been blocked before it is

@@ -3,8 +3,8 @@ type t = {
   mutable buckets : int array;  (* grows on demand *)
   mutable count : int;
   mutable total : float;  (* running sum for the mean *)
-  mutable min_v : int64;
-  mutable max_v : int64;
+  mutable min_v : int;
+  mutable max_v : int;
 }
 
 let create ?(precision = 7) () =
@@ -15,8 +15,8 @@ let create ?(precision = 7) () =
     buckets = Array.make (1 lsl (precision + 2)) 0;
     count = 0;
     total = 0.0;
-    min_v = 0L;
-    max_v = 0L;
+    min_v = 0;
+    max_v = 0;
   }
 
 (* Bucket layout: values below 2^precision are stored exactly (index =
@@ -25,7 +25,6 @@ let create ?(precision = 7) () =
    leading one. *)
 
 let index_of t v =
-  let v = Int64.to_int v in
   let sub = 1 lsl t.precision in
   if v < sub then v
   else begin
@@ -40,7 +39,7 @@ let index_of t v =
 (* Upper bound of the bucket's value range, so quantiles are conservative. *)
 let value_of t idx =
   let sub = 1 lsl t.precision in
-  if idx < sub then Int64.of_int idx
+  if idx < sub then idx
   else begin
     let idx' = idx - sub in
     let octave = idx' / sub in
@@ -48,7 +47,7 @@ let value_of t idx =
     let k = octave + t.precision in
     let step = 1 lsl octave in
     let lo = (1 lsl k) + (within * step) in
-    Int64.of_int (lo + step - 1)
+    lo + step - 1
   end
 
 let ensure_capacity t idx =
@@ -61,7 +60,7 @@ let ensure_capacity t idx =
   end
 
 let record_n t v n =
-  if Int64.compare v 0L < 0 then invalid_arg "Histogram.record: negative value";
+  if v < 0 then invalid_arg "Histogram.record: negative value";
   if n > 0 then begin
     let idx = index_of t v in
     ensure_capacity t idx;
@@ -71,11 +70,11 @@ let record_n t v n =
       t.max_v <- v
     end
     else begin
-      if Int64.compare v t.min_v < 0 then t.min_v <- v;
-      if Int64.compare v t.max_v > 0 then t.max_v <- v
+      if v < t.min_v then t.min_v <- v;
+      if v > t.max_v then t.max_v <- v
     end;
     t.count <- t.count + n;
-    t.total <- t.total +. (Int64.to_float v *. float_of_int n)
+    t.total <- t.total +. (float_of_int v *. float_of_int n)
   end
 
 let record t v = record_n t v 1
@@ -87,7 +86,7 @@ let mean t = if t.count = 0 then 0.0 else t.total /. float_of_int t.count
 
 let quantile t q =
   if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
-  if t.count = 0 then 0L
+  if t.count = 0 then 0
   else begin
     let rank = int_of_float (ceil (q *. float_of_int t.count)) in
     let rank = max rank 1 in
@@ -103,7 +102,7 @@ let quantile t q =
        done
      with Exit -> ());
     (* Never report beyond the recorded maximum. *)
-    if Int64.compare !result t.max_v > 0 then t.max_v else !result
+    if !result > t.max_v then t.max_v else !result
   end
 
 let merge_into ~dst src =
@@ -117,8 +116,8 @@ let merge_into ~dst src =
       dst.max_v <- src.max_v
     end
     else begin
-      if Int64.compare src.min_v dst.min_v < 0 then dst.min_v <- src.min_v;
-      if Int64.compare src.max_v dst.max_v > 0 then dst.max_v <- src.max_v
+      if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+      if src.max_v > dst.max_v then dst.max_v <- src.max_v
     end;
     dst.count <- dst.count + src.count;
     dst.total <- dst.total +. src.total
@@ -128,9 +127,9 @@ let reset t =
   Array.fill t.buckets 0 (Array.length t.buckets) 0;
   t.count <- 0;
   t.total <- 0.0;
-  t.min_v <- 0L;
-  t.max_v <- 0L
+  t.min_v <- 0;
+  t.max_v <- 0
 
 let pp_summary ppf t =
-  Format.fprintf ppf "n=%d mean=%.1f p50=%Ld p99=%Ld p999=%Ld max=%Ld" (count t)
+  Format.fprintf ppf "n=%d mean=%.1f p50=%d p99=%d p999=%d max=%d" (count t)
     (mean t) (quantile t 0.50) (quantile t 0.99) (quantile t 0.999) (max_value t)

@@ -14,28 +14,28 @@ val create : ?precision:int -> unit -> t
     number of sub-bucket bits per octave (default 7, i.e. ≤ 0.8% relative
     quantile error).  Allowed range: 1–14. *)
 
-val record : t -> int64 -> unit
+val record : t -> int -> unit
 (** [record t v] adds one observation.  Negative values raise
     [Invalid_argument]. *)
 
-val record_n : t -> int64 -> int -> unit
+val record_n : t -> int -> int -> unit
 (** [record_n t v n] adds [n] observations of value [v]. *)
 
 val count : t -> int
 (** Number of recorded observations. *)
 
-val min_value : t -> int64
-(** Smallest recorded value; [0L] when empty. *)
+val min_value : t -> int
+(** Smallest recorded value; [0] when empty. *)
 
-val max_value : t -> int64
-(** Largest recorded value (bucket upper bound); [0L] when empty. *)
+val max_value : t -> int
+(** Largest recorded value (bucket upper bound); [0] when empty. *)
 
 val mean : t -> float
 (** Arithmetic mean of recorded values; [0.] when empty. *)
 
-val quantile : t -> float -> int64
+val quantile : t -> float -> int
 (** [quantile t q] with [q] in [\[0, 1\]] returns the smallest recorded
-    bucket value at or above the requested rank.  [0L] when empty. *)
+    bucket value at or above the requested rank.  [0] when empty. *)
 
 val merge_into : dst:t -> t -> unit
 (** [merge_into ~dst src] adds all of [src]'s observations to [dst].  Both

@@ -1,16 +1,16 @@
 module Sim = Sl_engine.Sim
 
-type request = { req_id : int; arrival : int64; service_cycles : int64 }
+type request = { req_id : int; arrival : int; service_cycles : int }
 
 let run sim rng ~interarrival ~service ~count ~sink =
   Sim.spawn sim (fun () ->
       for req_id = 0 to count - 1 do
-        let gap = Int64.of_float (Sl_util.Dist.sample interarrival rng) in
-        let gap = if Int64.compare gap 1L < 0 then 1L else gap in
+        let gap = int_of_float (Sl_util.Dist.sample interarrival rng) in
+        let gap = if gap < 1 then 1 else gap in
         Sim.delay gap;
-        let service_cycles = Int64.of_float (Sl_util.Dist.sample service rng) in
+        let service_cycles = int_of_float (Sl_util.Dist.sample service rng) in
         let service_cycles =
-          if Int64.compare service_cycles 0L < 0 then 0L else service_cycles
+          if service_cycles < 0 then 0 else service_cycles
         in
         sink { req_id; arrival = Sim.now (); service_cycles }
       done)

@@ -7,8 +7,8 @@
 
 type request = {
   req_id : int;
-  arrival : int64;  (** Cycle at which the request entered the system. *)
-  service_cycles : int64;  (** Work the request demands. *)
+  arrival : Sl_engine.Sim.Time.t;  (** Cycle at which the request entered the system. *)
+  service_cycles : Sl_engine.Sim.Time.t;  (** Work the request demands. *)
 }
 
 val run :

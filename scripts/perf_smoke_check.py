@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare a fresh -perf-out run against the committed perf baseline.
+
+Usage: perf_smoke_check.py BASELINE.json CURRENT.json [MAX_SLOWDOWN]
+
+Fails (exit 1) if any experiment present in both files regressed in
+events/s by more than MAX_SLOWDOWN (default 5.0).  The bound is loose on
+purpose: CI runners are noisy and this gate exists to catch accidental
+quadratic blowups in the engine hot paths, not scheduler jitter.
+"""
+
+import json
+import sys
+
+
+def events_per_s(rec):
+    if rec.get("events_per_s"):
+        return float(rec["events_per_s"])
+    wall = float(rec.get("wall_s", 0.0))
+    return float(rec.get("events", 0)) / wall if wall > 0 else 0.0
+
+
+def by_id(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {rec["id"]: rec for rec in doc.get("experiments", [])}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__.strip())
+    baseline = by_id(sys.argv[1])
+    current = by_id(sys.argv[2])
+    max_slowdown = float(sys.argv[3]) if len(sys.argv) > 3 else 5.0
+    failed = False
+    for exp_id, base in sorted(baseline.items()):
+        cur = current.get(exp_id)
+        if cur is None:
+            continue
+        base_eps = events_per_s(base)
+        cur_eps = events_per_s(cur)
+        if base_eps <= 0.0:
+            continue
+        slowdown = base_eps / cur_eps if cur_eps > 0 else float("inf")
+        status = "ok"
+        if slowdown > max_slowdown:
+            status = f"FAIL (>{max_slowdown:g}x regression)"
+            failed = True
+        print(
+            f"{exp_id}: baseline {base_eps:,.0f} ev/s, current {cur_eps:,.0f} ev/s, "
+            f"slowdown {slowdown:.2f}x — {status}"
+        )
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -69,8 +69,8 @@ let test_racy_workload_flagged () =
         done);
     Chip.boot th
   in
-  mk 1 0 10L;
-  mk 2 1 12L;
+  mk 1 0 10;
+  mk 2 1 12;
   Sim.run sim;
   let findings = Analysis.finish an in
   check_bool "write-write race reported" true (has_rule "race" findings);
@@ -112,7 +112,7 @@ let test_mwait_wake_edge_orders_accesses () =
       ignore (Isa.mwait th : Memory.addr);
       Isa.store th data 2L);
   Chip.attach ringer (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.store th data 1L;
       Isa.store th doorbell 1L);
   Chip.boot waiter;
@@ -130,10 +130,10 @@ let test_strict_mode_flags_read_write () =
     let writer = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
     let reader = Chip.add_thread chip ~core:1 ~ptid:2 ~mode:Ptid.Supervisor () in
     Chip.attach writer (fun th ->
-        Sim.delay 10L;
+        Sim.delay 10;
         Isa.store th shared 1L);
     Chip.attach reader (fun th ->
-        Sim.delay 20L;
+        Sim.delay 20;
         ignore (Isa.load th shared : int64));
     Chip.boot writer;
     Chip.boot reader;
@@ -153,13 +153,13 @@ let test_stale_tdt_flagged () =
     let manager = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
     let worker_a = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.Supervisor () in
     let worker_b = Chip.add_thread chip ~core:0 ~ptid:3 ~mode:Ptid.Supervisor () in
-    Chip.attach worker_a (fun th -> Isa.exec th 10L);
-    Chip.attach worker_b (fun th -> Isa.exec th 10L);
+    Chip.attach worker_a (fun th -> Isa.exec th 10);
+    Chip.attach worker_b (fun th -> Isa.exec th 10);
     Tdt.set table ~vtid:5 ~ptid:2 Tdt.perms_all;
     Chip.set_tdt manager table;
     Chip.attach manager (fun th ->
         Isa.start th ~vtid:5 (* miss: caches vtid 5 -> ptid 2 *);
-        Sim.delay 1000L;
+        Sim.delay 1000;
         (* Retarget vtid 5 (a supervisor updating the table in memory)... *)
         Tdt.set table ~vtid:5 ~ptid:3 Tdt.perms_all;
         (* ...with or without the required invalidation. *)
@@ -186,7 +186,7 @@ let test_mwait_cycle_flagged () =
     let th = Chip.add_thread chip ~core ~ptid ~mode:Ptid.Supervisor () in
     Chip.attach th (fun th ->
         Isa.monitor th own;
-        Isa.exec th 50L;
+        Isa.exec th 50;
         Isa.store th other 1L;
         ignore (Isa.mwait th : Memory.addr);
         ignore (Isa.mwait th : Memory.addr));
@@ -227,7 +227,7 @@ let test_parked_workers_not_flagged () =
   mk 2 external_db;
   (* A dispatcher process (not a chip thread) rings only the second. *)
   Sim.spawn sim (fun () ->
-      Sim.delay 200L;
+      Sim.delay 200;
       Memory.write mem external_db 1L);
   Sim.run sim;
   check_int "idle pool is not a deadlock" 0 (List.length (Analysis.finish an))
@@ -284,7 +284,7 @@ let test_hw_channel_clean_under_sanitizers () =
         let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
         Chip.attach client (fun th ->
             for _ = 1 to 5 do
-              Hw_channel.call channel ~client:th ~work:100L ();
+              Hw_channel.call channel ~client:th ~work:100 ();
               incr served
             done);
         Chip.boot client;

@@ -10,7 +10,6 @@ module Irq = Sl_baseline.Irq
 module Flexsc = Sl_baseline.Flexsc
 
 let check_int = Alcotest.(check int)
-let check_i64 = Alcotest.(check int64)
 let check_bool = Alcotest.(check bool)
 
 let p = Params.default
@@ -45,24 +44,24 @@ let test_single_thread_no_switch_after_first () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~cores:1 () in
   let th = Swsched.thread sched () in
-  let done_at = ref 0L in
+  let done_at = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec th 1000L;
-      Swsched.exec th 1000L;
+      Swsched.exec th 1000;
+      Swsched.exec th 1000;
       done_at := Sim.now ());
   Sim.run sim;
   check_int "one switch (onto the context)" 1 (Swsched.switch_count sched);
   (* 3484 (first switch) + 2000 work. *)
-  check_i64 "time" (Int64.of_int (3484 + 2000)) !done_at
+  check_int "time" (3484 + 2000) !done_at
 
 let test_two_threads_pay_switches () =
   let sim = Sim.create () in
   (* One context total so the threads must interleave. *)
   let one_ctx = { p with Params.smt_width = 1 } in
-  let sched = Swsched.create sim one_ctx ~quantum:500L ~cores:1 () in
+  let sched = Swsched.create sim one_ctx ~quantum:500 ~cores:1 () in
   let a = Swsched.thread sched () and b = Swsched.thread sched () in
-  Sim.spawn sim (fun () -> Swsched.exec a 1000L);
-  Sim.spawn sim (fun () -> Swsched.exec b 1000L);
+  Sim.spawn sim (fun () -> Swsched.exec a 1000);
+  Sim.spawn sim (fun () -> Swsched.exec b 1000);
   Sim.run sim;
   (* a(500) b(500) a(500) b(500): four slices, each a thread change. *)
   check_int "four switches" 4 (Swsched.switch_count sched);
@@ -75,10 +74,10 @@ let test_fcfs_runs_to_completion () =
   let a = Swsched.thread sched () and b = Swsched.thread sched () in
   let order = ref [] in
   Sim.spawn sim (fun () ->
-      Swsched.exec a 1000L;
+      Swsched.exec a 1000;
       order := "a" :: !order);
   Sim.spawn sim (fun () ->
-      Swsched.exec b 1000L;
+      Swsched.exec b 1000;
       order := "b" :: !order);
   Sim.run sim;
   Alcotest.(check (list string)) "fifo completion" [ "b"; "a" ] !order;
@@ -94,13 +93,13 @@ let test_vector_thread_switch_cost () =
   let one_ctx = { p with Params.smt_width = 1 } in
   let sched = Swsched.create sim one_ctx ~warmup:false ~cores:1 () in
   let a = Swsched.thread sched ~vector:true () in
-  let done_at = ref 0L in
+  let done_at = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec a 100L;
+      Swsched.exec a 100;
       done_at := Sim.now ());
   Sim.run sim;
   (* Switch in: fixed 250 + (272 out + 784 in)/16 = 66 + sched 1200. *)
-  check_i64 "vector restore charged" (Int64.of_int (250 + 66 + 1200 + 100)) !done_at
+  check_int "vector restore charged" (250 + 66 + 1200 + 100) !done_at
 
 (* --- Irq --- *)
 
@@ -108,14 +107,14 @@ let test_irq_runs_handler_with_entry_exit () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~cores:1 () in
   let irq = Irq.create sim p ~cores:(Swsched.cores sched) in
-  let handled_at = ref 0L in
-  Sim.schedule sim ~at:100L (fun () ->
+  let handled_at = ref 0 in
+  Sim.schedule sim ~at:100 (fun () ->
       Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
-          exec 50L;
+          exec 50;
           handled_at := Sim.now ()));
   Sim.run sim;
   (* 100 + entry 600 + body 50. *)
-  check_i64 "handler completion" 750L !handled_at;
+  check_int "handler completion" 750 !handled_at;
   check_int "one irq" 1 (Irq.irq_count irq)
 
 let test_irq_serializes_per_core () =
@@ -123,18 +122,18 @@ let test_irq_serializes_per_core () =
   let sched = Swsched.create sim p ~cores:1 () in
   let irq = Irq.create sim p ~cores:(Swsched.cores sched) in
   let completions = ref [] in
-  Sim.schedule sim ~at:0L (fun () ->
+  Sim.schedule sim ~at:0 (fun () ->
       for _ = 1 to 2 do
         Irq.raise_irq irq ~core:0 ~handler:(fun ~exec ->
-            exec 100L;
+            exec 100;
             completions := Sim.time sim :: !completions)
       done);
   Sim.run sim;
   match List.rev !completions with
   | [ first; second ] ->
-    check_i64 "first at entry+body" 700L first;
+    check_int "first at entry+body" 700 first;
     (* Second waits for first's exit (400) then pays its own entry. *)
-    check_i64 "second serialized" (Int64.of_int (700 + 400 + 600 + 100)) second
+    check_int "second serialized" (700 + 400 + 600 + 100) second
   | _ -> Alcotest.fail "expected two completions"
 
 let test_irq_steals_capacity_from_app () =
@@ -143,30 +142,30 @@ let test_irq_steals_capacity_from_app () =
   let sched = Swsched.create sim one_ctx ~cores:1 () in
   let irq = Irq.create sim one_ctx ~cores:(Swsched.cores sched) in
   let th = Swsched.thread sched () in
-  let done_at = ref 0L in
+  let done_at = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec th 10_000L;
+      Swsched.exec th 10_000;
       done_at := Sim.now ());
-  Sim.schedule sim ~at:5_000L (fun () ->
-      Irq.raise_irq irq ~core:0 ~handler:(fun ~exec -> exec 1_000L));
+  Sim.schedule sim ~at:5_000 (fun () ->
+      Irq.raise_irq irq ~core:0 ~handler:(fun ~exec -> exec 1_000));
   Sim.run sim;
   (* Without the IRQ the app would finish at 3484 + 10000 = 13484; the
      2000-cycle IRQ (entry+body+exit) shares the single pipeline slot
      while active, delaying the app by about that much. *)
-  check_bool "app delayed by irq" true (Int64.to_int !done_at > 14_000)
+  check_bool "app delayed by irq" true (!done_at > 14_000)
 
 let test_ipi_adds_latency () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~cores:2 () in
   let irq = Irq.create sim p ~cores:(Swsched.cores sched) in
-  let handled_at = ref 0L in
+  let handled_at = ref 0 in
   Sim.spawn sim (fun () ->
       Irq.send_ipi irq ~core:1 ~handler:(fun ~exec ->
-          exec 1L;
+          exec 1;
           handled_at := Sim.now ()));
   Sim.run sim;
   (* ipi 1000 + entry 600 + 1. *)
-  check_i64 "ipi + entry" 1601L !handled_at;
+  check_int "ipi + entry" 1601 !handled_at;
   check_int "ipi counted" 1 (Irq.ipi_count irq)
 
 (* --- Flexsc --- *)
@@ -174,11 +173,11 @@ let test_ipi_adds_latency () =
 let test_flexsc_batches_calls () =
   let sim = Sim.create () in
   let kernel_core = Smt_core.create sim p ~core_id:99 in
-  let fx = Flexsc.create sim p ~batch_window:500L ~core:kernel_core () in
+  let fx = Flexsc.create sim p ~batch_window:500 ~core:kernel_core () in
   let finished = ref [] in
   for i = 1 to 3 do
     Sim.spawn sim (fun () ->
-        Flexsc.call fx ~kernel_work:100L;
+        Flexsc.call fx ~kernel_work:100;
         finished := (i, Sim.now ()) :: !finished)
   done;
   Sim.run sim;
@@ -186,16 +185,16 @@ let test_flexsc_batches_calls () =
   check_int "one batch" 1 (Flexsc.batches fx);
   (* Batch opens at t=0, accumulates 500, then serves 3 x 100 serially. *)
   let times = List.rev_map snd !finished in
-  check_bool "all after the window" true (List.for_all (fun t -> Int64.to_int t >= 600) times)
+  check_bool "all after the window" true (List.for_all (fun t -> t >= 600) times)
 
 let test_flexsc_second_batch_for_late_call () =
   let sim = Sim.create () in
   let kernel_core = Smt_core.create sim p ~core_id:99 in
-  let fx = Flexsc.create sim p ~batch_window:500L ~core:kernel_core () in
-  Sim.spawn sim (fun () -> Flexsc.call fx ~kernel_work:10L);
+  let fx = Flexsc.create sim p ~batch_window:500 ~core:kernel_core () in
+  Sim.spawn sim (fun () -> Flexsc.call fx ~kernel_work:10);
   Sim.spawn sim (fun () ->
-      Sim.delay 5_000L;
-      Flexsc.call fx ~kernel_work:10L);
+      Sim.delay 5_000;
+      Flexsc.call fx ~kernel_work:10);
   Sim.run sim;
   check_int "two batches" 2 (Flexsc.batches fx)
 

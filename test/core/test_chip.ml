@@ -30,7 +30,7 @@ let test_mwait_wakeup_latency () =
   let sim, chip = setup () in
   let mem = Chip.memory chip in
   let addr = Memory.alloc mem 1 in
-  let woke_at = ref 0L and woke_addr = ref (-1) in
+  let woke_at = ref 0 and woke_addr = ref (-1) in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
       Isa.monitor th addr;
@@ -39,35 +39,35 @@ let test_mwait_wakeup_latency () =
       woke_at := Sim.now ());
   Chip.boot a;
   Sim.spawn sim (fun () ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Memory.write mem addr 7L);
   Sim.run sim;
   check_int "woken by the armed address" addr !woke_addr;
   (* monitor(4) + mwait issue(4) happen before t=100; wake at write +
      match(6) + RF transfer(0) + pipeline start(20). *)
-  check_i64 "wake latency" (Int64.of_int (100 + mwait_wake_latency)) !woke_at;
+  check_int "wake latency" (100 + mwait_wake_latency) !woke_at;
   check_int "one wakeup counted" 1 (Chip.wakeup_count a)
 
 let test_mwait_immediate_when_write_raced_ahead () =
   let sim, chip = setup () in
   let mem = Chip.memory chip in
   let addr = Memory.alloc mem 1 in
-  let woke_at = ref 0L in
+  let woke_at = ref 0 in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
       Isa.monitor th addr;
       (* Simulate doing other work while the device writes. *)
-      Isa.exec th 200L;
+      Isa.exec th 200;
       let _ = Isa.mwait th in
       woke_at := Sim.now ());
   Chip.boot a;
   Sim.spawn sim (fun () ->
-      Sim.delay 50L;
+      Sim.delay 50;
       Memory.write mem addr 1L);
   Sim.run sim;
   (* monitor(4) + work(200) + mwait issue(4) + immediate match(6) = 214;
      no pipeline restart because the thread never left the pipeline. *)
-  check_i64 "no sleep, no restart cost" 214L !woke_at
+  check_int "no sleep, no restart cost" 214 !woke_at
 
 let test_dma_write_wakes_like_cpu_write () =
   (* The same wakeup path regardless of who wrote: here the "device" is a
@@ -90,15 +90,15 @@ let test_dma_write_wakes_like_cpu_write () =
         (fun t ->
           Sim.delay t;
           Memory.write mem rx_tail 1L)
-        [ 1000L; 1000L; 1000L ]);
+        [ 1000; 1000; 1000 ]);
   Sim.run sim;
   check_int "three wakeups" 3 (List.length !wakes);
-  check_i64 "first" (Int64.of_int (1000 + mwait_wake_latency)) (List.nth !wakes 2);
-  check_i64 "second" (Int64.of_int (2000 + mwait_wake_latency)) (List.nth !wakes 1)
+  check_int "first" (1000 + mwait_wake_latency) (List.nth !wakes 2);
+  check_int "second" (2000 + mwait_wake_latency) (List.nth !wakes 1)
 
 let test_start_latency_and_body_spawn () =
   let sim, chip = setup () in
-  let started_at = ref 0L in
+  let started_at = ref 0 in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   let b = Chip.add_thread chip ~core:1 ~ptid:2 ~mode:Ptid.User () in
   Chip.attach b (fun _ -> started_at := Sim.now ());
@@ -106,31 +106,31 @@ let test_start_latency_and_body_spawn () =
   Chip.boot a;
   Sim.run sim;
   (* Caller: issue(4).  Target: RF transfer(0) + pipeline start(20). *)
-  check_i64 "start-to-run latency"
-    (Int64.of_int (p.Params.start_stop_issue_cycles + start_latency))
+  check_int "start-to-run latency"
+    (p.Params.start_stop_issue_cycles + start_latency)
     !started_at;
   check_int "start counted" 1 (Chip.start_count b)
 
 let test_stop_freezes_and_start_resumes_execution () =
   let sim, chip = setup () in
-  let finished_at = ref 0L in
+  let finished_at = ref 0 in
   let victim = Chip.add_thread chip ~core:1 ~ptid:2 ~mode:Ptid.User () in
   Chip.attach victim (fun th ->
-      Isa.exec th 1000L;
+      Isa.exec th 1000;
       finished_at := Sim.now ());
   Chip.boot victim;
   let boss = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach boss (fun th ->
-      Sim.delay 200L;
+      Sim.delay 200;
       Isa.stop th ~vtid:2;
-      Sim.delay 496L;
+      Sim.delay 496;
       Isa.start th ~vtid:2);
   Chip.boot boss;
   Sim.run sim;
   (* victim runs 0..204 (stop lands after boss's 4-cycle issue), frozen
      204..704 (stop at 200+4, start issued at 700+4, wake +20 → resumes
      at 724), then finishes remaining 796 cycles at 1520. *)
-  check_i64 "froze and resumed" 1520L !finished_at;
+  check_int "froze and resumed" 1520 !finished_at;
   check_bool "disabled while frozen" true (Chip.halted chip = None)
 
 let test_stop_of_waiting_thread_and_restart_reparks () =
@@ -146,12 +146,12 @@ let test_stop_of_waiting_thread_and_restart_reparks () =
   Chip.boot waiter;
   let boss = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach boss (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.stop th ~vtid:2;
       (* The event arrives while the waiter is force-stopped. *)
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.store th addr 1L;
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.start th ~vtid:2);
   Chip.boot boss;
   Sim.run sim;
@@ -166,7 +166,7 @@ let test_start_latches_against_inflight_stop () =
   Chip.attach server (fun th ->
       let rec serve () =
         (* The exec blocks while parked, so completions count requests. *)
-        Isa.exec th 100L;
+        Isa.exec th 100;
         incr served;
         (* Self-park; if a start raced ahead, keep serving. *)
         Isa.stop th ~vtid:2;
@@ -177,7 +177,7 @@ let test_start_latches_against_inflight_stop () =
   Chip.attach client (fun th ->
       Isa.start th ~vtid:2;
       (* Second start lands while the server is still mid-request. *)
-      Sim.delay 50L;
+      Sim.delay 50;
       Isa.start th ~vtid:2);
   Chip.boot client;
   Sim.run sim;
@@ -213,7 +213,7 @@ let test_rpull_of_running_thread_faults () =
       Isa.start th ~vtid:1);
   Chip.boot handler;
   let runner = Chip.add_thread chip ~core:1 ~ptid:2 ~mode:Ptid.User () in
-  Chip.attach runner (fun th -> Isa.exec th 100_000L);
+  Chip.attach runner (fun th -> Isa.exec th 100_000);
   Chip.boot runner;
   let boss = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Regstate.set (Chip.regs boss) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
@@ -222,7 +222,7 @@ let test_rpull_of_running_thread_faults () =
       (* After the fault is handled we resume with a zero result. *)
       check_i64 "faulted rpull yields 0" 0L v);
   Chip.boot boss;
-  Sim.run ~until:200_000L sim;
+  Sim.run ~until:200_000 sim;
   match !seen with
   | Some d ->
     check_bool "invalid-thread-access descriptor" true
@@ -306,7 +306,7 @@ let test_tdt_modify_some_allows_gp_only () =
       (* Rip needs modify-most: faults. *)
       Isa.rpush th ~vtid:5 Regstate.Rip 1L);
   Chip.boot user;
-  Sim.run ~until:100_000L sim;
+  Sim.run ~until:100_000 sim;
   check_bool "gp write allowed" true !gp_ok;
   check_bool "rip write denied" true (!faults = [ Exception_desc.Permission_denied ])
 
@@ -408,7 +408,7 @@ let test_chip_stats () =
       ());
   Chip.boot a;
   Sim.spawn sim (fun () ->
-      Sim.delay 10L;
+      Sim.delay 10;
       Memory.write mem addr 1L);
   Sim.run sim;
   let s = Chip.stats chip in
@@ -427,14 +427,14 @@ let test_determinism_of_chip_runs () =
         Isa.monitor th addr;
         for _ = 1 to 5 do
           let _ = Isa.mwait th in
-          Buffer.add_string log (Printf.sprintf "w@%Ld;" (Sim.now ()));
-          Isa.exec th 37L
+          Buffer.add_string log (Printf.sprintf "w@%d;" (Sim.now ()));
+          Isa.exec th 37
         done);
     Chip.boot a;
     let rng = Sl_util.Rng.create 99L in
     Sim.spawn sim (fun () ->
         for _ = 1 to 5 do
-          Sim.delay (Int64.of_int (100 + Sl_util.Rng.int rng 500));
+          Sim.delay (100 + Sl_util.Rng.int rng 500);
           Memory.write mem addr 1L
         done);
     Sim.run sim;

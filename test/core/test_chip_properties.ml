@@ -35,7 +35,7 @@ let prop_no_lost_events_under_interference =
             (* Catch up on everything published so far. *)
             let published = Isa.load th counter in
             if Int64.compare published !seen > 0 then begin
-              Isa.exec th (Int64.mul 10L (Int64.sub published !seen));
+              Isa.exec th (10 * Int64.to_int (Int64.sub published !seen));
               seen := published
             end
           done);
@@ -45,7 +45,7 @@ let prop_no_lost_events_under_interference =
       Sim.spawn sim (fun () ->
           List.iter
             (fun gap ->
-              Sim.delay (Int64.of_int gap);
+              Sim.delay gap;
               let v = Int64.add (Memory.read memory counter) 1L in
               Memory.write memory counter v;
               Memory.write memory doorbell 1L)
@@ -55,14 +55,14 @@ let prop_no_lost_events_under_interference =
       let boss = Chip.add_thread chip ~core:1 ~ptid:2 ~mode:Ptid.Supervisor () in
       Chip.attach boss (fun th ->
           for _ = 1 to 30 do
-            Sim.delay (Int64.of_int (1 + Sl_util.Rng.int rng 300));
+            Sim.delay (1 + Sl_util.Rng.int rng 300);
             if Sl_util.Rng.bool rng then Isa.stop th ~vtid:1
             else Isa.start th ~vtid:1
           done;
           (* Leave the worker enabled so it can finish draining. *)
           Isa.start th ~vtid:1);
       Chip.boot boss;
-      Sim.run ~until:2_000_000L sim;
+      Sim.run ~until:2_000_000 sim;
       Int64.to_int !seen = total)
 
 (* Property 2: work conservation under random freeze windows — a job of W
@@ -77,20 +77,20 @@ let prop_work_survives_freezing =
       let finished = ref false in
       let worker = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
       Chip.attach worker (fun th ->
-          Isa.exec th (Int64.of_int work);
+          Isa.exec th work;
           finished := true);
       Chip.boot worker;
       let boss = Chip.add_thread chip ~core:1 ~ptid:2 ~mode:Ptid.Supervisor () in
       Chip.attach boss (fun th ->
           List.iter
             (fun pause ->
-              Sim.delay (Int64.of_int pause);
+              Sim.delay pause;
               Isa.stop th ~vtid:1;
-              Sim.delay (Int64.of_int pause);
+              Sim.delay pause;
               Isa.start th ~vtid:1)
             pauses);
       Chip.boot boss;
-      Sim.run ~until:10_000_000L sim;
+      Sim.run ~until:10_000_000 sim;
       let billed = Smt_core.thread_cycles (Chip.exec_core chip 0) ~ptid:1 in
       !finished && abs_float (billed -. float_of_int work) < 1.0)
 
@@ -157,17 +157,17 @@ let prop_chip_determinism =
             Isa.monitor th doorbell;
             while true do
               let _ = Isa.mwait th in
-              Isa.exec th 123L;
-              Buffer.add_string trace (Printf.sprintf "%Ld;" (Sim.now ()))
+              Isa.exec th 123;
+              Buffer.add_string trace (Printf.sprintf "%d;" (Sim.now ()))
             done);
         Chip.boot worker;
         let rng = Sl_util.Rng.create (Int64.of_int seed) in
         Sim.spawn sim (fun () ->
             for _ = 1 to 20 do
-              Sim.delay (Int64.of_int (1 + Sl_util.Rng.int rng 1000));
+              Sim.delay (1 + Sl_util.Rng.int rng 1000);
               Memory.write memory doorbell 1L
             done);
-        Sim.run ~until:100_000L sim;
+        Sim.run ~until:100_000 sim;
         Buffer.contents trace
       in
       String.equal (run ()) (run ()))

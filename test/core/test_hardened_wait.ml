@@ -9,7 +9,6 @@ module Chip = Switchless.Chip
 module Isa = Switchless.Isa
 module Ptid = Switchless.Ptid
 
-let check_i64 = Alcotest.(check int64)
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
@@ -25,38 +24,38 @@ let test_wakes_before_deadline () =
   let sim, chip = setup () in
   let mem = Chip.memory chip in
   let addr = Memory.alloc mem 1 in
-  let result = ref None and woke_at = ref 0L in
+  let result = ref None and woke_at = ref 0 in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
       Isa.monitor th addr;
-      result := Isa.mwait_for th ~deadline:10_000L;
+      result := Isa.mwait_for th ~deadline:10_000;
       woke_at := Sim.now ());
   Chip.boot a;
   Sim.spawn sim (fun () ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Memory.write mem addr 1L);
   Sim.run sim;
   check_bool "woke with the address" true (!result = Some addr);
   (* Same cost as a plain mwait wake: the deadline must be free. *)
-  check_i64 "wake latency" (Int64.of_int (100 + wake_latency)) !woke_at
+  check_int "wake latency" (100 + wake_latency) !woke_at
 
 let test_expires_empty_handed () =
   let sim, chip = setup () in
   let mem = Chip.memory chip in
   let addr = Memory.alloc mem 1 in
-  let result = ref (Some (-1)) and woke_at = ref 0L in
+  let result = ref (Some (-1)) and woke_at = ref 0 in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
       Isa.monitor th addr;
-      result := Isa.mwait_for th ~deadline:500L;
+      result := Isa.mwait_for th ~deadline:500;
       woke_at := Sim.now ());
   Chip.boot a;
   Sim.run sim;
   check_bool "returned None" true (!result = None);
   (* The empty-handed resume pays the pipeline restart (state stayed
      register-file resident, so no transfer cost). *)
-  check_i64 "resumed at deadline + restart"
-    (Int64.add 500L (Int64.of_int p.Params.pipeline_start_cycles))
+  check_int "resumed at deadline + restart"
+    (500 + p.Params.pipeline_start_cycles)
     !woke_at;
   check_bool "no abandoned process" true (Sim.stuck sim = [])
 
@@ -69,11 +68,11 @@ let test_latched_trigger_is_immediate () =
   Chip.attach a (fun th ->
       Isa.monitor th addr;
       (* The write lands while we are still running: latched. *)
-      Isa.exec th 1_000L;
-      result := Isa.mwait_for th ~deadline:2_000L);
+      Isa.exec th 1_000;
+      result := Isa.mwait_for th ~deadline:2_000);
   Chip.boot a;
   Sim.spawn sim (fun () ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Memory.write mem addr 1L);
   Sim.run sim;
   check_bool "latched write returned immediately" true (!result = Some addr)
@@ -86,14 +85,14 @@ let test_write_after_expiry_latches () =
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
       Isa.monitor th addr;
-      first := Isa.mwait_for th ~deadline:500L;
+      first := Isa.mwait_for th ~deadline:500;
       (* Keep running past the t=1000 write, then wait again: the write
          must have been latched, not lost with the expired wait. *)
-      Isa.exec th 2_000L;
+      Isa.exec th 2_000;
       second := Isa.mwait th);
   Chip.boot a;
   Sim.spawn sim (fun () ->
-      Sim.delay 1_000L;
+      Sim.delay 1_000;
       Memory.write mem addr 1L);
   Sim.run sim;
   check_bool "first wait expired" true (!first = None);
@@ -109,14 +108,14 @@ let test_two_threads_independent_deadlines () =
   let b = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
       Isa.monitor th addr;
-      a_result := Isa.mwait_for th ~deadline:300L);
+      a_result := Isa.mwait_for th ~deadline:300);
   Chip.attach b (fun th ->
       Isa.monitor th addr;
-      b_result := Isa.mwait_for th ~deadline:5_000L);
+      b_result := Isa.mwait_for th ~deadline:5_000);
   Chip.boot a;
   Chip.boot b;
   Sim.spawn sim (fun () ->
-      Sim.delay 1_000L;
+      Sim.delay 1_000;
       Memory.write mem addr 1L);
   Sim.run sim;
   check_bool "short deadline expired" true (!a_result = None);

@@ -51,7 +51,7 @@ let test_keyed_start_with_correct_key () =
   Chip.boot target;
   let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Chip.attach user (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.start_keyed th ~target_ptid:10 ~key:0xBEEFL);
   Chip.boot user;
   Sim.run sim;
@@ -68,7 +68,7 @@ let test_keyed_start_with_wrong_key_faults () =
   Regstate.set (Chip.regs attacker) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
   let after = ref Ptid.Runnable in
   Chip.attach attacker (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.stop_keyed th ~target_ptid:10 ~key:0xDEADL;
       after := Chip.state target);
   Chip.boot attacker;
@@ -102,7 +102,7 @@ let test_keyed_rpush_rpull () =
   let got = ref 0L in
   let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Chip.attach user (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       (* Target has returned -> disabled; keyed remote access works. *)
       Isa.rpush_keyed th ~target_ptid:10 ~key:7L (Regstate.Gp 3) 99L;
       got := Isa.rpull_keyed th ~target_ptid:10 ~key:7L (Regstate.Gp 3));
@@ -120,7 +120,7 @@ let test_keyed_rpush_privileged_reg_still_faults () =
   let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Regstate.set (Chip.regs user) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
   Chip.attach user (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       (* Even with the key, control registers need supervisor mode. *)
       Isa.rpush_keyed th ~target_ptid:10 ~key:7L Regstate.Tdt_base 1L);
   Chip.boot user;
@@ -136,7 +136,7 @@ let test_supervisor_bypasses_keys () =
   let boss = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   let ok = ref false in
   Chip.attach boss (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.rpush_keyed th ~target_ptid:10 ~key:0L (Regstate.Gp 1) 5L;
       ok := true);
   Chip.boot boss;
@@ -160,9 +160,9 @@ let test_key_rotation_revokes () =
   let user = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Regstate.set (Chip.regs user) Regstate.Exception_descriptor_ptr (Int64.of_int desc);
   Chip.attach user (fun th ->
-      Sim.delay 100L;
+      Sim.delay 100;
       Isa.store th doorbell 1L;
-      Sim.delay 1000L;
+      Sim.delay 1000;
       (* Old key no longer works. *)
       Isa.stop_keyed th ~target_ptid:10 ~key:1L);
   Chip.boot user;
@@ -174,9 +174,9 @@ let test_key_rotation_revokes () =
 let test_billing_tracks_per_thread_consumption () =
   let sim, chip = setup () in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
-  Chip.attach a (fun th -> Isa.exec th 1000L);
+  Chip.attach a (fun th -> Isa.exec th 1000);
   let b = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.User () in
-  Chip.attach b (fun th -> Isa.exec th 250L);
+  Chip.attach b (fun th -> Isa.exec th 250);
   Chip.boot a;
   Chip.boot b;
   Sim.run sim;
@@ -193,9 +193,9 @@ let test_billing_includes_overhead_kinds () =
   let sim, chip = setup () in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Chip.attach a (fun th ->
-      Isa.exec th 100L;
-      Isa.exec th ~kind:Smt_core.Poll 50L;
-      Isa.exec th ~kind:Smt_core.Overhead 25L);
+      Isa.exec th 100;
+      Isa.exec th ~kind:Smt_core.Poll 50;
+      Isa.exec th ~kind:Smt_core.Overhead 25);
   Chip.boot a;
   Sim.run sim;
   let core = Chip.exec_core chip 0 in

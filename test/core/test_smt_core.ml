@@ -4,7 +4,7 @@ module Sim = Sl_engine.Sim
 module Params = Switchless.Params
 module Smt_core = Switchless.Smt_core
 
-let check_i64 = Alcotest.(check int64)
+let check_i64 = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let with_core ?(smt_width = 2) f =
@@ -14,7 +14,7 @@ let with_core ?(smt_width = 2) f =
   f sim core
 
 (* Run [cycles] of work for [ptid] and record the completion time. *)
-let job sim core ~ptid ?(kind = Smt_core.Useful) ?(weight = 1.0) ?(start = 0L) cycles finished =
+let job sim core ~ptid ?(kind = Smt_core.Useful) ?(weight = 1.0) ?(start = 0) cycles finished =
   Sim.spawn sim (fun () ->
       Sim.delay start;
       Smt_core.set_runnable core ~ptid ~weight true;
@@ -24,97 +24,97 @@ let job sim core ~ptid ?(kind = Smt_core.Useful) ?(weight = 1.0) ?(start = 0L) c
 
 let test_single_job_full_rate () =
   with_core (fun sim core ->
-      let t = ref 0L in
-      job sim core ~ptid:1 1000L t;
+      let t = ref 0 in
+      job sim core ~ptid:1 1000 t;
       Sim.run sim;
-      check_i64 "1000 cycles at rate 1" 1000L !t)
+      check_i64 "1000 cycles at rate 1" 1000 !t)
 
 let test_two_jobs_within_width () =
   with_core ~smt_width:2 (fun sim core ->
-      let t1 = ref 0L and t2 = ref 0L in
-      job sim core ~ptid:1 1000L t1;
-      job sim core ~ptid:2 1000L t2;
+      let t1 = ref 0 and t2 = ref 0 in
+      job sim core ~ptid:1 1000 t1;
+      job sim core ~ptid:2 1000 t2;
       Sim.run sim;
-      check_i64 "both at full rate" 1000L !t1;
-      check_i64 "both at full rate" 1000L !t2)
+      check_i64 "both at full rate" 1000 !t1;
+      check_i64 "both at full rate" 1000 !t2)
 
 let test_three_jobs_share_two_slots () =
   with_core ~smt_width:2 (fun sim core ->
-      let t1 = ref 0L and t2 = ref 0L and t3 = ref 0L in
-      job sim core ~ptid:1 300L t1;
-      job sim core ~ptid:2 300L t2;
-      job sim core ~ptid:3 300L t3;
+      let t1 = ref 0 and t2 = ref 0 and t3 = ref 0 in
+      job sim core ~ptid:1 300 t1;
+      job sim core ~ptid:2 300 t2;
+      job sim core ~ptid:3 300 t3;
       Sim.run sim;
       (* Each runs at 2/3: 300 cycles of service need 450 wall cycles. *)
-      check_i64 "ps rate 2/3" 450L !t1;
-      check_i64 "ps rate 2/3" 450L !t2;
-      check_i64 "ps rate 2/3" 450L !t3)
+      check_i64 "ps rate 2/3" 450 !t1;
+      check_i64 "ps rate 2/3" 450 !t2;
+      check_i64 "ps rate 2/3" 450 !t3)
 
 let test_weighted_sharing () =
   with_core ~smt_width:1 (fun sim core ->
-      let heavy = ref 0L and light = ref 0L in
-      job sim core ~ptid:1 ~weight:2.0 600L heavy;
-      job sim core ~ptid:2 ~weight:1.0 600L light;
+      let heavy = ref 0 and light = ref 0 in
+      job sim core ~ptid:1 ~weight:2.0 600 heavy;
+      job sim core ~ptid:2 ~weight:1.0 600 light;
       Sim.run sim;
       (* Heavy runs at 2/3 until done at t=900; light then finishes its
          remaining 300 at full rate: 900 + 300 = 1200. *)
-      check_i64 "heavy done at 900" 900L !heavy;
-      check_i64 "light done at 1200" 1200L !light)
+      check_i64 "heavy done at 900" 900 !heavy;
+      check_i64 "light done at 1200" 1200 !light)
 
 let test_rate_cap_at_one () =
   with_core ~smt_width:2 (fun sim core ->
       (* Weight 100 vs 1 vs 1: the heavy thread is capped at rate 1.0, the
          two light ones share the remaining slot at 0.5 each. *)
-      let heavy = ref 0L and l1 = ref 0L and l2 = ref 0L in
-      job sim core ~ptid:1 ~weight:100.0 1000L heavy;
-      job sim core ~ptid:2 ~weight:1.0 500L l1;
-      job sim core ~ptid:3 ~weight:1.0 500L l2;
+      let heavy = ref 0 and l1 = ref 0 and l2 = ref 0 in
+      job sim core ~ptid:1 ~weight:100.0 1000 heavy;
+      job sim core ~ptid:2 ~weight:1.0 500 l1;
+      job sim core ~ptid:3 ~weight:1.0 500 l2;
       Sim.run sim;
-      check_i64 "capped at full rate" 1000L !heavy;
-      check_i64 "light shares 0.5 each" 1000L !l1;
-      check_i64 "light shares 0.5 each" 1000L !l2)
+      check_i64 "capped at full rate" 1000 !heavy;
+      check_i64 "light shares 0.5 each" 1000 !l1;
+      check_i64 "light shares 0.5 each" 1000 !l2)
 
 let test_late_arrival_slows_first () =
   with_core ~smt_width:1 (fun sim core ->
-      let a = ref 0L and b = ref 0L in
-      job sim core ~ptid:1 1000L a;
-      job sim core ~ptid:2 ~start:500L 1000L b;
+      let a = ref 0 and b = ref 0 in
+      job sim core ~ptid:1 1000 a;
+      job sim core ~ptid:2 ~start:500 1000 b;
       Sim.run sim;
       (* A alone for 500 cycles (500 served), then shares at 0.5: another
          1000 wall cycles for its remaining 500.  Done at 1500.  B has
          served 500 by then, finishes the rest alone: 1500 + 500 = 2000. *)
-      check_i64 "a done at 1500" 1500L !a;
-      check_i64 "b done at 2000" 2000L !b)
+      check_i64 "a done at 1500" 1500 !a;
+      check_i64 "b done at 2000" 2000 !b)
 
 let test_stop_freezes_work () =
   with_core ~smt_width:1 (fun sim core ->
-      let t = ref 0L in
+      let t = ref 0 in
       Sim.spawn sim (fun () ->
           Smt_core.set_runnable core ~ptid:1 ~weight:1.0 true;
-          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 1000L;
+          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 1000;
           t := Sim.now ());
       (* Freeze from 200 to 700. *)
-      Sim.schedule sim ~at:200L (fun () ->
+      Sim.schedule sim ~at:200 (fun () ->
           Smt_core.set_runnable core ~ptid:1 ~weight:1.0 false);
-      Sim.schedule sim ~at:700L (fun () ->
+      Sim.schedule sim ~at:700 (fun () ->
           Smt_core.set_runnable core ~ptid:1 ~weight:1.0 true);
       Sim.run sim;
-      check_i64 "paused 500 cycles" 1500L !t)
+      check_i64 "paused 500 cycles" 1500 !t)
 
 let test_zero_cycles_returns_immediately () =
   with_core (fun sim core ->
-      let t = ref (-1L) in
+      let t = ref (-1) in
       Sim.spawn sim (fun () ->
-          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 0L;
+          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 0;
           t := Sim.now ());
       Sim.run sim;
-      check_i64 "no time consumed" 0L !t)
+      check_i64 "no time consumed" 0 !t)
 
 let test_execute_requires_runnable () =
   with_core (fun sim core ->
       let raised = ref false in
       Sim.spawn sim (fun () ->
-          match Smt_core.execute core ~ptid:9 ~kind:Smt_core.Useful 10L with
+          match Smt_core.execute core ~ptid:9 ~kind:Smt_core.Useful 10 with
           | () -> ()
           | exception Invalid_argument _ -> raised := true);
       Sim.run sim;
@@ -125,10 +125,10 @@ let test_double_execute_rejected () =
       let raised = ref false in
       Sim.spawn sim (fun () ->
           Smt_core.set_runnable core ~ptid:1 ~weight:1.0 true;
-          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 100L);
+          Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 100);
       Sim.spawn sim (fun () ->
-          Sim.delay 10L;
-          match Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 100L with
+          Sim.delay 10;
+          match Smt_core.execute core ~ptid:1 ~kind:Smt_core.Useful 100 with
           | () -> ()
           | exception Invalid_argument _ -> raised := true);
       Sim.run sim;
@@ -136,10 +136,10 @@ let test_double_execute_rejected () =
 
 let test_work_accounting_by_kind () =
   with_core ~smt_width:2 (fun sim core ->
-      let d1 = ref 0L and d2 = ref 0L and d3 = ref 0L in
-      job sim core ~ptid:1 ~kind:Smt_core.Useful 400L d1;
-      job sim core ~ptid:2 ~kind:Smt_core.Poll 300L d2;
-      job sim core ~ptid:3 ~kind:Smt_core.Overhead 200L d3;
+      let d1 = ref 0 and d2 = ref 0 and d3 = ref 0 in
+      job sim core ~ptid:1 ~kind:Smt_core.Useful 400 d1;
+      job sim core ~ptid:2 ~kind:Smt_core.Poll 300 d2;
+      job sim core ~ptid:3 ~kind:Smt_core.Overhead 200 d3;
       Sim.run sim;
       let close a b = abs_float (a -. b) < 1.0 in
       check_bool "useful" true (close (Smt_core.work_done core Smt_core.Useful) 400.0);
@@ -167,13 +167,13 @@ let prop_work_conservation =
       let params = { Params.default with Params.smt_width = 2 } in
       let sim = Sim.create () in
       let core = Smt_core.create sim params ~core_id:0 in
-      let completions = List.map (fun _ -> ref 0L) cycles_list in
+      let completions = List.map (fun _ -> ref 0) cycles_list in
       List.iteri
         (fun i cycles ->
           let t = List.nth completions i in
           Sim.spawn sim (fun () ->
               Smt_core.set_runnable core ~ptid:i ~weight:1.0 true;
-              Smt_core.execute core ~ptid:i ~kind:Smt_core.Useful (Int64.of_int cycles);
+              Smt_core.execute core ~ptid:i ~kind:Smt_core.Useful cycles;
               Smt_core.set_runnable core ~ptid:i ~weight:1.0 false;
               t := Sim.now ()))
         cycles_list;
@@ -184,12 +184,12 @@ let prop_work_conservation =
       let n = List.length cycles_list in
       (* No job finishes before its own demand. *)
       List.for_all2
-        (fun cycles t -> Int64.to_int !t >= cycles)
+        (fun cycles t -> !t >= cycles)
         cycles_list completions
       (* Work conservation: makespan no larger than serial execution plus
          rounding slack, and at least total/width. *)
-      && Int64.to_int makespan >= total / width
-      && Int64.to_int makespan <= total + (2 * n))
+      && makespan >= total / width
+      && makespan <= total + (2 * n))
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_work_conservation ] in

@@ -170,9 +170,206 @@ let prop_bytes_conserved =
       in
       total = 20 * 272)
 
+(* Property: the store agrees with a naive reference model on every
+   observable — tier placements, wake costs, demotion and transfer
+   counters, and raised errors — over random operation sequences.  The
+   model re-implements the policy the slow, obviously-correct way (used
+   bytes summed on demand, victim = whole-table minimum-recency scan), so
+   this is the safety net for the intrusive-recency-list eviction path. *)
+module Model = struct
+  type entry = {
+    bytes : int;
+    mutable tier : State_store.tier;
+    mutable last : int;
+    mutable pinned : bool;
+  }
+
+  type t = {
+    params : Params.t;
+    tbl : (int, entry) Hashtbl.t;
+    mutable clock : int;
+    mutable demotions : int;
+    transfers : (State_store.tier, int) Hashtbl.t;
+  }
+
+  let create params =
+    { params; tbl = Hashtbl.create 16; clock = 0; demotions = 0;
+      transfers = Hashtbl.create 4 }
+
+  let tick m =
+    m.clock <- m.clock + 1;
+    m.clock
+
+  let capacity m = function
+    | State_store.Register_file -> m.params.Params.rf_capacity_bytes
+    | State_store.L2 -> m.params.Params.l2_state_capacity_bytes
+    | State_store.L3 -> m.params.Params.l3_state_capacity_bytes
+    | State_store.Dram -> max_int
+
+  let used m tier =
+    Hashtbl.fold (fun _ e acc -> if e.tier = tier then acc + e.bytes else acc) m.tbl 0
+
+  let free m tier =
+    if tier = State_store.Dram then max_int else capacity m tier - used m tier
+
+  let next_tier = function
+    | State_store.Register_file -> State_store.L2
+    | State_store.L2 -> State_store.L3
+    | State_store.L3 | State_store.Dram -> State_store.Dram
+
+  let coldest m tier =
+    Hashtbl.fold
+      (fun _ e acc ->
+        if e.tier <> tier || e.pinned then acc
+        else
+          match acc with
+          | Some best when best.last < e.last -> acc
+          | _ -> Some e)
+      m.tbl None
+
+  let rec make_room m tier bytes =
+    if tier <> State_store.Dram && bytes > capacity m tier then
+      invalid_arg "State_store: context larger than tier capacity";
+    if tier <> State_store.Dram then
+      while free m tier < bytes do
+        match coldest m tier with
+        | None -> invalid_arg "State_store: tier full of pinned contexts"
+        | Some victim ->
+          let next = next_tier tier in
+          make_room m next victim.bytes;
+          victim.tier <- next;
+          m.demotions <- m.demotions + 1
+      done
+
+  let register m ~ptid ~bytes =
+    if Hashtbl.mem m.tbl ptid then
+      invalid_arg "State_store.register: ptid already registered";
+    let rec first_fit tier =
+      if tier = State_store.Dram
+         || (free m tier >= bytes && bytes <= capacity m tier)
+      then tier
+      else first_fit (next_tier tier)
+    in
+    let tier = first_fit State_store.Register_file in
+    Hashtbl.replace m.tbl ptid { bytes; tier; last = tick m; pinned = false }
+
+  let promote_to_rf m e =
+    if e.tier <> State_store.Register_file then begin
+      make_room m State_store.Register_file e.bytes;
+      e.tier <- State_store.Register_file
+    end
+
+  let transfer_cycles m = function
+    | State_store.Register_file -> 0
+    | State_store.L2 -> m.params.Params.l2_transfer_cycles
+    | State_store.L3 -> m.params.Params.l3_transfer_cycles
+    | State_store.Dram -> m.params.Params.dram_transfer_cycles
+
+  let wake m ~ptid =
+    let e = Hashtbl.find m.tbl ptid in
+    let from = e.tier in
+    let cost = transfer_cycles m from in
+    Hashtbl.replace m.transfers from
+      (1 + Option.value ~default:0 (Hashtbl.find_opt m.transfers from));
+    promote_to_rf m e;
+    e.last <- tick m;
+    cost
+
+  let touch m ~ptid = (Hashtbl.find m.tbl ptid).last <- tick m
+
+  let pin m ~ptid =
+    let e = Hashtbl.find m.tbl ptid in
+    if not e.pinned then begin
+      promote_to_rf m e;
+      e.pinned <- true
+    end
+
+  let unpin m ~ptid = (Hashtbl.find m.tbl ptid).pinned <- false
+
+  let prefetch m ~ptid =
+    let e = Hashtbl.find m.tbl ptid in
+    promote_to_rf m e;
+    e.last <- tick m
+
+  let transfer_count m tier =
+    Option.value ~default:0 (Hashtbl.find_opt m.transfers tier)
+end
+
+(* Run one op on both sides, capturing either the result or the error
+   message; both sides must agree. *)
+let agree pp real model =
+  let run f = try Ok (f ()) with Invalid_argument msg -> Error msg in
+  let r = run real and m = run model in
+  if r <> m then
+    QCheck.Test.fail_reportf "store %s disagrees with model %s"
+      (match r with Ok v -> pp v | Error e -> "error: " ^ e)
+      (match m with Ok v -> pp v | Error e -> "error: " ^ e);
+  true
+
+let prop_matches_reference_model =
+  let tiers =
+    [ State_store.Register_file; State_store.L2; State_store.L3; State_store.Dram ]
+  in
+  (* op encoding: 0 register / 1 wake / 2 touch / 3 pin / 4 unpin /
+     5 prefetch, over a small ptid space so sequences revisit threads. *)
+  let op_gen = QCheck.(pair (int_bound 5) (int_bound 14)) in
+  QCheck.Test.make ~name:"store matches naive reference model" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 150) op_gen)
+    (fun ops ->
+      let s = State_store.create small_params in
+      let m = Model.create small_params in
+      let registered = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, ptid) ->
+          let known = Hashtbl.mem registered ptid in
+          let ok =
+            match op with
+            | 0 when not known ->
+              (* A third of the contexts are full-vector sized. *)
+              let bytes = if ptid mod 3 = 0 then 784 else 272 in
+              Hashtbl.replace registered ptid ();
+              agree string_of_int
+                (fun () -> State_store.register s ~ptid ~bytes; 0)
+                (fun () -> Model.register m ~ptid ~bytes; 0)
+            | 1 when known ->
+              agree string_of_int
+                (fun () -> State_store.wake_transfer_cycles s ~ptid)
+                (fun () -> Model.wake m ~ptid)
+            | 2 when known ->
+              agree string_of_int
+                (fun () -> State_store.touch s ~ptid; 0)
+                (fun () -> Model.touch m ~ptid; 0)
+            | 3 when known ->
+              agree string_of_int
+                (fun () -> State_store.pin s ~ptid; 0)
+                (fun () -> Model.pin m ~ptid; 0)
+            | 4 when known ->
+              agree string_of_int
+                (fun () -> State_store.unpin s ~ptid; 0)
+                (fun () -> Model.unpin m ~ptid; 0)
+            | 5 when known ->
+              agree string_of_int
+                (fun () -> State_store.prefetch s ~ptid; 0)
+                (fun () -> Model.prefetch m ~ptid; 0)
+            | _ -> true
+          in
+          ok
+          && Hashtbl.fold
+               (fun ptid () acc ->
+                 acc
+                 && State_store.tier_of s ~ptid = (Hashtbl.find m.Model.tbl ptid).Model.tier)
+               registered true
+          && State_store.demotion_count s = m.Model.demotions
+          && List.for_all
+               (fun t -> State_store.transfer_count s t = Model.transfer_count m t)
+               tiers
+          && State_store.check s = [])
+        ops)
+
 let () =
   let qsuite =
-    List.map QCheck_alcotest.to_alcotest [ prop_capacity_invariant; prop_bytes_conserved ]
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_capacity_invariant; prop_bytes_conserved; prop_matches_reference_model ]
   in
   Alcotest.run "state_store"
     [

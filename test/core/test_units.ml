@@ -137,8 +137,8 @@ let test_kind_codes_roundtrip () =
 
 let test_params_unit_conversion () =
   let p = Params.default in
-  Alcotest.(check (float 1e-9)) "3000 cycles = 1000 ns" 1000.0 (Params.cycles_to_ns p 3000L);
-  check_i64 "1000 ns = 3000 cycles" 3000L (Params.ns_to_cycles p 1000.0);
+  Alcotest.(check (float 1e-9)) "3000 cycles = 1000 ns" 1000.0 (Params.cycles_to_ns p 3000);
+  check_int "1000 ns = 3000 cycles" 3000 (Params.ns_to_cycles p 1000.0);
   check_int "gp bytes" 272 (Params.regstate_bytes p ~vector:false);
   check_int "vector bytes" 784 (Params.regstate_bytes p ~vector:true)
 
@@ -153,7 +153,7 @@ let dispatch_world policy n_workers =
     let th = Chip.add_thread chip ~core:0 ~ptid:i ~mode:Ptid.User () in
     Chip.attach th (fun th ->
         Hw_dispatch.worker_loop d th (fun payload ->
-            Isa.exec th 100L;
+            Isa.exec th 100;
             handled := (i, payload) :: !handled));
     Chip.boot th
   done;
@@ -161,11 +161,11 @@ let dispatch_world policy n_workers =
 
 let test_dispatch_delivers_all_items () =
   let sim, _, d, handled = dispatch_world Hw_dispatch.Lifo 4 in
-  Sim.schedule sim ~at:1000L (fun () ->
+  Sim.schedule sim ~at:1000 (fun () ->
       for item = 1 to 10 do
         Hw_dispatch.submit d (Int64.of_int item)
       done);
-  Sim.run ~until:100_000L sim;
+  Sim.run ~until:100_000 sim;
   check_int "all handled" 10 (List.length !handled);
   let payloads = List.map snd !handled |> List.sort compare in
   Alcotest.(check (list int64)) "each exactly once"
@@ -175,13 +175,13 @@ let test_dispatch_delivers_all_items () =
 
 let test_dispatch_queues_when_pool_exhausted () =
   let sim, _, d, handled = dispatch_world Hw_dispatch.Lifo 2 in
-  Sim.schedule sim ~at:1000L (fun () ->
+  Sim.schedule sim ~at:1000 (fun () ->
       for item = 1 to 6 do
         Hw_dispatch.submit d (Int64.of_int item)
       done);
-  Sim.schedule sim ~at:1001L (fun () ->
+  Sim.schedule sim ~at:1001 (fun () ->
       check_bool "items queued" true (Hw_dispatch.queued d > 0));
-  Sim.run ~until:100_000L sim;
+  Sim.run ~until:100_000 sim;
   check_int "all eventually handled" 6 (List.length !handled);
   check_int "queue drained" 0 (Hw_dispatch.queued d)
 
@@ -189,24 +189,24 @@ let test_dispatch_lifo_prefers_recent_worker () =
   let sim, _, d, handled = dispatch_world Hw_dispatch.Lifo 3 in
   (* Serial submissions with gaps: LIFO should reuse one worker. *)
   Sim.spawn sim (fun () ->
-      Sim.delay 1000L;
+      Sim.delay 1000;
       for item = 1 to 5 do
         Hw_dispatch.submit d (Int64.of_int item);
-        Sim.delay 2000L
+        Sim.delay 2000
       done);
-  Sim.run ~until:100_000L sim;
+  Sim.run ~until:100_000 sim;
   let workers_used = List.map fst !handled |> List.sort_uniq compare in
   check_int "single hot worker" 1 (List.length workers_used)
 
 let test_dispatch_fifo_rotates_workers () =
   let sim, _, d, handled = dispatch_world Hw_dispatch.Fifo 3 in
   Sim.spawn sim (fun () ->
-      Sim.delay 1000L;
+      Sim.delay 1000;
       for item = 1 to 6 do
         Hw_dispatch.submit d (Int64.of_int item);
-        Sim.delay 2000L
+        Sim.delay 2000
       done);
-  Sim.run ~until:100_000L sim;
+  Sim.run ~until:100_000 sim;
   let workers_used = List.map fst !handled |> List.sort_uniq compare in
   check_int "all workers cycled" 3 (List.length workers_used)
 
@@ -215,13 +215,13 @@ let test_dispatch_race_free_under_burst () =
      probe and its park must not be lost (latch semantics). *)
   let sim, _, d, handled = dispatch_world Hw_dispatch.Lifo 1 in
   Sim.spawn sim (fun () ->
-      Sim.delay 1000L;
+      Sim.delay 1000;
       for item = 1 to 50 do
         Hw_dispatch.submit d (Int64.of_int item);
         (* Pathological gap close to the worker's service time. *)
-        Sim.delay 103L
+        Sim.delay 103
       done);
-  Sim.run ~until:1_000_000L sim;
+  Sim.run ~until:1_000_000 sim;
   check_int "no lost items" 50 (List.length !handled)
 
 let () =

@@ -26,12 +26,12 @@ let test_nic_inject_poll_roundtrip () =
   (match Nic.poll nic with
   | Some pkt ->
     check_int "fifo: first id" 0 pkt.Nic.pkt_id;
-    check_i64 "arrival stamped before DMA" 0L pkt.Nic.injected_at
+    check_int "arrival stamped before DMA" 0 pkt.Nic.injected_at
   | None -> Alcotest.fail "expected packet");
   (match Nic.poll nic with
   | Some pkt ->
     check_int "second id" 1 pkt.Nic.pkt_id;
-    check_i64 "second arrival after first DMA" (Int64.of_int p.Params.dma_write_cycles)
+    check_int "second arrival after first DMA" p.Params.dma_write_cycles
       pkt.Nic.injected_at
   | None -> Alcotest.fail "expected second packet");
   check_bool "drained" true (Nic.poll nic = None)
@@ -81,27 +81,27 @@ let test_nic_msix_notify () =
   Sim.run sim;
   check_i64 "msix wrote the vector word" 1L (Memory.read mem vector_addr);
   (* The MSI-X write happens after the translation delay. *)
-  check_i64 "time includes translation"
-    (Int64.of_int (p.Params.dma_write_cycles + p.Params.msix_translation_cycles))
+  check_int "time includes translation"
+    (p.Params.dma_write_cycles + p.Params.msix_translation_cycles)
     (Sim.time sim)
 
 let test_timer_ticks_and_counter () =
   let sim = Sim.create () in
   let mem = Memory.create () in
-  let timer = Apic_timer.create sim p mem ~period:100L () in
+  let timer = Apic_timer.create sim p mem ~period:100 () in
   Apic_timer.start timer;
-  Sim.schedule sim ~at:1001L (fun () -> Apic_timer.stop timer);
-  Sim.run ~until:2000L sim;
+  Sim.schedule sim ~at:1001 (fun () -> Apic_timer.stop timer);
+  Sim.run ~until:2000 sim;
   check_int "ten ticks" 10 (Apic_timer.ticks timer);
   check_i64 "counter word" 10L (Memory.read mem (Apic_timer.count_addr timer))
 
 let test_timer_stop_is_idempotent () =
   let sim = Sim.create () in
   let mem = Memory.create () in
-  let timer = Apic_timer.create sim p mem ~period:50L () in
+  let timer = Apic_timer.create sim p mem ~period:50 () in
   Apic_timer.start timer;
   Apic_timer.start timer;
-  Sim.schedule sim ~at:175L (fun () -> Apic_timer.stop timer);
+  Sim.schedule sim ~at:175 (fun () -> Apic_timer.stop timer);
   Sim.run sim;
   check_int "three ticks, single process" 3 (Apic_timer.ticks timer)
 
@@ -238,7 +238,7 @@ let test_nvme_completion_flow () =
   | Some c ->
     check_int "completion id" 0 c.Nvme.cmd_id;
     check_bool "took about the device latency" true
-      (Int64.to_int (Int64.sub c.Nvme.completed_at c.Nvme.submitted_at) >= 5000)
+      (c.Nvme.completed_at - c.Nvme.submitted_at >= 5000)
   | None -> Alcotest.fail "expected completion");
   check_i64 "cq tail bumped" 1L (Memory.read mem (Nvme.cq_tail_addr nvme))
 

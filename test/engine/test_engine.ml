@@ -7,31 +7,30 @@ module Mailbox = Sl_engine.Mailbox
 module Semaphore = Sl_engine.Semaphore
 module Pqueue = Sl_engine.Pqueue
 
-let check_i64 = Alcotest.(check int64)
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 (* --- Pqueue --- *)
 
 let test_pqueue_order () =
-  let q = Pqueue.create () in
-  Pqueue.push q ~time:5L ~seq:1 "a";
-  Pqueue.push q ~time:3L ~seq:2 "b";
-  Pqueue.push q ~time:5L ~seq:0 "c";
-  Pqueue.push q ~time:1L ~seq:9 "d";
+  let q = Pqueue.create ~dummy:"" in
+  Pqueue.push q ~time:5 ~seq:1 "a";
+  Pqueue.push q ~time:3 ~seq:2 "b";
+  Pqueue.push q ~time:5 ~seq:0 "c";
+  Pqueue.push q ~time:1 ~seq:9 "d";
   let order = List.init 4 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?") in
   Alcotest.(check (list string)) "pop order" [ "d"; "b"; "c"; "a" ] order;
   check_bool "empty" true (Pqueue.is_empty q)
 
 let test_pqueue_seq_tiebreak () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:0 in
   for i = 0 to 99 do
-    Pqueue.push q ~time:7L ~seq:i i
+    Pqueue.push q ~time:7 ~seq:i i
   done;
   for i = 0 to 99 do
     match Pqueue.pop q with
     | Some (t, v) ->
-      check_i64 "time" 7L t;
+      check_int "time" 7 t;
       check_int "fifo within same time" i v
     | None -> Alcotest.fail "queue exhausted early"
   done
@@ -41,14 +40,14 @@ let test_pqueue_seq_tiebreak () =
    slot-clearing pop and the grow path together. *)
 let test_pqueue_model_interleaved () =
   let rng = Sl_util.Rng.create 2024L in
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:(-1) in
   let model = ref [] in
   let seq = ref 0 in
   let model_min () =
     List.fold_left
       (fun acc ((t, s, _) as e) ->
         match acc with
-        | Some (t', s', _) when Int64.compare t' t < 0 || (t' = t && s' < s) ->
+        | Some (t', s', _) when t' < t || (t' = t && s' < s) ->
           acc
         | _ -> Some e)
       None !model
@@ -57,7 +56,7 @@ let test_pqueue_model_interleaved () =
     match (Pqueue.pop q, model_min ()) with
     | None, None -> ()
     | Some (t, v), Some (mt, ms, mv) ->
-      check_i64 "model time" mt t;
+      check_int "model time" mt t;
       check_int "model payload" mv v;
       model := List.filter (fun (_, s, _) -> s <> ms) !model
     | Some _, None -> Alcotest.fail "queue has elements the model lacks"
@@ -65,7 +64,7 @@ let test_pqueue_model_interleaved () =
   in
   for _ = 1 to 10_000 do
     if !model = [] || Sl_util.Rng.int rng 3 > 0 then begin
-      let time = Int64.of_int (Sl_util.Rng.int rng 64) in
+      let time = Sl_util.Rng.int rng 64 in
       Pqueue.push q ~time ~seq:!seq !seq;
       model := (time, !seq, !seq) :: !model;
       incr seq
@@ -81,17 +80,17 @@ let test_pqueue_model_interleaved () =
    pop clears its slot instead of leaving the boxed entry behind in the
    backing array. *)
 let test_pqueue_pop_releases_payload () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:(ref (-1)) in
   let n = 64 in
   let w = Weak.create n in
   for i = 0 to n - 1 do
     let payload = ref i in
     Weak.set w i (Some payload);
-    Pqueue.push q ~time:(Int64.of_int i) ~seq:i payload
+    Pqueue.push q ~time:i ~seq:i payload
   done;
   (* Pop the first half; those payloads must die, the rest must survive. *)
   for _ = 1 to n / 2 do
-    ignore (Pqueue.pop q : (int64 * int ref) option)
+    ignore (Pqueue.pop q : (int * int ref) option)
   done;
   Gc.full_major ();
   Gc.full_major ();
@@ -106,17 +105,17 @@ let test_pqueue_pop_releases_payload () =
 
 let test_pqueue_random_sorted () =
   let rng = Sl_util.Rng.create 42L in
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:() in
   for i = 0 to 999 do
-    Pqueue.push q ~time:(Int64.of_int (Sl_util.Rng.int rng 500)) ~seq:i ()
+    Pqueue.push q ~time:(Sl_util.Rng.int rng 500) ~seq:i ()
   done;
-  let last = ref (-1L) in
+  let last = ref (-1) in
   let n = ref 0 in
   let rec drain () =
     match Pqueue.pop q with
     | None -> ()
     | Some (t, ()) ->
-      check_bool "non-decreasing" true (Int64.compare t !last >= 0);
+      check_bool "non-decreasing" true (t >= !last);
       last := t;
       incr n;
       drain ()
@@ -124,19 +123,35 @@ let test_pqueue_random_sorted () =
   drain ();
   check_int "all popped" 1000 !n
 
+(* The heap's (time, seq) comparison must stay lexicographic at the
+   extremes of the tick range — a packed single-int key of the form
+   [time lsl k lor seq] (the design pqueue.ml rejects) would corrupt
+   exactly these cases. *)
+let test_pqueue_order_at_tick_boundaries () =
+  let q = Pqueue.create ~dummy:"" in
+  Pqueue.push q ~time:Sim.Time.max_tick ~seq:0 "max-early-seq";
+  Pqueue.push q ~time:0 ~seq:max_int "zero-late-seq";
+  Pqueue.push q ~time:Sim.Time.max_tick ~seq:max_int "max-late-seq";
+  Pqueue.push q ~time:0 ~seq:0 "zero-early-seq";
+  Pqueue.push q ~time:1 ~seq:17 "one";
+  let order = List.init 5 (fun _ -> Pqueue.pop_min q) in
+  Alcotest.(check (list string)) "lexicographic at extremes"
+    [ "zero-early-seq"; "zero-late-seq"; "one"; "max-early-seq"; "max-late-seq" ]
+    order
+
 (* --- Sim basics --- *)
 
 let test_delay_advances_clock () =
   let sim = Sim.create () in
   let seen = ref [] in
   Sim.spawn sim (fun () ->
-      Sim.delay 10L;
+      Sim.delay 10;
       seen := Sim.now () :: !seen;
-      Sim.delay 5L;
+      Sim.delay 5;
       seen := Sim.now () :: !seen);
   Sim.run sim;
-  Alcotest.(check (list int64)) "times" [ 15L; 10L ] !seen;
-  check_i64 "final time" 15L (Sim.time sim)
+  Alcotest.(check (list int)) "times" [ 15; 10 ] !seen;
+  check_int "final time" 15 (Sim.time sim)
 
 let test_fork_runs_after_parent_blocks () =
   let sim = Sim.create () in
@@ -145,7 +160,7 @@ let test_fork_runs_after_parent_blocks () =
       log := "parent-before" :: !log;
       Sim.fork (fun () -> log := "child" :: !log);
       log := "parent-after" :: !log;
-      Sim.delay 1L;
+      Sim.delay 1;
       log := "parent-resumed" :: !log);
   Sim.run sim;
   Alcotest.(check (list string)) "order"
@@ -157,35 +172,47 @@ let test_run_until_horizon () =
   let count = ref 0 in
   Sim.spawn sim (fun () ->
       let rec tick () =
-        Sim.delay 10L;
+        Sim.delay 10;
         incr count;
         tick ()
       in
       tick ());
-  Sim.run ~until:100L sim;
+  Sim.run ~until:100 sim;
   check_int "ten ticks" 10 !count;
-  check_i64 "clock parked at horizon" 100L (Sim.time sim)
+  check_int "clock parked at horizon" 100 (Sim.time sim)
+
+let test_run_until_parks_after_drain () =
+  (* Regression: when the queue drains before the horizon is reached, the
+     clock must still park at the horizon, so both bounded-run endings
+     (events beyond the horizon, queue empty) read the same time. *)
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () -> Sim.delay 10);
+  Sim.run ~until:100 sim;
+  check_int "parked at horizon though queue drained" 100 (Sim.time sim);
+  (* A horizon already in the past must never move the clock backwards. *)
+  Sim.run ~until:50 sim;
+  check_int "clock never moves backwards" 100 (Sim.time sim)
 
 let test_schedule_callback () =
   let sim = Sim.create () in
-  let fired = ref (-1L) in
-  Sim.schedule sim ~at:42L (fun () -> fired := Sim.time sim);
+  let fired = ref (-1) in
+  Sim.schedule sim ~at:42 (fun () -> fired := Sim.time sim);
   Sim.run sim;
-  check_i64 "fired at 42" 42L !fired
+  check_int "fired at 42" 42 !fired
 
 let test_schedule_past_rejected () =
   let sim = Sim.create () in
-  Sim.spawn sim (fun () -> Sim.delay 10L);
+  Sim.spawn sim (fun () -> Sim.delay 10);
   Sim.run sim;
   Alcotest.check_raises "past" (Invalid_argument "Sim.schedule: time in the past")
-    (fun () -> Sim.schedule sim ~at:5L (fun () -> ()))
+    (fun () -> Sim.schedule sim ~at:5 (fun () -> ()))
 
 let test_same_time_fifo () =
   let sim = Sim.create () in
   let log = ref [] in
   for i = 0 to 9 do
     Sim.spawn sim (fun () ->
-        Sim.delay 5L;
+        Sim.delay 5;
         log := i :: !log)
   done;
   Sim.run sim;
@@ -195,7 +222,7 @@ let test_negative_delay_rejected () =
   let sim = Sim.create () in
   let raised = ref false in
   Sim.spawn sim (fun () ->
-      match Sim.delay (-1L) with
+      match Sim.delay (-1) with
       | () -> ()
       | exception Invalid_argument _ -> raised := true);
   Sim.run sim;
@@ -214,7 +241,7 @@ let test_ivar_fill_wakes_readers () =
         results := v :: !results)
   done;
   Sim.spawn sim (fun () ->
-      Sim.delay 7L;
+      Sim.delay 7;
       Ivar.fill iv 99);
   Sim.run sim;
   Alcotest.(check (list int)) "all readers woke" [ 99; 99; 99 ] !results
@@ -248,7 +275,7 @@ let test_signal_broadcast () =
         woke := !woke + v)
   done;
   Sim.spawn sim (fun () ->
-      Sim.delay 3L;
+      Sim.delay 3;
       Signal.emit s 10);
   Sim.run sim;
   check_int "five waiters x 10" 50 !woke
@@ -276,9 +303,9 @@ let test_signal_rewait_sees_next_emission () =
       Signal.wait s;
       incr count);
   Sim.spawn sim (fun () ->
-      Sim.delay 1L;
+      Sim.delay 1;
       Signal.emit s ();
-      Sim.delay 1L;
+      Sim.delay 1;
       Signal.emit s ());
   Sim.run sim;
   check_int "two wakeups" 2 !count
@@ -295,7 +322,7 @@ let test_mailbox_fifo () =
       done);
   Sim.spawn sim (fun () ->
       Mailbox.send mb 1;
-      Sim.delay 2L;
+      Sim.delay 2;
       Mailbox.send mb 2;
       Mailbox.send mb 3);
   Sim.run sim;
@@ -304,15 +331,15 @@ let test_mailbox_fifo () =
 let test_mailbox_blocking_recv () =
   let sim = Sim.create () in
   let mb = Mailbox.create () in
-  let at = ref 0L in
+  let at = ref 0 in
   Sim.spawn sim (fun () ->
       let _ = Mailbox.recv mb in
       at := Sim.now ());
   Sim.spawn sim (fun () ->
-      Sim.delay 25L;
+      Sim.delay 25;
       Mailbox.send mb ());
   Sim.run sim;
-  check_i64 "received at send time" 25L !at
+  check_int "received at send time" 25 !at
 
 let test_mailbox_try_recv () =
   let mb = Mailbox.create () in
@@ -332,12 +359,12 @@ let test_semaphore_mutual_exclusion () =
         Semaphore.with_permit sem (fun () ->
             incr inside;
             max_inside := max !max_inside !inside;
-            Sim.delay 10L;
+            Sim.delay 10;
             decr inside))
   done;
   Sim.run sim;
   check_int "never two inside" 1 !max_inside;
-  check_i64 "serialized" 40L (Sim.time sim)
+  check_int "serialized" 40 (Sim.time sim)
 
 let test_semaphore_fifo_wakeup () =
   let sim = Sim.create () in
@@ -349,7 +376,7 @@ let test_semaphore_fifo_wakeup () =
         order := i :: !order)
   done;
   Sim.spawn sim (fun () ->
-      Sim.delay 1L;
+      Sim.delay 1;
       for _ = 1 to 3 do
         Semaphore.release sem
       done);
@@ -370,12 +397,12 @@ let test_trace_records_with_timestamps () =
   let trace = Sl_engine.Trace.create () in
   Sim.spawn sim (fun () ->
       Sl_engine.Trace.record trace sim "begin";
-      Sim.delay 10L;
+      Sim.delay 10;
       Sl_engine.Trace.recordf trace sim "at %d" 10);
   Sim.run sim;
-  Alcotest.(check (list (pair int64 string)))
+  Alcotest.(check (list (pair int string)))
     "events"
-    [ (0L, "begin"); (10L, "at 10") ]
+    [ (0, "begin"); (10, "at 10") ]
     (Sl_engine.Trace.events trace);
   check_int "length" 2 (Sl_engine.Trace.length trace)
 
@@ -445,13 +472,13 @@ let test_stuck_reports_abandoned_process () =
   let sim = Sim.create () in
   let ivar = Ivar.create () in
   Sim.spawn ~name:"server" sim (fun () ->
-      Sim.delay 5L;
+      Sim.delay 5;
       ignore (Ivar.read ivar : int));
   Sim.run sim;
   match Sim.stuck sim with
   | [ b ] ->
     Alcotest.(check (option string)) "name" (Some "server") b.Sim.name;
-    check_i64 "blocked since" 5L b.Sim.blocked_since;
+    check_int "blocked since" 5 b.Sim.blocked_since;
     let contains hay needle =
       let hn = String.length hay and nn = String.length needle in
       let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
@@ -467,7 +494,7 @@ let test_stuck_empty_when_all_resume () =
   let ivar = Ivar.create () in
   Sim.spawn ~name:"reader" sim (fun () -> ignore (Ivar.read ivar : int));
   Sim.spawn sim (fun () ->
-      Sim.delay 3L;
+      Sim.delay 3;
       Ivar.fill ivar 42);
   Sim.run sim;
   Alcotest.(check int) "none stuck" 0 (List.length (Sim.stuck sim));
@@ -477,8 +504,8 @@ let test_stuck_ignores_horizon_parked () =
   (* A process merely delayed past the run horizon still holds a queued
      event: it is paused, not abandoned. *)
   let sim = Sim.create () in
-  Sim.spawn ~name:"sleeper" sim (fun () -> Sim.delay 1_000L);
-  Sim.run ~until:10L sim;
+  Sim.spawn ~name:"sleeper" sim (fun () -> Sim.delay 1_000);
+  Sim.run ~until:10 sim;
   Alcotest.(check int) "not stuck" 0 (List.length (Sim.stuck sim))
 
 (* --- determinism property --- *)
@@ -490,15 +517,15 @@ let run_noise_simulation seed =
   let trace = Buffer.create 64 in
   for i = 0 to 20 do
     Sim.spawn sim (fun () ->
-        Sim.delay (Int64.of_int (Sl_util.Rng.int rng 100));
+        Sim.delay (Sl_util.Rng.int rng 100);
         Mailbox.send mb i;
-        Sim.delay (Int64.of_int (Sl_util.Rng.int rng 100));
-        Buffer.add_string trace (Printf.sprintf "%d@%Ld;" i (Sim.now ())))
+        Sim.delay (Sl_util.Rng.int rng 100);
+        Buffer.add_string trace (Printf.sprintf "%d@%d;" i (Sim.now ())))
   done;
   Sim.spawn sim (fun () ->
       for _ = 0 to 20 do
         let v = Mailbox.recv mb in
-        Buffer.add_string trace (Printf.sprintf "r%d@%Ld;" v (Sim.now ()))
+        Buffer.add_string trace (Printf.sprintf "r%d@%d;" v (Sim.now ()))
       done);
   Sim.run sim;
   Buffer.contents trace
@@ -515,21 +542,48 @@ let prop_pqueue_pop_sorted =
   QCheck.Test.make ~name:"pqueue pops in (time, seq) order" ~count:200
     QCheck.(list (int_bound 1000))
     (fun times ->
-      let q = Pqueue.create () in
-      List.iteri (fun i time -> Pqueue.push q ~time:(Int64.of_int time) ~seq:i i) times;
+      let q = Pqueue.create ~dummy:0 in
+      List.iteri (fun i time -> Pqueue.push q ~time ~seq:i i) times;
       let rec drain last acc =
         match Pqueue.pop q with
         | None -> List.rev acc
         | Some (t, _) ->
-          if Int64.compare t last < 0 then raise Exit;
+          if t < last then raise Exit;
           drain t (t :: acc)
       in
-      match drain Int64.min_int [] with
+      match drain min_int [] with
       | popped -> List.length popped = List.length times
       | exception Exit -> false)
 
+let prop_pqueue_boundary_lexicographic =
+  (* Pop order must equal a lexicographic (time, seq) sort even when the
+     ticks are drawn from the extremes of the representation (0, 1 and
+     max_tick) and the seqs are large — the boundary cases a packed
+     time/seq key would get wrong. *)
+  QCheck.Test.make ~name:"pqueue lexicographic at boundary ticks" ~count:200
+    QCheck.(list (pair (oneofl [ 0; 1; 2; max_int - 1; max_int ]) (int_bound 1000)))
+    (fun entries ->
+      let q = Pqueue.create ~dummy:(-1) in
+      (* Derive a unique seq per entry so the expected order is total. *)
+      let keyed =
+        List.mapi (fun i (time, jitter) -> (time, (jitter lsl 20) lor i, i)) entries
+      in
+      List.iter (fun (time, seq, v) -> Pqueue.push q ~time ~seq v) keyed;
+      let expected =
+        List.sort
+          (fun (t1, s1, _) (t2, s2, _) ->
+            if t1 <> t2 then compare t1 t2 else compare s1 s2)
+          keyed
+        |> List.map (fun (_, _, v) -> v)
+      in
+      let popped = List.init (List.length keyed) (fun _ -> Pqueue.pop_min q) in
+      popped = expected)
+
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_pqueue_pop_sorted ] in
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_pqueue_pop_sorted; prop_pqueue_boundary_lexicographic ]
+  in
   Alcotest.run "engine"
     [
       ( "pqueue",
@@ -539,12 +593,16 @@ let () =
           Alcotest.test_case "random sorted" `Quick test_pqueue_random_sorted;
           Alcotest.test_case "model interleaved" `Quick test_pqueue_model_interleaved;
           Alcotest.test_case "pop releases payload" `Quick test_pqueue_pop_releases_payload;
+          Alcotest.test_case "order at tick boundaries" `Quick
+            test_pqueue_order_at_tick_boundaries;
         ] );
       ( "sim",
         [
           Alcotest.test_case "delay advances clock" `Quick test_delay_advances_clock;
           Alcotest.test_case "fork order" `Quick test_fork_runs_after_parent_blocks;
           Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
+          Alcotest.test_case "until parks after drain" `Quick
+            test_run_until_parks_after_drain;
           Alcotest.test_case "schedule callback" `Quick test_schedule_callback;
           Alcotest.test_case "schedule past rejected" `Quick test_schedule_past_rejected;
           Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;

@@ -65,7 +65,7 @@ let run_nic_workload inj =
   Sim.spawn sim (fun () ->
       for _ = 1 to 200 do
         Nic.inject nic;
-        Sim.delay 50L
+        Sim.delay 50
       done);
   Sim.run sim;
   nic

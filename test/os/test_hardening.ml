@@ -28,7 +28,7 @@ let test_robust_channel_serves_all () =
   let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach client (fun th ->
       for _ = 1 to 20 do
-        Hw_channel.call ch ~client:th ~work:100L ()
+        Hw_channel.call ch ~client:th ~work:100 ()
       done);
   Chip.boot client;
   Sim.run sim;
@@ -44,8 +44,8 @@ let test_call_with_deadline_ok_when_healthy () =
   Chip.attach client (fun th ->
       for _ = 1 to 20 do
         match
-          Hw_channel.call_with_deadline ch ~client:th ~timeout:10_000L
-            ~work:100L ()
+          Hw_channel.call_with_deadline ch ~client:th ~timeout:10_000
+            ~work:100 ()
         with
         | Ok () -> incr oks
         | Error e -> Alcotest.failf "unexpected %a" Hw_channel.pp_call_error e
@@ -63,7 +63,7 @@ let test_call_with_deadline_requires_robust () =
   let raised = ref false in
   Chip.attach client (fun th ->
       match
-        Hw_channel.call_with_deadline ch ~client:th ~timeout:1_000L ~work:1L ()
+        Hw_channel.call_with_deadline ch ~client:th ~timeout:1_000 ~work:1 ()
       with
       | _ -> ()
       | exception Invalid_argument _ -> raised := true);
@@ -91,18 +91,18 @@ let test_wedged_server_times_out_both_callers () =
   in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   let b = Chip.add_thread chip ~core:0 ~ptid:2 ~mode:Ptid.Supervisor () in
-  let a_result = ref None and b_result = ref None and b_done_at = ref 0L in
+  let a_result = ref None and b_result = ref None and b_done_at = ref 0 in
   Chip.attach a (fun th ->
       a_result :=
         Some
           (Hw_channel.call_with_deadline ch ~client:th ~max_retries:2
-             ~timeout:1_000L ~work:1L ()));
+             ~timeout:1_000 ~work:1 ()));
   Chip.attach b (fun th ->
-      Isa.exec th 50L;  (* issue strictly after [a] holds the lock *)
+      Isa.exec th 50;  (* issue strictly after [a] holds the lock *)
       b_result :=
         Some
           (Hw_channel.call_with_deadline ch ~client:th ~max_retries:2
-             ~timeout:1_000L ~work:1L ());
+             ~timeout:1_000 ~work:1 ());
       b_done_at := Sim.now ());
   Chip.boot a;
   Chip.boot b;
@@ -114,7 +114,7 @@ let test_wedged_server_times_out_both_callers () =
   (* b gave up after its own bounded lock wait, long before a's full
      retry ladder (1k+2k+4k) would have released the lock. *)
   check_bool "second caller bailed early" true
-    (Int64.compare !b_done_at 2_500L < 0);
+    (!b_done_at < 2_500);
   check_int "retries re-rang the doorbell" 2 (Hw_channel.retry_count ch)
 
 (* --- lost wakeups: retries and the watchdog ------------------------------- *)
@@ -130,8 +130,8 @@ let run_faulted_calls plan =
       Chip.attach client (fun th ->
           for _ = 1 to 50 do
             match
-              Hw_channel.call_with_deadline ch ~client:th ~timeout:5_000L
-                ~work:100L ()
+              Hw_channel.call_with_deadline ch ~client:th ~timeout:5_000
+                ~work:100 ()
             with
             | Ok () -> incr oks
             | Error e ->
@@ -173,7 +173,7 @@ let test_watchdog_rescues_parked_thread () =
   let chip = Chip.create sim p ~cores:1 in
   let mem = Chip.memory chip in
   let addr = Memory.alloc mem 1 in
-  let wd = Watchdog.create chip ~core:0 ~ptid:99 ~period:5_000L ~stuck_after:8_000L () in
+  let wd = Watchdog.create chip ~core:0 ~ptid:99 ~period:5_000 ~stuck_after:8_000 () in
   let rescued = ref false in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
@@ -195,7 +195,7 @@ let test_watchdog_leaves_healthy_threads_alone () =
   let chip = Chip.create sim p ~cores:1 in
   let mem = Chip.memory chip in
   let addr = Memory.alloc mem 1 in
-  let wd = Watchdog.create chip ~core:0 ~ptid:99 ~period:5_000L ~stuck_after:8_000L () in
+  let wd = Watchdog.create chip ~core:0 ~ptid:99 ~period:5_000 ~stuck_after:8_000 () in
   let wakes = ref 0 in
   let a = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach a (fun th ->
@@ -210,7 +210,7 @@ let test_watchdog_leaves_healthy_threads_alone () =
   Watchdog.start wd;
   Sim.spawn sim (fun () ->
       for _ = 1 to 10 do
-        Sim.delay 2_000L;
+        Sim.delay 2_000;
         Memory.write mem addr 1L
       done);
   Sim.run sim;
@@ -237,7 +237,7 @@ let test_hardened_io_survives_total_doorbell_loss () =
   let inj = Fault.create plan in
   let r =
     Fault.with_ambient inj (fun () ->
-        Io_path.run_mwait_hardened ~wait_budget:2_000L ~miss_threshold:2 io_cfg)
+        Io_path.run_mwait_hardened ~wait_budget:2_000 ~miss_threshold:2 io_cfg)
   in
   check_int "all packets processed" io_cfg.Io_path.count
     r.Io_path.base.Io_path.processed;

@@ -14,7 +14,7 @@ let small_cfg =
     Io_path.default_config with
     Io_path.count = 300;
     rate_per_kcycle = 0.5;
-    per_packet_work = 500L;
+    per_packet_work = 500;
   }
 
 let test_mwait_processes_everything () =
@@ -40,7 +40,7 @@ let test_latency_ranking_at_low_load () =
   let m = Io_path.run_mwait cfg in
   let poll = Io_path.run_polling cfg in
   let irq = Io_path.run_interrupt cfg in
-  let p99 h = Int64.to_int (Histogram.quantile h 0.99) in
+  let p99 h = (Histogram.quantile h 0.99) in
   (* The paper's claim: mwait ≈ polling latency, both far below IRQ. *)
   check_bool
     (Printf.sprintf "mwait (%d) within 2x of polling (%d)" (p99 m.Io_path.latencies)
@@ -61,8 +61,8 @@ let test_background_work_coexists_with_mwait () =
 
 let test_deterministic_runs () =
   let a = Io_path.run_mwait small_cfg and b = Io_path.run_mwait small_cfg in
-  Alcotest.(check int64) "same elapsed" a.Io_path.elapsed_cycles b.Io_path.elapsed_cycles;
-  Alcotest.(check int64) "same p99"
+  Alcotest.(check int) "same elapsed" a.Io_path.elapsed_cycles b.Io_path.elapsed_cycles;
+  Alcotest.(check int) "same p99"
     (Histogram.quantile a.Io_path.latencies 0.99)
     (Histogram.quantile b.Io_path.latencies 0.99)
 
@@ -82,7 +82,7 @@ let test_napi_latency_floor_remains () =
   let napi = Io_path.run_interrupt_napi cfg in
   (* At low load every packet is "first of its burst": full IRQ path. *)
   check_bool "floor above 1500 cycles" true
-    (Int64.to_int (Histogram.quantile napi.Io_path.latencies 0.5) > 1500)
+    ((Histogram.quantile napi.Io_path.latencies 0.5) > 1500)
 
 let test_rss_scales_past_single_thread () =
   let cfg = { small_cfg with Io_path.rate_per_kcycle = 2.8; count = 800 } in
@@ -92,24 +92,24 @@ let test_rss_scales_past_single_thread () =
   (* 2.8 pkts/kcycle is past one thread's 2.0 service limit; four queue
      threads keep p99 bounded. *)
   check_bool "p99 stays bounded" true
-    (Int64.to_int (Histogram.quantile rss.Io_path.latencies 0.99) < 20_000)
+    ((Histogram.quantile rss.Io_path.latencies 0.99) < 20_000)
 
 let test_rss_single_queue_equals_mwait () =
   let cfg = { small_cfg with Io_path.count = 300 } in
   let single = Io_path.run_mwait cfg in
   let rss1 = Io_path.run_mwait_rss ~queues:1 cfg in
-  Alcotest.(check int64) "same p99"
+  Alcotest.(check int) "same p99"
     (Histogram.quantile single.Io_path.latencies 0.99)
     (Histogram.quantile rss1.Io_path.latencies 0.99)
 
 let test_timer_wakeup_latencies () =
-  let m = Io_path.timer_wakeup_mwait p ~ticks:100 ~period:10_000L in
-  let i = Io_path.timer_wakeup_interrupt p ~ticks:100 ~period:10_000L in
+  let m = Io_path.timer_wakeup_mwait p ~ticks:100 ~period:10_000 in
+  let i = Io_path.timer_wakeup_interrupt p ~ticks:100 ~period:10_000 in
   check_int "all ticks (mwait)" 100 (Histogram.count m);
   check_int "all ticks (irq)" 100 (Histogram.count i);
   (* mwait: match(6) + pipeline(20) = 26 (plus occasional state transfer). *)
-  let m99 = Int64.to_int (Histogram.quantile m 0.99) in
-  let i99 = Int64.to_int (Histogram.quantile i 0.99) in
+  let m99 = (Histogram.quantile m 0.99) in
+  let i99 = (Histogram.quantile i 0.99) in
   check_bool (Printf.sprintf "mwait wake %d < 60" m99) true (m99 < 60);
   check_bool
     (Printf.sprintf "irq wake %d at least 10x mwait %d" i99 m99)

@@ -30,13 +30,13 @@ let prop_channel_serves_all_clients =
           in
           Chip.attach client (fun th ->
               for _ = 1 to calls do
-                Sim.delay (Int64.of_int think);
-                Hw_channel.call channel ~client:th ~work:100L ();
+                Sim.delay think;
+                Hw_channel.call channel ~client:th ~work:100 ();
                 incr completed
               done);
           Chip.boot client)
         clients;
-      Sim.run ~until:50_000_000L sim;
+      Sim.run ~until:50_000_000 sim;
       !completed = total && Hw_channel.served channel = total)
 
 (* Property 2: the mwait I/O path conserves packets at any load: processed
@@ -51,13 +51,13 @@ let prop_io_conservation =
           Io_path.default_config with
           Io_path.count;
           rate_per_kcycle = float_of_int rate_tenths /. 10.0;
-          per_packet_work = 200L;
+          per_packet_work = 200;
         }
       in
       let s = Io_path.run_mwait cfg in
       s.Io_path.processed = count
       && s.Io_path.dropped = 0
-      && Int64.to_int (Histogram.min_value s.Io_path.latencies) >= 200)
+      && Histogram.min_value s.Io_path.latencies >= 200)
 
 (* Property 3: work conservation across designs — total useful cycles
    equal packets x work for every design. *)
@@ -70,7 +70,7 @@ let prop_designs_do_same_useful_work =
           Io_path.default_config with
           Io_path.count;
           rate_per_kcycle = 0.4;
-          per_packet_work = 300L;
+          per_packet_work = 300;
         }
       in
       let expected = float_of_int count *. 300.0 in

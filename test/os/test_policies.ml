@@ -14,7 +14,7 @@ let p = Params.default
 (* --- Vm --- *)
 
 let test_hw_timeshare_high_utilization () =
-  let r = Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice:10_000L ~duration:1_000_000L in
+  let r = Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice:10_000 ~duration:1_000_000 in
   check_bool
     (Printf.sprintf "hw utilization %.3f > 0.98" r.Vm.utilization)
     true (r.Vm.utilization > 0.98);
@@ -22,7 +22,7 @@ let test_hw_timeshare_high_utilization () =
     (r.Vm.switches >= 95 && r.Vm.switches <= 100)
 
 let test_sw_timeshare_pays_switch_tax () =
-  let r = Vm.sw_timeshare p ~vms:2 ~vcpus:2 ~slice:10_000L ~duration:1_000_000L in
+  let r = Vm.sw_timeshare p ~vms:2 ~vcpus:2 ~slice:10_000 ~duration:1_000_000 in
   check_bool
     (Printf.sprintf "sw utilization %.3f well below hw" r.Vm.utilization)
     true (r.Vm.utilization < 0.85);
@@ -30,14 +30,14 @@ let test_sw_timeshare_pays_switch_tax () =
 
 let test_hw_beats_sw_more_as_slice_shrinks () =
   let gap slice =
-    let hw = Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice ~duration:1_000_000L in
-    let sw = Vm.sw_timeshare p ~vms:2 ~vcpus:2 ~slice ~duration:1_000_000L in
+    let hw = Vm.hw_timeshare p ~vms:2 ~vcpus:2 ~slice ~duration:1_000_000 in
+    let sw = Vm.sw_timeshare p ~vms:2 ~vcpus:2 ~slice ~duration:1_000_000 in
     hw.Vm.utilization -. sw.Vm.utilization
   in
-  check_bool "finer slices widen the gap" true (gap 5_000L > gap 100_000L)
+  check_bool "finer slices widen the gap" true (gap 5_000 > gap 100_000)
 
 let test_single_vm_no_switches () =
-  let r = Vm.hw_timeshare p ~vms:1 ~vcpus:2 ~slice:10_000L ~duration:500_000L in
+  let r = Vm.hw_timeshare p ~vms:1 ~vcpus:2 ~slice:10_000 ~duration:500_000 in
   check_int "no world switches" 0 r.Vm.switches;
   check_bool "full utilization" true (r.Vm.utilization > 0.99)
 
@@ -58,18 +58,18 @@ let test_fcfs_completes_all () =
   check_int "all completed" 800 s.Server.completed
 
 let test_preemptive_completes_all () =
-  let s = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000L) policy_cfg in
+  let s = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000) policy_cfg in
   check_int "all completed (incl. preempted/resumed)" 800 s.Server.completed
 
 let test_preemption_improves_tail () =
   let fcfs = Sched_policy.run ~mode:Sched_policy.Fcfs policy_cfg in
-  let pre = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000L) policy_cfg in
+  let pre = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000) policy_cfg in
   let f99 = Server.percentile fcfs.Server.slowdowns 0.99 in
   let p99 = Server.percentile pre.Server.slowdowns 0.99 in
   check_bool (Printf.sprintf "preemptive p99 %.1f < fcfs %.1f" p99 f99) true (p99 < f99)
 
 let test_preemption_overhead_is_small () =
-  let pre = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000L) policy_cfg in
+  let pre = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000) policy_cfg in
   (* Scheduler mechanism cycles per request stay tiny compared to the
      2,000-cycle service. *)
   let per_req = pre.Server.switch_overhead_cycles /. 800.0 in
@@ -82,9 +82,9 @@ let test_rejects_bad_limits () =
       ignore (Sched_policy.run ~pool:2 ~runnable_limit:2 ~mode:Sched_policy.Fcfs policy_cfg))
 
 let test_deterministic () =
-  let a = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000L) policy_cfg in
-  let b = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000L) policy_cfg in
-  Alcotest.(check int64) "same elapsed" a.Server.elapsed_cycles b.Server.elapsed_cycles
+  let a = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000) policy_cfg in
+  let b = Sched_policy.run ~mode:(Sched_policy.Preemptive 5_000) policy_cfg in
+  Alcotest.(check int) "same elapsed" a.Server.elapsed_cycles b.Server.elapsed_cycles
 
 let () =
   Alcotest.run "policies"

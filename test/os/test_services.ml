@@ -25,15 +25,15 @@ let measure_sw_ipc () =
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let service = Microkernel.Sw_service.create sim sched p in
   let client = Swsched.thread sched () in
-  let out = ref 0L in
+  let out = ref 0 in
   Sim.spawn sim (fun () ->
       (* Warm up the client's context so we time steady-state IPC. *)
-      Swsched.exec client 10L;
+      Swsched.exec client 10;
       let t0 = Sim.now () in
-      Microkernel.Sw_service.call service ~client ~service_work:500L;
-      out := Int64.sub (Sim.now ()) t0);
+      Microkernel.Sw_service.call service ~client ~service_work:500;
+      out := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_int !out
+  !out
 
 let measure_hw_ipc () =
   let sim = Sim.create () in
@@ -41,14 +41,14 @@ let measure_hw_ipc () =
   let service = Microkernel.Hw_service.create chip ~core:1 ~server_ptid:100 () in
   let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Hw_channel.grant service ~client ~vtid:7;
-  let out = ref 0L in
+  let out = ref 0 in
   Chip.attach client (fun th ->
       let t0 = Sim.now () in
-      Microkernel.Hw_service.call service ~client:th ~via:7 ~service_work:500L ();
-      out := Int64.sub (Sim.now ()) t0);
+      Microkernel.Hw_service.call service ~client:th ~via:7 ~service_work:500 ();
+      out := Sim.now () - t0);
   Chip.boot client;
   Sim.run sim;
-  Int64.to_int !out
+  !out
 
 let test_sw_ipc_includes_both_trap_pairs () =
   let cost = measure_sw_ipc () in
@@ -80,7 +80,7 @@ let test_user_mode_service_cannot_touch_third_party () =
       ()
   in
   let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
-  Chip.attach client (fun th -> Hw_channel.call rogue ~client:th ~work:10L ());
+  Chip.attach client (fun th -> Hw_channel.call rogue ~client:th ~work:10 ());
   Chip.boot client;
   (match Sim.run sim with
   | () -> Alcotest.fail "expected Halted"
@@ -93,14 +93,14 @@ let measure_inkernel_exit () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let guest = Swsched.thread sched () in
-  let out = ref 0L in
+  let out = ref 0 in
   Sim.spawn sim (fun () ->
-      Swsched.exec guest 10L;
+      Swsched.exec guest 10;
       let t0 = Sim.now () in
-      Hypervisor.inkernel_exit guest p ~handle_work:300L;
-      out := Int64.sub (Sim.now ()) t0);
+      Hypervisor.inkernel_exit guest p ~handle_work:300;
+      out := Sim.now () - t0);
   Sim.run sim;
-  Int64.to_int !out
+  !out
 
 let measure_isolated_exit () =
   let sim = Sim.create () in
@@ -108,16 +108,16 @@ let measure_isolated_exit () =
   let hyp = Hypervisor.Isolated.create chip ~core:1 ~hyp_ptid:200 in
   let guest = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Hypervisor.Isolated.install_guest hyp ~guest;
-  let out = ref 0L in
+  let out = ref 0 in
   Chip.attach guest (fun th ->
       (* Second exit measures the steady state (hypervisor TDT cached). *)
-      Hypervisor.Isolated.vmexit th ~handle_work:300L;
+      Hypervisor.Isolated.vmexit th ~handle_work:300;
       let t0 = Sim.now () in
-      Hypervisor.Isolated.vmexit th ~handle_work:300L;
-      out := Int64.sub (Sim.now ()) t0);
+      Hypervisor.Isolated.vmexit th ~handle_work:300;
+      out := Sim.now () - t0);
   Chip.boot guest;
   Sim.run sim;
-  Int64.to_int !out
+  !out
 
 let test_inkernel_exit_cost () =
   check_int "vmexit entry+work+exit" (700 + 300 + 800) (measure_inkernel_exit ())
@@ -142,7 +142,7 @@ let test_isolated_hypervisor_is_unprivileged () =
   let exits_done = ref 0 in
   Chip.attach guest (fun th ->
       for _ = 1 to 4 do
-        Hypervisor.Isolated.vmexit th ~handle_work:100L;
+        Hypervisor.Isolated.vmexit th ~handle_work:100;
         incr exits_done
       done);
   Chip.boot guest;
@@ -157,16 +157,16 @@ let test_remote_exit_works_but_burns_poll () =
   let chip = Chip.create sim p ~cores:2 in
   let remote = Hypervisor.Remote.create chip ~core:1 ~hyp_ptid:200 () in
   let guest = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
-  let out = ref 0L in
+  let out = ref 0 in
   Chip.attach guest (fun th ->
       let t0 = Sim.now () in
-      Hypervisor.Remote.vmexit remote ~guest:th ~handle_work:300L;
-      out := Int64.sub (Sim.now ()) t0;
+      Hypervisor.Remote.vmexit remote ~guest:th ~handle_work:300;
+      out := Sim.now () - t0;
       Hypervisor.Remote.shutdown remote);
   Chip.boot guest;
   Sim.run sim;
   check_int "one exit" 1 (Hypervisor.Remote.exits remote);
-  check_bool "latency close to work" true (Int64.to_int !out < 300 + 300);
+  check_bool "latency close to work" true (!out < 300 + 300);
   let hyp_core = Chip.exec_core chip 1 in
   check_bool "poll cycles burned" true
     (Switchless.Smt_core.work_done hyp_core Switchless.Smt_core.Poll > 0.0)
@@ -213,20 +213,20 @@ let test_rpc_blocking_call () =
   let chip = Chip.create sim p ~cores:1 in
   let rng = Sl_util.Rng.create 1L in
   let remote =
-    Rpc.create_remote chip ~rtt:(Sl_util.Dist.Constant 3000.0) ~server_work:500L ~rng
+    Rpc.create_remote chip ~rtt:(Sl_util.Dist.Constant 3000.0) ~server_work:500 ~rng
   in
   let session = Rpc.session remote in
-  let took = ref 0L in
+  let took = ref 0 in
   let client = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.User () in
   Chip.attach client (fun th ->
       let t0 = Sim.now () in
       Rpc.call session ~client:th;
-      took := Int64.sub (Sim.now ()) t0);
+      took := Sim.now () - t0);
   Chip.boot client;
   Sim.run sim;
   check_int "one rpc" 1 (Rpc.completed remote);
-  check_bool "took at least rtt+work" true (Int64.to_int !took >= 3500);
-  check_bool "little overhead beyond" true (Int64.to_int !took < 3600)
+  check_bool "took at least rtt+work" true (!took >= 3500);
+  check_bool "little overhead beyond" true (!took < 3600)
 
 let test_rpc_latency_hiding_with_many_threads () =
   let throughput n_threads =
@@ -234,7 +234,7 @@ let test_rpc_latency_hiding_with_many_threads () =
     let chip = Chip.create sim p ~cores:1 in
     let rng = Sl_util.Rng.create 1L in
     let remote =
-      Rpc.create_remote chip ~rtt:(Sl_util.Dist.Constant 5000.0) ~server_work:0L ~rng
+      Rpc.create_remote chip ~rtt:(Sl_util.Dist.Constant 5000.0) ~server_work:0 ~rng
     in
     for i = 1 to n_threads do
       let session = Rpc.session remote in
@@ -242,12 +242,12 @@ let test_rpc_latency_hiding_with_many_threads () =
       Chip.attach client (fun th ->
           for _ = 1 to 10 do
             Rpc.call session ~client:th;
-            Isa.exec th 200L
+            Isa.exec th 200
           done);
       Chip.boot client
     done;
     Sim.run sim;
-    float_of_int (Rpc.completed remote) /. Int64.to_float (Sim.time sim)
+    float_of_int (Rpc.completed remote) /. float_of_int (Sim.time sim)
   in
   let one = throughput 1 and many = throughput 16 in
   check_bool

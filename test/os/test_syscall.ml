@@ -9,7 +9,7 @@ module Smt_core = Switchless.Smt_core
 module Swsched = Sl_baseline.Swsched
 module Syscall = Sl_os.Syscall
 
-let check_i64 = Alcotest.(check int64)
+let check_i64 = Alcotest.(check int)
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
@@ -19,38 +19,38 @@ let test_trap_cost () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let app = Swsched.thread sched () in
-  let done_at = ref 0L in
+  let done_at = ref 0 in
   Sim.spawn sim (fun () ->
-      Syscall.Trap.call app p ~kernel_work:1000L;
+      Syscall.Trap.call app p ~kernel_work:1000;
       done_at := Sim.now ());
   Sim.run sim;
   (* initial placement switch 1484 + entry 75 + work 1000 + exit 75 +
      pollution 300. *)
-  check_i64 "trap total" (Int64.of_int (1484 + 75 + 1000 + 75 + 300)) !done_at
+  check_int "trap total" (1484 + 75 + 1000 + 75 + 300) !done_at
 
 let test_flexsc_amortizes_but_delays () =
   let sim = Sim.create () in
   let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
   let kernel_core = Smt_core.create sim p ~core_id:50 in
-  let fx = Syscall.Flexsc.create sim p ~batch_window:300L ~kernel_core () in
+  let fx = Syscall.Flexsc.create sim p ~batch_window:300 ~kernel_core () in
   let app = Swsched.thread sched () in
-  let done_at = ref 0L in
+  let done_at = ref 0 in
   Sim.spawn sim (fun () ->
-      Syscall.Flexsc.call fx app ~kernel_work:100L;
+      Syscall.Flexsc.call fx app ~kernel_work:100;
       done_at := Sim.now ());
   Sim.run sim;
   (* switch 1484 + post 8 + window 300 + work 100 (+ event plumbing). *)
-  check_bool "batching delay visible" true (Int64.to_int !done_at >= 1484 + 8 + 300 + 100);
-  check_bool "but no trap or pollution" true (Int64.to_int !done_at < 2100)
+  check_bool "batching delay visible" true (!done_at >= 1484 + 8 + 300 + 100);
+  check_bool "but no trap or pollution" true (!done_at < 2100)
 
 let test_hw_thread_syscall_cost () =
   let sim = Sim.create () in
   let chip = Chip.create sim p ~cores:2 in
   let sys = Syscall.Hw_thread.create chip ~core:1 ~server_ptid:100 in
-  let done_at = ref 0L in
+  let done_at = ref 0 in
   let app = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach app (fun th ->
-      Syscall.Hw_thread.call sys ~client:th ~kernel_work:1000L;
+      Syscall.Hw_thread.call sys ~client:th ~kernel_work:1000;
       done_at := Sim.now ());
   Chip.boot app;
   Sim.run sim;
@@ -60,7 +60,7 @@ let test_hw_thread_syscall_cost () =
      ~1065; assert the shape rather than the exact figure but require it
      to be far below the trap path. *)
   check_bool "hw syscall ≈ work + ~70 cycles" true
-    (let t = Int64.to_int !done_at in
+    (let t = !done_at in
      t >= 1040 && t <= 1120);
   check_int "served" 1 (Syscall.Hw_thread.served sys)
 
@@ -73,8 +73,8 @@ let test_hw_thread_repeated_calls () =
   Chip.attach app (fun th ->
       for _ = 1 to 5 do
         let t0 = Sim.now () in
-        Syscall.Hw_thread.call sys ~client:th ~kernel_work:200L;
-        gaps := Int64.sub (Sim.now ()) t0 :: !gaps
+        Syscall.Hw_thread.call sys ~client:th ~kernel_work:200;
+        gaps := Sim.now () - t0 :: !gaps
       done);
   Chip.boot app;
   Sim.run sim;
@@ -92,7 +92,7 @@ let test_hw_thread_concurrent_clients_serialize () =
   for i = 1 to 3 do
     let app = Chip.add_thread chip ~core:0 ~ptid:i ~mode:Ptid.Supervisor () in
     Chip.attach app (fun th ->
-        Syscall.Hw_thread.call sys ~client:th ~kernel_work:500L;
+        Syscall.Hw_thread.call sys ~client:th ~kernel_work:500;
         incr completions);
     Chip.boot app
   done;
@@ -105,31 +105,31 @@ let test_hw_beats_trap_for_small_work () =
     let sim = Sim.create () in
     let chip = Chip.create sim p ~cores:2 in
     let sys = Syscall.Hw_thread.create chip ~core:1 ~server_ptid:100 in
-    let out = ref 0L in
+    let out = ref 0 in
     let app = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
     Chip.attach app (fun th ->
         let t0 = Sim.now () in
         Syscall.Hw_thread.call sys ~client:th ~kernel_work:work;
-        out := Int64.sub (Sim.now ()) t0);
+        out := Sim.now () - t0);
     Chip.boot app;
     Sim.run sim;
-    Int64.to_int !out
+    !out
   in
   let measure_trap work =
     let sim = Sim.create () in
     let sched = Swsched.create sim p ~warmup:false ~cores:1 () in
     let app = Swsched.thread sched () in
-    let out = ref 0L in
+    let out = ref 0 in
     Sim.spawn sim (fun () ->
         (* Warm the context first so we time only the syscall. *)
-        Swsched.exec app 10L;
+        Swsched.exec app 10;
         let t0 = Sim.now () in
         Syscall.Trap.call app p ~kernel_work:work;
-        out := Int64.sub (Sim.now ()) t0);
+        out := Sim.now () - t0);
     Sim.run sim;
-    Int64.to_int !out
+    !out
   in
-  let work = 100L in
+  let work = 100 in
   let hw = measure_hw work and trap = measure_trap work in
   check_bool
     (Printf.sprintf "hw (%d) much cheaper than trap (%d)" hw trap)

@@ -171,17 +171,17 @@ let test_samples_nonnegative () =
 
 let test_histogram_exact_small_values () =
   let h = Histogram.create () in
-  List.iter (fun v -> Histogram.record h v) [ 1L; 2L; 3L; 4L; 5L ];
+  List.iter (fun v -> Histogram.record h v) [ 1; 2; 3; 4; 5 ];
   check_int "count" 5 (Histogram.count h);
-  Alcotest.(check int64) "p50" 3L (Histogram.quantile h 0.5);
-  Alcotest.(check int64) "min" 1L (Histogram.min_value h);
-  Alcotest.(check int64) "max" 5L (Histogram.max_value h);
+  Alcotest.(check int) "p50" 3 (Histogram.quantile h 0.5);
+  Alcotest.(check int) "min" 1 (Histogram.min_value h);
+  Alcotest.(check int) "max" 5 (Histogram.max_value h);
   check_float "mean" 3.0 (Histogram.mean h)
 
 let test_histogram_quantile_relative_error () =
   let h = Histogram.create () in
   let rng = Rng.create 10L in
-  let values = Array.init 50_000 (fun _ -> Int64.of_int (1 + Rng.int rng 1_000_000)) in
+  let values = Array.init 50_000 (fun _ -> 1 + Rng.int rng 1_000_000) in
   Array.iter (Histogram.record h) values;
   Array.sort compare values;
   List.iter
@@ -189,7 +189,7 @@ let test_histogram_quantile_relative_error () =
       let exact = values.(int_of_float (q *. 49_999.0)) in
       let approx = Histogram.quantile h q in
       let err =
-        Int64.to_float (Int64.sub approx exact) /. Int64.to_float exact |> abs_float
+        float_of_int (approx - exact) /. float_of_int exact |> abs_float
       in
       check_bool (Printf.sprintf "q=%.3f within 2%%" q) true (err < 0.02))
     [ 0.5; 0.9; 0.99; 0.999 ]
@@ -197,33 +197,33 @@ let test_histogram_quantile_relative_error () =
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   for i = 1 to 100 do
-    Histogram.record a (Int64.of_int i)
+    Histogram.record a i
   done;
   for i = 101 to 200 do
-    Histogram.record b (Int64.of_int i)
+    Histogram.record b i
   done;
   Histogram.merge_into ~dst:a b;
   check_int "merged count" 200 (Histogram.count a);
-  Alcotest.(check int64) "merged max" 200L (Histogram.max_value a);
+  Alcotest.(check int) "merged max" 200 (Histogram.max_value a);
   check_bool "merged p50 near 100" true
-    (Int64.to_float (Histogram.quantile a 0.5) -. 100.0 |> abs_float < 3.0)
+    (float_of_int (Histogram.quantile a 0.5) -. 100.0 |> abs_float < 3.0)
 
 let test_histogram_reset () =
   let h = Histogram.create () in
-  Histogram.record h 5L;
+  Histogram.record h 5;
   Histogram.reset h;
   check_int "count" 0 (Histogram.count h);
-  Alcotest.(check int64) "quantile empty" 0L (Histogram.quantile h 0.99)
+  Alcotest.(check int) "quantile empty" 0 (Histogram.quantile h 0.99)
 
 let test_histogram_negative_rejected () =
   let h = Histogram.create () in
   Alcotest.check_raises "negative"
     (Invalid_argument "Histogram.record: negative value") (fun () ->
-      Histogram.record h (-1L))
+      Histogram.record h (-1))
 
 let test_histogram_record_n () =
   let h = Histogram.create () in
-  Histogram.record_n h 10L 1000;
+  Histogram.record_n h 10 1000;
   check_int "count" 1000 (Histogram.count h);
   check_float "mean" 10.0 (Histogram.mean h)
 
@@ -232,11 +232,11 @@ let prop_histogram_quantile_bounds =
     QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
     (fun values ->
       let h = Histogram.create () in
-      List.iter (fun v -> Histogram.record h (Int64.of_int v)) values;
+      List.iter (fun v -> Histogram.record h v) values;
       List.for_all
         (fun q ->
           let x = Histogram.quantile h q in
-          Int64.compare x (Histogram.max_value h) <= 0)
+          x <= Histogram.max_value h)
         [ 0.0; 0.5; 0.9; 0.99; 1.0 ])
 
 let prop_histogram_quantile_monotone =
@@ -244,11 +244,11 @@ let prop_histogram_quantile_monotone =
     QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
     (fun values ->
       let h = Histogram.create () in
-      List.iter (fun v -> Histogram.record h (Int64.of_int v)) values;
+      List.iter (fun v -> Histogram.record h v) values;
       let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
       let xs = List.map (Histogram.quantile h) qs in
       let rec monotone = function
-        | a :: (b :: _ as rest) -> Int64.compare a b <= 0 && monotone rest
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
         | _ -> true
       in
       monotone xs)

@@ -28,18 +28,18 @@ let test_constant_interarrival_schedule () =
     ~service:(Dist.Constant 1.0) ~count:3
     ~sink:(fun req -> times := req.Openloop.arrival :: !times);
   Sim.run sim;
-  Alcotest.(check (list int64)) "arrivals" [ 300L; 200L; 100L ] !times
+  Alcotest.(check (list int)) "arrivals" [ 300; 200; 100 ] !times
 
 let test_arrivals_monotone_and_open_loop () =
   let sim = Sim.create () in
   let rng = Rng.create 7L in
-  let last = ref 0L in
+  let last = ref 0 in
   let ok = ref true in
   Openloop.run sim rng
     ~interarrival:(Openloop.poisson ~rate_per_kcycle:2.0)
     ~service:(Dist.Exponential 500.0) ~count:500
     ~sink:(fun req ->
-      if Int64.compare req.Openloop.arrival !last < 0 then ok := false;
+      if req.Openloop.arrival < !last then ok := false;
       last := req.Openloop.arrival);
   Sim.run sim;
   check_bool "monotone arrivals" true !ok
@@ -48,14 +48,14 @@ let test_poisson_rate_roughly_matches () =
   let sim = Sim.create () in
   let rng = Rng.create 3L in
   let n = 20_000 in
-  let last = ref 0L in
+  let last = ref 0 in
   Openloop.run sim rng
     ~interarrival:(Openloop.poisson ~rate_per_kcycle:1.0)
     ~service:(Dist.Constant 0.0) ~count:n
     ~sink:(fun req -> last := req.Openloop.arrival);
   Sim.run sim;
   (* Mean gap should be ~1000 cycles. *)
-  let mean_gap = Int64.to_float !last /. float_of_int n in
+  let mean_gap = float_of_int !last /. float_of_int n in
   check_bool "mean inter-arrival within 3%" true (abs_float (mean_gap -. 1000.0) < 30.0)
 
 let test_service_never_negative () =
@@ -65,7 +65,7 @@ let test_service_never_negative () =
   Openloop.run sim rng ~interarrival:(Dist.Constant 10.0)
     ~service:(Dist.Lognormal { mu = 2.0; sigma = 2.0 })
     ~count:2000
-    ~sink:(fun req -> if Int64.compare req.Openloop.service_cycles 0L < 0 then ok := false);
+    ~sink:(fun req -> if req.Openloop.service_cycles < 0 then ok := false);
   Sim.run sim;
   check_bool "non-negative service" true !ok
 
