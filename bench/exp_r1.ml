@@ -39,6 +39,8 @@ module Histogram = Sl_util.Histogram
 module Rng = Sl_util.Rng
 module Dist = Sl_util.Dist
 module Openloop = Sl_workload.Openloop
+module Latency = Sl_workload.Latency
+module Server = Sl_dist.Server
 
 let p = Params.default
 
@@ -285,6 +287,56 @@ let watchdog_rescue ~name =
     ("nudges", string_of_int (Watchdog.nudges wd));
   ]
 
+(* --- E16's closed-loop workload under chaos ------------------------------ *)
+
+(* The closed-loop population from E16f against the mwait worker pool,
+   with per-request timeouts as the only client-side hardening.  A lost
+   doorbell wakeup wedges one pool worker forever (the pool shrinks), but
+   the client times the request out and moves on: the run must still
+   terminate with every request accounted for — completed or timed out,
+   never silently missing — and the SLO ledger must stay consistent
+   (misses + met = completions, one latency sample per completion). *)
+let closed_loop_chaos ~name =
+  let cfg =
+    {
+      Server.params = p;
+      seed = 16L;
+      cores = 1;
+      rate_per_kcycle = 0.0 (* unused: closed loop self-paces *);
+      service = Dist.Exponential 1400.0;
+      count = 300;
+    }
+  in
+  let slo = 30_000 in
+  let r =
+    Server.run_hw_pool_closed ~pool_per_core:16 ~timeout:80_000 ~slo ~clients:8
+      ~think:(Dist.Exponential 8000.0) cfg
+  in
+  check name
+    (r.Server.issued = cfg.Server.count)
+    (Printf.sprintf "only %d/%d requests issued" r.Server.issued cfg.Server.count);
+  check name
+    (r.Server.finished + r.Server.c_timed_out = cfg.Server.count)
+    (Printf.sprintf "lost requests: %d completed + %d timed out of %d"
+       r.Server.finished r.Server.c_timed_out cfg.Server.count);
+  let lat = r.Server.lat in
+  check name
+    (lat.Latency.count = r.Server.finished)
+    (Printf.sprintf "latency ledger mismatch: %d samples for %d completions"
+       lat.Latency.count r.Server.finished);
+  check name
+    (lat.Latency.slo_miss <= lat.Latency.count)
+    (Printf.sprintf "SLO misses exceed completions: %d > %d"
+       lat.Latency.slo_miss lat.Latency.count);
+  [
+    ("issued", string_of_int r.Server.issued);
+    ("completed", string_of_int r.Server.finished);
+    ("timed_out", string_of_int r.Server.c_timed_out);
+    ("slo_miss", string_of_int lat.Latency.slo_miss);
+    ("p99", string_of_int lat.Latency.p99);
+    ("wall", string_of_int r.Server.wall_cycles);
+  ]
+
 (* --- the matrix ---------------------------------------------------------- *)
 
 let chaos_plan =
@@ -346,6 +398,10 @@ let scenarios =
       { Fault.none with Fault.seed = 112L; mwait_lost = 0.5; nic_doorbell_drop = 0.3 },
       [ "mwait.lost" ],
       watchdog_rescue );
+    ( "closedloop.chaos",
+      { Fault.none with Fault.seed = 113L; mwait_lost = 0.05; mwait_spurious = 0.05 },
+      [ "mwait.lost" ],
+      closed_loop_chaos );
     ("chaos", chaos_plan, [ "nic.doorbell_drop"; "mwait.lost" ],
       hardened_io ~with_watchdog:true );
   ]
@@ -357,7 +413,8 @@ let run () =
     | Error msg -> failwith ("r1: SWITCHLESS_FAULTS: " ^ msg)
     | Ok plan ->
       run_scenario ~name:"env-chaos" ~plan ~expect:[]
-        (hardened_io ~with_watchdog:true))
+        (hardened_io ~with_watchdog:true);
+      run_scenario ~name:"env-closedloop" ~plan ~expect:[] closed_loop_chaos)
   | None ->
     List.iter
       (fun (name, plan, expect, scenario) ->

@@ -264,6 +264,103 @@ let server_cmd =
     (Cmd.info "server" ~doc:"Thread-per-request server tail latency.")
     Term.(const run $ design $ seed $ rate $ count $ cores $ cv2 $ mean)
 
+(* --- load --- *)
+
+type load_design = L_mwait | L_polling | L_irq | L_flexsc
+
+let load_cmd =
+  let module Arrivals = Sl_workload.Arrivals in
+  let module Latency = Sl_workload.Latency in
+  let designs =
+    [ ("mwait", L_mwait); ("polling", L_polling); ("irq", L_irq); ("flexsc", L_flexsc) ]
+  in
+  let design =
+    Arg.(
+      value
+      & opt (enum designs) L_mwait
+      & info [ "design" ] ~docv:"DESIGN" ~doc:"One of mwait, polling, irq, flexsc.")
+  in
+  let dists = [ ("exp", `Exp); ("bimodal", `Bimodal); ("pareto", `Pareto); ("constant", `Constant) ] in
+  let dist =
+    Arg.(
+      value
+      & opt (enum dists) `Exp
+      & info [ "dist" ] ~docv:"DIST" ~doc:"Service distribution: exp, bimodal, pareto, constant.")
+  in
+  let mean =
+    Arg.(
+      value & opt float 1400.0
+      & info [ "mean" ] ~docv:"CYCLES" ~doc:"Mean service demand.")
+  in
+  let cv2 =
+    Arg.(
+      value & opt float 16.0
+      & info [ "cv2" ] ~docv:"CV2" ~doc:"Squared coef. of variation (bimodal only).")
+  in
+  let load =
+    Arg.(
+      value & opt float 0.6
+      & info [ "load" ] ~docv:"RHO"
+          ~doc:"Offered load as a fraction of one serving pipe's capacity.")
+  in
+  let slo =
+    Arg.(
+      value & opt int 30_000
+      & info [ "slo" ] ~docv:"CYCLES" ~doc:"Latency SLO for goodput accounting.")
+  in
+  let amplitude =
+    Arg.(
+      value & opt float 0.0
+      & info [ "amplitude" ] ~docv:"A"
+          ~doc:"MMPP burstiness amplitude in [0,1); 0 is plain Poisson.")
+  in
+  let dwell =
+    Arg.(
+      value & opt float 200_000.0
+      & info [ "dwell" ] ~docv:"CYCLES" ~doc:"Mean MMPP phase dwell time.")
+  in
+  let run design dist mean cv2 load slo amplitude dwell seed count =
+    let module Io = Io_path in
+    let service =
+      match dist with
+      | `Exp -> Sl_util.Dist.Exponential mean
+      | `Bimodal -> Sl_util.Dist.bimodal_with_cv2 ~mean ~cv2 ~p_long:0.02
+      | `Pareto ->
+        (* shape 2.5: heavy tail with finite variance; scale set so the
+           mean lands on [mean]. *)
+        Sl_util.Dist.Pareto { scale = mean *. 1.5 /. 2.5; shape = 2.5 }
+      | `Constant -> Sl_util.Dist.Constant mean
+    in
+    let rate = load *. 1000.0 /. mean in
+    let arrivals =
+      if amplitude <= 0.0 then Arrivals.poisson ~rate_per_kcycle:rate
+      else Arrivals.bursty ~rate_per_kcycle:rate ~amplitude ~mean_dwell:dwell
+    in
+    let cfg = { Io.params = p; seed; arrivals; service; count; slo } in
+    let r =
+      match design with
+      | L_mwait -> Io.run_load_mwait cfg
+      | L_polling -> Io.run_load_polling cfg
+      | L_irq -> Io.run_load_interrupt cfg
+      | L_flexsc -> Io.run_load_flexsc cfg
+    in
+    Printf.printf "offered %.3f req/kcycle (load %.2f), served %d\n" rate load
+      r.Io.lat.Latency.count;
+    Printf.printf "latency: %s\n"
+      (Format.asprintf "%a" Latency.pp_summary r.Io.lat);
+    Printf.printf "cycles: useful %.0f | poll %.0f | overhead %.0f | waste %.1f%%\n"
+      r.Io.io.Io.useful_cycles r.Io.io.Io.poll_cycles r.Io.io.Io.overhead_cycles
+      (100.0 *. Io.wasted_fraction r.Io.io)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Offered-load point for one serving design: tail latency, SLO misses, \
+          goodput (the interactive face of bench e16).")
+    Term.(
+      const run $ design $ dist $ mean $ cv2 $ load $ slo $ amplitude $ dwell
+      $ seed $ count)
+
 (* --- netstack --- *)
 
 let netstack_cmd =
@@ -350,4 +447,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ params_cmd; io_cmd; wakeup_cmd; syscall_cmd; server_cmd; netstack_cmd; vm_cmd; lint_cmd ]))
+          [
+            params_cmd;
+            io_cmd;
+            wakeup_cmd;
+            syscall_cmd;
+            server_cmd;
+            load_cmd;
+            netstack_cmd;
+            vm_cmd;
+            lint_cmd;
+          ]))

@@ -80,6 +80,91 @@ type hw_worker = {
   mutable slot_request : Openloop.request option;
 }
 
+(* --- closed-loop clients against the hardware pool ----------------------- *)
+
+module Closedloop = Sl_workload.Closedloop
+module Latency = Sl_workload.Latency
+
+type closed_stats = {
+  clients : int;
+  issued : int;
+  finished : int;
+  c_timed_out : int;
+  lat : Latency.summary;
+  wall_cycles : int;
+}
+
+type closed_worker = {
+  bell : Memory.addr;
+  mutable slot : (Openloop.request * (unit -> unit)) option;
+}
+
+let run_hw_pool_closed ?(pool_per_core = 64) ?timeout ?slo ~clients ~think cfg =
+  if clients <= 0 then
+    invalid_arg "Server.run_hw_pool_closed: clients must be positive";
+  let sim = Sim.create () in
+  let chip = Chip.create sim cfg.params ~cores:cfg.cores in
+  let memory = Chip.memory chip in
+  let free = Mailbox.create () in
+  for core = 0 to cfg.cores - 1 do
+    for i = 0 to pool_per_core - 1 do
+      let ptid = (core * 1024) + i + 1 in
+      let worker = { bell = Memory.alloc memory 1; slot = None } in
+      let th = Chip.add_thread chip ~core ~ptid ~mode:Ptid.User () in
+      Chip.attach th (fun th ->
+          (* Pool workers park in mwait between requests by design; keep
+             them out of the abandoned-process suspect report. *)
+          Sim.set_daemon true;
+          Isa.monitor th worker.bell;
+          (* Join the free pool only once the monitor is armed — a bell
+             rung before MONITOR executes is architecturally lost. *)
+          Mailbox.send free worker;
+          let rec serve () =
+            let _ = Isa.mwait th in
+            (match worker.slot with
+            | Some (req, complete) ->
+              worker.slot <- None;
+              Isa.exec th req.Openloop.service_cycles;
+              complete ();
+              Mailbox.send free worker
+            | None -> ());
+            serve ()
+          in
+          serve ());
+      Chip.boot th
+    done
+  done;
+  let inbox = Mailbox.create () in
+  Sim.spawn sim (fun () ->
+      (* Like the pool workers, the dispatcher parks by design when the
+         pool is exhausted; under injected faults wedged workers never
+         return to [free], and the clients' timeouts — not the
+         dispatcher — carry liveness. *)
+      Sim.set_daemon true;
+      let served = ref 0 in
+      while !served < cfg.count do
+        let (req, _) as job = Mailbox.recv inbox in
+        let worker = Mailbox.recv free in
+        worker.slot <- Some job;
+        Memory.write memory worker.bell (Int64.of_int req.Openloop.req_id);
+        incr served
+      done);
+  let rng = Sl_util.Rng.create cfg.seed in
+  let cl =
+    Closedloop.start ?timeout ?slo sim rng ~clients ~think ~service:cfg.service
+      ~count:cfg.count
+      ~submit:(fun req ~complete -> Mailbox.send inbox (req, complete))
+  in
+  Sim.run sim;
+  {
+    clients;
+    issued = Closedloop.issued cl;
+    finished = Closedloop.completed cl;
+    c_timed_out = Closedloop.timed_out cl;
+    lat = Latency.summarize (Closedloop.latency cl) ~elapsed:(Sim.time sim);
+    wall_cycles = Sim.time sim;
+  }
+
 let run_hw_pool ?(pool_per_core = 64) cfg =
   let sim = Sim.create () in
   let chip = Chip.create sim cfg.params ~cores:cfg.cores in

@@ -41,3 +41,31 @@ val run_software : ?quantum:Sl_engine.Sim.Time.t -> config -> stats
 
 val run_hw_pool : ?pool_per_core:int -> config -> stats
 (** [pool_per_core] defaults to 64 hardware worker threads per core. *)
+
+(** {2 Closed-loop clients}
+
+    The same hardware pool driven by a fixed client population
+    ({!Sl_workload.Closedloop}) instead of an open-loop stream: each
+    client thinks, submits, and blocks until its request completes, so a
+    saturated pool slows the clients instead of growing a queue.  E16
+    contrasts the two: the closed loop's p99 stays bounded at client
+    counts far past the capacity that collapses the open-loop sweep. *)
+
+type closed_stats = {
+  clients : int;
+  issued : int;
+  finished : int;  (** Requests completed (excludes timeouts). *)
+  c_timed_out : int;  (** Requests abandoned by their client's [?timeout]. *)
+  lat : Sl_workload.Latency.summary;  (** Submit → complete sojourns. *)
+  wall_cycles : Sl_engine.Sim.Time.t;
+}
+
+val run_hw_pool_closed :
+  ?pool_per_core:int -> ?timeout:Sl_engine.Sim.Time.t -> ?slo:int ->
+  clients:int -> think:Sl_util.Dist.t -> config -> closed_stats
+(** [run_hw_pool_closed ~clients ~think cfg] runs [cfg.count] requests
+    from [clients] closed-loop clients (think-time distribution [think],
+    service demands from [cfg.service]) against the {!run_hw_pool} worker
+    pool.  [cfg.rate_per_kcycle] is ignored — a closed loop has no offered
+    rate, only a population.  [timeout]/[slo] forward to
+    {!Sl_workload.Closedloop.start}. *)

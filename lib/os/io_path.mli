@@ -87,6 +87,54 @@ val run_mwait_rss : queues:int -> config -> stats
     each queue's tail — per-flow service parallelism with no software
     dispatcher anywhere. *)
 
+(** {2 Load sweeps: per-request service demand + SLO accounting (E16)}
+
+    The three delivery designs above assume a constant per-packet cost;
+    these variants draw each request's service demand from a distribution
+    (the Shinjuku/Shenango heavy-tail methodology) and report SLO-aware
+    latency summaries, so an offered-load sweep can locate each design's
+    saturation knee.  A fourth design joins the comparison: FlexSC-style
+    exception-less batching, where requests are posted to a shared page
+    and a kernel worker drains them one batch window at a time — no
+    per-request notification, so its mechanism tax is pure delay. *)
+
+type load_config = {
+  params : Switchless.Params.t;
+  seed : int64;
+  arrivals : Sl_workload.Arrivals.t;  (** Arrival process (Poisson, MMPP, …). *)
+  service : Sl_util.Dist.t;  (** Per-request service demand (cycles). *)
+  count : int;
+  slo : int;  (** Latency SLO in cycles for goodput/miss accounting. *)
+}
+
+type load_stats = {
+  lat : Sl_workload.Latency.summary;
+      (** Sojourn quantiles + SLO misses + goodput. *)
+  io : stats;  (** The usual cycle-accounting breakdown. *)
+}
+
+val default_load_config : load_config
+(** Poisson at 0.25/kcycle, exponential 2000-cycle service (offered load
+    0.5 of a single serving pipe), 10 µs SLO (30 000 cycles @ 3 GHz). *)
+
+val run_load_mwait : load_config -> load_stats
+(** The paper's design under sampled service demand: a hardware thread
+    parks in mwait on the RX tail. *)
+
+val run_load_polling : ?poll_gap:Sl_engine.Sim.Time.t -> load_config -> load_stats
+(** Kernel-bypass spinning, [poll_gap] (default 20) cycles per empty check. *)
+
+val run_load_interrupt : load_config -> load_stats
+(** IRQ + scheduler wakeup of a blocked software thread (the kernel
+    status quo): every wakeup serializes behind the IRQ context's
+    entry/handler/exit path, so the knee arrives earlier. *)
+
+val run_load_flexsc : ?batch_window:Sl_engine.Sim.Time.t -> load_config -> load_stats
+(** FlexSC-style exception-less serving: arrivals are posted entries, a
+    kernel worker wakes per batch and runs the accumulated requests
+    back-to-back ([batch_window], default 500 cycles, of accumulation
+    delay per batch). *)
+
 (** {2 Timer-tick wakeups (the "no more interrupts" microbench)} *)
 
 val timer_wakeup_mwait : Switchless.Params.t -> ticks:int -> period:Sl_engine.Sim.Time.t -> Sl_util.Histogram.t

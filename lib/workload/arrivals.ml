@@ -1,0 +1,86 @@
+type t =
+  | Stationary of Sl_util.Dist.t
+  | Mmpp of { rates : float array; mean_dwell : float array }
+
+let poisson ~rate_per_kcycle =
+  if rate_per_kcycle <= 0.0 then
+    invalid_arg "Arrivals.poisson: rate must be positive";
+  Stationary (Sl_util.Dist.Exponential (1000.0 /. rate_per_kcycle))
+
+let bursty ~rate_per_kcycle ~amplitude ~mean_dwell =
+  if rate_per_kcycle <= 0.0 then
+    invalid_arg "Arrivals.bursty: rate must be positive";
+  if amplitude < 0.0 || amplitude >= 1.0 then
+    invalid_arg "Arrivals.bursty: amplitude must be in [0, 1)";
+  if mean_dwell <= 0.0 then
+    invalid_arg "Arrivals.bursty: mean_dwell must be positive";
+  Mmpp
+    {
+      rates =
+        [|
+          (1.0 +. amplitude) *. rate_per_kcycle;
+          (1.0 -. amplitude) *. rate_per_kcycle;
+        |];
+      mean_dwell = [| mean_dwell; mean_dwell |];
+    }
+
+let validate = function
+  | Stationary d ->
+    if Sl_util.Dist.mean d <= 0.0 then
+      invalid_arg "Arrivals: stationary inter-arrival mean must be positive"
+  | Mmpp { rates; mean_dwell } ->
+    if Array.length rates = 0 || Array.length rates <> Array.length mean_dwell
+    then invalid_arg "Arrivals.Mmpp: rates and mean_dwell must match, non-empty";
+    Array.iter
+      (fun r -> if r <= 0.0 then invalid_arg "Arrivals.Mmpp: rates must be positive")
+      rates;
+    Array.iter
+      (fun d ->
+        if d <= 0.0 then invalid_arg "Arrivals.Mmpp: dwell times must be positive")
+      mean_dwell
+
+let mean_rate_per_kcycle = function
+  | Stationary d -> 1000.0 /. Sl_util.Dist.mean d
+  | Mmpp { rates; mean_dwell } ->
+    (* Dwell-weighted stationary mean of the modulating chain. *)
+    let weighted = ref 0.0 and total = ref 0.0 in
+    Array.iteri
+      (fun i r ->
+        weighted := !weighted +. (r *. mean_dwell.(i));
+        total := !total +. mean_dwell.(i))
+      rates;
+    !weighted /. !total
+
+let sampler t rng =
+  validate t;
+  match t with
+  | Stationary d ->
+    fun () ->
+      let gap = int_of_float (Sl_util.Dist.sample d rng) in
+      if gap < 1 then 1 else gap
+  | Mmpp { rates; mean_dwell } ->
+    let n = Array.length rates in
+    let gap_dist = Array.map (fun r -> Sl_util.Dist.Exponential (1000.0 /. r)) rates in
+    let dwell_dist = Array.map (fun d -> Sl_util.Dist.Exponential d) mean_dwell in
+    let state = ref 0 in
+    let remaining = ref (Sl_util.Dist.sample dwell_dist.(0) rng) in
+    fun () ->
+      (* Draw the time to the next arrival.  When the candidate gap
+         overruns the current state's dwell period, the elapsed dwell is
+         consumed arrival-free and the draw restarts in the next state —
+         valid because exponential inter-arrivals are memoryless. *)
+      let rec go acc =
+        let gap = Sl_util.Dist.sample gap_dist.(!state) rng in
+        if gap <= !remaining then begin
+          remaining := !remaining -. gap;
+          acc +. gap
+        end
+        else begin
+          let consumed = !remaining in
+          state := (!state + 1) mod n;
+          remaining := Sl_util.Dist.sample dwell_dist.(!state) rng;
+          go (acc +. consumed)
+        end
+      in
+      let gap = int_of_float (go 0.0) in
+      if gap < 1 then 1 else gap

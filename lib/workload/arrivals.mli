@@ -1,0 +1,42 @@
+(** Arrival processes for load generation.
+
+    Two families, both driven by deterministic SplitMix64 streams:
+
+    - {!Stationary}: independent, identically-distributed inter-arrival
+      gaps — [Stationary (Exponential m)] is the Poisson process every
+      M/G queueing argument assumes.
+    - {!Mmpp}: a Markov-modulated Poisson process.  A background chain
+      cycles through states; state [i] emits Poisson arrivals at
+      [rates.(i)] (per 1000 cycles) and holds for an exponentially
+      distributed dwell with mean [mean_dwell.(i)] cycles.  Burstiness at
+      a fixed mean rate — the arrival-side analogue of the service-time
+      CV² axis, and the regime where tail latencies diverge from the
+      steady-state Poisson prediction. *)
+
+type t =
+  | Stationary of Sl_util.Dist.t  (** i.i.d. gaps drawn from the distribution. *)
+  | Mmpp of { rates : float array; mean_dwell : float array }
+      (** State [i]: Poisson at [rates.(i)]/kcycle for an exponential
+          dwell of mean [mean_dwell.(i)] cycles, then advance (cyclically)
+          to state [i+1]. *)
+
+val poisson : rate_per_kcycle:float -> t
+(** Poisson arrivals at the given mean rate (requests per 1000 cycles). *)
+
+val bursty : rate_per_kcycle:float -> amplitude:float -> mean_dwell:float -> t
+(** Two-state MMPP with the given {e mean} rate: alternating high/low
+    phases at [(1 ± amplitude) × rate], equal mean dwell times.
+    [amplitude] in [\[0, 1)]; [0] degenerates to (phase-modulated)
+    Poisson at the mean rate. *)
+
+val mean_rate_per_kcycle : t -> float
+(** Long-run arrival rate (dwell-weighted across MMPP states), for
+    labelling sweep axes and offered-load arithmetic. *)
+
+val sampler : t -> Sl_util.Rng.t -> unit -> int
+(** [sampler t rng] returns a stateful gap generator: each call draws the
+    next inter-arrival gap in cycles (clamped to ≥ 1).  All state
+    (including the MMPP modulating chain) advances only through [rng], so
+    equal seeds reproduce equal arrival sequences.  For
+    [Stationary d] the draw is exactly [Dist.sample d] truncated to int —
+    the same stream {!Openloop.run} consumes. *)

@@ -1,0 +1,75 @@
+module Sim = Sl_engine.Sim
+module Mailbox = Sl_engine.Mailbox
+module Dist = Sl_util.Dist
+module Rng = Sl_util.Rng
+
+type t = {
+  count : int;
+  mutable issued : int;
+  mutable completed : int;
+  mutable timed_out : int;
+  mutable in_flight : int;
+  lat : Latency.t;
+}
+
+let issued t = t.issued
+let completed t = t.completed
+let timed_out t = t.timed_out
+let in_flight t = t.in_flight
+let latency t = t.lat
+
+let client_loop t ~think ~service ~timeout ~submit crng =
+  let rec go () =
+    if t.issued < t.count then begin
+      let req_id = t.issued in
+      t.issued <- t.issued + 1;
+      let gap = int_of_float (Dist.sample think crng) in
+      Sim.delay (if gap < 0 then 0 else gap);
+      let s = int_of_float (Dist.sample service crng) in
+      let service_cycles = if s < 0 then 0 else s in
+      let arrival = Sim.now () in
+      let done_mb = Mailbox.create () in
+      t.in_flight <- t.in_flight + 1;
+      submit
+        { Openloop.req_id; arrival; service_cycles }
+        ~complete:(fun () -> Mailbox.send done_mb ());
+      let finished =
+        match timeout with
+        | None ->
+          Mailbox.recv done_mb;
+          true
+        | Some within -> Option.is_some (Mailbox.recv_for done_mb ~within)
+      in
+      t.in_flight <- t.in_flight - 1;
+      if finished then begin
+        t.completed <- t.completed + 1;
+        Latency.record t.lat (Sim.now () - arrival)
+      end
+      else t.timed_out <- t.timed_out + 1;
+      go ()
+    end
+  in
+  go ()
+
+let start ?timeout ?(slo = max_int) sim rng ~clients ~think ~service ~count
+    ~submit =
+  if clients <= 0 then invalid_arg "Closedloop.start: clients must be positive";
+  if count < 0 then invalid_arg "Closedloop.start: count must be non-negative";
+  let t =
+    {
+      count;
+      issued = 0;
+      completed = 0;
+      timed_out = 0;
+      in_flight = 0;
+      lat = Latency.create ~slo ();
+    }
+  in
+  for _ = 1 to clients do
+    (* Each client draws from its own split stream, so think/service
+       sequences do not depend on how the clients interleave. *)
+    let crng = Rng.split rng in
+    Sim.spawn sim (fun () ->
+        client_loop t ~think ~service ~timeout ~submit crng)
+  done;
+  t

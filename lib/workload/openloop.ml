@@ -2,18 +2,21 @@ module Sim = Sl_engine.Sim
 
 type request = { req_id : int; arrival : int; service_cycles : int }
 
-let run sim rng ~interarrival ~service ~count ~sink =
+let run_arrivals sim rng ~arrivals ~service ~count ~sink =
   Sim.spawn sim (fun () ->
+      let next_gap = Arrivals.sampler arrivals rng in
       for req_id = 0 to count - 1 do
-        let gap = int_of_float (Sl_util.Dist.sample interarrival rng) in
-        let gap = if gap < 1 then 1 else gap in
-        Sim.delay gap;
+        Sim.delay (next_gap ());
         let service_cycles = int_of_float (Sl_util.Dist.sample service rng) in
         let service_cycles =
           if service_cycles < 0 then 0 else service_cycles
         in
         sink { req_id; arrival = Sim.now (); service_cycles }
       done)
+
+let run sim rng ~interarrival ~service ~count ~sink =
+  run_arrivals sim rng ~arrivals:(Arrivals.Stationary interarrival) ~service
+    ~count ~sink
 
 let poisson ~rate_per_kcycle =
   if rate_per_kcycle <= 0.0 then invalid_arg "Openloop.poisson: rate must be positive";

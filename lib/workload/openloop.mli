@@ -18,7 +18,16 @@ val run :
     from the generator process at each arrival instant (it may fork, send
     to a mailbox, inject into a device, …).  Inter-arrival gaps and
     service demands are sampled per request (clamped to ≥ 1 cycle and ≥ 0
-    cycles respectively). *)
+    cycles respectively).  Equivalent to {!run_arrivals} with
+    [Arrivals.Stationary interarrival] — same RNG stream, same schedule. *)
+
+val run_arrivals :
+  Sl_engine.Sim.t -> Sl_util.Rng.t -> arrivals:Arrivals.t ->
+  service:Sl_util.Dist.t -> count:int -> sink:(request -> unit) -> unit
+(** {!run} generalized over the arrival process: gaps come from
+    {!Arrivals.sampler} (Poisson, bursty MMPP, …), service demands are
+    drawn from [service] on the same RNG stream, one gap then one demand
+    per request. *)
 
 val poisson : rate_per_kcycle:float -> Sl_util.Dist.t
 (** Exponential inter-arrivals for the given mean rate (requests per 1000

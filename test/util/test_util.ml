@@ -253,6 +253,59 @@ let prop_histogram_quantile_monotone =
       in
       monotone xs)
 
+(* The sorted-array oracle: the exact q-quantile of the raw sample,
+   using the same ceil-rank convention as [Histogram.quantile]. *)
+let oracle_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  sorted.(rank - 1)
+
+let quantile_grid = [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ]
+
+(* Against the oracle, the histogram may only round a quantile *up*, and
+   by at most one bucket: values below 2^precision are stored exactly,
+   and above that a bucket spans [v, v + v/2^precision). *)
+let prop_histogram_matches_sorted_oracle =
+  QCheck.Test.make ~name:"histogram quantile within one bucket of oracle"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 300) (int_bound 5_000_000))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (fun v -> Histogram.record h v) values;
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      List.for_all
+        (fun q ->
+          let exact = oracle_quantile sorted q in
+          let approx = Histogram.quantile h q in
+          approx >= exact && approx <= exact + (exact lsr 7))
+        quantile_grid)
+
+(* merge_into h1 h2 must be indistinguishable from the histogram of the
+   concatenated sample: identical buckets, so identical count, min, max
+   and every quantile; the mean agrees up to float summation order. *)
+let prop_histogram_merge_is_concat =
+  QCheck.Test.make ~name:"merge(h1,h2) == histogram of concatenation"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 150) (int_bound 5_000_000))
+        (list_of_size Gen.(0 -- 150) (int_bound 5_000_000)))
+    (fun (l1, l2) ->
+      let h1 = Histogram.create () and h2 = Histogram.create () in
+      List.iter (Histogram.record h1) l1;
+      List.iter (Histogram.record h2) l2;
+      Histogram.merge_into ~dst:h1 h2;
+      let hc = Histogram.create () in
+      List.iter (Histogram.record hc) (l1 @ l2);
+      Histogram.count h1 = Histogram.count hc
+      && Histogram.min_value h1 = Histogram.min_value hc
+      && Histogram.max_value h1 = Histogram.max_value hc
+      && abs_float (Histogram.mean h1 -. Histogram.mean hc) < 1e-6
+      && List.for_all
+           (fun q -> Histogram.quantile h1 q = Histogram.quantile hc q)
+           quantile_grid)
+
 (* --- Welford --- *)
 
 let test_welford_known_values () =
@@ -426,6 +479,8 @@ let () =
       [
         prop_histogram_quantile_bounds;
         prop_histogram_quantile_monotone;
+        prop_histogram_matches_sorted_oracle;
+        prop_histogram_merge_is_concat;
         prop_json_escape_no_raw_controls;
         prop_parallel_matches_sequential;
       ]
