@@ -437,6 +437,71 @@ let lint_cmd =
           outside util, every module has an interface.")
     Term.(const run $ roots)
 
+let check_cmd =
+  let module S = Sl_staticcheck in
+  let roots =
+    Arg.(
+      value
+      & pos_all string [ "lib" ]
+      & info [] ~docv:"DIR"
+          ~doc:"Source roots whose build trees to analyze (default: lib).")
+  in
+  let allow =
+    Arg.(
+      value
+      & opt string "staticcheck.allow"
+      & info [ "allow" ] ~docv:"FILE"
+          ~doc:"Allowlist of justified findings (rule file binding why).")
+  in
+  let report_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the findings report (Report format) to $(docv).")
+  in
+  let run roots allow report_file =
+    let result =
+      try S.Staticcheck.run ~allow roots with
+      | Failure msg | Sys_error msg ->
+        Printf.eprintf "check: %s\n" msg;
+        exit 2
+    in
+    let findings = result.S.Staticcheck.findings in
+    let unused = result.S.Staticcheck.unused in
+    List.iter (fun s -> print_endline (S.Site.to_string s)) findings;
+    List.iter
+      (fun (e : S.Allowlist.entry) ->
+        Printf.printf
+          "check: stale allowlist entry matches nothing: %s %s %s\n"
+          e.S.Allowlist.rule e.S.Allowlist.file e.S.Allowlist.ident)
+      unused;
+    (match report_file with
+    | None -> ()
+    | Some path ->
+      let reports = List.map S.Site.to_report findings in
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      List.iter
+        (fun r -> Format.fprintf ppf "%a@." Sl_analysis.Report.pp r)
+        reports;
+      Format.fprintf ppf "%s@." (Sl_analysis.Report.summary reports);
+      Format.pp_print_flush ppf ();
+      close_out oc);
+    Printf.printf "check: %s; %d allowlisted\n"
+      (Sl_analysis.Report.summary (List.map S.Site.to_report findings))
+      (List.length result.S.Staticcheck.allowed);
+    if findings <> [] || unused <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Typed static analysis over the compiled typedtrees: \
+          arm-before-park/register protocol, domain-safety of top-level \
+          state, determinism/print hygiene, and the [@@sl.zero_alloc] \
+          allocation budget.")
+    Term.(const run $ roots $ allow $ report_file)
+
 let () =
   let info =
     Cmd.info "switchless-sim" ~version:"1.0.0"
@@ -457,4 +522,5 @@ let () =
             netstack_cmd;
             vm_cmd;
             lint_cmd;
+            check_cmd;
           ]))

@@ -195,9 +195,11 @@ let scan_catches ~file stripped =
   go (tokenize stripped);
   List.rev !issues
 
-let scan_source ~file ~check_prints src =
+(* Token rules over an already-stripped source: {!strip} runs exactly
+   once per file, here in the caller, and both the line rules and the
+   catch scanner reuse the same blanked buffer. *)
+let scan_stripped ~file ~check_prints stripped =
   let issues = ref [] in
-  let stripped = strip src in
   let lines = String.split_on_char '\n' stripped in
   List.iteri
     (fun idx line ->
@@ -226,7 +228,7 @@ let scan_source ~file ~check_prints src =
   List.rev !issues @ scan_catches ~file stripped
 
 let scan_file ?(check_prints = true) file =
-  scan_source ~file ~check_prints (read_file file)
+  scan_stripped ~file ~check_prints (strip (read_file file))
 
 let rec walk dir =
   if Filename.basename dir = "_build" || Filename.basename dir = ".git" then []
@@ -236,41 +238,26 @@ let rec walk dir =
            let path = Filename.concat dir entry in
            if Sys.is_directory path then walk path else [ path ])
 
-(* Directories whose modules are allowed to print: terminal-facing code. *)
-let print_exempt_dirs = [ "util" ]
-
-let exempt_from_prints ~root path =
-  let rel =
-    if String.length path > String.length root
-       && String.sub path 0 (String.length root) = root
-    then String.sub path (String.length root) (String.length path - String.length root)
-    else path
-  in
-  List.exists
-    (fun dir -> List.mem dir (String.split_on_char '/' rel))
-    print_exempt_dirs
-
+(* The tree scan now owns only the one rule that needs the file system
+   rather than the typedtree: .mli presence.  The determinism/print/
+   blanket-catch rules moved to the typed layer (lib/staticcheck), which
+   matches resolved identifiers instead of tokens; {!scan_file} keeps
+   the token rules for targeted scans and for testing the tokenizer. *)
 let scan_tree root =
   let files = walk root in
   List.concat_map
     (fun path ->
-      if Filename.check_suffix path ".ml" then begin
-        let missing_mli =
-          if Sys.file_exists (path ^ "i") then []
-          else
-            [
-              {
-                file = path;
-                line = 1;
-                rule = "missing-mli";
-                message =
-                  "library module has no interface file; add a .mli so the \
-                   public surface is explicit";
-              };
-            ]
-        in
-        missing_mli
-        @ scan_file ~check_prints:(not (exempt_from_prints ~root path)) path
-      end
+      if Filename.check_suffix path ".ml" && not (Sys.file_exists (path ^ "i"))
+      then
+        [
+          {
+            file = path;
+            line = 1;
+            rule = "missing-mli";
+            message =
+              "library module has no interface file; add a .mli so the \
+               public surface is explicit";
+          };
+        ]
       else [])
     files

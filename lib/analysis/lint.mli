@@ -1,38 +1,52 @@
-(** Determinism and style lint for library sources.
+(** Source-level lint for library sources.
 
-    Static rules that protect the reproduction:
+    Since the typed static layer landed (lib/staticcheck, surfaced as
+    [switchless-sim check]), this module owns only what genuinely needs
+    the file system rather than the typedtree:
+
+    - {b missing-mli}: every [.ml] under the scanned root has a matching
+      [.mli] — the one rule {!scan_tree} still applies.
+
+    The token rules remain available through {!scan_file} for targeted
+    scans and for testing the tokenizer, but the tree-wide
+    determinism/print/blanket-catch enforcement now happens on resolved
+    identifiers in [Sl_staticcheck.Purity]:
 
     - {b determinism}: no [Random.self_init], [Unix.gettimeofday],
-      [Unix.time]/[localtime]/[gmtime] or [Sys.time] anywhere under the
-      scanned root — simulated experiments must not read the host clock
-      or entropy, or runs stop being replayable.
+      [Unix.time]/[localtime]/[gmtime] or [Sys.time] — simulated
+      experiments must not read the host clock or entropy.
     - {b no-print}: no [print_*]/[prerr_*]/[Printf.printf]/
-      [Format.printf] outside the terminal-facing [util] directory;
-      library code returns data or takes a formatter.
+      [Format.printf]; library code returns data or takes a formatter.
     - {b no-blanket-catch}: no [try ... with _ ->]; a handler must name
-      the exceptions it expects, or every failure — sanitizer assertions
-      included — is silently swallowed.  A [match]'s wildcard case, a
+      the exceptions it expects.  A [match]'s wildcard case, a
       record-update [with], and a catch-all arm {e after} named
       exceptions are all fine.
-    - {b missing-mli}: every [.ml] has a matching [.mli].
 
-    Matching is token-based on source with comments, string literals and
-    char literals blanked out, so a banned name in a doc comment (or in
-    this module's own tables) does not trip the rule, while
-    [Stdlib.print_string] does and [Format.pp_print_string] does not.
+    Token matching works on source with comments, string literals and
+    char literals blanked out — one {!strip} pass per file, shared by
+    every rule — so a banned name in a doc comment (or in this module's
+    own tables) does not trip a rule, while [Stdlib.print_string] does
+    and [Format.pp_print_string] does not.
 
-    The [lint] executable in [bin/] runs {!scan_tree} over [lib/] as part
-    of [dune runtest]. *)
+    The [lint] executable in [bin/] runs {!scan_tree} over [lib/] as
+    part of [dune runtest]; the [check] alias runs the typed layer. *)
 
 type issue = { file : string; line : int; rule : string; message : string }
 
 val to_string : issue -> string
 (** ["file:line: [rule] message"]. *)
 
+val strip : string -> string
+(** Blank comments (nested included), string literals and char literals,
+    preserving newlines so line numbers survive.  Exposed so the
+    blanking pass — run exactly once per file — can be regression-tested
+    directly. *)
+
 val scan_file : ?check_prints:bool -> string -> issue list
-(** Token rules on one file ([check_prints] defaults to [true]; the
-    missing-mli rule only applies through {!scan_tree}). *)
+(** Token rules on one file: one {!strip}, then the line rules and the
+    catch scanner over the same blanked buffer ([check_prints] defaults
+    to [true]). *)
 
 val scan_tree : string -> issue list
 (** Recursively scan every [.ml] under the root (skipping [_build] and
-    [.git]), in deterministic (sorted) order. *)
+    [.git]) for a matching [.mli], in deterministic (sorted) order. *)

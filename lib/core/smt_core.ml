@@ -216,29 +216,34 @@ let advance t =
       finished
   end
 
+(* Unit weights, nothing frozen: every job is active at the same rate,
+   so the earliest completion is the least-remaining job's.  [dt] below
+   is bit-identical to the general path: the rate for n > width jobs is
+   [residual * w / total] with residual = width, w = 1.0 and total =
+   float n (n exact unit-weight additions), and ceil/round/max are
+   monotone, so applying them to the minimum remaining yields the
+   minimum dt.  This runs once per completion event in the common
+   experiment shape, hence the allocation budget (float boxing is out
+   of the contract's scope, see DESIGN.md). *)
+let next_unit_weight_dt t =
+  let n = Hashtbl.length t.jobs in
+  if n = 0 then infinity
+  else begin
+    let rate =
+      if n <= t.params.Params.smt_width then 1.0
+      else float_of_int t.params.Params.smt_width /. float_of_int n
+    in
+    Float.max 1.0 (Float.round (Float.ceil (t.min_rem /. rate)))
+  end
+[@@sl.zero_alloc]
+
 (* Schedule the next completion event, invalidating older ones. *)
 let rec reschedule t =
   t.epoch <- t.epoch + 1;
   let epoch = t.epoch in
   let next =
-    if t.frozen = 0 && t.nonunit = 0 && t.min_valid then begin
-      (* Unit weights, nothing frozen: every job is active at the same
-         rate, so the earliest completion is the least-remaining job's.
-         [dt] below is bit-identical to the general path: the rate for
-         n > width jobs is [residual * w / total] with residual = width,
-         w = 1.0 and total = float n (n exact unit-weight additions), and
-         ceil/round/max are monotone, so applying them to the minimum
-         remaining yields the minimum dt. *)
-      let n = Hashtbl.length t.jobs in
-      if n = 0 then infinity
-      else begin
-        let rate =
-          if n <= t.params.Params.smt_width then 1.0
-          else float_of_int t.params.Params.smt_width /. float_of_int n
-        in
-        Float.max 1.0 (Float.round (Float.ceil (t.min_rem /. rate)))
-      end
-    end
+    if t.frozen = 0 && t.nonunit = 0 && t.min_valid then
+      next_unit_weight_dt t
     else begin
       collect_active t;
       if t.scount = 0 then infinity

@@ -18,7 +18,7 @@ type worker = {
   mutable admitted_at : int;
 }
 
-type event = Arrival of Openloop.request | Done of worker | Tick
+type event = Arrival of Openloop.request | Ready of worker | Done of worker | Tick
 
 (* Scheduler bookkeeping cost per decision (queue ops, policy check). *)
 let decision_cycles = 20
@@ -48,6 +48,11 @@ let run ?(pool = 256) ?runnable_limit ~mode (cfg : Server.config) =
       let th = Chip.add_thread chip ~core:0 ~ptid:w.ptid ~mode:Ptid.User () in
       Chip.attach th (fun th ->
           Isa.monitor th w.doorbell;
+          (* Announce availability only once the monitor is armed: a
+             doorbell rung before MONITOR executes is architecturally
+             lost, so the scheduler must not hand this worker out
+             during the boot window. *)
+          Mailbox.send events (Ready w);
           let rec serve () =
             let _ = Isa.mwait th in
             (match w.req with
@@ -73,13 +78,11 @@ let run ?(pool = 256) ?runnable_limit ~mode (cfg : Server.config) =
       let queue : [ `Fresh of Openloop.request | `Resumed of worker ] Queue.t =
         Queue.create ()
       in
-      (* KNOWN RACE (kept for output-baseline stability, see ROADMAP):
-         workers are handed out as free before their monitors are armed,
-         so a doorbell rung during the boot window is architecturally
-         lost and that request never completes.  test/dist guards its
-         reference-model property against this window. *)
+      (* Workers enter the free pool through Ready events they send
+         after arming their monitors — never before, or a doorbell rung
+         during the boot window would be architecturally lost and that
+         request would never complete. *)
       let free = Queue.create () in
-      Array.iter (fun w -> Queue.push w free) workers;
       let active = ref [] in
       let admit_one () =
         match Queue.take_opt queue with
@@ -143,6 +146,10 @@ let run ?(pool = 256) ?runnable_limit ~mode (cfg : Server.config) =
         match Mailbox.recv events with
         | Arrival req ->
           Queue.push (`Fresh req) queue;
+          admit_all ();
+          loop ()
+        | Ready w ->
+          Queue.push w free;
           admit_all ();
           loop ()
         | Done w ->

@@ -180,6 +180,10 @@ let run_hw_pool ?(pool_per_core = 64) cfg =
       let th = Chip.add_thread chip ~core ~ptid ~mode:Ptid.User () in
       Chip.attach th (fun th ->
           Isa.monitor th worker.doorbell;
+          (* Join the free pool only once the monitor is armed — a
+             doorbell rung before MONITOR executes is architecturally
+             lost (same order as run_hw_pool_closed). *)
+          Mailbox.send free worker;
           let rec serve () =
             let _ = Isa.mwait th in
             (match worker.slot_request with
@@ -192,8 +196,7 @@ let run_hw_pool ?(pool_per_core = 64) cfg =
             serve ()
           in
           serve ());
-      Chip.boot th;
-      Mailbox.send free worker
+      Chip.boot th
     done
   done;
   (* Dispatch: hardware steering (smartNIC-style) — pick a parked worker

@@ -78,6 +78,9 @@ let grow t =
   Array.blit t.payloads 0 payloads 0 t.size;
   t.payloads <- payloads
 
+(* [@@sl.zero_alloc]: the warm-path budget.  [grow] itself allocates,
+   but amortized doubling runs O(log n) times per experiment; the
+   per-event path writes three unboxed slots and sifts in place. *)
 let push t ~time ~seq payload =
   if t.size = Array.length t.times then grow t;
   t.times.(t.size) <- time;
@@ -85,10 +88,12 @@ let push t ~time ~seq payload =
   t.payloads.(t.size) <- payload;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
+[@@sl.zero_alloc]
 
 let min_time t =
   assert (t.size > 0);
   t.times.(0)
+[@@sl.zero_alloc]
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
@@ -105,6 +110,7 @@ let pop_min t =
   end
   else t.payloads.(0) <- t.dummy;
   payload
+[@@sl.zero_alloc]
 
 let pop t =
   if t.size = 0 then None

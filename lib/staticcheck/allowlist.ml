@@ -1,0 +1,91 @@
+type entry = {
+  rule : string;
+  file : string;
+  ident : string;
+  justification : string;
+}
+
+type t = { entries : (entry * bool ref) list }
+
+let empty = { entries = [] }
+
+let is_space c = c = ' ' || c = '\t'
+
+let split3 line =
+  let n = String.length line in
+  let rec skip i = if i < n && is_space line.[i] then skip (i + 1) else i in
+  let rec word i = if i < n && not (is_space line.[i]) then word (i + 1) else i in
+  let a0 = skip 0 in
+  let a1 = word a0 in
+  let b0 = skip a1 in
+  let b1 = word b0 in
+  let c0 = skip b1 in
+  let c1 = word c0 in
+  if a0 = a1 || b0 = b1 || c0 = c1 then None
+  else
+    Some
+      ( String.sub line a0 (a1 - a0),
+        String.sub line b0 (b1 - b0),
+        String.sub line c0 (c1 - c0),
+        String.trim (String.sub line c1 (n - c1)) )
+
+let parse_line lineno line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then None
+  else
+    match split3 line with
+    | Some (rule, file, ident, justification) ->
+      Some { rule; file; ident; justification }
+    | None ->
+      failwith
+        (Printf.sprintf
+           "allowlist line %d: expected 'rule file binding justification', got %S"
+           lineno line)
+
+let load path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in path in
+    let entries =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          (try
+             let lineno = ref 0 in
+             while true do
+               let line = input_line ic in
+               incr lineno;
+               match parse_line !lineno line with
+               | Some e -> acc := (e, ref false) :: !acc
+               | None -> ()
+             done
+           with End_of_file -> ());
+          List.rev !acc)
+    in
+    { entries }
+  end
+
+let suffix_matches ~suffix path =
+  let ls = String.length suffix and lp = String.length path in
+  suffix = path
+  || (lp > ls
+     && String.sub path (lp - ls) ls = suffix
+     && path.[lp - ls - 1] = '/')
+
+let permits t (s : Site.t) =
+  match
+    List.find_opt
+      (fun (e, _) ->
+        e.rule = s.Site.rule
+        && e.ident = s.Site.ident
+        && suffix_matches ~suffix:e.file s.Site.file)
+      t.entries
+  with
+  | Some (_, used) ->
+    used := true;
+    true
+  | None -> false
+
+let unused t =
+  List.filter_map (fun (e, used) -> if !used then None else Some e) t.entries

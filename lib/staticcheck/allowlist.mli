@@ -1,0 +1,35 @@
+(** The committed exception file for {!Staticcheck}.
+
+    Line format (whitespace-separated, [#] starts a comment line):
+
+    {v rule  file-suffix  binding  -- one-line justification v}
+
+    A finding is allowlisted when its rule matches exactly, the
+    recorded file is a path suffix of the finding's file (so entries
+    survive build-dir prefixes), and the enclosing binding name matches
+    exactly.  Everything after the three fields is the human
+    justification and is ignored by the matcher — but the file format
+    forces one to be written. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  ident : string;
+  justification : string;
+}
+
+type t
+
+val empty : t
+
+val load : string -> t
+(** Parse the allowlist at [path]; missing file = {!empty}.  Raises
+    [Failure] naming the offending line on a malformed entry. *)
+
+val permits : t -> Site.t -> bool
+(** Marks the matching entry as used. *)
+
+val unused : t -> entry list
+(** Entries that never matched a finding — stale exceptions worth
+    deleting.  Meaningful only after the findings have been filtered
+    through {!permits}. *)

@@ -1,0 +1,27 @@
+(** Rule (1): arm-before-park / arm-before-register.
+
+    The monitor/mwait parking protocol is race-free only in one order:
+    the monitor must be armed {e before} the thread parks and before the
+    thread is published to any registry a third party can ring it
+    through — a doorbell rung before MONITOR executes is architecturally
+    lost (the boot-window lost-doorbell race found by test/dist's
+    reference-model property).
+
+    Two flow-sensitive checks over each function body, in evaluation
+    order, with the armed/taint state inherited by closures created
+    after the fact:
+
+    - [park-before-arm] — an [Isa.mwait]/[Isa.mwait_for] on a thread
+      handle that has no [Isa.monitor] arm dominating it.  Module-local
+      functions that unconditionally arm a parameter (e.g.
+      [Hw_channel.issue]) are summarized, so a call to one counts as an
+      arm of the corresponding argument at the call site.
+    - [register-before-arm] — a hand-out ([Mailbox.send], [Queue.push],
+      [Queue.add], or a mutable-field publish) of a {e freshly
+      constructed} worker (a record carrying a [Memory.addr] doorbell
+      field) with no monitor arm dominating the hand-out.  Values that
+      arrived through a mailbox/queue receive are not fresh: their
+      sender owned the obligation, and the wakeup latch covers
+      re-registration after first park. *)
+
+val check : file:string -> Typedtree.structure -> Site.t list

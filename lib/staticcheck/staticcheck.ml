@@ -1,0 +1,35 @@
+(* Terminal-facing directories keep their print exemption (same list as
+   the token lint's). *)
+let print_exempt_dirs = [ "util" ]
+
+let exempt_from_prints source =
+  List.exists
+    (fun dir -> List.mem dir (String.split_on_char '/' source))
+    print_exempt_dirs
+
+let check_unit (u : Cmt_load.unit_) =
+  let file = u.Cmt_load.source in
+  let check_prints = not (exempt_from_prints file) in
+  Protocol.check ~file u.Cmt_load.structure
+  @ Domain_safety.check ~file u.Cmt_load.structure
+  @ Purity.check ~file ~check_prints u.Cmt_load.structure
+  @ Zero_alloc.check ~file u.Cmt_load.structure
+
+let scan roots =
+  Cmt_load.load_roots roots
+  |> List.concat_map check_unit
+  |> List.sort_uniq Site.compare
+
+type result = {
+  findings : Site.t list;
+  allowed : Site.t list;
+  unused : Allowlist.entry list;
+}
+
+let run ?(allow = "staticcheck.allow") roots =
+  let allowlist = Allowlist.load allow in
+  let sites = scan roots in
+  let allowed, findings =
+    List.partition (Allowlist.permits allowlist) sites
+  in
+  { findings; allowed; unused = Allowlist.unused allowlist }

@@ -368,6 +368,40 @@ let test_lint_allows_named_exceptions () =
         "no blanket catches" []
         (List.map Lint.to_string (blanket_catches path)))
 
+(* The blanking pass runs once per file and must survive nested
+   comments: a banned token two levels deep stays invisible, and the
+   depth counter must not close the comment at the first closer. *)
+let test_lint_strip_nested_comments () =
+  let src =
+    "(* outer (* print_endline *) still comment Sys.time *)\n\
+     let x = 1\n\
+     (* a (* b (* c *) b *) a *) let y = Unix.gettimeofday\n"
+  in
+  let stripped = Lint.strip src in
+  check_bool "token two levels deep blanked" true
+    (not (String.length stripped < String.length src)
+    && String.length stripped = String.length src);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "print_endline gone" false (contains "print_endline" stripped);
+  check_bool "Sys.time gone" false (contains "Sys.time" stripped);
+  check_bool "code outside comments survives" true (contains "let x = 1" stripped);
+  check_bool "code after nested close survives" true
+    (contains "Unix.gettimeofday" stripped);
+  check_int "newlines preserved for line numbers" 3
+    (List.length (String.split_on_char '\n' stripped) - 1);
+  with_temp_dir (fun dir ->
+      let path =
+        write_file dir "nested.ml"
+          "(* (* Random.self_init inside nested comment *) *)\nlet ok = 2\n"
+      in
+      Alcotest.(check (list string))
+        "nested comment trips nothing" []
+        (List.map Lint.to_string (Lint.scan_file path)))
+
 let test_lint_missing_mli () =
   with_temp_dir (fun dir ->
       let _ = write_file dir "orphan.ml" "let x = 1\n" in
@@ -411,6 +445,8 @@ let () =
           Alcotest.test_case "banned tokens" `Quick test_lint_catches_banned_tokens;
           Alcotest.test_case "comments and strings" `Quick test_lint_ignores_comments_strings_and_formatters;
           Alcotest.test_case "missing mli" `Quick test_lint_missing_mli;
+          Alcotest.test_case "nested comment blanking" `Quick
+            test_lint_strip_nested_comments;
           Alcotest.test_case "blanket catch flagged" `Quick test_lint_flags_blanket_catch;
           Alcotest.test_case "named exceptions allowed" `Quick
             test_lint_allows_named_exceptions;

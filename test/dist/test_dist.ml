@@ -62,21 +62,6 @@ let mk_config ~seed ~rate ~service ~count =
     count;
   }
 
-(* Sched_policy hands workers out as free before their monitors are
-   armed (a known boot-window race, kept for output-baseline stability —
-   see ROADMAP): a doorbell rung inside that window is architecturally
-   lost and the request never completes.  The pool arms within a few
-   hundred cycles of boot; discard generated cases whose first arrival
-   could land inside a conservative multiple of that window so the
-   properties exercise steady-state scheduling, not the boot race. *)
-let boot_arm_horizon ~pool = pool * 128
-
-let assume_past_boot ~pool reqs =
-  match reqs with
-  | (first_arrival, _) :: _ ->
-    QCheck.assume (first_arrival > boot_arm_horizon ~pool)
-  | [] -> ()
-
 (* Property: FCFS admission with runnable_limit = smt_width can never
    beat the zero-overhead 2-server FCFS bound — sorted slowdowns
    dominate the reference element-wise (pointwise per-request domination
@@ -98,7 +83,6 @@ let sched_policy_dominates_reference =
       in
       let limit = cfg.Server.params.Switchless.Params.smt_width in
       let reqs = request_stream cfg in
-      assume_past_boot ~pool:16 reqs;
       let stats = Sched_policy.run ~pool:16 ~runnable_limit:limit ~mode:Fcfs cfg in
       let reference = reference_slowdowns ~servers:limit reqs in
       stats.Server.completed = cfg.Server.count
@@ -124,7 +108,6 @@ let sched_policy_preemptive_sanity =
       in
       let limit = cfg.Server.params.Switchless.Params.smt_width in
       let reqs = request_stream cfg in
-      assume_past_boot ~pool:16 reqs;
       let stats =
         Sched_policy.run ~pool:16 ~runnable_limit:limit
           ~mode:(Preemptive 2000) cfg

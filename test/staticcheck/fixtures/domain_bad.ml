@@ -1,0 +1,12 @@
+(* Seeded violations for the domain-safety rule: top-level mutable
+   state shared by every domain, unsynchronised. *)
+
+let hit_counter = ref 0
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let scratch = Array.make 4 0
+
+type knobs = { mutable verbose : bool }
+
+let knobs = { verbose = false }

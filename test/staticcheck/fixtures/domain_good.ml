@@ -1,0 +1,16 @@
+(* Clean counterparts for the domain-safety rule. *)
+
+let hits = Atomic.make 0
+
+let per_domain_scratch = Domain.DLS.new_key (fun () -> 0)
+
+(* Functions are exempt: each call builds fresh state. *)
+let make_cache () : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let limit = 42
+
+let name = "good"
+
+type knobs = { verbose : bool }
+
+let knobs = { verbose = false }

@@ -1,0 +1,43 @@
+(* Seeded violations for the protocol rule.  [boot_race_pool] is a
+   condensed snapshot of the pre-fix Server.run_hw_pool boot loop: the
+   freshly built worker joins the free pool from the builder, before the
+   attached body has armed the monitor.  The stubs mirror the real
+   module names so resolved-path suffix matching applies exactly as it
+   does over lib/. *)
+
+module Memory = struct
+  type addr = int
+
+  let alloc () : addr = 0
+end
+
+module Isa = struct
+  type thread = int
+
+  let monitor (_ : thread) (_ : Memory.addr) = ()
+  let mwait (_ : thread) = 0L
+end
+
+module Mailbox = struct
+  type 'a t = 'a list ref
+
+  let create () = ref []
+  let send t v = t := v :: !t
+end
+
+type worker = { doorbell : Memory.addr; mutable slot : int option }
+
+(* register-before-arm (seeded): published before MONITOR executes. *)
+let boot_race_pool free attach =
+  for _ = 1 to 4 do
+    let worker = { doorbell = Memory.alloc (); slot = None } in
+    attach (fun th ->
+        Isa.monitor th worker.doorbell;
+        ignore (Isa.mwait th));
+    Mailbox.send free worker
+  done
+
+(* park-before-arm (seeded): no dominating arm on this thread. *)
+let park_unarmed th =
+  let _ = Isa.mwait th in
+  ()

@@ -1,0 +1,52 @@
+(* Clean counterparts for the protocol rule: the post-fix shapes that
+   must stay silent. *)
+
+module Memory = struct
+  type addr = int
+
+  let alloc () : addr = 0
+end
+
+module Isa = struct
+  type thread = int
+
+  let monitor (_ : thread) (_ : Memory.addr) = ()
+  let mwait (_ : thread) = 0L
+end
+
+module Mailbox = struct
+  type 'a t = 'a list ref
+
+  let create () = ref []
+  let send t v = t := v :: !t
+  let recv t = match !t with [] -> assert false | v :: r -> t := r; v
+end
+
+type worker = { doorbell : Memory.addr; mutable slot : int option }
+
+(* The fixed boot loop: the worker announces itself only after its
+   monitor is armed (run_hw_pool_closed's shape). *)
+let boot_armed_pool free attach =
+  for _ = 1 to 4 do
+    let worker = { doorbell = Memory.alloc (); slot = None } in
+    attach (fun th ->
+        Isa.monitor th worker.doorbell;
+        Mailbox.send free worker;
+        ignore (Isa.mwait th))
+  done
+
+(* A module-local arming helper: the call summarizes to an arm of
+   [~client], so the park below it is covered (Hw_channel.issue/call). *)
+let issue ~client addr =
+  Isa.monitor client addr
+
+let call client addr =
+  issue ~client addr;
+  let _ = Isa.mwait client in
+  ()
+
+(* A worker received from a registry is not fresh: its sender owned the
+   arming obligation, and the wakeup latch covers re-registration. *)
+let requeue inbox free =
+  let (w : worker) = Mailbox.recv inbox in
+  Mailbox.send free w

@@ -1,0 +1,13 @@
+(* Seeded violations for the typed determinism/print/catch rules.  The
+   [S] alias is the point: a token scan sees no banned name on the
+   [cpu_now] line, the resolved path still says [Sys.time]. *)
+
+let seed_entropy () = Random.self_init ()
+
+module S = Sys
+
+let cpu_now () = S.time ()
+
+let shout s = print_endline s
+
+let swallow f = try f () with _ -> 0

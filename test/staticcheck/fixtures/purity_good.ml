@@ -1,0 +1,12 @@
+(* Clean counterparts for the typed determinism/print/catch rules:
+   Random.self_init in this comment is invisible to a typedtree, and so
+   is the string below. *)
+
+let doc = "print_endline Sys.time Unix.gettimeofday"
+
+let pp ppf s = Format.pp_print_string ppf s
+
+let careful f = try f () with Not_found -> 0
+
+(* A catch-all arm after named exceptions is a deliberate choice. *)
+let layered f = try f () with Not_found -> 0 | _ -> 1

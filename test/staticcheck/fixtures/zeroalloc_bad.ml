@@ -1,0 +1,15 @@
+(* Seeded violations for the [@@sl.zero_alloc] budget: one finding per
+   allocation class. *)
+
+let boxed_pair a b = (a, b) [@@sl.zero_alloc]
+
+let closure_inside x =
+  let f = fun y -> x + y in
+  f x
+[@@sl.zero_alloc]
+
+let some_box x = Some x [@@sl.zero_alloc]
+
+let add3 a b c = a + b + c
+
+let partial x = add3 x 1 [@@sl.zero_alloc]

@@ -1,0 +1,12 @@
+(* Clean counterparts for the [@@sl.zero_alloc] budget. *)
+
+let mul2 x = x * 2 [@@sl.zero_alloc]
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+[@@sl.zero_alloc]
+
+(* Curried parameters are the calling convention, not a capture. *)
+let lerp a b t = a + ((b - a) * t / 100) [@@sl.zero_alloc]
+
+(* Allocating is fine when the budget was never claimed. *)
+let unannotated_alloc x = (x, x)
