@@ -87,6 +87,20 @@ let report_abandoned id sims =
            (String.concat "," (List.map Json.quote suspect_lines)))
   end
 
+(* Per-site recovery counters (Sl_util.Recovery) accumulated during the
+   experiment: mwait→polling fallbacks, channel retries, watchdog nudges,
+   crash restarts/requeues.  Domain-local and reset per job, so the
+   trailer is a pure function of this experiment's run — and empty (no
+   line at all) when nothing had to recover, which keeps the fault-free
+   stdout unchanged. *)
+let report_recovery id =
+  match Sl_util.Recovery.snapshot () with
+  | [] -> ()
+  | sites ->
+    Sink.printf "{\"experiment\":%S,\"recovery\":{%s}}\n" id
+      (String.concat ","
+         (List.map (fun (k, n) -> Printf.sprintf "%S:%d" k n) sites))
+
 (* Everything the scheduler needs back from one experiment, wherever it
    ran.  [output] is the complete captured stdout; [failure] carries an
    escaped exception so it re-raises at the experiment's canonical
@@ -108,6 +122,7 @@ let run_job_once (id, title, f) =
   let sanitizer_failed = ref false in
   let sims = ref [] in
   let body () =
+    Sl_util.Recovery.reset ();
     Sink.printf "---------------------------------------------------------------\n";
     Sink.printf "%s — %s\n" (String.uppercase_ascii id) title;
     Sink.printf "---------------------------------------------------------------\n";
@@ -142,7 +157,8 @@ let run_job_once (id, title, f) =
     in
     Sl_engine.Sim.set_creation_hook (fun s -> sims := s :: !sims);
     Fun.protect ~finally:Sl_engine.Sim.clear_creation_hook f;
-    report_abandoned id (List.rev !sims)
+    report_abandoned id (List.rev !sims);
+    report_recovery id
   in
   let alloc0 = Gc.allocated_bytes () in
   let gc0 = Gc.quick_stat () in

@@ -411,6 +411,125 @@ let vm_cmd =
     (Cmd.info "vm" ~doc:"VM time-sharing: world switches by start/stop.")
     Term.(const run $ slice $ vms $ vcpus)
 
+(* --- explore --- *)
+
+let explore_cmd =
+  let module Explore = Sl_explore.Explore in
+  let module Scenario = Sl_explore.Scenario in
+  let scenario =
+    Arg.(
+      value
+      & opt string "boot.replica"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Exploration target, one of: %s."
+               (String.concat ", " Scenario.names)))
+  in
+  let trials =
+    Arg.(
+      value & opt int 60
+      & info [ "trials" ] ~docv:"N" ~doc:"Exploration trials to run.")
+  in
+  let max_shrink =
+    Arg.(
+      value
+      & opt int Explore.default_max_shrink_runs
+      & info [ "max-shrink-runs" ] ~docv:"N"
+          ~doc:"Per-failure scenario-execution budget for the shrinker.")
+  in
+  let max_seconds =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:
+            "Wall-clock budget; exploration stops early once exceeded \
+             (0 = no limit).  A budget-cut run is valid but no longer \
+             machine-independent.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the JSON report to $(docv).")
+  in
+  let expect_repros =
+    Arg.(
+      value & flag
+      & info [ "expect-repros" ]
+          ~doc:
+            "Invert the exit status: fail when NO repro is found.  For CI \
+             jobs that point the explorer at a known-seeded regression to \
+             prove the search still finds it.")
+  in
+  let run seed scenario trials max_shrink_runs max_seconds out expect_repros =
+    match Scenario.find scenario with
+    | None ->
+      Printf.eprintf "explore: unknown scenario %S; available: %s\n" scenario
+        (String.concat ", " Scenario.names);
+      exit 2
+    | Some sc ->
+      let cfg = { Explore.seed; trials; scenario = sc; max_shrink_runs } in
+      let stop =
+        if max_seconds <= 0.0 then fun () -> false
+        else begin
+          let t0 = Unix.gettimeofday () in
+          fun () -> Unix.gettimeofday () -. t0 > max_seconds
+        end
+      in
+      let report = Explore.run ~stop cfg in
+      let json = Explore.report_to_json report in
+      print_endline json;
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (json ^ "\n");
+        close_out oc);
+      (* Every repro must reproduce standalone: parse its spec back and
+         re-run the scenario outside the exploration loop.  A repro that
+         fails this check means shrinking or spec round-tripping broke —
+         always a tool bug worth failing loudly on. *)
+      let unreproducible =
+        List.filter
+          (fun (r : Explore.repro) ->
+            match Sl_fault.Fault.parse_spec r.Explore.spec with
+            | Error _ -> true
+            | Ok plan -> (sc.Scenario.run plan).Scenario.pass)
+          report.Explore.repros
+      in
+      List.iter
+        (fun (r : Explore.repro) ->
+          Printf.eprintf "explore: repro %s (%s; shrunk from %s in %d runs)\n"
+            r.Explore.spec r.Explore.reason r.Explore.original_spec
+            r.Explore.shrink_runs)
+        report.Explore.repros;
+      List.iter
+        (fun (r : Explore.repro) ->
+          Printf.eprintf "explore: REPRO DOES NOT REPRODUCE STANDALONE: %s\n"
+            r.Explore.spec)
+        unreproducible;
+      if unreproducible <> [] then exit 1;
+      if expect_repros then begin
+        if report.Explore.repros = [] then begin
+          Printf.eprintf
+            "explore: expected to find a repro in %S and found none\n"
+            scenario;
+          exit 1
+        end
+      end
+      else if report.Explore.repros <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Coverage-guided fault-space exploration (nemesis): search fault \
+          plans for oracle/sanitizer failures, delta-debug each failure to \
+          a minimal SWITCHLESS_FAULTS spec, and report JSON.  Deterministic \
+          for a fixed -seed/-trials.")
+    Term.(
+      const run $ seed $ scenario $ trials $ max_shrink $ max_seconds $ out
+      $ expect_repros)
+
 let lint_cmd =
   let roots =
     Arg.(
@@ -521,6 +640,7 @@ let () =
             load_cmd;
             netstack_cmd;
             vm_cmd;
+            explore_cmd;
             lint_cmd;
             check_cmd;
           ]))

@@ -17,6 +17,15 @@ type fault_hooks = {
   start_extra_cycles : ptid:int -> int;
       (* Sampled on every start hand-off: extra cycles added to the wakeup
          latency (a delayed inter-core start message). *)
+  crash_park_after : ptid:int -> (int * int) option;
+      (* Sampled when a thread parks: [Some (after, restart)] crash-stops
+         it [after] cycles into the park (if still parked) and restarts it
+         cold [restart] cycles after the crash. *)
+  crash_at_wake : ptid:int -> int option;
+      (* Sampled as a wake is consumed: [Some restart] crash-stops the
+         thread at the wake boundary — after the triggering write is
+         consumed, before any of it is processed (the mid-request death).
+         Restarted cold [restart] cycles later. *)
 }
 
 type t = {
@@ -37,6 +46,7 @@ and wake_event =
   | Wake of Memory.addr  (* a monitored write (or spurious wake) arrived *)
   | Stop_cancelled  (* force-stopped while waiting *)
   | Deadline  (* mwait_for deadline expired *)
+  | Crash_wake  (* crash-stopped while parked: unwind the body *)
 
 and thread = {
   chip : t;
@@ -50,8 +60,17 @@ and thread = {
          enable absorbs the next voluntary stop, so a caller that rings a
          server which has not yet parked itself does not lose the
          request. *)
+  mutable crashed : bool;
+      (* Crash-stopped and not yet restarted: the body coroutine is gone,
+         so the next start (scheduled or explicit) must respawn it from
+         scratch rather than signal the dead one. *)
+  mutable crashes : int;  (* lifetime crash-stop count *)
   resume : unit Signal.t;
 }
+
+(* Raised inside a crash-stopped thread's body to unwind its instruction
+   stream; caught in [run_body], never escapes the chip. *)
+exception Crash_stop
 
 (* Consulted at the end of [create]: lets observer libraries (analysis,
    fault injection) attach themselves to every chip built anywhere —
@@ -139,6 +158,8 @@ let add_thread t ~core:core_id ~ptid ~mode ?(vector = false) ?(weight = 1.0) () 
       spawned = false;
       wake_slot = None;
       pending_start = false;
+      crashed = false;
+      crashes = 0;
       resume = Signal.create ();
     }
   in
@@ -168,6 +189,7 @@ let set_tdt th table = th.p.Ptid.tdt <- Some table
 let tdt th = th.p.Ptid.tdt
 let wakeup_count th = th.p.Ptid.wakeups
 let start_count th = th.p.Ptid.starts
+let crash_count th = th.crashes
 
 let own_core th = th.chip.cores.(home_core th)
 
@@ -195,7 +217,13 @@ let run_body th =
   | None -> invalid_arg "Chip: starting a thread with no body attached"
   | Some body ->
     Sim.spawn ~name:(Printf.sprintf "ptid-%d" (ptid th)) th.chip.sim (fun () ->
-        body th;
+        (match body th with
+        | () -> ()
+        | exception Crash_stop ->
+          (* Crash-stopped: all crash bookkeeping (state change, monitor
+             teardown, restart scheduling) ran at the crash site; the
+             raise only unwound the dead instruction stream. *)
+          ());
         (* Instruction stream ended: the thread parks itself. *)
         if th.p.Ptid.state = Ptid.Runnable then
           make_not_runnable th Ptid.Disabled ~reason:"body-end")
@@ -250,6 +278,59 @@ let schedule_wakeup th ~extra ~reason ~(on_ready : unit -> unit) =
       Signal.emit th.resume ();
       on_ready ())
 
+(* --- crash-stop + cold restart ------------------------------------------ *)
+
+(* Shared bookkeeping of a crash-stop: the hardware thread dies on the
+   spot.  Everything architectural it held is gone — armed monitors, a
+   latched pending start, its place in the pipeline — and a cold restart
+   [restart_after] cycles later respawns the attached body from scratch
+   (so the body itself must re-arm its monitor and re-publish whatever it
+   owns, exactly the recovery discipline the protocol rule enforces).
+   The caller is responsible for unwinding the instruction stream (raise
+   [Crash_stop] from inside the body, or fill the wake slot with
+   [Crash_wake] for a parked thread). *)
+let crash_mark th ~kind ~restart_after =
+  let chip = th.chip in
+  th.crashes <- th.crashes + 1;
+  th.crashed <- true;
+  th.pending_start <- false;
+  Monitor.cancel_wait chip.monitor (monitor_key th);
+  Monitor.disarm_all chip.monitor (monitor_key th);
+  (match th.p.Ptid.state with
+  | Ptid.Disabled -> ()
+  | Ptid.Runnable -> make_not_runnable th Ptid.Disabled ~reason:"crash-stop"
+  | Ptid.Waiting ->
+    (* Mirror the force-stop path: a Waiting thread is already off the
+       execution units, only the state machine and probes move. *)
+    th.p.Ptid.state <- Ptid.Disabled;
+    emit chip
+      (Probe.State_change
+         {
+           ptid = ptid th;
+           from_ = Ptid.Waiting;
+           to_ = Ptid.Disabled;
+           reason = "crash-stop";
+         }));
+  emit chip (Probe.Fault_injected { ptid = ptid th; kind });
+  let restart_at = Sim.time chip.sim + max 1 restart_after in
+  Sim.schedule chip.sim ~at:restart_at (fun () ->
+      (* A start issued between crash and restart already respawned the
+         body (see [do_start]); don't spawn a second instruction stream. *)
+      if th.crashed then begin
+        th.crashed <- false;
+        th.p.Ptid.starts <- th.p.Ptid.starts + 1;
+        emit chip
+          (Probe.Start_edge { actor = Probe.Boot; target = ptid th; latched = false });
+        schedule_wakeup th ~extra:0 ~reason:"crash-restart" ~on_ready:(fun () ->
+            run_body th)
+      end)
+
+(* Crash the calling body at its current instruction (the wake boundary):
+   bookkeeping, then unwind.  Never returns. *)
+let crash_self th ~kind ~restart_after =
+  crash_mark th ~kind ~restart_after;
+  raise Crash_stop
+
 (* --- §3.1 instructions -------------------------------------------------- *)
 
 let insn_monitor th addr =
@@ -290,12 +371,24 @@ let insn_mwait_generic th ~deadline =
             Ivar.fill ivar (Wake addr)
           end)
     in
+    (* Sampled as a wake is consumed, parked or immediate: the thread
+       dies holding the event — the doorbell was delivered but nothing
+       will process it until the cold restart re-runs the body. *)
+    let crash_on_wake () =
+      match chip.faults with
+      | None -> ()
+      | Some f -> (
+        match f.crash_at_wake ~ptid:(ptid th) with
+        | None -> ()
+        | Some restart_after -> crash_self th ~kind:"crash-wake" ~restart_after)
+    in
     match Monitor.mwait chip.monitor key ~wake with
     | `Immediate addr ->
       (* The write already happened; no sleep, only the match cost. *)
       th.p.Ptid.wakeups <- th.p.Ptid.wakeups + 1;
       exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_wake_cycles;
       emit chip (Probe.Mwait_woke { ptid = ptid th; addr; immediate = true });
+      crash_on_wake ();
       Some addr
     | `Parked -> (
       make_not_runnable th Ptid.Waiting ~reason:"mwait-park";
@@ -357,9 +450,29 @@ let insn_mwait_generic th ~deadline =
                   | [] -> 0
                 in
                 w addr)));
+      (* Fault injection: a crash-stop lands mid-park.  The scheduled
+         event claims the wait only if nothing else already did (no wake
+         in flight, no force-stop, no deadline); the filled slot unwinds
+         the parked body, which run_body retires, and [crash_mark] has
+         already scheduled the cold restart. *)
+      (match chip.faults with
+      | None -> ()
+      | Some f -> (
+        match f.crash_park_after ~ptid:(ptid th) with
+        | None -> ()
+        | Some (after, restart_after) ->
+          Sim.schedule chip.sim
+            ~at:((Sim.time chip.sim + max 0 after))
+            (fun () ->
+              if (not (Ivar.is_full ivar)) && th.p.Ptid.state = Ptid.Waiting
+              then begin
+                crash_mark th ~kind:"crash-park" ~restart_after;
+                Ivar.fill ivar Crash_wake
+              end)));
       match Ivar.read ivar with
       | Wake addr ->
         th.wake_slot <- None;
+        crash_on_wake ();
         Some addr
       | Deadline ->
         th.wake_slot <- None;
@@ -369,7 +482,12 @@ let insn_mwait_generic th ~deadline =
         (* Force-stopped while waiting; when restarted, wait again. *)
         th.wake_slot <- None;
         wait_until_runnable th;
-        park ())
+        park ()
+      | Crash_wake ->
+        (* Crash-stopped while parked: bookkeeping already ran in the
+           crash event; unwind the dead instruction stream. *)
+        th.wake_slot <- None;
+        raise Crash_stop)
   in
   park ()
 
@@ -451,6 +569,14 @@ let do_start ~actor target =
       (Probe.Start_edge { actor; target = ptid target; latched = false });
     if not target.spawned then begin
       target.spawned <- true;
+      schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () ->
+          run_body target)
+    end
+    else if target.crashed then begin
+      (* Crash-stopped and not yet auto-restarted: the old instruction
+         stream is gone, so an explicit start must respawn the body (and
+         the scheduled auto-restart then sees [crashed = false]). *)
+      target.crashed <- false;
       schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () ->
           run_body target)
     end
@@ -680,6 +806,9 @@ type stats = {
   dram_wakes : int;
   demotions : int;
 }
+
+let crash_total t =
+  Hashtbl.fold (fun _ th acc -> acc + th.crashes) t.threads 0
 
 let stats t =
   let sum f = Hashtbl.fold (fun _ th acc -> acc + f th) t.threads 0 in

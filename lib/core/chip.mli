@@ -101,10 +101,40 @@ type fault_hooks = {
   start_extra_cycles : ptid:int -> int;
       (** Sampled at every start hand-off: extra cycles added to the
           wakeup latency (a delayed inter-core start message). *)
+  crash_park_after : ptid:int -> (int * int) option;
+      (** Sampled when a thread parks in mwait: [Some (after, restart)]
+          crash-stops it [after] cycles into the park (if still parked)
+          and cold-restarts it [restart] cycles after the crash. *)
+  crash_at_wake : ptid:int -> int option;
+      (** Sampled as an mwait wake is consumed: [Some restart]
+          crash-stops the thread at the wake boundary — the triggering
+          write is consumed but nothing has processed it (mid-request
+          death) — and cold-restarts it [restart] cycles later. *)
 }
 
 val set_fault_hooks : t -> fault_hooks -> unit
 val clear_fault_hooks : t -> unit
+
+(** {2 Crash-stop semantics}
+
+    A crash-stop models a hardware thread (or the worker it hosts) dying
+    at an arbitrary point: every architectural resource it held vanishes
+    on the spot — all armed monitors are disarmed, a latched pending
+    start is dropped, the instruction stream is abandoned mid-flight —
+    and the thread goes [Disabled] with a ["crash-stop"] state change.
+    The cold restart re-spawns the {e attached body from scratch} after
+    the fault's restart delay (paying the normal wakeup latency), so
+    recovery is the body's own boot path: it must re-arm its monitor,
+    re-publish itself to any free pool, and requeue or time out whatever
+    request it died holding.  An explicit [start] issued between crash
+    and restart also respawns the body (and supersedes the scheduled
+    auto-restart). *)
+
+val crash_count : thread -> int
+(** Lifetime crash-stops of this thread. *)
+
+val crash_total : t -> int
+(** Crash-stops summed over all threads of the chip. *)
 
 (** {2 Thread introspection} *)
 

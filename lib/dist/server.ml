@@ -78,6 +78,8 @@ let run_software ?quantum cfg =
 type hw_worker = {
   doorbell : Memory.addr;
   mutable slot_request : Openloop.request option;
+  mutable hw_enlisted : bool;  (* an entry for this worker sits in [free] *)
+  mutable hw_lives : int;
 }
 
 (* --- closed-loop clients against the hardware pool ----------------------- *)
@@ -97,28 +99,49 @@ type closed_stats = {
 type closed_worker = {
   bell : Memory.addr;
   mutable slot : (Openloop.request * (unit -> unit)) option;
+  mutable enlisted : bool;  (* an entry for this worker sits in [free] *)
+  mutable lives : int;
 }
 
-let run_hw_pool_closed ?(pool_per_core = 64) ?timeout ?slo ~clients ~think cfg =
+let run_hw_pool_closed ?(pool_per_core = 64) ?timeout ?slo ?horizon ~clients
+    ~think cfg =
   if clients <= 0 then
     invalid_arg "Server.run_hw_pool_closed: clients must be positive";
   let sim = Sim.create () in
   let chip = Chip.create sim cfg.params ~cores:cfg.cores in
   let memory = Chip.memory chip in
   let free = Mailbox.create () in
+  let inbox = Mailbox.create () in
   for core = 0 to cfg.cores - 1 do
     for i = 0 to pool_per_core - 1 do
       let ptid = (core * 1024) + i + 1 in
-      let worker = { bell = Memory.alloc memory 1; slot = None } in
+      let worker =
+        { bell = Memory.alloc memory 1; slot = None; enlisted = false; lives = 0 }
+      in
       let th = Chip.add_thread chip ~core ~ptid ~mode:Ptid.User () in
       Chip.attach th (fun th ->
           (* Pool workers park in mwait between requests by design; keep
              them out of the abandoned-process suspect report. *)
           Sim.set_daemon true;
+          (* The body doubles as the cold-restart boot path.  Arm first —
+             a bell rung before MONITOR executes is architecturally
+             lost — then requeue any request orphaned by a crash-stop
+             (died mid-request, or assigned into the dead window) so the
+             closed loop's conservation law survives, and rejoin the free
+             pool unless our entry is still queued there. *)
           Isa.monitor th worker.bell;
-          (* Join the free pool only once the monitor is armed — a bell
-             rung before MONITOR executes is architecturally lost. *)
-          Mailbox.send free worker;
+          worker.lives <- worker.lives + 1;
+          if worker.lives > 1 then Sl_util.Recovery.bump "server.crash_restart";
+          (match worker.slot with
+          | Some job ->
+            worker.slot <- None;
+            Sl_util.Recovery.bump "server.crash_requeue";
+            Mailbox.send inbox job
+          | None -> ());
+          if not worker.enlisted then begin
+            worker.enlisted <- true;
+            Mailbox.send free worker
+          end;
           let rec serve () =
             let _ = Isa.mwait th in
             (match worker.slot with
@@ -126,6 +149,7 @@ let run_hw_pool_closed ?(pool_per_core = 64) ?timeout ?slo ~clients ~think cfg =
               worker.slot <- None;
               Isa.exec th req.Openloop.service_cycles;
               complete ();
+              worker.enlisted <- true;
               Mailbox.send free worker
             | None -> ());
             serve ()
@@ -134,20 +158,22 @@ let run_hw_pool_closed ?(pool_per_core = 64) ?timeout ?slo ~clients ~think cfg =
       Chip.boot th
     done
   done;
-  let inbox = Mailbox.create () in
   Sim.spawn sim (fun () ->
       (* Like the pool workers, the dispatcher parks by design when the
          pool is exhausted; under injected faults wedged workers never
          return to [free], and the clients' timeouts — not the
-         dispatcher — carry liveness. *)
+         dispatcher — carry liveness.  Unbounded on purpose: crash-stop
+         requeues can push dispatches past [cfg.count]. *)
       Sim.set_daemon true;
-      let served = ref 0 in
-      while !served < cfg.count do
+      while true do
         let (req, _) as job = Mailbox.recv inbox in
         let worker = Mailbox.recv free in
+        (* No yield between the pop and the bell write, so a restarting
+           worker always observes either (enlisted, no slot) or
+           (assigned, slot set) — never the half-claimed state. *)
+        worker.enlisted <- false;
         worker.slot <- Some job;
-        Memory.write memory worker.bell (Int64.of_int req.Openloop.req_id);
-        incr served
+        Memory.write memory worker.bell (Int64.of_int req.Openloop.req_id)
       done);
   let rng = Sl_util.Rng.create cfg.seed in
   let cl =
@@ -155,7 +181,7 @@ let run_hw_pool_closed ?(pool_per_core = 64) ?timeout ?slo ~clients ~think cfg =
       ~count:cfg.count
       ~submit:(fun req ~complete -> Mailbox.send inbox (req, complete))
   in
-  Sim.run sim;
+  Sim.run ?until:horizon sim;
   {
     clients;
     issued = Closedloop.issued cl;
@@ -172,18 +198,40 @@ let run_hw_pool ?(pool_per_core = 64) cfg =
   let latencies = Histogram.create () in
   let slowdowns = ref [] in
   let free = Mailbox.create () in
+  let inbox = Mailbox.create () in
   (* Build the worker pool: each worker parks in mwait on its doorbell. *)
   for core = 0 to cfg.cores - 1 do
     for i = 0 to pool_per_core - 1 do
       let ptid = (core * 1024) + i + 1 in
-      let worker = { doorbell = Memory.alloc memory 1; slot_request = None } in
+      let worker =
+        {
+          doorbell = Memory.alloc memory 1;
+          slot_request = None;
+          hw_enlisted = false;
+          hw_lives = 0;
+        }
+      in
       let th = Chip.add_thread chip ~core ~ptid ~mode:Ptid.User () in
       Chip.attach th (fun th ->
+          (* Boot path doubles as crash recovery (see run_hw_pool_closed):
+             arm, requeue an orphaned request, rejoin the free pool. *)
           Isa.monitor th worker.doorbell;
           (* Join the free pool only once the monitor is armed — a
              doorbell rung before MONITOR executes is architecturally
              lost (same order as run_hw_pool_closed). *)
-          Mailbox.send free worker;
+          worker.hw_lives <- worker.hw_lives + 1;
+          if worker.hw_lives > 1 then
+            Sl_util.Recovery.bump "server.crash_restart";
+          (match worker.slot_request with
+          | Some req ->
+            worker.slot_request <- None;
+            Sl_util.Recovery.bump "server.crash_requeue";
+            Mailbox.send inbox req
+          | None -> ());
+          if not worker.hw_enlisted then begin
+            worker.hw_enlisted <- true;
+            Mailbox.send free worker
+          end;
           let rec serve () =
             let _ = Isa.mwait th in
             (match worker.slot_request with
@@ -191,6 +239,7 @@ let run_hw_pool ?(pool_per_core = 64) cfg =
               worker.slot_request <- None;
               Isa.exec th req.Openloop.service_cycles;
               record latencies slowdowns req;
+              worker.hw_enlisted <- true;
               Mailbox.send free worker
             | None -> ());
             serve ()
@@ -200,16 +249,17 @@ let run_hw_pool ?(pool_per_core = 64) cfg =
     done
   done;
   (* Dispatch: hardware steering (smartNIC-style) — pick a parked worker
-     and ring its doorbell; requests queue when the pool is exhausted. *)
-  let inbox = Mailbox.create () in
+     and ring its doorbell; requests queue when the pool is exhausted.
+     Unbounded so crash-stop requeues still reach a worker after the
+     first [cfg.count] dispatches. *)
   Sim.spawn sim (fun () ->
-      let served = ref 0 in
-      while !served < cfg.count do
+      Sim.set_daemon true;
+      while true do
         let req = Mailbox.recv inbox in
         let worker = Mailbox.recv free in
+        worker.hw_enlisted <- false;
         worker.slot_request <- Some req;
-        Memory.write memory worker.doorbell (Int64.of_int req.Openloop.req_id);
-        incr served
+        Memory.write memory worker.doorbell (Int64.of_int req.Openloop.req_id)
       done);
   let rng = Sl_util.Rng.create cfg.seed in
   Openloop.run sim rng

@@ -62,10 +62,22 @@ type closed_stats = {
 
 val run_hw_pool_closed :
   ?pool_per_core:int -> ?timeout:Sl_engine.Sim.Time.t -> ?slo:int ->
+  ?horizon:Sl_engine.Sim.Time.t ->
   clients:int -> think:Sl_util.Dist.t -> config -> closed_stats
 (** [run_hw_pool_closed ~clients ~think cfg] runs [cfg.count] requests
     from [clients] closed-loop clients (think-time distribution [think],
     service demands from [cfg.service]) against the {!run_hw_pool} worker
     pool.  [cfg.rate_per_kcycle] is ignored — a closed loop has no offered
     rate, only a population.  [timeout]/[slo] forward to
-    {!Sl_workload.Closedloop.start}. *)
+    {!Sl_workload.Closedloop.start}.
+
+    Both pool runners survive injected crash-stops: a worker's body is its
+    own boot path, so a cold restart re-arms the doorbell monitor,
+    requeues any request orphaned in its slot (counted under the
+    [server.crash_requeue] recovery site) and rejoins the free pool —
+    request conservation ([issued = finished + timed_out] here, completed
+    = count in {!run_hw_pool}) holds across arbitrary crash schedules as
+    long as clients carry a [timeout].  [horizon], when given, bounds the
+    simulated time ([Sl_engine.Sim.run ~until]) so a fault schedule that
+    wedges the pool returns with the shortfall visible in the counts
+    instead of hanging the explorer. *)

@@ -1,0 +1,66 @@
+(** Nemesis: coverage-guided fault-space exploration with automatic
+    schedule shrinking.
+
+    The explorer searches the space of {!Sl_fault.Fault.plan}s for
+    schedules that break a {!Scenario} — i.e. make one of its oracles or
+    sanitizers fire.  The search is a tiny coverage-guided fuzzer:
+
+    - {e generation}: plans are drawn on a SplitMix64 stream seeded by
+      [config.seed], either fresh (each of the scenario's dimensions
+      switched on with small probability) or by mutating a corpus
+      entry (re-seed the fault streams, perturb/zero/double a knob);
+    - {e coverage}: an outcome's feature set is its recovery sites and
+      injected-fault counts mapped through AFL-style logarithmic
+      buckets; a trial that produces any unseen feature joins the
+      corpus;
+    - {e shrinking}: every failing plan is delta-debugged to a
+      1-minimal repro (resetting any single surviving knob to its
+      default makes the failure vanish), with surviving probabilities
+      halved as far as the failure allows, then serialized with
+      {!Sl_fault.Fault.to_spec} — which round-trips exactly, so the
+      spec replayed through [SWITCHLESS_FAULTS] reproduces the failure
+      byte for byte, standalone.
+
+    Everything is deterministic: [run] with the same config returns the
+    identical report, whatever machine or [-j] level, because scenario
+    outcomes are pure functions of the plan and the explorer draws all
+    its randomness from [config.seed]. *)
+
+type config = {
+  seed : int64;  (** Root of the exploration stream. *)
+  trials : int;  (** Exploration trials (shrink runs not included). *)
+  scenario : Scenario.t;
+  max_shrink_runs : int;  (** Per-failure budget for the shrinker. *)
+}
+
+val default_max_shrink_runs : int
+(** 400 — enough for 1-minimality on every plan the generator emits. *)
+
+type repro = {
+  spec : string;  (** Minimal failing spec ({!Sl_fault.Fault.to_spec}). *)
+  reason : string;  (** The oracle verdicts of the minimal plan's run. *)
+  original_spec : string;  (** The unshrunk plan that first failed. *)
+  shrink_runs : int;  (** Scenario executions the shrinker spent. *)
+}
+
+type report = {
+  scenario : string;
+  seed : int64;
+  trials : int;  (** Requested. *)
+  trials_run : int;  (** Executed (< trials only when [stop] fired). *)
+  total_runs : int;  (** Trials + shrink executions. *)
+  failures : int;  (** Failing trials (before dedup). *)
+  corpus_size : int;
+  features : int;  (** Distinct coverage features observed. *)
+  repros : repro list;  (** Deduped by minimal spec, sorted. *)
+}
+
+val run : ?stop:(unit -> bool) -> config -> report
+(** [run cfg] explores for [cfg.trials] trials.  [stop] is polled
+    before each trial — the driver's wall-clock budget hook; a report
+    cut short by [stop] is still valid, just smaller.  Deterministic
+    whenever [stop] never fires. *)
+
+val report_to_json : report -> string
+(** One line, schema ["switchless-explore/1"], deterministic field
+    order. *)

@@ -21,6 +21,11 @@ type plan = {
   store_ecc : float;
   store_silent : float;
   ipi_drop : float;
+  crash_park : float;
+  crash_wake : float;
+  crash_park_delay : int;
+  crash_restart_cycles : int;
+  crash_boot_window : int;
 }
 
 let none =
@@ -39,13 +44,18 @@ let none =
     store_ecc = 0.0;
     store_silent = 0.0;
     ipi_drop = 0.0;
+    crash_park = 0.0;
+    crash_wake = 0.0;
+    crash_park_delay = 2_000;
+    crash_restart_cycles = 25_000;
+    crash_boot_window = 0;
   }
 
 let is_active p =
   p.nic_doorbell_drop > 0.0 || p.nic_doorbell_dup > 0.0 || p.nic_dma_drop > 0.0
   || p.nvme_stall > 0.0 || p.mwait_lost > 0.0 || p.mwait_spurious > 0.0
   || p.start_delay > 0.0 || p.store_ecc > 0.0 || p.store_silent > 0.0
-  || p.ipi_drop > 0.0
+  || p.ipi_drop > 0.0 || p.crash_park > 0.0 || p.crash_wake > 0.0
 
 (* --- spec strings ------------------------------------------------------- *)
 
@@ -93,9 +103,70 @@ let fields =
     Prob ("store.ecc", (fun p -> p.store_ecc), fun p v -> { p with store_ecc = v });
     Prob ("store.silent", (fun p -> p.store_silent), fun p v -> { p with store_silent = v });
     Prob ("ipi.drop", (fun p -> p.ipi_drop), fun p v -> { p with ipi_drop = v });
+    Prob ("crash.park", (fun p -> p.crash_park), fun p v -> { p with crash_park = v });
+    Prob ("crash.wake", (fun p -> p.crash_wake), fun p v -> { p with crash_wake = v });
+    Cycles
+      ( "crash.park_delay",
+        (fun p -> p.crash_park_delay),
+        fun p v -> { p with crash_park_delay = v } );
+    Cycles
+      ( "crash.restart_cycles",
+        (fun p -> p.crash_restart_cycles),
+        fun p v -> { p with crash_restart_cycles = v } );
+    Cycles
+      ( "crash.boot_window",
+        (fun p -> p.crash_boot_window),
+        fun p v -> { p with crash_boot_window = v } );
   ]
 
 let field_key = function Prob (k, _, _) | Cycles (k, _, _) -> k
+
+let prob_keys =
+  List.filter_map (function Prob (k, _, _) -> Some k | Cycles _ -> None) fields
+
+let cycles_keys =
+  List.filter_map (function Cycles (k, _, _) -> Some k | Prob _ -> None) fields
+
+let find_field kind key =
+  match List.find_opt (fun f -> field_key f = key) fields with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Fault.%s: unknown key %S" kind key)
+
+let prob p key =
+  match find_field "prob" key with
+  | Prob (_, get, _) -> get p
+  | Cycles _ -> invalid_arg (Printf.sprintf "Fault.prob: %S is a cycles knob" key)
+
+let with_prob p key v =
+  if not (v >= 0.0 && v <= 1.0) then
+    invalid_arg (Printf.sprintf "Fault.with_prob: %S out of [0,1]" key);
+  match find_field "with_prob" key with
+  | Prob (_, _, set) -> set p v
+  | Cycles _ ->
+    invalid_arg (Printf.sprintf "Fault.with_prob: %S is a cycles knob" key)
+
+let cycles p key =
+  match find_field "cycles" key with
+  | Cycles (_, get, _) -> get p
+  | Prob _ -> invalid_arg (Printf.sprintf "Fault.cycles: %S is a prob knob" key)
+
+let with_cycles p key v =
+  if v < 0 then invalid_arg (Printf.sprintf "Fault.with_cycles: %S negative" key);
+  match find_field "with_cycles" key with
+  | Cycles (_, _, set) -> set p v
+  | Prob _ ->
+    invalid_arg (Printf.sprintf "Fault.with_cycles: %S is a prob knob" key)
+
+(* Shortest decimal that parses back to exactly [f]: "%g" (6 significant
+   digits) covers every hand-written probability; raw RNG-drawn doubles
+   fall through to more digits until the round-trip is exact, so a spec
+   replayed from its string reproduces the schedule bit-for-bit. *)
+let float_repr f =
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f then s
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let to_spec p =
   let parts =
@@ -103,7 +174,8 @@ let to_spec p =
     :: List.filter_map
          (function
            | Prob (k, get, _) ->
-             if get p > 0.0 then Some (Printf.sprintf "%s=%g" k (get p)) else None
+             if get p > 0.0 then Some (Printf.sprintf "%s=%s" k (float_repr (get p)))
+             else None
            | Cycles (k, get, _) ->
              if get p <> get none then Some (Printf.sprintf "%s=%d" k (get p))
              else None)
@@ -161,6 +233,8 @@ let count_keys =
     "store.ecc";
     "store.silent";
     "ipi.drop";
+    "crash.park";
+    "crash.wake";
   ]
 
 type t = {
@@ -174,6 +248,7 @@ type t = {
   start_rng : Rng.t;
   store_rng : Rng.t;
   ipi_rng : Rng.t;
+  crash_rng : Rng.t;
   counters : (string, int) Hashtbl.t;
 }
 
@@ -185,6 +260,8 @@ let create plan =
   let start_rng = Rng.split root in
   let store_rng = Rng.split root in
   let ipi_rng = Rng.split root in
+  (* Split last so pre-crash plans keep their historical streams. *)
+  let crash_rng = Rng.split root in
   {
     plan;
     nic_rng;
@@ -193,6 +270,7 @@ let create plan =
     start_rng;
     store_rng;
     ipi_rng;
+    crash_rng;
     counters = Hashtbl.create 16;
   }
 
@@ -242,6 +320,14 @@ let attach_irq t irq =
 let attach_chip t chip =
   Monitor.set_fault_hook (Chip.monitor_table chip) (fun _key _addr ->
       draw t t.mwait_rng "mwait.lost" t.plan.mwait_lost);
+  (* crash.boot_window > 0 correlates the crashes: they can only land
+     before that simulated instant (boot/warm-up storms), after which the
+     system must recover to quiescence on its own.  The time check runs
+     before the draw, so the window also gates randomness consumption. *)
+  let in_crash_window () =
+    t.plan.crash_boot_window = 0
+    || Sl_engine.Sim.time (Chip.sim chip) < t.plan.crash_boot_window
+  in
   Chip.set_fault_hooks chip
     {
       Chip.spurious_wake_after =
@@ -254,6 +340,21 @@ let attach_chip t chip =
           if draw t t.start_rng "start.delay" t.plan.start_delay then
             t.plan.start_delay_cycles
           else 0);
+      crash_park_after =
+        (fun ~ptid:_ ->
+          if in_crash_window ()
+             && draw t t.crash_rng "crash.park" t.plan.crash_park
+          then
+            Some
+              ( Rng.int t.crash_rng (max 1 t.plan.crash_park_delay),
+                t.plan.crash_restart_cycles )
+          else None);
+      crash_at_wake =
+        (fun ~ptid:_ ->
+          if in_crash_window ()
+             && draw t t.crash_rng "crash.wake" t.plan.crash_wake
+          then Some t.plan.crash_restart_cycles
+          else None);
     };
   for core = 0 to Chip.core_count chip - 1 do
     State_store.set_fault_hook (Chip.state_store chip core) (fun ~ptid:_ ->

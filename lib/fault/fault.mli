@@ -38,6 +38,22 @@ type plan = {
   store_ecc : float;  (** P(context read hits an ECC-corrected flip). *)
   store_silent : float;  (** P(context read corrupts silently). *)
   ipi_drop : float;  (** P(an IPI is lost after the send cost). *)
+  crash_park : float;
+      (** P(a parked thread crash-stops mid-mwait).  See
+          {!Switchless.Chip.crash_count} for the semantics: monitors
+          disarmed, body abandoned, cold restart re-runs it from
+          scratch. *)
+  crash_wake : float;
+      (** P(a thread crash-stops at the wake boundary — doorbell
+          consumed, request unprocessed: the mid-request death). *)
+  crash_park_delay : int;
+      (** Max cycles into a park at which a [crash_park] lands (the
+          actual offset is drawn uniformly from [\[0, delay)]). *)
+  crash_restart_cycles : int;  (** Crash-to-cold-restart delay. *)
+  crash_boot_window : int;
+      (** When nonzero, crashes only land before this simulated time —
+          correlated crash storms during boot/warm-up, after which the
+          system must recover unaided.  0 = crashes any time. *)
 }
 
 val none : plan
@@ -59,7 +75,32 @@ val parse_spec : string -> (plan, string) result
 
 val to_spec : plan -> string
 (** Canonical spec: seed plus every field differing from {!none}.
-    Round-trips through {!parse_spec}. *)
+    Round-trips through {!parse_spec} {e exactly} —
+    [parse_spec (to_spec p) = Ok p] for every valid plan, arbitrary
+    float probabilities included (shortest decimal that parses back to
+    the same double) — so a shrunk schedule replayed verbatim through
+    the [SWITCHLESS_FAULTS] hook reproduces its run bit-for-bit. *)
+
+(** {2 Plan knobs by key}
+
+    Generic access to the plan fields under their spec keys, for code
+    that treats plans as points in a fault space (the explorer's
+    generator, mutator and shrinker) rather than as records.  All raise
+    [Invalid_argument] on unknown keys or kind mismatches. *)
+
+val prob_keys : string list
+(** Every probability knob's spec key, in canonical field order. *)
+
+val cycles_keys : string list
+(** Every cycle-count knob's spec key, in canonical field order. *)
+
+val prob : plan -> string -> float
+val with_prob : plan -> string -> float -> plan
+(** [with_prob p key v] — [v] must be in [\[0,1\]]. *)
+
+val cycles : plan -> string -> int
+val with_cycles : plan -> string -> int -> plan
+(** [with_cycles p key v] — [v] must be non-negative. *)
 
 (** {2 Injectors} *)
 
@@ -86,9 +127,9 @@ val total_injected : t -> int
     so unrelated subsystems keep identical schedules. *)
 
 val attach_chip : t -> Switchless.Chip.t -> unit
-(** Installs the monitor delivery-drop hook, the chip spurious-wake and
-    start-delay hooks, and a corruption hook on every core's state
-    store. *)
+(** Installs the monitor delivery-drop hook, the chip spurious-wake,
+    start-delay and crash-stop hooks, and a corruption hook on every
+    core's state store. *)
 
 val attach_nic : t -> Sl_dev.Nic.t -> unit
 val attach_nvme : t -> Sl_dev.Nvme.t -> unit

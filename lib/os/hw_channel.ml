@@ -166,6 +166,7 @@ let call_with_deadline t ~client ?via ?(max_retries = 3) ~timeout ~work () =
               else if n >= max_retries then Error `Response_timeout
               else begin
                 t.retries <- t.retries + 1;
+                Sl_util.Recovery.bump "chan.retry";
                 Isa.start client ~vtid:start_vtid;
                 attempt (n + 1) ~budget:(budget * 2)
               end

@@ -129,7 +129,8 @@ type hardened_stats = {
 }
 
 let run_mwait_hardened ?(wait_budget = 20_000) ?(miss_threshold = 3)
-    ?(poll_recovery_checks = 64) ?(poll_gap = 20) ?(with_watchdog = false) cfg =
+    ?(poll_recovery_checks = 64) ?(poll_gap = 20) ?(with_watchdog = false)
+    ?horizon cfg =
   let sim = Sim.create () in
   let chip = Chip.create sim cfg.params ~cores:1 in
   let nic = Nic.create sim cfg.params (Chip.memory chip) ~queue_depth:4096 () in
@@ -144,16 +145,21 @@ let run_mwait_hardened ?(wait_budget = 20_000) ?(miss_threshold = 3)
     if with_watchdog then Some (Watchdog.create chip ~core:0 ~ptid:99 ())
     else None
   in
+  (* Progress lives *outside* the body closure: a crash-stopped net
+     thread restarts cold and re-runs the body from scratch, and must not
+     forget the packets already processed (the NIC ring still holds the
+     unprocessed ones). *)
+  let processed = ref 0 in
+  (* Lost packets (descriptor-DMA drops, ring-full drops) never arrive;
+     counting them towards completion is what keeps the loop from
+     waiting forever for a packet that no longer exists. *)
+  let accounted () = !processed + Nic.dma_dropped nic + Nic.dropped nic in
+  let lives = ref 0 in
   let net = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
   Chip.attach net (fun th ->
       Isa.monitor th (Nic.rx_tail_addr nic);
-      let processed = ref 0 in
-      (* Lost packets (descriptor-DMA drops, ring-full drops) never arrive;
-         counting them towards completion is what keeps the loop from
-         waiting forever for a packet that no longer exists. *)
-      let accounted () =
-        !processed + Nic.dma_dropped nic + Nic.dropped nic
-      in
+      incr lives;
+      if !lives > 1 then Sl_util.Recovery.bump "io.crash_restart";
       let consecutive_misses = ref 0 in
       let empty_checks = ref 0 in
       let polling = ref false in
@@ -167,6 +173,7 @@ let run_mwait_hardened ?(wait_budget = 20_000) ?(miss_threshold = 3)
              if !empty_checks >= poll_recovery_checks then begin
                polling := false;
                incr recoveries;
+               Sl_util.Recovery.bump "io.recovery";
                consecutive_misses := 0
              end
            end
@@ -178,14 +185,17 @@ let run_mwait_hardened ?(wait_budget = 20_000) ?(miss_threshold = 3)
            | Some _ -> consecutive_misses := 0
            | None ->
              incr mwait_timeouts;
+             Sl_util.Recovery.bump "io.mwait_timeout";
              (* Data present but no doorbell woke us: a missed wakeup.
                 A timeout with an empty queue is just idleness. *)
              if Nic.pending nic > 0 then begin
                incr missed_wakeups;
+               Sl_util.Recovery.bump "io.missed_wakeup";
                incr consecutive_misses;
                if !consecutive_misses >= miss_threshold then begin
                  polling := true;
                  incr fallbacks;
+                 Sl_util.Recovery.bump "io.fallback";
                  empty_checks := 0
                end
              end);
@@ -214,7 +224,7 @@ let run_mwait_hardened ?(wait_budget = 20_000) ?(miss_threshold = 3)
   end;
   Option.iter Watchdog.start watchdog;
   start_generator sim cfg nic;
-  Sim.run sim;
+  Sim.run ?until:horizon sim;
   let base =
     collect_chip_stats ~sim ~core:(Chip.exec_core chip 0) ~latencies ~nic
       ~background_work:(fun () -> !background_done)

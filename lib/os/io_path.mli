@@ -62,7 +62,8 @@ type hardened_stats = {
 
 val run_mwait_hardened :
   ?wait_budget:Sl_engine.Sim.Time.t -> ?miss_threshold:int -> ?poll_recovery_checks:int ->
-  ?poll_gap:Sl_engine.Sim.Time.t -> ?with_watchdog:bool -> config -> hardened_stats
+  ?poll_gap:Sl_engine.Sim.Time.t -> ?with_watchdog:bool ->
+  ?horizon:Sl_engine.Sim.Time.t -> config -> hardened_stats
 (** {!run_mwait} that survives a faulty wakeup substrate.  The network
     thread waits with {!Switchless.Isa.mwait_for} ([wait_budget] cycles,
     default 20_000); a timeout that finds data pending is a missed
@@ -72,8 +73,14 @@ val run_mwait_hardened :
     consecutive empty checks suggest the storm has passed and it returns
     to mwait.  Packets lost to injected descriptor-DMA or ring-full drops
     are counted towards completion, so the run terminates even when
-    requests vanish.  [with_watchdog] (default false) additionally runs a
-    {!Watchdog} thread on the same core. *)
+    requests vanish.  Progress survives crash-stops: a cold-restarted
+    network thread re-arms its monitor and resumes from the shared
+    processed count.  [with_watchdog] (default false) additionally runs a
+    {!Watchdog} thread on the same core.  [horizon], when given, bounds
+    the simulated time ([Sl_engine.Sim.run ~until]) so a run wedged by an
+    injected fault schedule returns — with the shortfall visible in its
+    counts — instead of spinning forever; the explorer's no-stuck-sim
+    oracle depends on it. *)
 
 val run_interrupt_napi : config -> stats
 (** Linux-NAPI-style coalescing: the first packet raises an IRQ, which

@@ -32,6 +32,7 @@ let nudge t th ~target_ptid ~core_id =
   | [] -> ()
   | addrs ->
     t.nudges <- t.nudges + 1;
+    Sl_util.Recovery.bump "watchdog.nudge";
     List.iter (fun addr -> Isa.store th addr (Isa.load th addr)) addrs
 
 let sweep t th =

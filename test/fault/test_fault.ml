@@ -55,6 +55,36 @@ let test_is_active () =
   check_bool "one class active" true
     (Fault.is_active { Fault.none with Fault.store_silent = 0.01 })
 
+(* Exact round-trip over the whole plan space: arbitrary doubles in the
+   probability knobs (float_range emits values with no short decimal
+   form, exercising the %.12g/%.17g fallbacks), arbitrary cycle counts,
+   arbitrary seeds.  parse_spec (to_spec p) must rebuild p bit for bit —
+   this is what lets a shrunk schedule replay byte-identically through
+   SWITCHLESS_FAULTS. *)
+let gen_plan : Fault.plan QCheck.Gen.t =
+ fun st ->
+  let plan = ref { Fault.none with Fault.seed = Int64.of_int (QCheck.Gen.int st) } in
+  List.iter
+    (fun k ->
+      if QCheck.Gen.bool st then
+        plan := Fault.with_prob !plan k (QCheck.Gen.float_range 0.0 1.0 st))
+    Fault.prob_keys;
+  List.iter
+    (fun k ->
+      if QCheck.Gen.bool st then
+        plan := Fault.with_cycles !plan k (QCheck.Gen.int_range 0 2_000_000 st))
+    Fault.cycles_keys;
+  !plan
+
+let prop_spec_roundtrip_exact =
+  QCheck.Test.make ~name:"spec round-trips exactly for arbitrary plans"
+    ~count:500
+    (QCheck.make ~print:Fault.to_spec gen_plan)
+    (fun plan ->
+      match Fault.parse_spec (Fault.to_spec plan) with
+      | Ok plan' -> plan = plan' && Fault.to_spec plan' = Fault.to_spec plan
+      | Error _ -> false)
+
 (* --- deterministic injection --------------------------------------------- *)
 
 let run_nic_workload inj =
@@ -102,6 +132,146 @@ let test_counts_reflect_injections () =
   check_bool "reported in counts" true
     (List.mem_assoc "nic.dma_drop" (Fault.counts inj))
 
+(* --- crash-stop semantics (direct chip hooks) ---------------------------- *)
+
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+
+let hooks ?(crash_park_after = fun ~ptid:_ -> None)
+    ?(crash_at_wake = fun ~ptid:_ -> None) () =
+  {
+    Chip.spurious_wake_after = (fun ~ptid:_ -> None);
+    start_extra_cycles = (fun ~ptid:_ -> 0);
+    crash_park_after;
+    crash_at_wake;
+  }
+
+(* A thread crashed mid-park cold-restarts through its body: the body
+   runs again from scratch, re-arms its monitor, and a later write is
+   served by the new life. *)
+let test_crash_at_park_restarts () =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:1 in
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let crashes_left = ref 1 in
+  Chip.set_fault_hooks chip
+    (hooks
+       ~crash_park_after:(fun ~ptid:_ ->
+         if !crashes_left > 0 then begin
+           decr crashes_left;
+           Some (50, 1_000)
+         end
+         else None)
+       ());
+  let th = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  let boots = ref 0 and served = ref 0 in
+  Chip.attach th (fun t ->
+      incr boots;
+      Isa.monitor t addr;
+      let _ = Isa.mwait t in
+      incr served);
+  Chip.boot th;
+  Sim.spawn sim (fun () ->
+      Sim.delay 5_000;
+      Memory.write mem addr 1L);
+  Sim.run sim;
+  check_int "body ran twice (cold restart)" 2 !boots;
+  check_int "wake served by the restarted life" 1 !served;
+  check_int "one crash recorded" 1 (Chip.crash_count th);
+  check_int "chip-wide total" 1 (Chip.crash_total chip)
+
+(* A crash at the wake boundary consumes the triggering write without
+   processing it — the mid-request death.  The restarted life re-arms
+   and only a fresh write completes the request. *)
+let test_crash_at_wake_consumes_the_wake () =
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:1 in
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let crash_next = ref true in
+  Chip.set_fault_hooks chip
+    (hooks
+       ~crash_at_wake:(fun ~ptid:_ ->
+         if !crash_next then begin
+           crash_next := false;
+           Some 500
+         end
+         else None)
+       ());
+  let th = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  let boots = ref 0 and served = ref 0 in
+  Chip.attach th (fun t ->
+      incr boots;
+      Isa.monitor t addr;
+      while !served < 1 do
+        let _ = Isa.mwait t in
+        incr served
+      done);
+  Chip.boot th;
+  Sim.spawn sim (fun () ->
+      Sim.delay 2_000;
+      Memory.write mem addr 1L;
+      (* First write died with the thread; ring again after the restart. *)
+      Sim.delay 10_000;
+      Memory.write mem addr 2L);
+  Sim.run sim;
+  check_int "body ran twice" 2 !boots;
+  check_int "only the fresh write was served" 1 !served;
+  check_int "one crash recorded" 1 (Chip.crash_count th)
+
+(* Crash scheduling replays: the same plan injects the same crashes at
+   the same simulated instants, twice. *)
+let run_crash_workload plan =
+  let inj = Fault.create plan in
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:1 in
+  Fault.attach_chip inj chip;
+  let mem = Chip.memory chip in
+  let addr = Memory.alloc mem 1 in
+  let served = ref 0 in
+  let th = Chip.add_thread chip ~core:0 ~ptid:1 ~mode:Ptid.Supervisor () in
+  Chip.attach th (fun t ->
+      Isa.monitor t addr;
+      while !served < 50 do
+        match Isa.mwait_for t ~deadline:(Sim.now () + 4_000) with
+        | Some _ | None -> incr served
+      done);
+  Chip.boot th;
+  Sim.spawn sim (fun () ->
+      for i = 1 to 60 do
+        Sim.delay 1_000;
+        Memory.write mem addr (Int64.of_int i)
+      done);
+  Sim.run sim;
+  (Fault.counts inj, Chip.crash_count th, !served)
+
+let test_crash_injection_replays () =
+  let plan =
+    { Fault.none with Fault.seed = 21L; crash_park = 0.2; crash_wake = 0.1 }
+  in
+  let r1 = run_crash_workload plan in
+  let r2 = run_crash_workload plan in
+  let counts, crashes, served = r1 in
+  check_bool "crashes fired" true (crashes > 0);
+  check_bool "progress survived the crashes" true (served = 50);
+  check_bool "crash classes counted" true
+    (List.mem_assoc "crash.park" counts || List.mem_assoc "crash.wake" counts);
+  check_bool "identical replay" true (r1 = r2)
+
+(* crash.boot_window = w confines every crash to sim time < w. *)
+let test_crash_boot_window_confines () =
+  let base =
+    { Fault.none with Fault.seed = 21L; crash_park = 0.9; crash_wake = 0.3 }
+  in
+  let _, unconfined, _ = run_crash_workload base in
+  let _, confined, _ =
+    run_crash_workload { base with Fault.crash_boot_window = 3_000 }
+  in
+  check_bool "window reduces crashes" true (confined < unconfined);
+  check_bool "crashes still land inside the window" true (confined > 0)
+
 (* --- ambient installation ------------------------------------------------ *)
 
 let test_with_ambient_scopes_hooks () =
@@ -133,6 +303,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
           Alcotest.test_case "parsing" `Quick test_spec_parsing;
           Alcotest.test_case "is_active" `Quick test_is_active;
+          QCheck_alcotest.to_alcotest prop_spec_roundtrip_exact;
         ] );
       ( "injection",
         [
@@ -140,6 +311,16 @@ let () =
           Alcotest.test_case "independent streams" `Quick
             test_disabled_classes_consume_no_randomness;
           Alcotest.test_case "counts" `Quick test_counts_reflect_injections;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "park crash restarts" `Quick
+            test_crash_at_park_restarts;
+          Alcotest.test_case "wake crash consumes the wake" `Quick
+            test_crash_at_wake_consumes_the_wake;
+          Alcotest.test_case "replays" `Quick test_crash_injection_replays;
+          Alcotest.test_case "boot window confines" `Quick
+            test_crash_boot_window_confines;
         ] );
       ( "ambient",
         [ Alcotest.test_case "scoped hooks" `Quick test_with_ambient_scopes_hooks ] );
