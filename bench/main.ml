@@ -205,7 +205,8 @@ let run_job ~repeat item =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N|auto] [-repeat N] [-perf-out FILE] [experiment ids...]\n";
+    "usage: main.exe [-j N|auto] [-repeat N] [-perf-out FILE] [-micro-out FILE]\n\
+\       [experiment ids...]\n";
   exit 2
 
 (* -j 0 / -j auto asks the runtime; explicit requests are honoured up to
@@ -242,7 +243,11 @@ let () =
     | "-perf-out" :: path :: rest ->
       perf_out := Some path;
       parse rest
-    | ("-j" | "-repeat" | "-perf-out" | "-h" | "-help" | "--help") :: _ -> usage ()
+    | "-micro-out" :: path :: rest ->
+      Microbench.json_out := Some path;
+      parse rest
+    | ("-j" | "-repeat" | "-perf-out" | "-micro-out" | "-h" | "-help" | "--help") :: _ ->
+      usage ()
     | id :: rest ->
       ids := id :: !ids;
       parse rest

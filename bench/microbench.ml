@@ -9,7 +9,9 @@ open Toolkit
 
 module Sim = Sl_engine.Sim
 module Pqueue = Sl_engine.Pqueue
+module Wheel = Sl_engine.Wheel
 module Histogram = Sl_util.Histogram
+module Json = Sl_util.Json
 module Io_path = Sl_os.Io_path
 module Server = Sl_dist.Server
 module Params = Switchless.Params
@@ -27,6 +29,52 @@ let bench_pqueue =
          done;
          let rec drain () = match Pqueue.pop q with Some _ -> drain () | None -> () in
          drain ()))
+
+let bench_wheel =
+  Test.make ~name:"primitive:wheel push/pop x1k"
+    (Staged.stage (fun () ->
+         let q = Wheel.create ~dummy:0 in
+         for i = 0 to 999 do
+           Wheel.push q ~time:((i * 7919) mod 1000) ~seq:i i
+         done;
+         for _ = 0 to 999 do
+           ignore (Wheel.pop_min q)
+         done))
+
+(* The motivating case for the wheel: near-term churn while thousands of
+   far-future deadlines (parked threads) sit in the same queue.  The
+   binary heap pays ~log(ballast) sift steps on every operation; the
+   wheel parks the ballast in outer levels / overflow and keeps the hot
+   tick O(1). *)
+let with_far_ballast push bench =
+  for i = 0 to 1_999 do
+    push ~time:(10_000_000 + (i * 1000)) ~seq:i (-1)
+  done;
+  bench ()
+
+let bench_pqueue_ballast =
+  Test.make ~name:"primitive:pqueue push/pop x1k under 2k far ballast"
+    (Staged.stage (fun () ->
+         let q = Pqueue.create ~dummy:0 in
+         with_far_ballast (Pqueue.push q) (fun () ->
+             for i = 0 to 999 do
+               Pqueue.push q ~time:((i * 7919) mod 1000) ~seq:(2000 + i) i
+             done;
+             for _ = 0 to 999 do
+               ignore (Pqueue.pop_min q)
+             done)))
+
+let bench_wheel_ballast =
+  Test.make ~name:"primitive:wheel push/pop x1k under 2k far ballast"
+    (Staged.stage (fun () ->
+         let q = Wheel.create ~dummy:0 in
+         with_far_ballast (Wheel.push q) (fun () ->
+             for i = 0 to 999 do
+               Wheel.push q ~time:((i * 7919) mod 1000) ~seq:(2000 + i) i
+             done;
+             for _ = 0 to 999 do
+               ignore (Wheel.pop_min q)
+             done)))
 
 let bench_histogram =
   Test.make ~name:"primitive:histogram record x1k"
@@ -92,6 +140,9 @@ let all_tests =
   Test.make_grouped ~name:"switchless"
     [
       bench_pqueue;
+      bench_wheel;
+      bench_pqueue_ballast;
+      bench_wheel_ballast;
       bench_histogram;
       bench_sim_pingpong;
       bench_e1;
@@ -101,6 +152,29 @@ let all_tests =
       bench_e13;
       bench_e15;
     ]
+
+(* When set (via bench/main.ml's -micro-out), [run] also writes the rows
+   as a JSON artifact so CI can archive the micro-op trajectory. *)
+let json_out : string option ref = ref None
+
+let write_json ~path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Json.obj
+           [
+             ("schema", Json.quote "switchless-microbench/1");
+             ( "results",
+               Json.arr
+                 (List.map
+                    (fun (name, ns) ->
+                      Json.obj
+                        [ ("name", Json.quote name); ("ns_per_run", Json.float ns) ])
+                    rows) );
+           ]);
+      output_char oc '\n')
 
 let run () =
   print_endline "== Microbenchmarks (bechamel; wall-clock per simulated kernel) ==";
@@ -120,7 +194,9 @@ let run () =
       in
       rows := (name, ns) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   List.iter
     (fun (name, ns) -> Printf.printf "  %-45s %12.0f ns/run\n" name ns)
-    (List.sort compare !rows);
+    rows;
+  (match !json_out with None -> () | Some path -> write_json ~path rows);
   print_newline ()

@@ -205,3 +205,4 @@ type stats = {
 }
 
 val stats : t -> stats
+

@@ -3,12 +3,12 @@ type addr = int
 type t = {
   cells : (addr, int64) Hashtbl.t;
   mutable next_free : addr;
-  mutable hooks : (addr -> int64 -> unit) list;  (* reversed registration order *)
+  mutable hooks : (addr -> int64 -> unit) array;  (* registration order *)
   mutable writes : int;
 }
 
 let create () =
-  { cells = Hashtbl.create 1024; next_free = 0x1000; hooks = []; writes = 0 }
+  { cells = Hashtbl.create 1024; next_free = 0x1000; hooks = [||]; writes = 0 }
 
 let alloc t n =
   if n <= 0 then invalid_arg "Memory.alloc: non-positive size";
@@ -18,11 +18,18 @@ let alloc t n =
 
 let read t addr = match Hashtbl.find_opt t.cells addr with Some v -> v | None -> 0L
 
+(* Hooks live in a registration-order array: [write] is the simulator's
+   single hottest choke point (every store by every thread lands here),
+   so the notification loop must not allocate — a cons-list in reverse
+   registration order would force a [List.rev] per store. *)
 let write t addr v =
   Hashtbl.replace t.cells addr v;
   t.writes <- t.writes + 1;
-  List.iter (fun hook -> hook addr v) (List.rev t.hooks)
+  let hooks = t.hooks in
+  for i = 0 to Array.length hooks - 1 do
+    (Array.unsafe_get hooks i) addr v
+  done
 
-let add_write_hook t hook = t.hooks <- hook :: t.hooks
+let add_write_hook t hook = t.hooks <- Array.append t.hooks [| hook |]
 
 let write_count t = t.writes

@@ -18,17 +18,31 @@ type job = {
    rates therefore live in reusable scratch arrays ([sjobs]/[sweight]/
    [srate]/[scapped]) instead of freshly consed lists, and per-job floats
    ([remaining], billing counters, [busy]) sit behind [float ref]s so
-   updates stay unboxed.  Iteration order over the scratch arrays is
-   index-descending, which reproduces exactly the head-first order of the
-   association lists this replaced (they were built by consing onto a
-   [Hashtbl.fold] accumulator) — the floating-point accumulation order,
-   and thus every reported statistic, is unchanged. *)
+   updates stay unboxed.
+
+   The runnable set itself is a compact swap-remove array
+   ([rptid]/[rweight], indexed through [rindex]) rather than a Hashtbl:
+   stdlib hash tables never shrink their bucket array, so after a
+   2,000-thread boot storm every [Hashtbl.iter] on the steady-state hot
+   path kept scanning ~2k mostly-empty buckets per advance — an O(peak)
+   cost per event that dominated e8's wake sweep.  Iterating the compact
+   array is O(currently runnable) instead.
+
+   Determinism: per-job service is computed independently of scratch
+   order, rates are exact for the weight values experiments use, and the
+   completion path below falls back to the legacy [Hashtbl.fold] order
+   whenever more than one job finishes in the same advance — so event
+   sequencing and every reported statistic match the pre-wheel engine
+   byte for byte (checked by the -j1/-j4 full-suite byte-compare). *)
 type t = {
   sim : Sim.t;
   params : Params.t;
   core_id : int;
   jobs : (int, job) Hashtbl.t;  (* ptid -> in-flight job (runnable or frozen) *)
-  weights : (int, float) Hashtbl.t;  (* ptid -> weight, for runnable ptids *)
+  rindex : (int, int) Hashtbl.t;  (* ptid -> slot in rptid/rweight *)
+  mutable rptid : int array;  (* runnable ptids, compact prefix [0, rcount) *)
+  mutable rweight : float array;  (* weight of rptid.(i) *)
+  mutable rcount : int;
   mutable last_update : Sim.Time.t;
   mutable epoch : int;  (* stamps completion events; bumps invalidate them *)
   busy : float ref;
@@ -63,7 +77,10 @@ let create sim params ~core_id =
     params;
     core_id;
     jobs = Hashtbl.create 64;
-    weights = Hashtbl.create 64;
+    rindex = Hashtbl.create 64;
+    rptid = Array.make 16 0;
+    rweight = Array.make 16 0.0;
+    rcount = 0;
     last_update = 0;
     epoch = 0;
     busy = ref 0.0;
@@ -82,7 +99,44 @@ let create sim params ~core_id =
 
 let core_id t = t.core_id
 
-let is_runnable t ~ptid = Hashtbl.mem t.weights ptid
+let is_runnable t ~ptid = Hashtbl.mem t.rindex ptid
+
+let runnable_weight t ptid =
+  match Hashtbl.find_opt t.rindex ptid with
+  | Some i -> Some t.rweight.(i)
+  | None -> None
+
+let runnable_add t ptid weight =
+  match Hashtbl.find_opt t.rindex ptid with
+  | Some i -> t.rweight.(i) <- weight
+  | None ->
+    if t.rcount = Array.length t.rptid then begin
+      let cap = 2 * t.rcount in
+      let ptids = Array.make cap 0 in
+      let weights = Array.make cap 0.0 in
+      Array.blit t.rptid 0 ptids 0 t.rcount;
+      Array.blit t.rweight 0 weights 0 t.rcount;
+      t.rptid <- ptids;
+      t.rweight <- weights
+    end;
+    t.rptid.(t.rcount) <- ptid;
+    t.rweight.(t.rcount) <- weight;
+    Hashtbl.replace t.rindex ptid t.rcount;
+    t.rcount <- t.rcount + 1
+
+let runnable_remove t ptid =
+  match Hashtbl.find_opt t.rindex ptid with
+  | None -> ()
+  | Some i ->
+    Hashtbl.remove t.rindex ptid;
+    let last = t.rcount - 1 in
+    if i < last then begin
+      let moved = t.rptid.(last) in
+      t.rptid.(i) <- moved;
+      t.rweight.(i) <- t.rweight.(last);
+      Hashtbl.replace t.rindex moved i
+    end;
+    t.rcount <- last
 
 let ensure_scratch t n =
   if Array.length t.sjobs < n then begin
@@ -94,23 +148,21 @@ let ensure_scratch t n =
   end
 
 (* Fill the scratch arrays with the jobs of currently runnable ptids and
-   their weights.  Indices ascend in [Hashtbl.fold] order over [weights];
-   consumers iterate descending to reproduce the order of the cons-built
-   list this replaced. *)
+   their weights, in runnable-array order.  O(runnable), not O(peak
+   runnable) — see the hot-path note on [t]. *)
 let collect_active t =
-  if Hashtbl.length t.jobs = 0 then t.scount <- 0
+  if Hashtbl.length t.jobs = 0 || t.rcount = 0 then t.scount <- 0
   else begin
-    ensure_scratch t (Hashtbl.length t.jobs);
+    ensure_scratch t t.rcount;
     let k = ref 0 in
-    Hashtbl.iter
-      (fun ptid weight ->
-        match Hashtbl.find_opt t.jobs ptid with
-        | Some job ->
-          t.sjobs.(!k) <- job;
-          t.sweight.(!k) <- weight;
-          incr k
-        | None -> ())
-      t.weights;
+    for i = 0 to t.rcount - 1 do
+      match Hashtbl.find_opt t.jobs t.rptid.(i) with
+      | Some job ->
+        t.sjobs.(!k) <- job;
+        t.sweight.(!k) <- t.rweight.(i);
+        incr k
+      | None -> ()
+    done;
     t.scount <- !k
   end
 
@@ -187,12 +239,18 @@ let advance t =
     collect_active t;
     compute_rates t;
     let live_min = ref infinity in
+    let nfinished = ref 0 in
+    let last_finished = ref dummy_job in
     for i = t.scount - 1 downto 0 do
       let job = t.sjobs.(i) in
       let served = Float.min !(job.remaining) (elapsed *. t.srate.(i)) in
       let left = !(job.remaining) -. served in
       job.remaining := left;
-      if left > 1e-6 && left < !live_min then live_min := left;
+      if left > 1e-6 && left < !live_min then live_min := left
+      else if left <= 1e-6 then begin
+        incr nfinished;
+        last_finished := job
+      end;
       t.busy := !(t.busy) +. served;
       t.work.(kind_index job.kind) <- t.work.(kind_index job.kind) +. served;
       bill t job.job_ptid served
@@ -202,18 +260,33 @@ let advance t =
       t.min_valid <- !live_min < infinity
     end
     else t.min_valid <- false;
-    (* Complete finished jobs. *)
-    let finished =
-      Hashtbl.fold
-        (fun ptid job acc ->
-          if !(job.remaining) <= 1e-6 then (ptid, job) :: acc else acc)
-        t.jobs []
-    in
-    List.iter
-      (fun (ptid, job) ->
-        Hashtbl.remove t.jobs ptid;
-        Ivar.fill job.completion ())
-      finished
+    (* Complete finished jobs.  Only jobs served just now can have crossed
+       the threshold (frozen jobs owe > 1e-6 by the invariant above), so
+       when the serve loop saw none there is nothing to scan for, and when
+       it saw exactly one — the steady-state shape: one completion event
+       per [execute] — that job completes directly.  Only a multi-finish
+       advance (boot storms, lockstep pools) pays the whole-table fold,
+       which is kept verbatim so that the relative [Ivar.fill] order of
+       simultaneous completions — and with it event sequencing downstream —
+       matches the original engine exactly. *)
+    if !nfinished = 1 then begin
+      let job = !last_finished in
+      Hashtbl.remove t.jobs job.job_ptid;
+      Ivar.fill job.completion ()
+    end
+    else if !nfinished > 1 then begin
+      let finished =
+        Hashtbl.fold
+          (fun ptid job acc ->
+            if !(job.remaining) <= 1e-6 then (ptid, job) :: acc else acc)
+          t.jobs []
+      in
+      List.iter
+        (fun (ptid, job) ->
+          Hashtbl.remove t.jobs ptid;
+          Ivar.fill job.completion ())
+        finished
+    end
   end
 
 (* Unit weights, nothing frozen: every job is active at the same rate,
@@ -276,10 +349,10 @@ let rec reschedule t =
 let set_runnable t ~ptid ~weight runnable =
   if weight <= 0.0 then invalid_arg "Smt_core.set_runnable: weight must be positive";
   advance t;
-  let old = Hashtbl.find_opt t.weights ptid in
+  let old = runnable_weight t ptid in
   (match old with Some w when w <> 1.0 -> t.nonunit <- t.nonunit - 1 | _ -> ());
   if runnable then begin
-    Hashtbl.replace t.weights ptid weight;
+    runnable_add t ptid weight;
     if weight <> 1.0 then t.nonunit <- t.nonunit + 1;
     if old = None && Hashtbl.mem t.jobs ptid then begin
       (* A frozen job thaws back into the active set. *)
@@ -289,7 +362,7 @@ let set_runnable t ~ptid ~weight runnable =
     end
   end
   else begin
-    Hashtbl.remove t.weights ptid;
+    runnable_remove t ptid;
     if old <> None && Hashtbl.mem t.jobs ptid then begin
       (* Freezing an in-flight job: it may have carried the minimum. *)
       t.frozen <- t.frozen + 1;
@@ -300,18 +373,20 @@ let set_runnable t ~ptid ~weight runnable =
 
 let set_weight t ~ptid weight =
   if weight <= 0.0 then invalid_arg "Smt_core.set_weight: weight must be positive";
-  if not (Hashtbl.mem t.weights ptid) then
-    invalid_arg "Smt_core.set_weight: ptid not runnable";
-  advance t;
-  if Hashtbl.find t.weights ptid <> 1.0 then t.nonunit <- t.nonunit - 1;
-  Hashtbl.replace t.weights ptid weight;
-  if weight <> 1.0 then t.nonunit <- t.nonunit + 1;
+  (match runnable_weight t ptid with
+  | None -> invalid_arg "Smt_core.set_weight: ptid not runnable"
+  | Some old ->
+    advance t;
+    if old <> 1.0 then t.nonunit <- t.nonunit - 1;
+    runnable_add t ptid weight;
+    if weight <> 1.0 then t.nonunit <- t.nonunit + 1);
   reschedule t
 
 let execute t ~ptid ~kind cycles =
   if cycles < 0 then invalid_arg "Smt_core.execute: negative cycles";
-  if cycles > 0 then begin
-    if not (Hashtbl.mem t.weights ptid) then
+  if cycles = 0 then ()
+  else begin
+    if not (Hashtbl.mem t.rindex ptid) then
       invalid_arg "Smt_core.execute: ptid is not runnable";
     if Hashtbl.mem t.jobs ptid then
       invalid_arg "Smt_core.execute: ptid already has in-flight work";
@@ -330,12 +405,14 @@ let execute t ~ptid ~kind cycles =
     Ivar.read job.completion
   end
 
-let runnable_count t = Hashtbl.length t.weights
+let runnable_count t = t.rcount
 
 let active_jobs t =
-  Hashtbl.fold
-    (fun ptid _ acc -> if Hashtbl.mem t.jobs ptid then acc + 1 else acc)
-    t.weights 0
+  let n = ref 0 in
+  for i = 0 to t.rcount - 1 do
+    if Hashtbl.mem t.jobs t.rptid.(i) then incr n
+  done;
+  !n
 
 let busy_capacity_cycles t =
   advance t;

@@ -66,3 +66,4 @@ val thread_cycles : t -> ptid:int -> float
 
 val billed_threads : t -> (int * float) list
 (** All (ptid, cycles) pairs with non-zero consumption, unordered. *)
+

@@ -99,20 +99,43 @@ let link_mru t e =
   sent.next <- e
 
 (* Link [e] into its tier's list at the position its (old) tick dictates.
-   Walks from the cold end: entries arriving here are demotion victims or
-   promoted-with-old-tick contexts, both cold relative to the list. *)
+   Walks from both ends at once: a demotion victim is typically the
+   *warmest* entry of the tier it lands in (it was merely the coldest of
+   the tier above, and everything below was demoted earlier), while a
+   promoted-with-old-tick context is the *coldest* of the tier it joins.
+   A single-ended walk is O(1) for one case and O(tier population) for
+   the other — which made every round-robin wake over a large thread set
+   walk the whole L2 list (see DESIGN.md, "Event queue v2").  The
+   two-pointer scan costs 2·min(distance-from-warm, distance-from-cold)
+   links, O(1) for both common cases, and lands [e] in exactly the slot
+   the cold-end walk chose ([last_touch] ticks are globally unique, so
+   the sorted position is unambiguous). *)
 let link_by_recency t e =
   let sent = t.recency.(tier_index e.tier) in
-  let rec scan pos =
-    if pos == sent || pos.last_touch > e.last_touch then begin
-      e.prev <- pos;
-      e.next <- pos.next;
-      pos.next.prev <- e;
-      pos.next <- e
+  (* Invariant: every entry strictly warm-side of [warm] has a newer tick
+     than [e]; every entry strictly cold-side of [cold] has an older one.
+     The sentinel's [max_int] tick keeps the warm test from firing at the
+     list head, so an empty segment resolves through the cold arm. *)
+  let rec scan warm cold =
+    if warm.last_touch < e.last_touch then begin
+      (* [e] is warmer than [warm] and colder than everything before it:
+         insert immediately before [warm]. *)
+      e.next <- warm;
+      e.prev <- warm.prev;
+      warm.prev.next <- e;
+      warm.prev <- e
     end
-    else scan pos.prev
+    else if cold == sent || cold.last_touch > e.last_touch then begin
+      (* [e] is colder than [cold] (or the list segment is exhausted):
+         insert immediately after [cold]. *)
+      e.prev <- cold;
+      e.next <- cold.next;
+      cold.next.prev <- e;
+      cold.next <- e
+    end
+    else scan warm.next cold.prev
   in
-  scan sent.prev
+  scan sent.next sent.prev
 
 let set_fault_hook t f = t.fault <- Some f
 let clear_fault_hook t = t.fault <- None

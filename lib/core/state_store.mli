@@ -93,3 +93,4 @@ val ecc_retry_count : t -> int
 
 val silent_corruption_count : t -> int
 (** Wake transfers that hit a silent (undetected) corruption. *)
+

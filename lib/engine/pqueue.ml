@@ -95,6 +95,11 @@ let min_time t =
   t.times.(0)
 [@@sl.zero_alloc]
 
+let min_seq t =
+  assert (t.size > 0);
+  t.seqs.(0)
+[@@sl.zero_alloc]
+
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let pop_min t =

@@ -29,6 +29,11 @@ val min_time : 'a t -> int
 (** Time of the earliest element.  Undefined (asserts) on an empty
     queue; pair with {!is_empty}.  Allocation-free, unlike {!peek_time}. *)
 
+val min_seq : 'a t -> int
+(** Sequence number of the earliest element.  Undefined (asserts) on an
+    empty queue.  The wheel reads this when promoting overflow events so
+    re-insertion preserves the exact (time, seq) key. *)
+
 val peek_time : 'a t -> int option
 (** Time of the earliest element, if any.  Allocates the [Some]; hot
     paths use {!is_empty} + {!min_time}. *)
@@ -43,3 +48,4 @@ val pop_min : 'a t -> 'a
 
 val pop : 'a t -> (int * 'a) option
 (** Option/tuple convenience wrapper over {!min_time} + {!pop_min}. *)
+

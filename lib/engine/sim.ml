@@ -37,7 +37,7 @@ type proc = {
 type t = {
   mutable now : Time.t;
   mutable seq : int;
-  queue : (unit -> unit) Pqueue.t;
+  queue : (unit -> unit) Wheel.t;
   mutable next_pid : int;
   procs : (int, proc) Hashtbl.t;  (* live (not yet returned) processes *)
   mutable events : int;  (* events popped by {!run}, for perf accounting *)
@@ -68,7 +68,7 @@ let create () =
     {
       now = Time.zero;
       seq = 0;
-      queue = Pqueue.create ~dummy:nop;
+      queue = Wheel.create ~dummy:nop;
       next_pid = 0;
       procs = Hashtbl.create 32;
       events = 0;
@@ -82,7 +82,7 @@ let events_processed t = t.events
 
 let push t ~at thunk =
   t.seq <- t.seq + 1;
-  Pqueue.push t.queue ~time:at ~seq:t.seq thunk
+  Wheel.push t.queue ~time:at ~seq:t.seq thunk
 
 let schedule t ~at thunk =
   if at < t.now then invalid_arg "Sim.schedule: time in the past";
@@ -189,11 +189,11 @@ let run ?until t =
     match until with None -> true | Some h -> time <= h
   in
   let rec loop () =
-    if Pqueue.is_empty t.queue then park_at_horizon ()
+    if Wheel.is_empty t.queue then park_at_horizon ()
     else begin
-      let time = Pqueue.min_time t.queue in
+      let time = Wheel.min_time t.queue in
       if within_horizon time then begin
-        let thunk = Pqueue.pop_min t.queue in
+        let thunk = Wheel.pop_min t.queue in
         t.now <- time;
         t.events <- t.events + 1;
         thunk ();

@@ -3,10 +3,17 @@
 
 Usage: perf_smoke_check.py BASELINE.json CURRENT.json [MAX_SLOWDOWN]
 
-Fails (exit 1) if any experiment present in both files regressed in
-events/s by more than MAX_SLOWDOWN (default 5.0).  The bound is loose on
-purpose: CI runners are noisy and this gate exists to catch accidental
-quadratic blowups in the engine hot paths, not scheduler jitter.
+Fails (exit 1) if any experiment in CURRENT regressed in events/s by
+more than MAX_SLOWDOWN (default 5.0) against BASELINE.  The bound is
+loose on purpose: CI runners are noisy and this gate exists to catch
+accidental quadratic blowups in the engine hot paths, not scheduler
+jitter.
+
+Every experiment in CURRENT must exist in BASELINE: an unknown id is a
+hard error, not a skip — otherwise a typo in the CI experiment list (or
+a new experiment never added to the baseline) runs forever unchecked.
+Experiments in BASELINE but absent from CURRENT are fine; CI smokes a
+subset of the full committed suite.
 """
 
 import json
@@ -33,15 +40,24 @@ def main():
     current = by_id(sys.argv[2])
     max_slowdown = float(sys.argv[3]) if len(sys.argv) > 3 else 5.0
     failed = False
-    for exp_id, base in sorted(baseline.items()):
-        cur = current.get(exp_id)
-        if cur is None:
+    for exp_id, cur in sorted(current.items()):
+        base = baseline.get(exp_id)
+        if base is None:
+            print(f"{exp_id}: FAIL — not in baseline {sys.argv[1]}; "
+                  "add it to the committed perf file or fix the experiment list")
+            failed = True
             continue
         base_eps = events_per_s(base)
         cur_eps = events_per_s(cur)
         if base_eps <= 0.0:
+            print(f"{exp_id}: FAIL — baseline has no usable events/s")
+            failed = True
             continue
-        slowdown = base_eps / cur_eps if cur_eps > 0 else float("inf")
+        if cur_eps <= 0.0:
+            print(f"{exp_id}: FAIL — current run has no usable events/s")
+            failed = True
+            continue
+        slowdown = base_eps / cur_eps
         status = "ok"
         if slowdown > max_slowdown:
             status = f"FAIL (>{max_slowdown:g}x regression)"

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Check the committed perf trajectory across every BENCH_pr*.json.
+
+Usage: perf_trajectory_check.py [REPO_DIR]
+
+Loads every BENCH_pr<N>.json in REPO_DIR (default: cwd) in PR order and
+checks, per experiment, that the LATEST committed file never regresses
+more than MAX_REGRESSION (25%) below the best events/s any earlier PR
+ever recorded.  The committed numbers are best-of-N on the author's
+machine, so unlike the CI smoke gate this bound can be tight: a genuine
+engine regression shows up here even when it hides inside CI noise.
+
+Experiments absent from the latest file are only checked if it covers
+them (some PRs commit a subset); experiments the latest file covers are
+checked against every historical file that also has them.  Experiments
+whose latest wall time is under MIN_WALL_S are shown but never gated:
+events/s on a sub-millisecond run is clock-granularity noise (e10's
+committed history spans 38x with a byte-identical workload).
+
+Writes a per-experiment trajectory table to $GITHUB_STEP_SUMMARY when
+set (GitHub Actions), and always prints it to stdout.
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+
+MAX_REGRESSION = 0.25  # latest must be >= 75% of the best historical
+MIN_WALL_S = 0.001  # sub-millisecond runs are below the timing noise floor
+
+
+def events_per_s(rec):
+    if rec.get("events_per_s"):
+        return float(rec["events_per_s"])
+    wall = float(rec.get("wall_s", 0.0))
+    return float(rec.get("events", 0)) / wall if wall > 0 else 0.0
+
+
+def load_trajectory(repo):
+    files = []
+    for path in glob.glob(os.path.join(repo, "BENCH_pr*.json")):
+        m = re.search(r"BENCH_pr(\d+)\.json$", path)
+        if m:
+            files.append((int(m.group(1)), path))
+    files.sort()
+    trajectory = []
+    for pr, path in files:
+        with open(path) as f:
+            doc = json.load(f)
+        recs = {rec["id"]: events_per_s(rec) for rec in doc.get("experiments", [])}
+        walls = {rec["id"]: float(rec.get("wall_s", 0.0)) for rec in doc.get("experiments", [])}
+        trajectory.append((pr, recs, walls))
+    return trajectory
+
+
+def fmt(eps):
+    return f"{eps:,.0f}" if eps else "—"
+
+
+def main():
+    repo = sys.argv[1] if len(sys.argv) > 1 else "."
+    trajectory = load_trajectory(repo)
+    if len(trajectory) < 2:
+        sys.exit("need at least two BENCH_pr*.json files to check a trajectory")
+    latest_pr, latest, latest_walls = trajectory[-1]
+    history = trajectory[:-1]
+
+    header = ["experiment"] + [f"pr{pr}" for pr, _, _ in trajectory] + ["best", "latest/best", "status"]
+    rows = []
+    failed = False
+    for exp_id in sorted(latest, key=lambda e: (len(e), e)):
+        cur = latest[exp_id]
+        best_hist = max((recs.get(exp_id, 0.0) for _, recs, _ in history), default=0.0)
+        best = max(best_hist, cur)
+        if latest_walls.get(exp_id, 0.0) < MIN_WALL_S:
+            status = "noise (run < 1ms, not gated)"
+        elif best_hist > 0 and cur < (1.0 - MAX_REGRESSION) * best_hist:
+            status = f"FAIL (<{100 * (1 - MAX_REGRESSION):.0f}% of best)"
+            failed = True
+        else:
+            status = "ok"
+        ratio = f"{cur / best:.2f}" if best > 0 else "—"
+        rows.append(
+            [exp_id]
+            + [fmt(recs.get(exp_id, 0.0)) for _, recs, _ in trajectory]
+            + [fmt(best), ratio, status]
+        )
+
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    table = "\n".join(lines)
+
+    print(f"Perf trajectory (events/s), latest = pr{latest_pr}:")
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(f"## Perf trajectory (events/s, latest = pr{latest_pr})\n\n")
+            f.write(table + "\n")
+    if failed:
+        print(f"FAIL: pr{latest_pr} regressed more than "
+              f"{100 * MAX_REGRESSION:.0f}% below the best historical events/s")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,8 @@ module Signal = Sl_engine.Signal
 module Mailbox = Sl_engine.Mailbox
 module Semaphore = Sl_engine.Semaphore
 module Pqueue = Sl_engine.Pqueue
+module Wheel = Sl_engine.Wheel
+module Arena = Sl_util.Arena
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -579,10 +581,130 @@ let prop_pqueue_boundary_lexicographic =
       let popped = List.init (List.length keyed) (fun _ -> Pqueue.pop_min q) in
       popped = expected)
 
+(* --- Wheel (timing-wheel event queue) --- *)
+
+let wheel_span = 1 lsl 25
+
+(* Every pop crosses at least one structural boundary: level-0/level-1
+   slot edges, a power-of-two cascade, or the wheel-window edge into the
+   overflow heap.  The expected order is simply ascending time. *)
+let test_wheel_cascade_boundaries () =
+  let w = Wheel.create ~dummy:"" in
+  let entries =
+    [
+      (31, "t31"); (32, "t32"); (33, "t33");
+      (63, "t63"); (64, "t64");
+      (1023, "t1023"); (1024, "t1024"); (1025, "t1025");
+      (wheel_span - 1, "span-1"); (wheel_span, "span"); (wheel_span + 1, "span+1");
+    ]
+  in
+  List.iteri (fun i (time, v) -> Wheel.push w ~time ~seq:i v) entries;
+  let popped = List.init (List.length entries) (fun _ -> Wheel.pop_min w) in
+  Alcotest.(check (list string))
+    "ascending across slot/window boundaries" (List.map snd entries) popped;
+  check_bool "empty after drain" true (Wheel.is_empty w)
+
+let test_wheel_same_tick_seq_order () =
+  (* Same-tick events must come back in seq order however the wheel
+     buffered them — the front heap restores the canonical order. *)
+  let w = Wheel.create ~dummy:(-1) in
+  List.iter (fun seq -> Wheel.push w ~time:100 ~seq seq) [ 5; 1; 4; 0; 3; 2 ];
+  Wheel.push w ~time:99 ~seq:9 9;
+  check_int "earlier tick first" 9 (Wheel.pop_min w);
+  for seq = 0 to 5 do
+    check_int "seq order within tick" seq (Wheel.pop_min w)
+  done
+
+let test_wheel_overflow_promotion () =
+  let w = Wheel.create ~dummy:(-1) in
+  (* Far-future deadlines beyond the 2^25 window plus the park sentinel:
+     all three start in the overflow heap. *)
+  Wheel.push w ~time:Sim.Time.max_tick ~seq:2 2;
+  Wheel.push w ~time:(1 lsl 30) ~seq:1 1;
+  Wheel.push w ~time:((1 lsl 30) + 5) ~seq:0 0;
+  check_int "cursor jumps to overflow min" 1 (Wheel.pop_min w);
+  check_int "promoted neighbour follows" 0 (Wheel.pop_min w);
+  (* A fresh push near the far-ahead cursor still beats the sentinel. *)
+  Wheel.push w ~time:((1 lsl 30) + 100) ~seq:3 3;
+  check_int "late near push" 3 (Wheel.pop_min w);
+  check_int "max_tick sentinel drains last" 2 (Wheel.pop_min w);
+  check_bool "empty" true (Wheel.is_empty w)
+
+let test_arena_reuse () =
+  let a = Arena.create ~dummy:"dummy" in
+  let i1 = Arena.alloc a ~time:5 ~seq:1 "one" in
+  let i2 = Arena.alloc a ~time:9 ~seq:2 "two" in
+  check_int "live" 2 (Arena.live a);
+  Alcotest.(check string) "payload" "one" (Arena.payload a i1);
+  check_int "time" 9 (Arena.time a i2);
+  check_int "seq" 2 (Arena.seq a i2);
+  check_int "fresh node next is nil" Arena.nil (Arena.next a i1);
+  Arena.free a i1;
+  check_int "live after free" 1 (Arena.live a);
+  let i3 = Arena.alloc a ~time:7 ~seq:3 "three" in
+  check_int "freed slot recycled" i1 i3;
+  Alcotest.(check string) "recycled payload" "three" (Arena.payload a i3);
+  Arena.set_next a i3 i2;
+  check_int "intrusive link" i2 (Arena.next a i3)
+
+(* Random schedule/advance interleavings checked pop-for-pop against the
+   binary heap as the reference model: the wheel's observable order must
+   be exactly the heap's lexicographic (time, seq) order.  Time classes
+   cover every placement branch — each wheel level, the overflow heap,
+   already-due pushes against an advanced cursor, and the max_tick park
+   sentinel. *)
+let prop_wheel_matches_heap =
+  let open QCheck in
+  let op = option (pair (int_bound 6) (int_bound 1023)) in
+  Test.make ~name:"wheel matches heap on random interleavings" ~count:300
+    (list op) (fun ops ->
+      let wheel = Wheel.create ~dummy:(-1) in
+      let heap = Pqueue.create ~dummy:(-1) in
+      let seq = ref 0 in
+      let base = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        if not (Pqueue.is_empty heap) then begin
+          let ht = Pqueue.min_time heap in
+          let wt = Wheel.min_time wheel in
+          let hv = Pqueue.pop_min heap in
+          let wv = Wheel.pop_min wheel in
+          base := ht;
+          if ht <> wt || hv <> wv then ok := false
+        end
+      in
+      List.iter
+        (fun opn ->
+          match opn with
+          | Some (cls, jitter) ->
+            let time =
+              match cls with
+              | 0 -> !base + jitter  (* level 0/1 around the cursor *)
+              | 1 -> !base + 32 + jitter
+              | 2 -> !base + 1024 + (jitter lsl 5)  (* mid levels *)
+              | 3 -> !base + (1 lsl 20) + (jitter lsl 10)  (* top level *)
+              | 4 -> !base + (1 lsl 25) + (jitter lsl 15)  (* overflow *)
+              | 5 -> jitter  (* possibly already due after pops *)
+              | _ -> Sim.Time.max_tick  (* park sentinel *)
+            in
+            incr seq;
+            Wheel.push wheel ~time ~seq:!seq !seq;
+            Pqueue.push heap ~time ~seq:!seq !seq
+          | None -> pop_both ())
+        ops;
+      while not (Pqueue.is_empty heap) do
+        pop_both ()
+      done;
+      !ok && Wheel.is_empty wheel)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_pqueue_pop_sorted; prop_pqueue_boundary_lexicographic ]
+      [
+        prop_pqueue_pop_sorted;
+        prop_pqueue_boundary_lexicographic;
+        prop_wheel_matches_heap;
+      ]
   in
   Alcotest.run "engine"
     [
@@ -595,6 +717,13 @@ let () =
           Alcotest.test_case "pop releases payload" `Quick test_pqueue_pop_releases_payload;
           Alcotest.test_case "order at tick boundaries" `Quick
             test_pqueue_order_at_tick_boundaries;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "cascade boundaries" `Quick test_wheel_cascade_boundaries;
+          Alcotest.test_case "same-tick seq order" `Quick test_wheel_same_tick_seq_order;
+          Alcotest.test_case "overflow promotion" `Quick test_wheel_overflow_promotion;
+          Alcotest.test_case "arena reuse" `Quick test_arena_reuse;
         ] );
       ( "sim",
         [
