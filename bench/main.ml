@@ -3,9 +3,9 @@
    EXPERIMENTS.md for paper-vs-measured notes).
 
    Usage:
-     dune exec bench/main.exe                    # all experiments + microbench
+     dune exec bench/main.exe                    # all experiments
      dune exec bench/main.exe -- e3 e7           # a subset
-     dune exec bench/main.exe -- micro           # microbenchmarks only
+     dune exec bench/main.exe -- micro           # microbenchmarks (opt-in)
      dune exec bench/main.exe -- -j 4 e1 e2 e7   # fan out over 4 domains
      dune exec bench/main.exe -- -j auto         # one domain per core
      dune exec bench/main.exe -- -perf-out BENCH_pr3.json
@@ -255,7 +255,13 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let requested =
     match List.rev !ids with
-    | [] -> List.map (fun (id, _, _) -> id) experiments
+    | [] ->
+      (* The default suite is the byte-stable surface CI diffs across -j
+         levels and commits; micro prints wall-clock numbers, so it only
+         runs when named explicitly. *)
+      List.filter_map
+        (fun (id, _, _) -> if id = "micro" then None else Some id)
+        experiments
     | l -> l
   in
   let items =

@@ -15,8 +15,83 @@ module Json = Sl_util.Json
 module Io_path = Sl_os.Io_path
 module Server = Sl_dist.Server
 module Params = Switchless.Params
+module Chip = Switchless.Chip
+module Isa = Switchless.Isa
+module Ptid = Switchless.Ptid
+module Memory = Switchless.Memory
 
 let p = Params.default
+
+(* -- thread-scaling kernels: park/wake cost vs resident thread count --
+
+   The flat chip layer's contract is that a wakeup touches O(1) state no
+   matter how many threads are resident, so per-wake cost at 2000
+   threads must stay close to the 64-thread cost.  Two access patterns
+   bound the space: [hot] always wakes the same thread (its context
+   stays register-file-resident — the all-RF fast path), [rr] wakes all
+   N in round-robin (every wake climbs the storage ladder and demotes a
+   victim — the worst case for the state store and the dense arrays).
+
+   Timed directly (not via bechamel): the chip boot storm at N=2000 is
+   ~100x the cost of the wake phase, so a whole-closure benchmark would
+   measure setup, not wakes.  We build the world once, drain the boot
+   storm, then wall-clock the wake phase alone over enough rounds to
+   amortize clock noise. *)
+
+let scaling_counts = [ 64; 512; 2000 ]
+let scaling_wakes = 6_000  (* total wakes timed, whatever N *)
+
+let time_wakes ~pattern n =
+  let sim = Sim.create () in
+  let params = { p with Params.monitor_capacity_per_core = 1_000_000 } in
+  let chip = Chip.create sim params ~cores:1 in
+  let memory = Chip.memory chip in
+  let doorbells = Array.init n (fun _ -> Memory.alloc memory 1) in
+  for i = 0 to n - 1 do
+    let th = Chip.add_thread chip ~core:0 ~ptid:(i + 1) ~mode:Ptid.User () in
+    Chip.attach th (fun t ->
+        Isa.monitor t doorbells.(i);
+        let rec loop () =
+          let _ = Isa.mwait t in
+          loop ()
+        in
+        loop ());
+    Chip.boot th
+  done;
+  let boot_horizon = max 1000 (20 * n) in
+  let gap = 400 in
+  Sim.spawn sim (fun () ->
+      Sim.delay boot_horizon;
+      for k = 0 to scaling_wakes - 1 do
+        let i = match pattern with `Hot -> 0 | `Round_robin -> k mod n in
+        Memory.write memory doorbells.(i) 1L;
+        Sim.delay gap
+      done);
+  (* Drain the boot storm outside the timed window. *)
+  Sim.run ~until:boot_horizon sim;
+  let ev0 = Sim.events_processed sim in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Sim.run ~until:(boot_horizon + (scaling_wakes * gap) + 1000) sim;
+  let t1 = Unix.gettimeofday () in
+  let events = Sim.events_processed sim - ev0 in
+  let words = Gc.minor_words () -. w0 in
+  if Sys.getenv_opt "SCALING_DIAG" <> None then
+    Printf.printf "  [diag n=%d] events/wake %.2f  words/wake %.1f\n%!" n
+      (float_of_int events /. float_of_int scaling_wakes)
+      (words /. float_of_int scaling_wakes);
+  let ns_per_wake = (t1 -. t0) *. 1e9 /. float_of_int scaling_wakes in
+  (ns_per_wake, events)
+
+let scaling_rows () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun (tag, pattern) ->
+          let ns, _events = time_wakes ~pattern n in
+          (Printf.sprintf "scaling:wake %s n=%d" tag n, ns))
+        [ ("hot", `Hot); ("rr", `Round_robin) ])
+    scaling_counts
 
 (* -- primitive kernels -- *)
 
@@ -195,6 +270,7 @@ let run () =
       rows := (name, ns) :: !rows)
     results;
   let rows = List.sort compare !rows in
+  let rows = rows @ scaling_rows () in
   List.iter
     (fun (name, ns) -> Printf.printf "  %-45s %12.0f ns/run\n" name ns)
     rows;

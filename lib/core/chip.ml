@@ -1,5 +1,4 @@
 module Sim = Sl_engine.Sim
-module Ivar = Sl_engine.Ivar
 module Signal = Sl_engine.Signal
 
 exception Halted of string
@@ -28,49 +27,163 @@ type fault_hooks = {
          Restarted cold [restart] cycles later. *)
 }
 
+(* Thread state codes, the array encoding of [Ptid.state]. *)
+let st_runnable = 0
+let st_waiting = 1
+let st_disabled = 2
+
+let state_code = function
+  | Ptid.Runnable -> st_runnable
+  | Ptid.Waiting -> st_waiting
+  | Ptid.Disabled -> st_disabled
+
+let state_of_code c =
+  if c = st_runnable then Ptid.Runnable
+  else if c = st_waiting then Ptid.Waiting
+  else Ptid.Disabled
+
+(* Flag bits in the [o_flags] hot slot. *)
+let fl_spawned = 1
+let fl_pending_start = 2
+let fl_crashed = 4
+let fl_super = 8  (* supervisor mode *)
+
+(* Wake-cell values: a monitored-write (or spurious) wake carries the
+   written address ([>= 0]); the negative codes are the other park
+   outcomes (the constructors of the old [wake_event] variant). *)
+let wake_stop = -1  (* force-stopped while waiting *)
+let wake_deadline = -2  (* mwait_for deadline expired *)
+let wake_crash = -3  (* crash-stopped while parked: unwind the body *)
+
+(* Wake-cell states (low 2 bits of the [o_cell] hot slot). *)
+let cell_idle = 0  (* no park in progress *)
+let cell_open = 1  (* parked, no event delivered yet *)
+let cell_full = 2  (* event delivered, value in [o_wval] *)
+
+(* --- hot-slot layout ----------------------------------------------------
+
+   All per-thread scalars on the wake path live in one strided int array
+   [hot], [hot_stride] slots per ptid: 8 words = 64 bytes, so the whole
+   per-thread wake state is one cache line, the way the hardware's own
+   context table would pack it.  (The previous layout spread the same
+   fields over a dozen parallel arrays; at 2,000 resident threads every
+   round-robin wake touched a dozen distinct cold lines.)
+
+   slot 0 [o_meta]  : mslot << 22 | core << 2 | state   (state in the low
+                      2 bits; core below 2^20; interned Monitor slot above)
+   slot 1 [o_cell]  : epoch << 2 | cell-state  (the reusable wake cell:
+                      [epoch] counts park rounds, low bits a cell_ code)
+   slot 2 [o_wval]  : wake value (addr >= 0 or a wake_* code)
+   slot 3 [o_pend]  : pending-delivery epoch << 1 | in-flight bit
+   slot 4 [o_pendaddr] : pending-delivery address
+   slot 5 [o_wakeups]  : wakeup counter
+   slot 6 [o_flags]    : fl_* bits
+   slot 7 [o_starts]   : start counter *)
+let hot_stride = 8
+let o_cell = 1
+let o_wval = 2
+let o_pend = 3
+let o_pendaddr = 4
+let o_wakeups = 5
+let o_flags = 6
+let o_starts = 7
+let core_mask = 0xFFFFF  (* 20 bits *)
+
+(* Per-thread state is struct-of-arrays, indexed by a dense interned
+   [tid]: the chip is the hardware's dense context table, not a heap of
+   records.  A wakeup reads/writes the thread's [hot] line plus its
+   [fns] record instead of chasing five separately-allocated objects
+   (thread record, Ptid record, wake Ivar, monitor state, store entry),
+   and the park/wake protocol reuses the int-encoded wake cell in
+   [o_cell]/[o_wval] instead of allocating an Ivar + constructor per
+   park.  The cell's epoch counts park rounds: events scheduled against
+   an earlier round (a wake in flight when a force-stop claimed the
+   park) compare their captured epoch and stand down, exactly the
+   staleness the per-round Ivar's [is_full] used to encode.
+
+   Tids are interned, not raw ptids: experiments use sparse sentinel
+   ptids (hypervisors at 9_000, handlers at 600), and several build a
+   fresh chip per measurement point — sizing eight parallel arrays by
+   the largest raw ptid cost ~100us of zeroed major-heap allocation per
+   world for a handful of threads, swamping short experiments.  The
+   [tids] table maps ptid -> tid on the cold paths (construction, TDT
+   translation); everything per-event is tid-indexed.  Externally
+   visible identifiers — probe events, exception descriptors, monitor /
+   SMT / state-store keys, fault hooks — always carry the real ptid. *)
 type t = {
   sim : Sim.t;
   params : Params.t;
   memory : Memory.t;
   monitor : Monitor.t;
   cores : core array;
-  threads : (int, thread) Hashtbl.t;  (* ptid -> thread, chip-wide *)
+  (* ptid -> tid interning *)
+  tids : (int, int) Hashtbl.t;
+  mutable n_tids : int;
+  (* dense tid-indexed thread state *)
+  mutable t_handle : thread option array;  (* canonical handles; None = no thread *)
+  mutable hot : int array;  (* strided hot slots, see layout above *)
+  mutable t_fns : fns array;  (* per-thread closures + resume signal *)
+  mutable t_weight : float array;
+  mutable t_crashes : int array;
+  (* payloads *)
+  mutable t_regs : Regstate.t array;
+  mutable t_body : (thread -> unit) option array;
+  mutable t_tdt : Tdt.t option array;
+  mutable t_secret : int64 option array;
   mutable halted_reason : string option;
   mutable exn_seq : int64;
   mutable exn_count : int;
   mutable probe : (Probe.event -> unit) option;
+  mutable probe_on : bool;
+      (* Guards probe-event construction at emit sites: with no probe
+         installed (the perf configuration) not even the event record is
+         allocated. *)
   mutable faults : fault_hooks option;
 }
 
-and wake_event =
-  | Wake of Memory.addr  (* a monitored write (or spurious wake) arrived *)
-  | Stop_cancelled  (* force-stopped while waiting *)
-  | Deadline  (* mwait_for deadline expired *)
-  | Crash_wake  (* crash-stopped while parked: unwind the body *)
+and thread = { chip : t; tid : int; t_ptid : int }
+(* Handle on one hardware thread: the chip, the dense array index, and
+   the architectural ptid.  One canonical handle per thread, allocated
+   at [add_thread] and shared by every [find_thread]/[thread_list]. *)
 
-and thread = {
-  chip : t;
-  p : Ptid.t;
-  mutable body : (thread -> unit) option;
-  mutable spawned : bool;
-  mutable wake_slot : wake_event Ivar.t option;
-  mutable pending_start : bool;
-      (* A start issued while the thread was already runnable.  Like the
-         monitor latch, this makes start/stop race-free: the pending
-         enable absorbs the next voluntary stop, so a caller that rings a
-         server which has not yet parked itself does not lose the
-         request. *)
-  mutable crashed : bool;
-      (* Crash-stopped and not yet restarted: the body coroutine is gone,
-         so the next start (scheduled or explicit) must respawn it from
-         scratch rather than signal the dead one. *)
-  mutable crashes : int;  (* lifetime crash-stop count *)
-  resume : unit Signal.t;
+(* The thread's preallocated closures, one heap record per thread (a
+   single cache line) instead of four parallel pointer arrays.  Only
+   [f_resume] mutates per park round; the rest are fixed at
+   [add_thread].
+
+   In-flight wake delivery: the scheduled event is the preallocated
+   [f_deliver] thunk reading its (epoch, addr) from the [o_pend]/
+   [o_pendaddr] hot slots, so the steady-state wake path schedules
+   without allocating.  At most one delivery per thread is normally in
+   flight (the monitor waiter is consumed when it fires and only
+   re-registered by the next mwait, which runs after the delivery); the
+   rare overlap — force-stop + restart + re-park + second wake inside
+   the first delivery's latency window — falls back to a capturing
+   closure (see [monitor_wake]). *)
+and fns = {
+  mutable f_resume : int -> unit;  (* parked body's continuation *)
+  f_wake : Memory.addr -> unit;  (* preallocated monitor waiter *)
+  f_register : (int -> unit) -> unit;  (* preallocated await hook *)
+  f_deliver : unit -> unit;  (* preallocated wake-delivery event *)
+  f_signal : unit Signal.t;  (* start/stop resume signal *)
 }
 
 (* Raised inside a crash-stopped thread's body to unwind its instruction
    stream; caught in [run_body], never escapes the chip. *)
 exception Crash_stop
+
+let dummy_resume : int -> unit = fun _ -> ()
+
+let dummy_fns =
+  {
+    f_resume = dummy_resume;
+    f_wake = (fun _ -> ());
+    f_register = (fun _ -> ());
+    f_deliver = (fun () -> ());
+    f_signal = Signal.create ();
+  }
+
+let dummy_regs : Regstate.t = Regstate.create ~vector:false ()
 
 (* Consulted at the end of [create]: lets observer libraries (analysis,
    fault injection) attach themselves to every chip built anywhere —
@@ -110,11 +223,22 @@ let create sim params ~cores =
             store = State_store.create params;
             cache = Tdt.Cache.create ();
           });
-    threads = Hashtbl.create 64;
+    tids = Hashtbl.create 64;
+    n_tids = 0;
+    t_handle = Array.make 64 None;
+    hot = Array.make (64 * hot_stride) 0;
+    t_fns = Array.make 64 dummy_fns;
+    t_weight = Array.make 64 1.0;
+    t_crashes = Array.make 64 0;
+    t_regs = Array.make 64 dummy_regs;
+    t_body = Array.make 64 None;
+    t_tdt = Array.make 64 None;
+    t_secret = Array.make 64 None;
     halted_reason = None;
     exn_seq = 0L;
     exn_count = 0;
     probe = None;
+    probe_on = false;
     faults = None;
   }
 
@@ -123,8 +247,13 @@ let create sim params ~cores =
   List.iter (fun (_, f) -> f t) (Domain.DLS.get creation_hooks);
   t
 
-let set_probe t f = t.probe <- Some f
-let clear_probe t = t.probe <- None
+let set_probe t f =
+  t.probe <- Some f;
+  t.probe_on <- true
+
+let clear_probe t =
+  t.probe <- None;
+  t.probe_on <- false
 
 let set_fault_hooks t f = t.faults <- Some f
 let clear_fault_hooks t = t.faults <- None
@@ -142,81 +271,123 @@ let state_store t core_id = (core t core_id).store
 let tdt_cache t core_id = (core t core_id).cache
 let halted t = t.halted_reason
 
-let add_thread t ~core:core_id ~ptid ~mode ?(vector = false) ?(weight = 1.0) () =
-  if core_id < 0 || core_id >= Array.length t.cores then
-    invalid_arg "Chip.add_thread: no such core";
-  if Hashtbl.mem t.threads ptid then
-    invalid_arg "Chip.add_thread: ptid already exists";
-  let p = Ptid.create ~ptid ~core_id ~mode ~vector ~weight () in
-  let bytes = Regstate.footprint_bytes t.params p.Ptid.regs in
-  State_store.register (state_store t core_id) ~ptid ~bytes;
-  let th =
-    {
-      chip = t;
-      p;
-      body = None;
-      spawned = false;
-      wake_slot = None;
-      pending_start = false;
-      crashed = false;
-      crashes = 0;
-      resume = Signal.create ();
-    }
-  in
-  Hashtbl.replace t.threads ptid th;
-  th
+let exists t ptid = Hashtbl.mem t.tids ptid
+
+let handle_of t ptid =
+  match Hashtbl.find_opt t.tids ptid with
+  | Some tid -> t.t_handle.(tid)
+  | None -> None
+
+(* Hot-slot accessors.  [meta] is slot 0, so the base index doubles as
+   its address. *)
+let tstate c i = c.hot.(i * hot_stride) land 3
+
+let set_tstate c i st =
+  let b = i * hot_stride in
+  c.hot.(b) <- (c.hot.(b) land lnot 3) lor st
+
+let tcore c i = (c.hot.(i * hot_stride) lsr 2) land core_mask
+let tmslot c i = c.hot.(i * hot_stride) asr 22
+
+(* Grow every tid-indexed array to cover [tid].  Tids are interned
+   densely, so this only ever doubles — never jumps to a sparse ptid. *)
+let ensure_tid t tid =
+  let n = Array.length t.t_handle in
+  if tid >= n then begin
+    let cap = max (tid + 1) (2 * n) in
+    let grow a def =
+      let b = Array.make cap def in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    let hot = Array.make (cap * hot_stride) 0 in
+    Array.blit t.hot 0 hot 0 (n * hot_stride);
+    t.hot <- hot;
+    t.t_handle <- grow t.t_handle None;
+    t.t_fns <- grow t.t_fns dummy_fns;
+    t.t_weight <- grow t.t_weight 1.0;
+    t.t_crashes <- grow t.t_crashes 0;
+    t.t_regs <- grow t.t_regs dummy_regs;
+    t.t_body <- grow t.t_body None;
+    t.t_tdt <- grow t.t_tdt None;
+    t.t_secret <- grow t.t_secret None
+  end
 
 let thread_list t =
-  Hashtbl.fold (fun _ th acc -> th :: acc) t.threads []
-  |> List.sort (fun a b -> compare a.p.Ptid.ptid b.p.Ptid.ptid)
+  let acc = ref [] in
+  for tid = t.n_tids - 1 downto 0 do
+    match t.t_handle.(tid) with Some th -> acc := th :: !acc | None -> ()
+  done;
+  (* Tids are in spawn order; the contract is ptid order. *)
+  List.sort (fun a b -> compare a.t_ptid b.t_ptid) !acc
 
 let find_thread t ~ptid =
-  match Hashtbl.find_opt t.threads ptid with
+  match handle_of t ptid with
   | Some th -> th
   | None -> invalid_arg "Chip.find_thread: unknown ptid"
 
 let attach th body =
-  match th.body with
+  match th.chip.t_body.(th.tid) with
   | Some _ -> invalid_arg "Chip.attach: body already attached"
-  | None -> th.body <- Some body
+  | None -> th.chip.t_body.(th.tid) <- Some body
 
-let ptid th = th.p.Ptid.ptid
-let home_core th = th.p.Ptid.core_id
-let state th = th.p.Ptid.state
-let mode th = th.p.Ptid.mode
-let regs th = th.p.Ptid.regs
-let set_tdt th table = th.p.Ptid.tdt <- Some table
-let tdt th = th.p.Ptid.tdt
-let wakeup_count th = th.p.Ptid.wakeups
-let start_count th = th.p.Ptid.starts
-let crash_count th = th.crashes
+let ptid th = th.t_ptid
+let home_core th = tcore th.chip th.tid
+let state th = state_of_code (tstate th.chip th.tid)
 
-let own_core th = th.chip.cores.(home_core th)
+let get_flag c i bit = c.hot.((i * hot_stride) + o_flags) land bit <> 0
 
-let pin_state th = State_store.pin (own_core th).store ~ptid:(ptid th)
+let set_flag c i bit on =
+  let s = (i * hot_stride) + o_flags in
+  if on then c.hot.(s) <- c.hot.(s) lor bit
+  else c.hot.(s) <- c.hot.(s) land lnot bit
 
-let monitor_key th = { Monitor.core_id = home_core th; ptid = ptid th }
+let mode th = if get_flag th.chip th.tid fl_super then Ptid.Supervisor else Ptid.User
+let is_supervisor th = get_flag th.chip th.tid fl_super
+let regs th = th.chip.t_regs.(th.tid)
+let set_tdt th table = th.chip.t_tdt.(th.tid) <- Some table
+let tdt th = th.chip.t_tdt.(th.tid)
+let wakeup_count th = th.chip.hot.((th.tid * hot_stride) + o_wakeups)
+let start_count th = th.chip.hot.((th.tid * hot_stride) + o_starts)
+let crash_count th = th.chip.t_crashes.(th.tid)
+
+let own_core th = th.chip.cores.(tcore th.chip th.tid)
+
+let pin_state th = State_store.pin (own_core th).store ~ptid:th.t_ptid
 
 let make_runnable th ~reason =
-  let from_ = th.p.Ptid.state in
-  th.p.Ptid.state <- Ptid.Runnable;
-  Smt_core.set_runnable (own_core th).exec_unit ~ptid:(ptid th)
-    ~weight:th.p.Ptid.weight true;
-  emit th.chip
-    (Probe.State_change { ptid = ptid th; from_; to_ = Ptid.Runnable; reason })
+  let c = th.chip in
+  let i = th.tid in
+  let b = i * hot_stride in
+  let m = c.hot.(b) in
+  let from_ = m land 3 in
+  c.hot.(b) <- (m land lnot 3) lor st_runnable;
+  Smt_core.set_runnable c.cores.((m lsr 2) land core_mask).exec_unit ~ptid:th.t_ptid
+    ~weight:c.t_weight.(i) true;
+  if c.probe_on then
+    emit c
+      (Probe.State_change
+         { ptid = th.t_ptid; from_ = state_of_code from_; to_ = Ptid.Runnable; reason })
 
 let make_not_runnable th state ~reason =
-  let from_ = th.p.Ptid.state in
-  th.p.Ptid.state <- state;
-  Smt_core.set_runnable (own_core th).exec_unit ~ptid:(ptid th)
-    ~weight:th.p.Ptid.weight false;
-  emit th.chip (Probe.State_change { ptid = ptid th; from_; to_ = state; reason })
+  let c = th.chip in
+  let i = th.tid in
+  let b = i * hot_stride in
+  let m = c.hot.(b) in
+  let from_ = m land 3 in
+  c.hot.(b) <- (m land lnot 3) lor state_code state;
+  Smt_core.set_runnable c.cores.((m lsr 2) land core_mask).exec_unit ~ptid:th.t_ptid
+    ~weight:c.t_weight.(i) false;
+  if c.probe_on then
+    emit c
+      (Probe.State_change
+         { ptid = th.t_ptid; from_ = state_of_code from_; to_ = state; reason })
 
 let run_body th =
-  match th.body with
+  match th.chip.t_body.(th.tid) with
   | None -> invalid_arg "Chip: starting a thread with no body attached"
   | Some body ->
-    Sim.spawn ~name:(Printf.sprintf "ptid-%d" (ptid th)) th.chip.sim (fun () ->
+    Sim.spawn ~name:(Printf.sprintf "ptid-%d" th.t_ptid) th.chip.sim (fun () ->
         (match body th with
         | () -> ()
         | exception Crash_stop ->
@@ -225,7 +396,7 @@ let run_body th =
              raise only unwound the dead instruction stream. *)
           ());
         (* Instruction stream ended: the thread parks itself. *)
-        if th.p.Ptid.state = Ptid.Runnable then
+        if tstate th.chip th.tid = st_runnable then
           make_not_runnable th Ptid.Disabled ~reason:"body-end")
 
 (* Block the calling body until its thread is runnable again.  Loops
@@ -233,23 +404,90 @@ let run_body th =
    A disabled thread is parked by design (a server awaiting its next
    start), so it is daemon-marked for [Sim.suspects] while it waits. *)
 let rec wait_until_runnable th =
-  if th.p.Ptid.state <> Ptid.Runnable then begin
-    if th.p.Ptid.state = Ptid.Disabled then begin
+  let c = th.chip in
+  if tstate c th.tid <> st_runnable then begin
+    if tstate c th.tid = st_disabled then begin
       Sim.set_daemon true;
-      Signal.wait th.resume;
+      Signal.wait c.t_fns.(th.tid).f_signal;
       Sim.set_daemon false
     end
-    else Signal.wait th.resume;
+    else Signal.wait c.t_fns.(th.tid).f_signal;
     wait_until_runnable th
   end
 
 let exec th ?(kind = Smt_core.Useful) cycles =
   wait_until_runnable th;
-  Smt_core.execute (own_core th).exec_unit ~ptid:(ptid th) ~kind cycles
+  Smt_core.execute (own_core th).exec_unit ~ptid:th.t_ptid ~kind cycles
 
 let exec_int th ?kind cycles = exec th ?kind cycles
 
 (* --- wakeup machinery -------------------------------------------------- *)
+
+(* Fill the thread's wake cell and resume the parked body (if it already
+   registered its continuation — it always has, the park round suspends
+   before any filler can run). *)
+let fill_wake th v =
+  let c = th.chip in
+  let b = (th.tid * hot_stride) + o_cell in
+  c.hot.(b) <- (c.hot.(b) land lnot 3) lor cell_full;
+  c.hot.(b + (o_wval - o_cell)) <- v;
+  let fns = c.t_fns.(th.tid) in
+  let r = fns.f_resume in
+  if r != dummy_resume then begin
+    fns.f_resume <- dummy_resume;
+    r v
+  end
+[@@sl.zero_alloc]
+
+(* Block the calling body on its wake cell. *)
+let read_wake th =
+  let c = th.chip in
+  let b = th.tid * hot_stride in
+  if c.hot.(b + o_cell) land 3 = cell_full then c.hot.(b + o_wval)
+  else Sim.await c.t_fns.(th.tid).f_register
+
+(* The wake event scheduled by [monitor_wake], [latency] cycles after the
+   triggering write.  [epoch] stamps the park round the waiter belonged
+   to; if that round is over (the cell's epoch moved on) or something
+   else (force-stop, deadline, crash) already claimed the cell, the event
+   must not be lost: latch it for the thread's next mwait. *)
+let deliver_wake th epoch addr =
+  let c = th.chip in
+  let i = th.tid in
+  if c.hot.((i * hot_stride) + o_cell) <> (epoch lsl 2) lor cell_open then
+    Monitor.relatch_slot c.monitor (tmslot c i) addr
+  else begin
+    make_runnable th ~reason:"mwait-wake";
+    if c.probe_on then
+      emit c (Probe.Mwait_woke { ptid = th.t_ptid; addr; immediate = false });
+    Signal.emit c.t_fns.(i).f_signal ();
+    fill_wake th addr
+  end
+
+(* The monitor waiter callback, preallocated per thread at [add_thread]:
+   runs synchronously inside the triggering Memory.write. *)
+let monitor_wake th addr =
+  let c = th.chip in
+  let i = th.tid in
+  let b = i * hot_stride in
+  let scan = Monitor.write_scan_cost c.monitor ((c.hot.(b) lsr 2) land core_mask) in
+  c.hot.(b + o_wakeups) <- c.hot.(b + o_wakeups) + 1;
+  let latency =
+    c.params.Params.monitor_wake_cycles + scan
+    + State_store.wake_transfer_cycles (own_core th).store ~ptid:th.t_ptid
+    + c.params.Params.pipeline_start_cycles
+  in
+  let epoch = c.hot.(b + o_cell) lsr 2 in
+  let at = Sim.time c.sim + latency in
+  if c.hot.(b + o_pend) land 1 = 0 then begin
+    c.hot.(b + o_pend) <- (epoch lsl 1) lor 1;
+    c.hot.(b + o_pendaddr) <- addr;
+    Sim.schedule c.sim ~at c.t_fns.(i).f_deliver
+  end
+  else
+    (* Overlapping deliveries for one thread: each must carry its own
+       (epoch, addr), so the second and later ones capture theirs. *)
+    Sim.schedule c.sim ~at (fun () -> deliver_wake th epoch addr)
 
 (* Bring a disabled/waiting thread back to runnable after the hardware
    latency: state transfer from its current storage tier plus the pipeline
@@ -257,25 +495,25 @@ let exec_int th ?kind cycles = exec th ?kind cycles
 let schedule_wakeup th ~extra ~reason ~(on_ready : unit -> unit) =
   let chip = th.chip in
   let core = own_core th in
-  let transfer = State_store.wake_transfer_cycles core.store ~ptid:(ptid th) in
+  let transfer = State_store.wake_transfer_cycles core.store ~ptid:th.t_ptid in
   (* Fault injection: a delayed start hand-off stretches the wakeup. *)
   let fault_extra =
     match chip.faults with
     | None -> 0
     | Some f ->
-      let d = f.start_extra_cycles ~ptid:(ptid th) in
+      let d = f.start_extra_cycles ~ptid:th.t_ptid in
       if d > 0 then
-        emit chip (Probe.Fault_injected { ptid = ptid th; kind = "start-delay" });
+        emit chip (Probe.Fault_injected { ptid = th.t_ptid; kind = "start-delay" });
       d
   in
   let latency =
     extra + fault_extra + transfer + chip.params.Params.pipeline_start_cycles
   in
   Sim.schedule chip.sim
-    ~at:((Sim.time chip.sim + latency))
+    ~at:(Sim.time chip.sim + latency)
     (fun () ->
       make_runnable th ~reason;
-      Signal.emit th.resume ();
+      Signal.emit chip.t_fns.(th.tid).f_signal ();
       on_ready ())
 
 (* --- crash-stop + cold restart ------------------------------------------ *)
@@ -287,40 +525,43 @@ let schedule_wakeup th ~extra ~reason ~(on_ready : unit -> unit) =
    (so the body itself must re-arm its monitor and re-publish whatever it
    owns, exactly the recovery discipline the protocol rule enforces).
    The caller is responsible for unwinding the instruction stream (raise
-   [Crash_stop] from inside the body, or fill the wake slot with
-   [Crash_wake] for a parked thread). *)
+   [Crash_stop] from inside the body, or fill the wake cell with
+   [wake_crash] for a parked thread). *)
 let crash_mark th ~kind ~restart_after =
   let chip = th.chip in
-  th.crashes <- th.crashes + 1;
-  th.crashed <- true;
-  th.pending_start <- false;
-  Monitor.cancel_wait chip.monitor (monitor_key th);
-  Monitor.disarm_all chip.monitor (monitor_key th);
-  (match th.p.Ptid.state with
-  | Ptid.Disabled -> ()
-  | Ptid.Runnable -> make_not_runnable th Ptid.Disabled ~reason:"crash-stop"
-  | Ptid.Waiting ->
-    (* Mirror the force-stop path: a Waiting thread is already off the
-       execution units, only the state machine and probes move. *)
-    th.p.Ptid.state <- Ptid.Disabled;
-    emit chip
-      (Probe.State_change
-         {
-           ptid = ptid th;
-           from_ = Ptid.Waiting;
-           to_ = Ptid.Disabled;
-           reason = "crash-stop";
-         }));
-  emit chip (Probe.Fault_injected { ptid = ptid th; kind });
+  let i = th.tid in
+  chip.t_crashes.(i) <- chip.t_crashes.(i) + 1;
+  set_flag chip i fl_crashed true;
+  set_flag chip i fl_pending_start false;
+  Monitor.cancel_wait_slot chip.monitor (tmslot chip i);
+  Monitor.disarm_all_slot chip.monitor (tmslot chip i);
+  (let st = tstate chip i in
+   if st = st_runnable then make_not_runnable th Ptid.Disabled ~reason:"crash-stop"
+   else if st = st_waiting then begin
+     (* Mirror the force-stop path: a Waiting thread is already off the
+        execution units, only the state machine and probes move. *)
+     set_tstate chip i st_disabled;
+     if chip.probe_on then
+       emit chip
+         (Probe.State_change
+            {
+              ptid = th.t_ptid;
+              from_ = Ptid.Waiting;
+              to_ = Ptid.Disabled;
+              reason = "crash-stop";
+            })
+   end);
+  if chip.probe_on then emit chip (Probe.Fault_injected { ptid = th.t_ptid; kind });
   let restart_at = Sim.time chip.sim + max 1 restart_after in
   Sim.schedule chip.sim ~at:restart_at (fun () ->
       (* A start issued between crash and restart already respawned the
          body (see [do_start]); don't spawn a second instruction stream. *)
-      if th.crashed then begin
-        th.crashed <- false;
-        th.p.Ptid.starts <- th.p.Ptid.starts + 1;
+      if get_flag chip i fl_crashed then begin
+        set_flag chip i fl_crashed false;
+        chip.hot.((i * hot_stride) + o_starts) <-
+          chip.hot.((i * hot_stride) + o_starts) + 1;
         emit chip
-          (Probe.Start_edge { actor = Probe.Boot; target = ptid th; latched = false });
+          (Probe.Start_edge { actor = Probe.Boot; target = th.t_ptid; latched = false });
         schedule_wakeup th ~extra:0 ~reason:"crash-restart" ~on_ready:(fun () ->
             run_body th)
       end)
@@ -331,70 +572,105 @@ let crash_self th ~kind ~restart_after =
   crash_mark th ~kind ~restart_after;
   raise Crash_stop
 
+(* --- thread construction ------------------------------------------------ *)
+
+let add_thread t ~core:core_id ~ptid ~mode ?(vector = false) ?(weight = 1.0) () =
+  if core_id < 0 || core_id >= Array.length t.cores then
+    invalid_arg "Chip.add_thread: no such core";
+  if ptid < 0 then invalid_arg "Chip.add_thread: negative ptid";
+  if exists t ptid then invalid_arg "Chip.add_thread: ptid already exists";
+  if weight <= 0.0 then invalid_arg "Ptid.create: weight must be positive";
+  let regs = Regstate.create ~vector () in
+  let bytes = Regstate.footprint_bytes t.params regs in
+  State_store.register (state_store t core_id) ~ptid ~bytes;
+  let tid = t.n_tids in
+  t.n_tids <- tid + 1;
+  ensure_tid t tid;
+  Hashtbl.replace t.tids ptid tid;
+  let th = { chip = t; tid; t_ptid = ptid } in
+  t.t_handle.(tid) <- Some th;
+  let mslot = Monitor.slot_of_key t.monitor { Monitor.core_id; ptid } in
+  let b = tid * hot_stride in
+  t.hot.(b) <- (mslot lsl 22) lor (core_id lsl 2) lor st_disabled;
+  t.hot.(b + o_cell) <- cell_idle;
+  t.hot.(b + o_wval) <- 0;
+  t.hot.(b + o_pend) <- 0;
+  t.hot.(b + o_pendaddr) <- 0;
+  t.hot.(b + o_wakeups) <- 0;
+  t.hot.(b + o_flags) <- (match mode with Ptid.Supervisor -> fl_super | Ptid.User -> 0);
+  t.hot.(b + o_starts) <- 0;
+  t.t_weight.(tid) <- weight;
+  t.t_crashes.(tid) <- 0;
+  let rec fns =
+    {
+      f_resume = dummy_resume;
+      f_wake = (fun addr -> monitor_wake th addr);
+      f_register = (fun resume -> fns.f_resume <- resume);
+      f_deliver =
+        (fun () ->
+          let b = tid * hot_stride in
+          let pend = t.hot.(b + o_pend) in
+          t.hot.(b + o_pend) <- pend land lnot 1;
+          deliver_wake th (pend lsr 1) t.hot.(b + o_pendaddr));
+      f_signal = Signal.create ();
+    }
+  in
+  t.t_fns.(tid) <- fns;
+  t.t_regs.(tid) <- regs;
+  t.t_body.(tid) <- None;
+  t.t_tdt.(tid) <- None;
+  t.t_secret.(tid) <- None;
+  th
+
 (* --- §3.1 instructions -------------------------------------------------- *)
 
 let insn_monitor th addr =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.monitor_arm_cycles;
-  Monitor.arm th.chip.monitor (monitor_key th) addr;
-  emit th.chip (Probe.Monitor_armed { ptid = ptid th; addr })
+  Monitor.arm_slot th.chip.monitor (tmslot th.chip th.tid) addr;
+  if th.chip.probe_on then
+    emit th.chip (Probe.Monitor_armed { ptid = th.t_ptid; addr })
 
 (* Shared implementation of [mwait] (park until a monitored write) and
    [mwait_for] (same, but resume empty-handed at an absolute [deadline],
    umwait-style).  Returns [None] only on deadline expiry. *)
 let insn_mwait_generic th ~deadline =
   let chip = th.chip in
-  let key = monitor_key th in
+  let i = th.tid in
+  let mslot = tmslot chip i in
   exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_arm_cycles;
-  let rec park () =
-    let ivar = Ivar.create () in
-    let wake addr =
-      (* Runs synchronously inside the triggering Memory.write. *)
-      let scan = Monitor.write_scan_cost chip.monitor key.Monitor.core_id in
-      th.p.Ptid.wakeups <- th.p.Ptid.wakeups + 1;
-      let latency =
-        chip.params.Params.monitor_wake_cycles + scan
-        + State_store.wake_transfer_cycles (own_core th).store ~ptid:(ptid th)
-        + chip.params.Params.pipeline_start_cycles
-      in
-      Sim.schedule chip.sim
-        ~at:((Sim.time chip.sim + latency))
-        (fun () ->
-          if Ivar.is_full ivar then
-            (* A force-stop or deadline expiry raced the in-flight wakeup
-               and claimed the slot first.  The event must not be lost:
-               latch it for the thread's next mwait. *)
-            Monitor.relatch chip.monitor key addr
-          else begin
-            make_runnable th ~reason:"mwait-wake";
-            emit chip (Probe.Mwait_woke { ptid = ptid th; addr; immediate = false });
-            Signal.emit th.resume ();
-            Ivar.fill ivar (Wake addr)
-          end)
-    in
-    (* Sampled as a wake is consumed, parked or immediate: the thread
-       dies holding the event — the doorbell was delivered but nothing
-       will process it until the cold restart re-runs the body. *)
-    let crash_on_wake () =
-      match chip.faults with
+  (* Sampled as a wake is consumed, parked or immediate: the thread
+     dies holding the event — the doorbell was delivered but nothing
+     will process it until the cold restart re-runs the body. *)
+  let crash_on_wake () =
+    match chip.faults with
+    | None -> ()
+    | Some f -> (
+      match f.crash_at_wake ~ptid:th.t_ptid with
       | None -> ()
-      | Some f -> (
-        match f.crash_at_wake ~ptid:(ptid th) with
-        | None -> ()
-        | Some restart_after -> crash_self th ~kind:"crash-wake" ~restart_after)
-    in
-    match Monitor.mwait chip.monitor key ~wake with
-    | `Immediate addr ->
+      | Some restart_after -> crash_self th ~kind:"crash-wake" ~restart_after)
+  in
+  let rec park () =
+    (* A new park round: bump the cell's epoch (state back to idle); stale
+       events from earlier rounds compare epochs and stand down (the
+       per-round Ivar used to go Full instead). *)
+    let b = i * hot_stride in
+    chip.hot.(b + o_cell) <- ((chip.hot.(b + o_cell) lsr 2) + 1) lsl 2;
+    let epoch = chip.hot.(b + o_cell) lsr 2 in
+    let a = Monitor.mwait_slot chip.monitor mslot ~wake:chip.t_fns.(i).f_wake in
+    if a >= 0 then begin
       (* The write already happened; no sleep, only the match cost. *)
-      th.p.Ptid.wakeups <- th.p.Ptid.wakeups + 1;
+      chip.hot.(b + o_wakeups) <- chip.hot.(b + o_wakeups) + 1;
       exec_int th ~kind:Smt_core.Overhead chip.params.Params.monitor_wake_cycles;
-      emit chip (Probe.Mwait_woke { ptid = ptid th; addr; immediate = true });
+      if chip.probe_on then
+        emit chip (Probe.Mwait_woke { ptid = th.t_ptid; addr = a; immediate = true });
       crash_on_wake ();
-      Some addr
-    | `Parked -> (
+      Some a
+    end
+    else begin
       make_not_runnable th Ptid.Waiting ~reason:"mwait-park";
-      emit chip (Probe.Mwait_parked { ptid = ptid th });
-      State_store.touch (own_core th).store ~ptid:(ptid th);
-      th.wake_slot <- Some ivar;
+      if chip.probe_on then emit chip (Probe.Mwait_parked { ptid = th.t_ptid });
+      State_store.touch (own_core th).store ~ptid:th.t_ptid;
+      chip.hot.(b + o_cell) <- (epoch lsl 2) lor cell_open;
       (match deadline with
       | None -> ()
       | Some at ->
@@ -404,26 +680,29 @@ let insn_mwait_generic th ~deadline =
         in
         Sim.schedule chip.sim ~at (fun () ->
             (* Expire only if nothing else claimed the wait: no wake in
-               flight (ivar empty) and no force-stop (still Waiting). *)
-            if (not (Ivar.is_full ivar)) && th.p.Ptid.state = Ptid.Waiting
+               flight (cell still open this round) and no force-stop
+               (still Waiting). *)
+            if
+              chip.hot.((i * hot_stride) + o_cell) = (epoch lsl 2) lor cell_open
+              && tstate chip i = st_waiting
             then begin
-              Monitor.cancel_wait chip.monitor key;
-              Ivar.fill ivar Deadline;
+              Monitor.cancel_wait_slot chip.monitor mslot;
+              fill_wake th wake_deadline;
               (* The empty-handed resume still pays the restart latency. *)
               let latency =
-                State_store.wake_transfer_cycles (own_core th).store
-                  ~ptid:(ptid th)
+                State_store.wake_transfer_cycles (own_core th).store ~ptid:th.t_ptid
                 + chip.params.Params.pipeline_start_cycles
               in
               Sim.schedule chip.sim
-                ~at:((Sim.time chip.sim + latency))
+                ~at:(Sim.time chip.sim + latency)
                 (fun () ->
                   (* A force-stop may land inside the restart window; it
                      wins, and a later start re-runs the thread. *)
-                  if th.p.Ptid.state = Ptid.Waiting then begin
+                  if tstate chip i = st_waiting then begin
                     make_runnable th ~reason:"mwait-deadline";
-                    emit chip (Probe.Mwait_timeout { ptid = ptid th });
-                    Signal.emit th.resume ()
+                    if chip.probe_on then
+                      emit chip (Probe.Mwait_timeout { ptid = th.t_ptid });
+                    Signal.emit chip.t_fns.(i).f_signal ()
                   end)
             end));
       (* Fault injection: a spurious wakeup fires the wake callback with
@@ -432,18 +711,18 @@ let insn_mwait_generic th ~deadline =
       (match chip.faults with
       | None -> ()
       | Some f -> (
-        match f.spurious_wake_after ~ptid:(ptid th) with
+        match f.spurious_wake_after ~ptid:th.t_ptid with
         | None -> ()
         | Some d ->
+          let key = { Monitor.core_id = tcore chip i; ptid = th.t_ptid } in
           Sim.schedule chip.sim
-            ~at:((Sim.time chip.sim + d))
+            ~at:(Sim.time chip.sim + d)
             (fun () ->
               match Monitor.take_waiter chip.monitor key with
               | None -> ()  (* already woken, stopped or expired *)
               | Some w ->
                 emit chip
-                  (Probe.Fault_injected
-                     { ptid = ptid th; kind = "mwait-spurious" });
+                  (Probe.Fault_injected { ptid = th.t_ptid; kind = "mwait-spurious" });
                 let addr =
                   match Monitor.armed chip.monitor key with
                   | addr :: _ -> addr
@@ -452,42 +731,47 @@ let insn_mwait_generic th ~deadline =
                 w addr)));
       (* Fault injection: a crash-stop lands mid-park.  The scheduled
          event claims the wait only if nothing else already did (no wake
-         in flight, no force-stop, no deadline); the filled slot unwinds
+         in flight, no force-stop, no deadline); the filled cell unwinds
          the parked body, which run_body retires, and [crash_mark] has
          already scheduled the cold restart. *)
       (match chip.faults with
       | None -> ()
       | Some f -> (
-        match f.crash_park_after ~ptid:(ptid th) with
+        match f.crash_park_after ~ptid:th.t_ptid with
         | None -> ()
         | Some (after, restart_after) ->
           Sim.schedule chip.sim
-            ~at:((Sim.time chip.sim + max 0 after))
+            ~at:(Sim.time chip.sim + max 0 after)
             (fun () ->
-              if (not (Ivar.is_full ivar)) && th.p.Ptid.state = Ptid.Waiting
+              if
+                chip.hot.((i * hot_stride) + o_cell) = (epoch lsl 2) lor cell_open
+                && tstate chip i = st_waiting
               then begin
                 crash_mark th ~kind:"crash-park" ~restart_after;
-                Ivar.fill ivar Crash_wake
+                fill_wake th wake_crash
               end)));
-      match Ivar.read ivar with
-      | Wake addr ->
-        th.wake_slot <- None;
+      let v = read_wake th in
+      let s = (i * hot_stride) + o_cell in
+      chip.hot.(s) <- chip.hot.(s) land lnot 3;
+      if v >= 0 then begin
         crash_on_wake ();
-        Some addr
-      | Deadline ->
-        th.wake_slot <- None;
+        Some v
+      end
+      else if v = wake_deadline then begin
         wait_until_runnable th;
         None
-      | Stop_cancelled ->
+      end
+      else if v = wake_stop then begin
         (* Force-stopped while waiting; when restarted, wait again. *)
-        th.wake_slot <- None;
         wait_until_runnable th;
         park ()
-      | Crash_wake ->
+      end
+      else begin
         (* Crash-stopped while parked: bookkeeping already ran in the
            crash event; unwind the dead instruction stream. *)
-        th.wake_slot <- None;
-        raise Crash_stop)
+        raise Crash_stop
+      end
+    end
   in
   park ()
 
@@ -502,24 +786,24 @@ let insn_mwait_for th ~deadline = insn_mwait_generic th ~deadline:(Some deadline
 let raise_exception th kind ~info =
   let chip = th.chip in
   chip.exn_count <- chip.exn_count + 1;
-  emit chip (Probe.Exception_raised { ptid = ptid th; kind; info });
-  let edp = Regstate.get th.p.Ptid.regs Regstate.Exception_descriptor_ptr in
+  emit chip (Probe.Exception_raised { ptid = th.t_ptid; kind; info });
+  let edp = Regstate.get (regs th) Regstate.Exception_descriptor_ptr in
   if edp = 0L then begin
     let reason =
       Format.asprintf "unhandled %a exception in ptid %d (no handler chain left)"
-        Exception_desc.pp_kind kind (ptid th)
+        Exception_desc.pp_kind kind th.t_ptid
     in
     chip.halted_reason <- Some reason;
     raise (Halted reason)
   end
   else begin
     (* Faults are involuntary: a latched start must not absorb them. *)
-    th.pending_start <- false;
+    set_flag chip th.tid fl_pending_start false;
     make_not_runnable th Ptid.Disabled ~reason:"fault";
     Sim.delay chip.params.Params.exception_descriptor_cycles;
     chip.exn_seq <- Int64.add chip.exn_seq 1L;
     Exception_desc.write chip.memory ~base:(Int64.to_int edp) ~seq:chip.exn_seq
-      ~core_id:(home_core th) ~ptid:(ptid th) kind ~info;
+      ~core_id:(home_core th) ~ptid:th.t_ptid kind ~info;
     (* Parked until a handler repairs our state and restarts us. *)
     wait_until_runnable th
   end
@@ -528,30 +812,52 @@ let raise_exception th kind ~info =
    Returns the target thread and its permissions, or faults the caller. *)
 let translate th ~vtid =
   let chip = th.chip in
-  match th.p.Ptid.tdt with
+  match chip.t_tdt.(th.tid) with
   | Some table -> (
-    let entry, outcome = Tdt.Cache.lookup (own_core th).cache table ~vtid in
-    emit chip
-      (Probe.Translated { actor = ptid th; vtid; table; used = entry; outcome });
+    let r = Tdt.Cache.lookup_packed (own_core th).cache table ~vtid in
+    let e = r asr 1 in
+    let hit = r land 1 = 1 in
+    if chip.probe_on then begin
+      let used =
+        if e < 0 then None
+        else Some (e lsr 4, Tdt.perms_of_bits (e land 0b1111))
+      in
+      emit chip
+        (Probe.Translated
+           {
+             actor = th.t_ptid;
+             vtid;
+             table;
+             used;
+             outcome = (if hit then `Hit else `Miss);
+           })
+    end;
     let cost =
-      match outcome with
-      | `Hit -> chip.params.Params.tdt_cached_lookup_cycles
-      | `Miss -> chip.params.Params.tdt_miss_cycles
+      if hit then chip.params.Params.tdt_cached_lookup_cycles
+      else chip.params.Params.tdt_miss_cycles
     in
     exec_int th ~kind:Smt_core.Overhead cost;
-    match entry with
-    | Some (target_ptid, perms) when Hashtbl.mem chip.threads target_ptid ->
-      Some (Hashtbl.find chip.threads target_ptid, perms)
-    | Some _ | None ->
-      raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid);
-      None)
+    if e >= 0 then begin
+      match handle_of chip (e lsr 4) with
+      | Some target -> Some (target, Tdt.perms_of_bits (e land 0b1111))
+      | None ->
+        raise_exception th Exception_desc.Invalid_thread_access
+          ~info:(Int64.of_int vtid);
+        None
+    end
+    else begin
+      raise_exception th Exception_desc.Invalid_thread_access
+        ~info:(Int64.of_int vtid);
+      None
+    end)
   | None ->
-    if Ptid.is_supervisor th.p then begin
+    if is_supervisor th then begin
       (* Supervisors without a table address ptids directly. *)
-      match Hashtbl.find_opt chip.threads vtid with
+      match handle_of chip vtid with
       | Some target -> Some (target, Tdt.perms_all)
       | None ->
-        raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid);
+        raise_exception th Exception_desc.Invalid_thread_access
+          ~info:(Int64.of_int vtid);
         None
     end
     else begin
@@ -559,65 +865,69 @@ let translate th ~vtid =
       None
     end
 
-let permitted th perms check = Ptid.is_supervisor th.p || check perms
+let permitted th perms check = is_supervisor th || check perms
 
 let do_start ~actor target =
-  match target.p.Ptid.state with
-  | Ptid.Disabled ->
-    target.p.Ptid.starts <- target.p.Ptid.starts + 1;
-    emit target.chip
-      (Probe.Start_edge { actor; target = ptid target; latched = false });
-    if not target.spawned then begin
-      target.spawned <- true;
+  let c = target.chip in
+  let i = target.tid in
+  let st = tstate c i in
+  if st = st_disabled then begin
+    c.hot.((i * hot_stride) + o_starts) <- c.hot.((i * hot_stride) + o_starts) + 1;
+    emit c (Probe.Start_edge { actor; target = target.t_ptid; latched = false });
+    if not (get_flag c i fl_spawned) then begin
+      set_flag c i fl_spawned true;
       schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () ->
           run_body target)
     end
-    else if target.crashed then begin
+    else if get_flag c i fl_crashed then begin
       (* Crash-stopped and not yet auto-restarted: the old instruction
          stream is gone, so an explicit start must respawn the body (and
          the scheduled auto-restart then sees [crashed = false]). *)
-      target.crashed <- false;
+      set_flag c i fl_crashed false;
       schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () ->
           run_body target)
     end
-    else schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () -> ())
-  | Ptid.Runnable ->
+    else
+      schedule_wakeup target ~extra:0 ~reason:"start-wake" ~on_ready:(fun () -> ())
+  end
+  else if st = st_runnable then begin
     (* Already enabled: latch the start so it cannot be lost to a stop
        that is architecturally in flight (e.g. a server parking itself). *)
-    target.pending_start <- true;
-    emit target.chip
-      (Probe.Start_edge { actor; target = ptid target; latched = true })
-  | Ptid.Waiting -> ()
+    set_flag c i fl_pending_start true;
+    emit c (Probe.Start_edge { actor; target = target.t_ptid; latched = true })
+  end
 
 let do_stop ~actor target =
-  if target.pending_start then
+  let c = target.chip in
+  let i = target.tid in
+  if get_flag c i fl_pending_start then
     (* The latched start absorbs this stop; the thread keeps running. *)
-    target.pending_start <- false
+    set_flag c i fl_pending_start false
   else begin
-    match target.p.Ptid.state with
-    | Ptid.Disabled -> ()
-    | Ptid.Runnable ->
+    let st = tstate c i in
+    if st = st_runnable then begin
       make_not_runnable target Ptid.Disabled ~reason:"stop";
-      emit target.chip (Probe.Stop_edge { actor; target = ptid target })
-    | Ptid.Waiting ->
-      Monitor.cancel_wait target.chip.monitor (monitor_key target);
-      target.p.Ptid.state <- Ptid.Disabled;
-      emit target.chip
-        (Probe.State_change
-           {
-             ptid = ptid target;
-             from_ = Ptid.Waiting;
-             to_ = Ptid.Disabled;
-             reason = "force-stop";
-           });
-      emit target.chip (Probe.Stop_edge { actor; target = ptid target });
-      (match target.wake_slot with
-      | Some ivar ->
-        (* [try_fill]: a deadline expiry may have claimed the slot already
-           (thread mid-restart); the force-stop still wins via the state
-           check in the restart event. *)
-        ignore (Ivar.try_fill ivar Stop_cancelled : bool)
-      | None -> ())
+      emit c (Probe.Stop_edge { actor; target = target.t_ptid })
+    end
+    else if st = st_waiting then begin
+      Monitor.cancel_wait_slot c.monitor (tmslot c i);
+      set_tstate c i st_disabled;
+      if c.probe_on then
+        emit c
+          (Probe.State_change
+             {
+               ptid = target.t_ptid;
+               from_ = Ptid.Waiting;
+               to_ = Ptid.Disabled;
+               reason = "force-stop";
+             });
+      emit c (Probe.Stop_edge { actor; target = target.t_ptid });
+      (* Claim the open park (the old [Ivar.try_fill]): a deadline expiry
+         may have claimed the cell already (thread mid-restart); the
+         force-stop still wins via the state check in the restart event. *)
+      if c.hot.((i * hot_stride) + o_cell) land 3 = cell_open then
+        fill_wake target wake_stop
+    end
   end
 
 let insn_start th ~vtid =
@@ -626,7 +936,7 @@ let insn_start th ~vtid =
   | None -> ()
   | Some (target, perms) ->
     if permitted th perms (fun p -> p.Tdt.can_start) then
-      do_start ~actor:(Probe.Thread (ptid th)) target
+      do_start ~actor:(Probe.Thread th.t_ptid) target
     else raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
 
 let insn_stop th ~vtid =
@@ -635,7 +945,7 @@ let insn_stop th ~vtid =
   | None -> ()
   | Some (target, perms) ->
     if permitted th perms (fun p -> p.Tdt.can_stop) then
-      do_stop ~actor:(Probe.Thread (ptid th)) target
+      do_stop ~actor:(Probe.Thread th.t_ptid) target
     else raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
 
 (* Permission for remote register access.  Reading needs any modify bit;
@@ -644,7 +954,7 @@ let insn_stop th ~vtid =
 let reg_readable perms = perms.Tdt.can_modify_some || perms.Tdt.can_modify_most
 
 let reg_writable th perms reg =
-  if Regstate.is_privileged_reg reg then Ptid.is_supervisor th.p
+  if Regstate.is_privileged_reg reg then is_supervisor th
   else if Regstate.modify_some_allows reg then
     perms.Tdt.can_modify_some || perms.Tdt.can_modify_most
   else Regstate.modify_most_allows reg && perms.Tdt.can_modify_most
@@ -658,14 +968,13 @@ let insn_rpull th ~vtid reg =
       raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid);
       0L
     end
-    else if target.p.Ptid.state <> Ptid.Disabled then begin
+    else if tstate th.chip target.tid <> st_disabled then begin
       raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid);
       0L
     end
     else begin
-      emit th.chip
-        (Probe.Reg_pull { actor = ptid th; target = ptid target; reg });
-      Regstate.get target.p.Ptid.regs reg
+      emit th.chip (Probe.Reg_pull { actor = th.t_ptid; target = target.t_ptid; reg });
+      Regstate.get (regs target) reg
     end
 
 let insn_rpush th ~vtid reg value =
@@ -673,40 +982,39 @@ let insn_rpush th ~vtid reg value =
   match translate th ~vtid with
   | None -> ()
   | Some (target, perms) ->
-    if Regstate.is_privileged_reg reg && not (Ptid.is_supervisor th.p) then
+    if Regstate.is_privileged_reg reg && not (is_supervisor th) then
       (* §3.2: privileged-register access from user mode always faults so a
          supervisor can emulate it. *)
       raise_exception th Exception_desc.Privileged_instruction ~info:(Int64.of_int vtid)
-    else if not (Ptid.is_supervisor th.p || reg_writable th perms reg) then
+    else if not (is_supervisor th || reg_writable th perms reg) then
       raise_exception th Exception_desc.Permission_denied ~info:(Int64.of_int vtid)
-    else if target.p.Ptid.state <> Ptid.Disabled then
+    else if tstate th.chip target.tid <> st_disabled then
       raise_exception th Exception_desc.Invalid_thread_access ~info:(Int64.of_int vtid)
     else begin
-      emit th.chip
-        (Probe.Reg_push { actor = ptid th; target = ptid target; reg });
-      Regstate.set target.p.Ptid.regs reg value
+      emit th.chip (Probe.Reg_push { actor = th.t_ptid; target = target.t_ptid; reg });
+      Regstate.set (regs target) reg value
     end
 
 (* --- §3.2 secret-key capability scheme ---------------------------------- *)
 
 let insn_set_secret th key =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
-  th.p.Ptid.secret <- Some key
+  th.chip.t_secret.(th.tid) <- Some key
 
 (* Resolve a raw ptid for a keyed operation: the caller must present the
    target's published secret (supervisors pass regardless). *)
 let translate_keyed th ~target_ptid ~key =
   let chip = th.chip in
   exec_int th ~kind:Smt_core.Overhead chip.params.Params.tdt_cached_lookup_cycles;
-  match Hashtbl.find_opt chip.threads target_ptid with
+  match handle_of chip target_ptid with
   | None ->
     raise_exception th Exception_desc.Invalid_thread_access
       ~info:(Int64.of_int target_ptid);
     None
   | Some target ->
-    if Ptid.is_supervisor th.p then Some target
+    if is_supervisor th then Some target
     else begin
-      match target.p.Ptid.secret with
+      match chip.t_secret.(target.tid) with
       | Some s when Int64.equal s key -> Some target
       | Some _ | None ->
         raise_exception th Exception_desc.Permission_denied
@@ -718,28 +1026,27 @@ let insn_start_keyed th ~target_ptid ~key =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
   match translate_keyed th ~target_ptid ~key with
   | None -> ()
-  | Some target -> do_start ~actor:(Probe.Thread (ptid th)) target
+  | Some target -> do_start ~actor:(Probe.Thread th.t_ptid) target
 
 let insn_stop_keyed th ~target_ptid ~key =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
   match translate_keyed th ~target_ptid ~key with
   | None -> ()
-  | Some target -> do_stop ~actor:(Probe.Thread (ptid th)) target
+  | Some target -> do_stop ~actor:(Probe.Thread th.t_ptid) target
 
 let insn_rpull_keyed th ~target_ptid ~key reg =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.rpull_rpush_cycles;
   match translate_keyed th ~target_ptid ~key with
   | None -> 0L
   | Some target ->
-    if target.p.Ptid.state <> Ptid.Disabled then begin
+    if tstate th.chip target.tid <> st_disabled then begin
       raise_exception th Exception_desc.Invalid_thread_access
         ~info:(Int64.of_int target_ptid);
       0L
     end
     else begin
-      emit th.chip
-        (Probe.Reg_pull { actor = ptid th; target = ptid target; reg });
-      Regstate.get target.p.Ptid.regs reg
+      emit th.chip (Probe.Reg_pull { actor = th.t_ptid; target = target.t_ptid; reg });
+      Regstate.get (regs target) reg
     end
 
 let insn_rpush_keyed th ~target_ptid ~key reg value =
@@ -747,48 +1054,51 @@ let insn_rpush_keyed th ~target_ptid ~key reg value =
   match translate_keyed th ~target_ptid ~key with
   | None -> ()
   | Some target ->
-    if Regstate.is_privileged_reg reg && not (Ptid.is_supervisor th.p) then
+    if Regstate.is_privileged_reg reg && not (is_supervisor th) then
       raise_exception th Exception_desc.Privileged_instruction
         ~info:(Int64.of_int target_ptid)
-    else if target.p.Ptid.state <> Ptid.Disabled then
+    else if tstate th.chip target.tid <> st_disabled then
       raise_exception th Exception_desc.Invalid_thread_access
         ~info:(Int64.of_int target_ptid)
     else begin
-      emit th.chip
-        (Probe.Reg_push { actor = ptid th; target = ptid target; reg });
-      Regstate.set target.p.Ptid.regs reg value
+      emit th.chip (Probe.Reg_push { actor = th.t_ptid; target = target.t_ptid; reg });
+      Regstate.set (regs target) reg value
     end
 
 let insn_invtid th ~vtid =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.tdt_cached_lookup_cycles;
-  match th.p.Ptid.tdt with
+  match th.chip.t_tdt.(th.tid) with
   | Some table ->
     Tdt.Cache.invalidate (own_core th).cache table ~vtid;
-    emit th.chip (Probe.Invtid_issued { actor = ptid th; vtid })
+    if th.chip.probe_on then
+      emit th.chip (Probe.Invtid_issued { actor = th.t_ptid; vtid })
   | None -> ()
 
 let insn_set_tdt th table =
   exec_int th ~kind:Smt_core.Overhead th.chip.params.Params.start_stop_issue_cycles;
-  if Ptid.is_supervisor th.p then th.p.Ptid.tdt <- Some table
+  if is_supervisor th then th.chip.t_tdt.(th.tid) <- Some table
   else raise_exception th Exception_desc.Privileged_instruction ~info:0L
 
 let load th addr =
   exec th ~kind:Smt_core.Useful 1;
   let value = Memory.read th.chip.memory addr in
-  emit th.chip (Probe.Mem_read { ptid = ptid th; addr; value });
+  if th.chip.probe_on then
+    emit th.chip (Probe.Mem_read { ptid = th.t_ptid; addr; value });
   value
 
 let store th addr value =
   exec th ~kind:Smt_core.Useful 1;
   Memory.write th.chip.memory addr value;
-  emit th.chip (Probe.Mem_write { ptid = ptid th; addr; value })
+  if th.chip.probe_on then
+    emit th.chip (Probe.Mem_write { ptid = th.t_ptid; addr; value })
 
 let boot th =
-  if th.spawned then invalid_arg "Chip.boot: thread already started";
-  th.spawned <- true;
-  th.p.Ptid.starts <- th.p.Ptid.starts + 1;
-  emit th.chip
-    (Probe.Start_edge { actor = Probe.Boot; target = ptid th; latched = false });
+  let c = th.chip in
+  if get_flag c th.tid fl_spawned then invalid_arg "Chip.boot: thread already started";
+  set_flag c th.tid fl_spawned true;
+  c.hot.((th.tid * hot_stride) + o_starts) <-
+    c.hot.((th.tid * hot_stride) + o_starts) + 1;
+  emit c (Probe.Start_edge { actor = Probe.Boot; target = th.t_ptid; latched = false });
   make_runnable th ~reason:"boot";
   run_body th
 
@@ -807,19 +1117,32 @@ type stats = {
   demotions : int;
 }
 
+(* Tids are dense: every index below [n_tids] is a live thread, so these
+   walk exactly the registered threads — no Hashtbl fold, no empty-slot
+   scan. *)
+let sum_hot t off =
+  let acc = ref 0 in
+  for tid = 0 to t.n_tids - 1 do
+    acc := !acc + t.hot.((tid * hot_stride) + off)
+  done;
+  !acc
+
 let crash_total t =
-  Hashtbl.fold (fun _ th acc -> acc + th.crashes) t.threads 0
+  let acc = ref 0 in
+  for tid = 0 to t.n_tids - 1 do
+    acc := !acc + t.t_crashes.(tid)
+  done;
+  !acc
 
 let stats t =
-  let sum f = Hashtbl.fold (fun _ th acc -> acc + f th) t.threads 0 in
   let tier_sum tier =
     Array.fold_left
       (fun acc core -> acc + State_store.transfer_count core.store tier)
       0 t.cores
   in
   {
-    total_wakeups = sum (fun th -> th.p.Ptid.wakeups);
-    total_starts = sum (fun th -> th.p.Ptid.starts);
+    total_wakeups = sum_hot t o_wakeups;
+    total_starts = sum_hot t o_starts;
     total_exceptions = t.exn_count;
     rf_wakes = tier_sum State_store.Register_file;
     l2_wakes = tier_sum State_store.L2;

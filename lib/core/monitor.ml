@@ -1,163 +1,338 @@
 type thread_key = { core_id : int; ptid : int }
 
-type thread_state = {
-  mutable armed : Memory.addr list;  (* most recent first; see {!armed} *)
-  mutable armed_n : int;  (* [List.length armed], kept incrementally *)
-  mutable pending : Memory.addr option;  (* latched trigger *)
-  mutable waiter : (Memory.addr -> unit) option;  (* parked in mwait *)
-}
+(* Waiter sentinel: a physically-unique closure meaning "no waiter", so
+   parking stores the wake callback directly instead of boxing it in a
+   fresh [Some] on every mwait. *)
+let none_waiter : Memory.addr -> unit = fun _ -> ()
 
+(* Struct-of-arrays layout.  External callers name threads by
+   {!thread_key}; the first touch interns the key into a dense [slot]
+   index, and all per-thread state lives in parallel arrays indexed by
+   that slot — [mwait]/wake/latch on the hot path are plain array loads.
+
+   Armed (thread, addr) pairs live in a flat arena threaded by two
+   intrusive doubly-linked lists per cell: the thread's armed list (in
+   arming order, appended at the tail) and the address's watcher list
+   (most-recently-armed first, prepended at the head — the delivery
+   order {!on_write} has always used).  [-1] is the null link. *)
 type t = {
   params : Params.t;
-  by_addr : (Memory.addr, thread_key list ref) Hashtbl.t;
-  by_thread : (thread_key, thread_state) Hashtbl.t;
-  (* Membership index over every armed (thread, addr) pair: [arm]/[disarm]
-     idempotence checks are O(1) instead of a walk of the thread's armed
-     list, which made arming K addresses O(K^2) (see E9). *)
-  armed_set : (thread_key * Memory.addr, unit) Hashtbl.t;
-  core_armed : (int, int) Hashtbl.t;
+  slot_of : (thread_key, int) Hashtbl.t;
+  (* per-slot state *)
+  mutable s_core : int array;
+  mutable s_ptid : int array;
+  mutable s_pending : int array;  (* latched trigger addr; -1 = none *)
+  mutable s_armed_n : int array;
+  mutable s_thead : int array;  (* first-armed pair of the slot; -1 *)
+  mutable s_ttail : int array;  (* last-armed pair of the slot; -1 *)
+  mutable s_waiter : (Memory.addr -> unit) array;  (* none_waiter = idle *)
+  mutable slots : int;
+  (* pair arena *)
+  mutable p_addr : int array;
+  mutable p_slot : int array;
+  mutable p_tprev : int array;
+  mutable p_tnext : int array;  (* doubles as the freelist link *)
+  mutable p_aprev : int array;
+  mutable p_anext : int array;
+  mutable free_pair : int;
+  mutable pairs : int;  (* arena high-water mark *)
+  (* Membership index over armed (slot, addr) pairs, key packed into one
+     int: [arm]/[disarm] idempotence checks stay O(1) (arming K addresses
+     was O(K^2) before this index existed; see E9).  Off the write path. *)
+  pair_of : (int, int) Hashtbl.t;
+  by_addr : Sl_util.Dense.t;  (* addr -> watcher-list head pair; -1 *)
+  core_armed : Sl_util.Dense.t;  (* core_id -> armed count *)
+  mutable scratch : int array;  (* write-delivery snapshot buffer *)
+  mutable in_write : bool;
   mutable fault_drop : (thread_key -> Memory.addr -> bool) option;
 }
 
 let create params =
   {
     params;
-    by_addr = Hashtbl.create 256;
-    by_thread = Hashtbl.create 256;
-    armed_set = Hashtbl.create 1024;
-    core_armed = Hashtbl.create 16;
+    slot_of = Hashtbl.create 256;
+    s_core = [||];
+    s_ptid = [||];
+    s_pending = [||];
+    s_armed_n = [||];
+    s_thead = [||];
+    s_ttail = [||];
+    s_waiter = [||];
+    slots = 0;
+    p_addr = [||];
+    p_slot = [||];
+    p_tprev = [||];
+    p_tnext = [||];
+    p_aprev = [||];
+    p_anext = [||];
+    free_pair = -1;
+    pairs = 0;
+    pair_of = Hashtbl.create 1024;
+    by_addr = Sl_util.Dense.create ();
+    core_armed = Sl_util.Dense.create ~default:0 ();
+    scratch = Array.make 16 0;
+    in_write = false;
     fault_drop = None;
   }
 
 let set_fault_hook t f = t.fault_drop <- Some f
 let clear_fault_hook t = t.fault_drop <- None
 
-let thread_state t key =
-  match Hashtbl.find_opt t.by_thread key with
-  | Some st -> st
-  | None ->
-    let st = { armed = []; armed_n = 0; pending = None; waiter = None } in
-    Hashtbl.replace t.by_thread key st;
-    st
+(* (slot, addr) packed into one immediate int so the membership probe
+   allocates no tuple.  Addresses are word indices (far below 2^32) and
+   slots count threads (far below 2^30).  The multiply is a bijection
+   (odd constant, arithmetic mod 2^63) that decorrelates the halves:
+   the polymorphic hash folds an int's high and low 32 bits with xor,
+   and a plain [(slot lsl 32) lor addr] makes that fold nearly constant
+   when slots and addresses advance in lockstep (thread i arming
+   doorbell base+i) — every key landed in one bucket and a 2k-thread
+   boot storm went quadratic in [arm]. *)
+let pack_pair slot addr = ((slot lsl 32) lor addr) * 0x6A09E667F3BCC909
 
-let core_armed_count t core_id =
-  Option.value ~default:0 (Hashtbl.find_opt t.core_armed core_id)
+let slot_of_key t key =
+  match Hashtbl.find_opt t.slot_of key with
+  | Some s -> s
+  | None ->
+    let s = t.slots in
+    if s = Array.length t.s_core then begin
+      let cap = max 64 (2 * s) in
+      let grow a def =
+        let b = Array.make cap def in
+        Array.blit a 0 b 0 s;
+        b
+      in
+      t.s_core <- grow t.s_core 0;
+      t.s_ptid <- grow t.s_ptid 0;
+      t.s_pending <- grow t.s_pending (-1);
+      t.s_armed_n <- grow t.s_armed_n 0;
+      t.s_thead <- grow t.s_thead (-1);
+      t.s_ttail <- grow t.s_ttail (-1);
+      t.s_waiter <- grow t.s_waiter none_waiter
+    end;
+    t.slots <- s + 1;
+    t.s_core.(s) <- key.core_id;
+    t.s_ptid.(s) <- key.ptid;
+    t.s_pending.(s) <- -1;
+    t.s_armed_n.(s) <- 0;
+    t.s_thead.(s) <- -1;
+    t.s_ttail.(s) <- -1;
+    t.s_waiter.(s) <- none_waiter;
+    Hashtbl.replace t.slot_of key s;
+    s
+
+let alloc_pair t =
+  if t.free_pair >= 0 then begin
+    let p = t.free_pair in
+    t.free_pair <- t.p_tnext.(p);
+    p
+  end
+  else begin
+    let p = t.pairs in
+    if p = Array.length t.p_addr then begin
+      let cap = max 64 (2 * p) in
+      let grow a =
+        let b = Array.make cap (-1) in
+        Array.blit a 0 b 0 p;
+        b
+      in
+      t.p_addr <- grow t.p_addr;
+      t.p_slot <- grow t.p_slot;
+      t.p_tprev <- grow t.p_tprev;
+      t.p_tnext <- grow t.p_tnext;
+      t.p_aprev <- grow t.p_aprev;
+      t.p_anext <- grow t.p_anext
+    end;
+    t.pairs <- p + 1;
+    p
+  end
+
+let free_pair t p =
+  t.p_tnext.(p) <- t.free_pair;
+  t.free_pair <- p
+
+let core_armed_count t core_id = Sl_util.Dense.get t.core_armed core_id
 
 let bump_core t core_id delta =
-  Hashtbl.replace t.core_armed core_id (core_armed_count t core_id + delta)
+  Sl_util.Dense.set t.core_armed core_id (core_armed_count t core_id + delta)
 
-let arm t key addr =
-  if not (Hashtbl.mem t.armed_set (key, addr)) then begin
-    let st = thread_state t key in
-    Hashtbl.replace t.armed_set (key, addr) ();
-    st.armed <- addr :: st.armed;
-    st.armed_n <- st.armed_n + 1;
-    bump_core t key.core_id 1;
-    let watchers =
-      match Hashtbl.find_opt t.by_addr addr with
-      | Some r -> r
-      | None ->
-        let r = ref [] in
-        Hashtbl.replace t.by_addr addr r;
-        r
-    in
-    watchers := key :: !watchers
+let arm_slot t s addr =
+  if addr < 0 then invalid_arg "Monitor.arm: negative address";
+  let k = pack_pair s addr in
+  if not (Hashtbl.mem t.pair_of k) then begin
+    let p = alloc_pair t in
+    Hashtbl.replace t.pair_of k p;
+    t.p_addr.(p) <- addr;
+    t.p_slot.(p) <- s;
+    (* Append to the thread's armed list (arming order). *)
+    t.p_tnext.(p) <- -1;
+    t.p_tprev.(p) <- t.s_ttail.(s);
+    if t.s_ttail.(s) >= 0 then t.p_tnext.(t.s_ttail.(s)) <- p
+    else t.s_thead.(s) <- p;
+    t.s_ttail.(s) <- p;
+    t.s_armed_n.(s) <- t.s_armed_n.(s) + 1;
+    bump_core t t.s_core.(s) 1;
+    (* Prepend to the address's watcher list (most-recent-first). *)
+    let h = Sl_util.Dense.get t.by_addr addr in
+    t.p_aprev.(p) <- -1;
+    t.p_anext.(p) <- h;
+    if h >= 0 then t.p_aprev.(h) <- p;
+    Sl_util.Dense.set t.by_addr addr p
   end
 
-let remove_watcher t key addr =
-  match Hashtbl.find_opt t.by_addr addr with
+let unlink_thread t s p =
+  let prev = t.p_tprev.(p) and next = t.p_tnext.(p) in
+  if prev >= 0 then t.p_tnext.(prev) <- next else t.s_thead.(s) <- next;
+  if next >= 0 then t.p_tprev.(next) <- prev else t.s_ttail.(s) <- prev
+
+let unlink_addr t p =
+  let prev = t.p_aprev.(p) and next = t.p_anext.(p) in
+  if prev >= 0 then t.p_anext.(prev) <- next
+  else Sl_util.Dense.set t.by_addr t.p_addr.(p) next;
+  if next >= 0 then t.p_aprev.(next) <- prev
+
+let disarm_slot t s addr =
+  let k = pack_pair s addr in
+  match Hashtbl.find_opt t.pair_of k with
   | None -> ()
-  | Some r ->
-    r := List.filter (fun k -> k <> key) !r;
-    if !r = [] then Hashtbl.remove t.by_addr addr
+  | Some p ->
+    Hashtbl.remove t.pair_of k;
+    unlink_thread t s p;
+    unlink_addr t p;
+    t.s_armed_n.(s) <- t.s_armed_n.(s) - 1;
+    bump_core t t.s_core.(s) (-1);
+    free_pair t p
 
-let disarm t key addr =
-  if Hashtbl.mem t.armed_set (key, addr) then begin
-    let st = thread_state t key in
-    Hashtbl.remove t.armed_set (key, addr);
-    st.armed <- List.filter (fun a -> a <> addr) st.armed;
-    st.armed_n <- st.armed_n - 1;
-    bump_core t key.core_id (-1);
-    remove_watcher t key addr
-  end
+let disarm_all_slot t s =
+  let p = ref t.s_thead.(s) in
+  while !p >= 0 do
+    let next = t.p_tnext.(!p) in
+    Hashtbl.remove t.pair_of (pack_pair s t.p_addr.(!p));
+    unlink_addr t !p;
+    free_pair t !p;
+    p := next
+  done;
+  bump_core t t.s_core.(s) (-t.s_armed_n.(s));
+  t.s_thead.(s) <- -1;
+  t.s_ttail.(s) <- -1;
+  t.s_armed_n.(s) <- 0
 
-let disarm_all t key =
-  let st = thread_state t key in
-  List.iter
-    (fun addr ->
-      Hashtbl.remove t.armed_set (key, addr);
-      remove_watcher t key addr)
-    st.armed;
-  bump_core t key.core_id (-st.armed_n);
-  st.armed <- [];
-  st.armed_n <- 0
+let arm t key addr = arm_slot t (slot_of_key t key) addr
+let disarm t key addr = disarm_slot t (slot_of_key t key) addr
+let disarm_all t key = disarm_all_slot t (slot_of_key t key)
 
-let armed_count t key = (thread_state t key).armed_n
+let armed_count_slot t s = t.s_armed_n.(s)
+let armed_count t key = armed_count_slot t (slot_of_key t key)
 
-let armed t key = List.rev (thread_state t key).armed
+let armed t key =
+  (* Walk the thread list backwards so consing yields arming order. *)
+  let s = slot_of_key t key in
+  let acc = ref [] in
+  let p = ref t.s_ttail.(s) in
+  while !p >= 0 do
+    acc := t.p_addr.(!p) :: !acc;
+    p := t.p_tprev.(!p)
+  done;
+  !acc
 
 let on_write t addr _value =
-  match Hashtbl.find_opt t.by_addr addr with
-  | None -> ()
-  | Some watchers ->
-    (* Snapshot: wake callbacks may re-arm and mutate the list. *)
-    let keys = !watchers in
-    List.iter
-      (fun key ->
-        (* Fault injection: a dropped delivery loses this one write for
-           this one watcher — neither wake nor latch happens, exactly the
-           lost-wakeup hardware failure.  A later write still wakes. *)
-        let dropped =
-          match t.fault_drop with Some f -> f key addr | None -> false
-        in
-        if not dropped then begin
-          let st = thread_state t key in
-          match st.waiter with
-          | Some wake ->
-            st.waiter <- None;
-            wake addr
-          | None ->
-            (* Latch the first trigger; later ones coalesce, as a level-
-               triggered doorbell would. *)
-            if st.pending = None then st.pending <- Some addr
-        end)
-      keys
+  let head = Sl_util.Dense.get t.by_addr addr in
+  if head >= 0 then begin
+    (* Snapshot the watcher slots before delivering: wake callbacks may
+       re-arm and relink the list mid-iteration (the old implementation
+       snapshotted the watcher cons-list for the same reason).  The
+       scratch buffer is reused across writes; a re-entrant write from
+       inside a wake callback falls back to a fresh buffer. *)
+    let outer = not t.in_write in
+    let buf = ref (if outer then t.scratch else Array.make 16 0) in
+    let n = ref 0 in
+    let p = ref head in
+    while !p >= 0 do
+      if !n = Array.length !buf then begin
+        let b = Array.make (2 * !n) 0 in
+        Array.blit !buf 0 b 0 !n;
+        buf := b;
+        if outer then t.scratch <- b
+      end;
+      (!buf).(!n) <- t.p_slot.(!p);
+      incr n;
+      p := t.p_anext.(!p)
+    done;
+    if outer then t.in_write <- true;
+    for i = 0 to !n - 1 do
+      let s = (!buf).(i) in
+      (* Fault injection: a dropped delivery loses this one write for
+         this one watcher — neither wake nor latch happens, exactly the
+         lost-wakeup hardware failure.  A later write still wakes. *)
+      let dropped =
+        match t.fault_drop with
+        | Some f -> f { core_id = t.s_core.(s); ptid = t.s_ptid.(s) } addr
+        | None -> false
+      in
+      if not dropped then begin
+        let wake = t.s_waiter.(s) in
+        if wake != none_waiter then begin
+          t.s_waiter.(s) <- none_waiter;
+          wake addr
+        end
+        else if
+          (* Latch the first trigger; later ones coalesce, as a level-
+             triggered doorbell would. *)
+          t.s_pending.(s) < 0
+        then t.s_pending.(s) <- addr
+      end
+    done;
+    if outer then t.in_write <- false
+  end
 
 let attach t memory = Memory.add_write_hook memory (on_write t)
 
-let mwait t key ~wake =
-  let st = thread_state t key in
-  match st.pending with
-  | Some addr ->
-    st.pending <- None;
-    `Immediate addr
-  | None ->
-    if st.waiter <> None then invalid_arg "Monitor.mwait: thread already parked";
-    st.waiter <- Some wake;
-    `Parked
+(* Tagged-int mwait: the latched trigger address ([>= 0], consumed — the
+   thread does not block), or [-1] after parking [wake]. *)
+let mwait_slot t s ~wake =
+  let pending = t.s_pending.(s) in
+  if pending >= 0 then begin
+    t.s_pending.(s) <- -1;
+    pending
+  end
+  else begin
+    if t.s_waiter.(s) != none_waiter then
+      invalid_arg "Monitor.mwait: thread already parked";
+    t.s_waiter.(s) <- wake;
+    -1
+  end
 
-let cancel_wait t key =
-  let st = thread_state t key in
-  st.waiter <- None
+let mwait t key ~wake =
+  let a = mwait_slot t (slot_of_key t key) ~wake in
+  if a >= 0 then `Immediate a else `Parked
+
+let cancel_wait_slot t s = t.s_waiter.(s) <- none_waiter
+let cancel_wait t key = cancel_wait_slot t (slot_of_key t key)
 
 let take_waiter t key =
-  let st = thread_state t key in
-  let w = st.waiter in
-  st.waiter <- None;
-  w
+  let s = slot_of_key t key in
+  let w = t.s_waiter.(s) in
+  if w == none_waiter then None
+  else begin
+    t.s_waiter.(s) <- none_waiter;
+    Some w
+  end
 
-let has_waiter t key = (thread_state t key).waiter <> None
+let has_waiter_slot t s = t.s_waiter.(s) != none_waiter
+let has_waiter t key = has_waiter_slot t (slot_of_key t key)
 
-let relatch t key addr =
-  let st = thread_state t key in
-  match st.waiter with
-  | Some wake ->
+let relatch_slot t s addr =
+  let wake = t.s_waiter.(s) in
+  if wake != none_waiter then begin
     (* The thread already re-parked: deliver the event now. *)
-    st.waiter <- None;
+    t.s_waiter.(s) <- none_waiter;
     wake addr
-  | None -> if st.pending = None then st.pending <- Some addr
+  end
+  else if t.s_pending.(s) < 0 then t.s_pending.(s) <- addr
+
+let relatch t key addr = relatch_slot t (slot_of_key t key) addr
 
 let write_scan_cost t core_id =
   let armed = core_armed_count t core_id in
   let over = armed - t.params.Params.monitor_capacity_per_core in
   if over > 0 then over * t.params.Params.monitor_overflow_scan_cycles else 0
+[@@sl.zero_alloc]

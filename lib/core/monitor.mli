@@ -78,3 +78,28 @@ val relatch : t -> thread_key -> Memory.addr -> unit
 val write_scan_cost : t -> int -> int
 (** [write_scan_cost t core_id] is the extra per-write cycles charged on
     the given core's account due to overflow of its fast monitor table. *)
+
+(** {2 Slot-indexed fast path}
+
+    Thread state lives in dense parallel arrays indexed by an interned
+    per-key [slot].  A caller that holds a thread for its lifetime (the
+    chip does) resolves the slot once and uses these variants to skip
+    the key hash on every subsequent operation; the keyed functions
+    above are shorthands that intern on each call. *)
+
+val slot_of_key : t -> thread_key -> int
+(** Intern [key], allocating its slot on first use.  Slots are stable
+    for the lifetime of [t]. *)
+
+val arm_slot : t -> int -> Memory.addr -> unit
+val disarm_slot : t -> int -> Memory.addr -> unit
+val disarm_all_slot : t -> int -> unit
+val armed_count_slot : t -> int -> int
+
+val mwait_slot : t -> int -> wake:(Memory.addr -> unit) -> int
+(** Tagged-int {!mwait}: the consumed latched trigger address ([>= 0]),
+    or [-1] after parking [wake]. *)
+
+val cancel_wait_slot : t -> int -> unit
+val has_waiter_slot : t -> int -> bool
+val relatch_slot : t -> int -> Memory.addr -> unit

@@ -1,27 +1,29 @@
 module Sim = Sl_engine.Sim
-module Ivar = Sl_engine.Ivar
 
 type kind = Useful | Poll | Overhead
 
 let kind_index = function Useful -> 0 | Poll -> 1 | Overhead -> 2
 
-type job = {
-  job_ptid : int;
-  kind : kind;
-  remaining : float ref;  (* cycles of service still owed *)
-  completion : unit Ivar.t;
-}
-
 (* Hot-path note: [advance]/[reschedule] run on every runnability change
    and every [execute], so with N runnable threads a boot storm that arms
-   N monitors is N calls touching N jobs each.  The active set and its
-   rates therefore live in reusable scratch arrays ([sjobs]/[sweight]/
-   [srate]/[scapped]) instead of freshly consed lists, and per-job floats
-   ([remaining], billing counters, [busy]) sit behind [float ref]s so
-   updates stay unboxed.
+   N monitors is N calls touching N jobs each.  Per-thread state is laid
+   out struct-of-arrays, indexed by an interned dense [slot]: in-flight
+   work lives in unboxed [j_rem]/[j_kind] parallel arrays (serving a job
+   is two array stores, no [float ref] cell or record field to chase),
+   billing in an unboxed [b_cycles] array, and the active set is
+   collected into reusable scratch arrays ([sslot]/[sweight]/[srate]/
+   [scapped]) instead of freshly consed lists.
+
+   Slots are interned, not raw ptids: callers key this module by ptid,
+   and ptids are sparse sentinels in places (the flexsc worker is
+   777_777, hypervisors are 9_000) — sizing the dense arrays by the raw
+   ptid would allocate megabytes per core for a handful of threads,
+   which dominated experiments that build a fresh world per measurement
+   point.  The [slots] table is consulted once per public call; every
+   per-event loop below is slot-indexed.
 
    The runnable set itself is a compact swap-remove array
-   ([rptid]/[rweight], indexed through [rindex]) rather than a Hashtbl:
+   ([rslot]/[rweight], indexed through [rpos]) rather than a Hashtbl:
    stdlib hash tables never shrink their bucket array, so after a
    2,000-thread boot storm every [Hashtbl.iter] on the steady-state hot
    path kept scanning ~2k mostly-empty buckets per advance — an O(peak)
@@ -38,19 +40,45 @@ type t = {
   sim : Sim.t;
   params : Params.t;
   core_id : int;
-  jobs : (int, job) Hashtbl.t;  (* ptid -> in-flight job (runnable or frozen) *)
-  rindex : (int, int) Hashtbl.t;  (* ptid -> slot in rptid/rweight *)
-  mutable rptid : int array;  (* runnable ptids, compact prefix [0, rcount) *)
-  mutable rweight : float array;  (* weight of rptid.(i) *)
+  (* ptid -> slot interning; [s_ptid] is the reverse map. *)
+  slots : (int, int) Hashtbl.t;
+  mutable s_ptid : int array;
+  mutable nslots : int;
+  (* In-flight jobs, dense by slot: [j_kind.(s) = -1] means no job. *)
+  mutable j_kind : int array;
+  mutable j_rem : float array;  (* cycles of service still owed *)
+  (* Completion cells replacing the per-[execute] Ivar: the executing
+     thread's await resume is parked in [j_resume] (via the preallocated
+     [j_register] closure) and called directly when the job finishes.
+     Sound because nothing yields between [execute]'s reschedule and its
+     await, so a completion can never fire before its reader registers. *)
+  mutable j_resume : (unit -> unit) array;
+  mutable j_register : ((unit -> unit) -> unit) array;
+  mutable njobs : int;
+  (* Shadow of the old [(ptid, job) Hashtbl]: same create size, same
+     replace/remove sequence on the same ptid keys, so its [fold] walks
+     finished jobs in exactly the bucket order the original engine's
+     completion fold used.  Load-bearing for byte-identity — the
+     relative completion-resume order of simultaneous completions
+     sequences every downstream event.  Values are the jobs' slots. *)
+  jorder : (int, int) Hashtbl.t;
+  mutable rpos : int array;  (* slot -> index in rslot/rweight; -1 *)
+  mutable rslot : int array;  (* runnable slots, compact prefix [0, rcount) *)
+  mutable rweight : float array;  (* weight of rslot.(i) *)
   mutable rcount : int;
   mutable last_update : Sim.Time.t;
   mutable epoch : int;  (* stamps completion events; bumps invalidate them *)
   busy : float ref;
   work : float array;  (* indexed by kind *)
-  billing : (int, float ref) Hashtbl.t;  (* ptid -> cycles consumed *)
+  (* Billing, dense by slot; [border] shadows the old billing Hashtbl's
+     insertion history (ptid keys) so [billed_threads] lists threads in
+     the legacy fold order. *)
+  mutable b_cycles : float array;
+  mutable b_flag : int array;  (* 1 = has a billing entry *)
+  border : (int, int) Hashtbl.t;
   (* Scratch state for the active set; valid between [collect_active] and
      the end of the computation using it. *)
-  mutable sjobs : job array;
+  mutable sslot : int array;
   mutable sweight : float array;
   mutable srate : float array;
   mutable scapped : bool array;
@@ -62,31 +90,42 @@ type t = {
      least remaining work — so the next event time follows from
      [min_rem] alone, in O(1), bit-identical to the full water-filling
      (the uncapped weight total of n unit weights is exactly [float n]). *)
-  mutable frozen : int;  (* jobs whose ptid is not currently runnable *)
-  mutable nonunit : int;  (* runnable ptids whose weight is not 1.0 *)
+  mutable frozen : int;  (* jobs whose thread is not currently runnable *)
+  mutable nonunit : int;  (* runnable threads whose weight is not 1.0 *)
   mutable min_rem : float;  (* least remaining over active jobs ... *)
   mutable min_valid : bool;  (* ... valid only when this is set *)
 }
 
-let dummy_job =
-  { job_ptid = min_int; kind = Useful; remaining = ref 0.0; completion = Ivar.create () }
+let dummy_resume : unit -> unit = fun () -> ()
+let dummy_register : (unit -> unit) -> unit = fun _ -> ()
+
 
 let create sim params ~core_id =
   {
     sim;
     params;
     core_id;
-    jobs = Hashtbl.create 64;
-    rindex = Hashtbl.create 64;
-    rptid = Array.make 16 0;
+    slots = Hashtbl.create 64;
+    s_ptid = Array.make 16 (-1);
+    nslots = 0;
+    j_kind = Array.make 16 (-1);
+    j_rem = Array.make 16 0.0;
+    j_resume = Array.make 16 dummy_resume;
+    j_register = Array.make 16 dummy_register;
+    njobs = 0;
+    jorder = Hashtbl.create 64;
+    rpos = Array.make 16 (-1);
+    rslot = Array.make 16 0;
     rweight = Array.make 16 0.0;
     rcount = 0;
     last_update = 0;
     epoch = 0;
     busy = ref 0.0;
     work = Array.make 3 0.0;
-    billing = Hashtbl.create 64;
-    sjobs = Array.make 16 dummy_job;
+    b_cycles = Array.make 16 0.0;
+    b_flag = Array.make 16 0;
+    border = Hashtbl.create 64;
+    sslot = Array.make 16 0;
     sweight = Array.make 16 0.0;
     srate = Array.make 16 0.0;
     scapped = Array.make 16 false;
@@ -99,69 +138,103 @@ let create sim params ~core_id =
 
 let core_id t = t.core_id
 
-let is_runnable t ~ptid = Hashtbl.mem t.rindex ptid
+(* Grow every slot-indexed array to cover [slot].  Slots are interned
+   densely, so this only ever doubles — never jumps to a sparse ptid. *)
+let ensure_slot t slot =
+  let n = Array.length t.j_kind in
+  if slot >= n then begin
+    let cap = max (slot + 1) (2 * n) in
+    let grow a def =
+      let b = Array.make cap def in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.s_ptid <- grow t.s_ptid (-1);
+    t.j_kind <- grow t.j_kind (-1);
+    t.j_rem <- grow t.j_rem 0.0;
+    t.j_resume <- grow t.j_resume dummy_resume;
+    t.j_register <- grow t.j_register dummy_register;
+    t.rpos <- grow t.rpos (-1);
+    t.b_cycles <- grow t.b_cycles 0.0;
+    t.b_flag <- grow t.b_flag 0
+  end
 
-let runnable_weight t ptid =
-  match Hashtbl.find_opt t.rindex ptid with
-  | Some i -> Some t.rweight.(i)
-  | None -> None
-
-let runnable_add t ptid weight =
-  match Hashtbl.find_opt t.rindex ptid with
-  | Some i -> t.rweight.(i) <- weight
+(* Intern [ptid], allocating its slot on first use. *)
+let slot_of t ptid =
+  match Hashtbl.find_opt t.slots ptid with
+  | Some s -> s
   | None ->
-    if t.rcount = Array.length t.rptid then begin
+    let s = t.nslots in
+    t.nslots <- s + 1;
+    ensure_slot t s;
+    t.s_ptid.(s) <- ptid;
+    Hashtbl.replace t.slots ptid s;
+    s
+
+let has_job t slot = t.j_kind.(slot) >= 0
+
+let is_runnable t ~ptid =
+  match Hashtbl.find_opt t.slots ptid with
+  | Some s -> t.rpos.(s) >= 0
+  | None -> false
+
+let runnable_add t slot weight =
+  let i = t.rpos.(slot) in
+  if i >= 0 then t.rweight.(i) <- weight
+  else begin
+    if t.rcount = Array.length t.rslot then begin
       let cap = 2 * t.rcount in
-      let ptids = Array.make cap 0 in
+      let slots = Array.make cap 0 in
       let weights = Array.make cap 0.0 in
-      Array.blit t.rptid 0 ptids 0 t.rcount;
+      Array.blit t.rslot 0 slots 0 t.rcount;
       Array.blit t.rweight 0 weights 0 t.rcount;
-      t.rptid <- ptids;
+      t.rslot <- slots;
       t.rweight <- weights
     end;
-    t.rptid.(t.rcount) <- ptid;
+    t.rslot.(t.rcount) <- slot;
     t.rweight.(t.rcount) <- weight;
-    Hashtbl.replace t.rindex ptid t.rcount;
+    t.rpos.(slot) <- t.rcount;
     t.rcount <- t.rcount + 1
+  end
 
-let runnable_remove t ptid =
-  match Hashtbl.find_opt t.rindex ptid with
-  | None -> ()
-  | Some i ->
-    Hashtbl.remove t.rindex ptid;
+let runnable_remove t slot =
+  let i = t.rpos.(slot) in
+  if i >= 0 then begin
+    t.rpos.(slot) <- -1;
     let last = t.rcount - 1 in
     if i < last then begin
-      let moved = t.rptid.(last) in
-      t.rptid.(i) <- moved;
+      let moved = t.rslot.(last) in
+      t.rslot.(i) <- moved;
       t.rweight.(i) <- t.rweight.(last);
-      Hashtbl.replace t.rindex moved i
+      t.rpos.(moved) <- i
     end;
     t.rcount <- last
+  end
 
 let ensure_scratch t n =
-  if Array.length t.sjobs < n then begin
-    let cap = max n (2 * Array.length t.sjobs) in
-    t.sjobs <- Array.make cap dummy_job;
+  if Array.length t.sslot < n then begin
+    let cap = max n (2 * Array.length t.sslot) in
+    t.sslot <- Array.make cap 0;
     t.sweight <- Array.make cap 0.0;
     t.srate <- Array.make cap 0.0;
     t.scapped <- Array.make cap false
   end
 
-(* Fill the scratch arrays with the jobs of currently runnable ptids and
-   their weights, in runnable-array order.  O(runnable), not O(peak
+(* Fill the scratch arrays with the runnable slots holding in-flight jobs
+   and their weights, in runnable-array order.  O(runnable), not O(peak
    runnable) — see the hot-path note on [t]. *)
 let collect_active t =
-  if Hashtbl.length t.jobs = 0 || t.rcount = 0 then t.scount <- 0
+  if t.njobs = 0 || t.rcount = 0 then t.scount <- 0
   else begin
     ensure_scratch t t.rcount;
     let k = ref 0 in
     for i = 0 to t.rcount - 1 do
-      match Hashtbl.find_opt t.jobs t.rptid.(i) with
-      | Some job ->
-        t.sjobs.(!k) <- job;
+      let slot = t.rslot.(i) in
+      if has_job t slot then begin
+        t.sslot.(!k) <- slot;
         t.sweight.(!k) <- t.rweight.(i);
         incr k
-      | None -> ()
+      end
     done;
     t.scount <- !k
   end
@@ -221,14 +294,31 @@ let compute_rates t =
     done
   end
 
-let bill t ptid served =
-  match Hashtbl.find_opt t.billing ptid with
-  | Some r -> r := !r +. served
-  | None -> Hashtbl.replace t.billing ptid (ref served)
+let bill t slot served =
+  if t.b_flag.(slot) = 0 then begin
+    t.b_flag.(slot) <- 1;
+    Hashtbl.replace t.border t.s_ptid.(slot) slot
+  end;
+  t.b_cycles.(slot) <- t.b_cycles.(slot) +. served
+
+let remove_job t slot =
+  t.j_kind.(slot) <- -1;
+  t.njobs <- t.njobs - 1;
+  Hashtbl.remove t.jorder t.s_ptid.(slot)
+
+(* Resume the thread awaiting [slot]'s completion (the old [Ivar.fill]).
+   Call only after [remove_job], mirroring the original fill-after-remove
+   ordering. *)
+let complete t slot =
+  let r = t.j_resume.(slot) in
+  if r != dummy_resume then begin
+    t.j_resume.(slot) <- dummy_resume;
+    r ()
+  end
 
 (* Deliver service for the time elapsed since the last update, completing
    any jobs that finished.  When no time has passed nothing can have
-   finished either — every job in [jobs] still owes > 1e-6 cycles
+   finished either — every in-flight job still owes > 1e-6 cycles
    ([execute] admits only positive work and finished jobs are removed the
    moment they are served down) — so the whole pass is skipped. *)
 let advance t =
@@ -240,20 +330,21 @@ let advance t =
     compute_rates t;
     let live_min = ref infinity in
     let nfinished = ref 0 in
-    let last_finished = ref dummy_job in
+    let last_finished = ref (-1) in
     for i = t.scount - 1 downto 0 do
-      let job = t.sjobs.(i) in
-      let served = Float.min !(job.remaining) (elapsed *. t.srate.(i)) in
-      let left = !(job.remaining) -. served in
-      job.remaining := left;
+      let slot = t.sslot.(i) in
+      let rem = t.j_rem.(slot) in
+      let served = Float.min rem (elapsed *. t.srate.(i)) in
+      let left = rem -. served in
+      t.j_rem.(slot) <- left;
       if left > 1e-6 && left < !live_min then live_min := left
       else if left <= 1e-6 then begin
         incr nfinished;
-        last_finished := job
+        last_finished := slot
       end;
       t.busy := !(t.busy) +. served;
-      t.work.(kind_index job.kind) <- t.work.(kind_index job.kind) +. served;
-      bill t job.job_ptid served
+      t.work.(t.j_kind.(slot)) <- t.work.(t.j_kind.(slot)) +. served;
+      bill t slot served
     done;
     if t.frozen = 0 then begin
       t.min_rem <- !live_min;
@@ -266,25 +357,26 @@ let advance t =
        it saw exactly one — the steady-state shape: one completion event
        per [execute] — that job completes directly.  Only a multi-finish
        advance (boot storms, lockstep pools) pays the whole-table fold,
-       which is kept verbatim so that the relative [Ivar.fill] order of
-       simultaneous completions — and with it event sequencing downstream —
-       matches the original engine exactly. *)
+       walked in the [jorder] shadow's legacy bucket order so that the
+       relative [Ivar.fill] order of simultaneous completions — and with
+       it event sequencing downstream — matches the original engine
+       exactly. *)
     if !nfinished = 1 then begin
-      let job = !last_finished in
-      Hashtbl.remove t.jobs job.job_ptid;
-      Ivar.fill job.completion ()
+      let slot = !last_finished in
+      remove_job t slot;
+      complete t slot
     end
     else if !nfinished > 1 then begin
       let finished =
         Hashtbl.fold
-          (fun ptid job acc ->
-            if !(job.remaining) <= 1e-6 then (ptid, job) :: acc else acc)
-          t.jobs []
+          (fun _ptid slot acc ->
+            if t.j_rem.(slot) <= 1e-6 then slot :: acc else acc)
+          t.jorder []
       in
       List.iter
-        (fun (ptid, job) ->
-          Hashtbl.remove t.jobs ptid;
-          Ivar.fill job.completion ())
+        (fun slot ->
+          remove_job t slot;
+          complete t slot)
         finished
     end
   end
@@ -299,7 +391,7 @@ let advance t =
    experiment shape, hence the allocation budget (float boxing is out
    of the contract's scope, see DESIGN.md). *)
 let next_unit_weight_dt t =
-  let n = Hashtbl.length t.jobs in
+  let n = t.njobs in
   if n = 0 then infinity
   else begin
     let rate =
@@ -328,7 +420,7 @@ let rec reschedule t =
           if rate > 0.0 then begin
             let dt =
               Float.max 1.0
-                (Float.round (Float.ceil (!(t.sjobs.(i).remaining) /. rate)))
+                (Float.round (Float.ceil (t.j_rem.(t.sslot.(i)) /. rate)))
             in
             if dt < !next then next := dt
           end
@@ -349,21 +441,22 @@ let rec reschedule t =
 let set_runnable t ~ptid ~weight runnable =
   if weight <= 0.0 then invalid_arg "Smt_core.set_runnable: weight must be positive";
   advance t;
-  let old = runnable_weight t ptid in
-  (match old with Some w when w <> 1.0 -> t.nonunit <- t.nonunit - 1 | _ -> ());
+  let slot = slot_of t ptid in
+  let si = t.rpos.(slot) in
+  let had = si >= 0 in
+  if had && t.rweight.(si) <> 1.0 then t.nonunit <- t.nonunit - 1;
   if runnable then begin
-    runnable_add t ptid weight;
+    runnable_add t slot weight;
     if weight <> 1.0 then t.nonunit <- t.nonunit + 1;
-    if old = None && Hashtbl.mem t.jobs ptid then begin
+    if (not had) && has_job t slot then begin
       (* A frozen job thaws back into the active set. *)
       t.frozen <- t.frozen - 1;
-      if t.min_valid then
-        t.min_rem <- Float.min t.min_rem !((Hashtbl.find t.jobs ptid).remaining)
+      if t.min_valid then t.min_rem <- Float.min t.min_rem t.j_rem.(slot)
     end
   end
   else begin
-    runnable_remove t ptid;
-    if old <> None && Hashtbl.mem t.jobs ptid then begin
+    runnable_remove t slot;
+    if had && has_job t slot then begin
       (* Freezing an in-flight job: it may have carried the minimum. *)
       t.frozen <- t.frozen + 1;
       t.min_valid <- false
@@ -373,36 +466,41 @@ let set_runnable t ~ptid ~weight runnable =
 
 let set_weight t ~ptid weight =
   if weight <= 0.0 then invalid_arg "Smt_core.set_weight: weight must be positive";
-  (match runnable_weight t ptid with
-  | None -> invalid_arg "Smt_core.set_weight: ptid not runnable"
-  | Some old ->
+  let slot = slot_of t ptid in
+  let si = t.rpos.(slot) in
+  if si < 0 then invalid_arg "Smt_core.set_weight: ptid not runnable"
+  else begin
     advance t;
-    if old <> 1.0 then t.nonunit <- t.nonunit - 1;
-    runnable_add t ptid weight;
-    if weight <> 1.0 then t.nonunit <- t.nonunit + 1);
+    if t.rweight.(si) <> 1.0 then t.nonunit <- t.nonunit - 1;
+    runnable_add t slot weight;
+    if weight <> 1.0 then t.nonunit <- t.nonunit + 1
+  end;
   reschedule t
 
 let execute t ~ptid ~kind cycles =
   if cycles < 0 then invalid_arg "Smt_core.execute: negative cycles";
   if cycles = 0 then ()
   else begin
-    if not (Hashtbl.mem t.rindex ptid) then
+    let slot = slot_of t ptid in
+    if t.rpos.(slot) < 0 then
       invalid_arg "Smt_core.execute: ptid is not runnable";
-    if Hashtbl.mem t.jobs ptid then
+    if has_job t slot then
       invalid_arg "Smt_core.execute: ptid already has in-flight work";
     advance t;
     let rem = float_of_int cycles in
-    let job =
-      { job_ptid = ptid; kind; remaining = ref rem; completion = Ivar.create () }
-    in
-    if Hashtbl.length t.jobs = 0 then begin
+    if t.njobs = 0 then begin
       t.min_rem <- rem;
       t.min_valid <- true
     end
     else if t.min_valid then t.min_rem <- Float.min t.min_rem rem;
-    Hashtbl.replace t.jobs ptid job;
+    t.j_kind.(slot) <- kind_index kind;
+    t.j_rem.(slot) <- rem;
+    t.njobs <- t.njobs + 1;
+    Hashtbl.replace t.jorder ptid slot;
     reschedule t;
-    Ivar.read job.completion
+    if t.j_register.(slot) == dummy_register then
+      t.j_register.(slot) <- (fun resume -> t.j_resume.(slot) <- resume);
+    Sim.await t.j_register.(slot)
   end
 
 let runnable_count t = t.rcount
@@ -410,7 +508,7 @@ let runnable_count t = t.rcount
 let active_jobs t =
   let n = ref 0 in
   for i = 0 to t.rcount - 1 do
-    if Hashtbl.mem t.jobs t.rptid.(i) then incr n
+    if has_job t t.rslot.(i) then incr n
   done;
   !n
 
@@ -424,8 +522,10 @@ let work_done t kind =
 
 let thread_cycles t ~ptid =
   advance t;
-  match Hashtbl.find_opt t.billing ptid with Some r -> !r | None -> 0.0
+  match Hashtbl.find_opt t.slots ptid with
+  | Some s -> t.b_cycles.(s)
+  | None -> 0.0
 
 let billed_threads t =
   advance t;
-  Hashtbl.fold (fun ptid r acc -> (ptid, !r) :: acc) t.billing []
+  Hashtbl.fold (fun ptid slot acc -> (ptid, t.b_cycles.(slot)) :: acc) t.border []

@@ -43,6 +43,11 @@ type corruption = Ecc_corrected | Silent
    entries demotion deals in. *)
 type t = {
   params : Params.t;
+  (* ptid-keyed map.  A ptid-indexed array is tempting but wrong here:
+     one world freely mixes dense worker ptids with sparse sentinel ones
+     (hypervisor 9000, t1's 500/600), so a direct map sized by max ptid
+     taxes every fresh world for the gap.  [Hashtbl.find] on the wake
+     path allocates nothing — it returns the stored entry. *)
   entries : (int, entry) Hashtbl.t;
   used : int array;  (* bytes per tier; index by tier_index *)
   recency : entry array;  (* per-tier list sentinel; index by tier_index *)
@@ -159,10 +164,7 @@ let transfer_cycles t = function
 let free_bytes t tier =
   if tier = Dram then max_int else capacity_bytes t tier - used_bytes t tier
 
-let find t ptid =
-  match Hashtbl.find_opt t.entries ptid with
-  | Some e -> e
-  | None -> raise Not_found
+let find t ptid = Hashtbl.find t.entries ptid
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -203,6 +205,7 @@ let rec make_room t tier bytes =
     done
 
 let register t ~ptid ~bytes =
+  if ptid < 0 then invalid_arg "State_store.register: negative ptid";
   if Hashtbl.mem t.entries ptid then
     invalid_arg "State_store.register: ptid already registered";
   if bytes <= 0 then invalid_arg "State_store.register: non-positive size";
@@ -282,10 +285,10 @@ let check t =
   let problem fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
   let resident = Array.make 4 0 in
   Hashtbl.iter
-    (fun ptid e ->
+    (fun _ e ->
       resident.(tier_index e.tier) <- resident.(tier_index e.tier) + e.bytes;
       if e.pinned && e.tier <> Register_file then
-        problem "ptid %d is pinned but resides in %s" ptid (tier_name e.tier))
+        problem "ptid %d is pinned but resides in %s" e.ptid (tier_name e.tier))
     t.entries;
   List.iter
     (fun tier ->
@@ -312,7 +315,9 @@ let check t =
         pos := e.next
       done;
       let resident_count =
-        Hashtbl.fold (fun _ e n -> if e.tier = tier then n + 1 else n) t.entries 0
+        Hashtbl.fold
+          (fun _ e n -> if e.tier = tier then n + 1 else n)
+          t.entries 0
       in
       if !listed <> resident_count then
         problem "%s recency list tracks %d entries, %d resident" (tier_name tier)

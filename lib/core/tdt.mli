@@ -52,6 +52,10 @@ val clear : t -> vtid:int -> unit
 val lookup : t -> vtid:int -> (int * perms) option
 (** Authoritative (in-memory) translation. *)
 
+val lookup_packed : t -> vtid:int -> int
+(** Allocation-free twin of {!lookup}: [ptid lsl 4 lor perm-bits], or
+    [-1] when the vtid is unmapped or its permission word is all-zero. *)
+
 val entries : t -> (int * int * perms) list
 (** All (vtid, ptid, perms), sorted by vtid — for rendering Table 1. *)
 
@@ -65,6 +69,11 @@ module Cache : sig
   (** Consult the cache; on miss, walk the table and (if the entry exists)
       fill the cache.  A stale cached entry is returned as-is — this is the
       hazard [invtid] exists to fix. *)
+
+  val lookup_packed : cache -> t -> vtid:int -> int
+  (** Allocation-free twin of {!lookup}: [packed * 2 + hit-bit], where
+      [packed] is as in {!Tdt.lookup_packed} ([asr 1] to recover it; the
+      low bit is 1 on a cache hit). *)
 
   val invalidate : cache -> t -> vtid:int -> unit
   (** The [invtid] instruction's effect on this core. *)

@@ -32,6 +32,8 @@ type proc = {
   mutable status : status;
   mutable daemon : bool;
       (* parked-by-design (servers, IRQ loops): excluded from {!suspects} *)
+  mutable await_seq : int;  (* awaits issued by this process *)
+  mutable resumed_seq : int;  (* highest await already resumed *)
 }
 
 type t = {
@@ -90,7 +92,16 @@ let schedule t ~at thunk =
 
 let new_proc t ?name ?(daemon = false) () =
   t.next_pid <- t.next_pid + 1;
-  let proc = { pid = t.next_pid; pname = name; status = Ready; daemon } in
+  let proc =
+    {
+      pid = t.next_pid;
+      pname = name;
+      status = Ready;
+      daemon;
+      await_seq = 0;
+      resumed_seq = 0;
+    }
+  in
   Hashtbl.replace t.procs proc.pid proc;
   proc
 
@@ -130,12 +141,17 @@ let rec exec t proc f =
           | Await_eff register ->
             Some
               (fun (k : (a, _) continuation) ->
-                let resumed = ref false in
+                (* The double-resume guard rides the proc's monotone await
+                   counter instead of a fresh [bool ref] per await: a
+                   stale resumer's captured [seq] is already covered by
+                   [resumed_seq], whatever the process awaits next. *)
+                proc.await_seq <- proc.await_seq + 1;
+                let seq = proc.await_seq in
                 proc.status <- Blocked t.now;
                 register (fun v ->
-                    if !resumed then
+                    if proc.resumed_seq >= seq then
                       invalid_arg "Sim.await: resume called twice";
-                    resumed := true;
+                    proc.resumed_seq <- seq;
                     proc.status <- Ready;
                     (* [t.now] is read when the resumer fires, so the
                        process wakes at the resumer's current time. *)

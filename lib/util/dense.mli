@@ -1,0 +1,27 @@
+(** Growable direct-mapped [int -> int] table.
+
+    The flat cousin of [(int, int) Hashtbl.t] for keys that are dense
+    in practice (ptids, memory addresses, vtids): a lookup is one
+    bounds test and one unboxed array load — no hashing, no bucket
+    chain, no [Some] box.  The backing window is pinned at the first
+    key ever [set] and grows by amortized doubling in either direction,
+    so key ranges that start high (bump-allocated memory addresses)
+    don't pay for a dead [0, first-key) prefix.  Keys must be
+    non-negative; unset (or never-reached) keys read back as the
+    [default] chosen at creation. *)
+
+type t
+
+val create : ?default:int -> unit -> t
+(** [default] defaults to [-1] (the conventional "absent" sentinel). *)
+
+val get : t -> int -> int
+(** [get t k] is the value last [set] for [k], or the default.  Negative
+    keys read as the default. *)
+
+val set : t -> int -> int -> unit
+(** Raises [Invalid_argument] on a negative key. *)
+
+val cap : t -> int
+(** Upper bound (exclusive) of the backing window: every key ever set
+    is [< cap], so iterating [0, cap) visits every key ever set. *)

@@ -17,6 +17,11 @@ whose latest wall time is under MIN_WALL_S are shown but never gated:
 events/s on a sub-millisecond run is clock-granularity noise (e10's
 committed history spans 38x with a byte-identical workload).
 
+Also renders the thread-scaling microbench series (scaling:* kernels
+from every committed MICRO_pr<N>.json) as a second, display-only table:
+ns/run is wall clock on the author's machine of the day, so the series
+is for eyeballing the scaling shape (rr@2000 vs rr@64), not for gating.
+
 Writes a per-experiment trajectory table to $GITHUB_STEP_SUMMARY when
 set (GitHub Actions), and always prints it to stdout.
 """
@@ -53,6 +58,39 @@ def load_trajectory(repo):
         walls = {rec["id"]: float(rec.get("wall_s", 0.0)) for rec in doc.get("experiments", [])}
         trajectory.append((pr, recs, walls))
     return trajectory
+
+
+def load_micro_trajectory(repo):
+    files = []
+    for path in glob.glob(os.path.join(repo, "MICRO_pr*.json")):
+        m = re.search(r"MICRO_pr(\d+)\.json$", path)
+        if m:
+            files.append((int(m.group(1)), path))
+    files.sort()
+    trajectory = []
+    for pr, path in files:
+        with open(path) as f:
+            doc = json.load(f)
+        recs = {
+            r["name"]: float(r["ns_per_run"])
+            for r in doc.get("results", [])
+            if r["name"].startswith("scaling:")
+        }
+        if recs:
+            trajectory.append((pr, recs))
+    return trajectory
+
+
+def micro_table(trajectory):
+    names = sorted({name for _, recs in trajectory for name in recs},
+                   key=lambda n: (n.rsplit("n=", 1)[0], int(n.rsplit("n=", 1)[-1])))
+    header = ["kernel (ns/run)"] + [f"pr{pr}" for pr, _ in trajectory]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for name in names:
+        row = [name] + [fmt(recs.get(name, 0.0)) for _, recs in trajectory]
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
 
 
 def fmt(eps):
@@ -96,11 +134,19 @@ def main():
 
     print(f"Perf trajectory (events/s), latest = pr{latest_pr}:")
     print(table)
+    micro = load_micro_trajectory(repo)
+    mtable = micro_table(micro) if micro else None
+    if mtable:
+        print("\nThread-scaling microbench series (display only, not gated):")
+        print(mtable)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as f:
             f.write(f"## Perf trajectory (events/s, latest = pr{latest_pr})\n\n")
             f.write(table + "\n")
+            if mtable:
+                f.write("\n## Thread-scaling microbench series (not gated)\n\n")
+                f.write(mtable + "\n")
     if failed:
         print(f"FAIL: pr{latest_pr} regressed more than "
               f"{100 * MAX_REGRESSION:.0f}% below the best historical events/s")
