@@ -41,6 +41,8 @@ module Dist = Sl_util.Dist
 module Openloop = Sl_workload.Openloop
 module Latency = Sl_workload.Latency
 module Server = Sl_dist.Server
+module Memory = Switchless.Memory
+module Lock = Sl_sync.Lock
 
 let p = Params.default
 
@@ -373,6 +375,85 @@ let crash_storm ~name =
     "storm landed no crash restart";
   summary
 
+(* --- lock.storm: the parking lock under lost wakes and crash-stops ------- *)
+
+(* Twelve hardware threads hammer one [Park_mwait] lock, each owed a
+   fixed quota of increments to a shared counter.  mwait faults lose and
+   forge wake deliveries; crash-stops kill waiters mid-park and at the
+   wake boundary, cold-restarting each through its body, which resumes
+   from a per-thread durable progress counter.  The lock parks with no
+   patience on purpose: liveness rests entirely on the release store and
+   the watchdog's value-preserving re-stores (a lost wake loses only the
+   delivery — memory state stays current, so the woken re-check loop
+   recovers).  Conservation is the assertion: the counter must end at
+   exactly threads x quota, every grant matched by one increment,
+   however many incarnations it took. *)
+let lock_storm ~name =
+  let threads = 12 and quota = 25 in
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:2 in
+  let lock = Lock.create chip Lock.Park_mwait in
+  let wd =
+    Watchdog.create chip ~core:1 ~ptid:99 ~period:8_000 ~stuck_after:12_000 ()
+  in
+  (* A fixed low address: [Memory] auto-grows on the first store. *)
+  let counter = 32 in
+  let memory = Chip.memory chip in
+  let progress = Array.make threads 0 in
+  let lives = Array.make threads 0 in
+  let finished = Array.make threads false in
+  let done_threads = ref 0 in
+  for i = 0 to threads - 1 do
+    let th =
+      Chip.add_thread chip ~core:(i mod 2) ~ptid:(i + 1) ~mode:Ptid.User ()
+    in
+    Chip.attach th (fun t ->
+        lives.(i) <- lives.(i) + 1;
+        while progress.(i) < quota do
+          Lock.acquire lock t;
+          let v = Isa.load t counter in
+          Isa.exec t 400;
+          Isa.store t counter (Int64.add v 1L);
+          progress.(i) <- progress.(i) + 1;
+          Lock.release lock t;
+          Isa.exec t 150
+        done;
+        (* Crashes land only inside [acquire] (park or wake boundary),
+           so exactly one incarnation per thread reaches this point. *)
+        if not finished.(i) then begin
+          finished.(i) <- true;
+          incr done_threads;
+          if !done_threads = threads then Watchdog.stop wd
+        end);
+    Chip.boot th
+  done;
+  Watchdog.start wd;
+  Sim.run sim;
+  let total = threads * quota in
+  let counted = Int64.to_int (Memory.read memory counter) in
+  check name (counted = total)
+    (Printf.sprintf "counter not conserved: %d of %d increments" counted total);
+  let st = Lock.stats lock in
+  check name
+    (st.Lock.acquires = total)
+    (Printf.sprintf "grants != increments: %d grants for %d" st.Lock.acquires
+       total);
+  let restarts = Array.fold_left (fun a l -> a + l - 1) 0 lives in
+  check name (restarts > 0) "storm never killed a lock waiter";
+  check name
+    (Sl_util.Recovery.get "sync.rearm" > 0)
+    "no restarted waiter ever re-armed its monitor";
+  [
+    ("counter", string_of_int counted);
+    ("grants", string_of_int st.Lock.acquires);
+    ("contended", string_of_int st.Lock.contended);
+    ("parks", string_of_int st.Lock.parks);
+    ("wakes", string_of_int st.Lock.wakes);
+    ("restarts", string_of_int restarts);
+    ("watchdog_nudges", string_of_int (Watchdog.nudges wd));
+    ("watchdog_sweeps", string_of_int (Watchdog.sweeps wd));
+  ]
+
 (* --- the matrix ---------------------------------------------------------- *)
 
 let chaos_plan =
@@ -452,6 +533,17 @@ let scenarios =
       },
       [ "crash.park" ],
       crash_storm );
+    ( "lock.storm",
+      {
+        Fault.none with
+        Fault.seed = 116L;
+        mwait_lost = 0.25;
+        mwait_spurious = 0.1;
+        crash_park = 0.15;
+        crash_wake = 0.1;
+      },
+      [ "mwait.lost"; "crash.park"; "crash.wake" ],
+      lock_storm );
     ("chaos", chaos_plan, [ "nic.doorbell_drop"; "mwait.lost" ],
       hardened_io ~with_watchdog:true );
   ]

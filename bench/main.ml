@@ -39,6 +39,7 @@ let experiments =
     ("e14", "Ablation: preemptive scheduling via start/stop", Exp_e14.run);
     ("e15", "Substrate: interrupt-free reliable transport", Exp_e15.run);
     ("e16", "Load sweep: tail latency and saturation knees", Exp_e16.run);
+    ("elock", "E-LOCK: lock algorithms on hardware threads", Exp_lock.run);
     ("r1", "Robustness: chaos suite under fault injection", Exp_r1.run);
     ("micro", "Bechamel microbenchmarks", Microbench.run);
   ]

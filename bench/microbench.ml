@@ -93,6 +93,88 @@ let scaling_rows () =
         [ ("hot", `Hot); ("rr", `Round_robin) ])
     scaling_counts
 
+(* -- lock-scaling kernels: simulator cost per handoff vs waiter count --
+
+   Companion to the wake-scaling rows for lib/sync: wall-clock cost of
+   simulating one lock handoff as the contender pool grows.  The
+   mwait-native kinds must stay near-flat — a blocked waiter is a parked
+   thread that costs nothing until its grant store lands, and the grant
+   itself rides the O(1) chip wake path — while a spinlock's blocked
+   waiters are live polling loops, so its per-handoff simulation cost
+   grows with n.  Same build-then-time structure as [time_wakes]: the
+   boot storm and a fixed warmup drain outside the timed window, then
+   the contention phase alone is wall-clocked. *)
+
+let lock_scaling_counts = [ 64; 512; 2000 ]
+let lock_scaling_kinds = Sl_sync.Lock.[ Ticket; Mcs_mwait; Park_mwait ]
+
+(* Per-handoff cost is the metric, so the timed acquire count can shrink
+   as the pool grows: the spin and herd kinds cost O(n) wall clock per
+   handoff, and 2000 contenders at the n=64 budget would dominate the
+   whole micro run.  The drain phase (every contender pays one final
+   empty acquire to observe termination) is part of the timed window and
+   dominates the handoff count once n outgrows the quota, so cost is
+   normalized by the lock's own acquire counter, not the quota.
+   [Park_mwait] stops at 512: its thundering herd re-wakes the whole
+   pool per handoff, so the n=2000 point alone costs ~1 wall-clock
+   minute for a shape already unmistakable at 64 -> 512 — the row is
+   omitted, not sampled thinner. *)
+let lock_scaling_acquires n = if n <= 64 then 1_200 else if n <= 512 then 600 else 300
+
+let lock_scaling_counts_for kind =
+  match kind with
+  | Sl_sync.Lock.Park_mwait -> List.filter (fun n -> n <= 512) lock_scaling_counts
+  | _ -> lock_scaling_counts
+
+let time_lock ~kind ~pattern n =
+  let module Lock = Sl_sync.Lock in
+  let sim = Sim.create () in
+  let params = { p with Params.monitor_capacity_per_core = 1_000_000 } in
+  let chip = Chip.create sim params ~cores:2 in
+  let lock = Lock.create chip kind in
+  let counter = Memory.alloc (Chip.memory chip) 1 in
+  let warmup = 5_000 in
+  let acquires = lock_scaling_acquires n in
+  let remaining = ref acquires in
+  for i = 0 to n - 1 do
+    let core = match pattern with `Hot -> 0 | `Round_robin -> i mod 2 in
+    let th = Chip.add_thread chip ~core ~ptid:(i + 1) ~mode:Ptid.User () in
+    Chip.attach th (fun t ->
+        Isa.exec t warmup;
+        let continue_ = ref true in
+        while !continue_ do
+          Lock.acquire lock t;
+          if !remaining > 0 then begin
+            decr remaining;
+            Isa.store t counter (Int64.add (Isa.load t counter) 1L);
+            Isa.exec t 300
+          end
+          else continue_ := false;
+          Lock.release lock t
+        done);
+    Chip.boot th
+  done;
+  Sim.run ~until:warmup sim;
+  let t0 = Unix.gettimeofday () in
+  Sim.run sim;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int (Lock.stats lock).Lock.acquires
+
+let lock_scaling_rows () =
+  List.concat_map
+    (fun kind ->
+      List.concat_map
+        (fun (tag, pattern) ->
+          List.map
+            (fun n ->
+              let ns = time_lock ~kind ~pattern n in
+              ( Printf.sprintf "scaling:lock.%s %s n=%d"
+                  (Sl_sync.Lock.kind_name kind) tag n,
+                ns ))
+            (lock_scaling_counts_for kind))
+        [ ("hot", `Hot); ("rr", `Round_robin) ])
+    lock_scaling_kinds
+
 (* -- primitive kernels -- *)
 
 let bench_pqueue =
@@ -270,7 +352,7 @@ let run () =
       rows := (name, ns) :: !rows)
     results;
   let rows = List.sort compare !rows in
-  let rows = rows @ scaling_rows () in
+  let rows = rows @ scaling_rows () @ lock_scaling_rows () in
   List.iter
     (fun (name, ns) -> Printf.printf "  %-45s %12.0f ns/run\n" name ns)
     rows;

@@ -8,7 +8,8 @@
      switchless-sim io --design mwait --rate 0.8 --count 5000
      switchless-sim wakeup --ticks 1000 --period 10000
      switchless-sim syscall --design hw --work 500 --calls 1000
-     switchless-sim server --design hw --rate 0.8 --cv2 16 --cores 2 *)
+     switchless-sim server --design hw --rate 0.8 --cv2 16 --cores 2
+     switchless-sim lock --kind mcs.mwait --contenders 64 --cs 100 *)
 
 open Cmdliner
 
@@ -263,6 +264,111 @@ let server_cmd =
   Cmd.v
     (Cmd.info "server" ~doc:"Thread-per-request server tail latency.")
     Term.(const run $ design $ seed $ rate $ count $ cores $ cv2 $ mean)
+
+(* --- lock --- *)
+
+let lock_cmd =
+  let module Sim = Sl_engine.Sim in
+  let module Chip = Switchless.Chip in
+  let module Isa = Switchless.Isa in
+  let module Ptid = Switchless.Ptid in
+  let module Smt_core = Switchless.Smt_core in
+  let module Lock = Sl_sync.Lock in
+  let kinds = List.map (fun k -> (Lock.kind_name k, k)) Lock.all_kinds in
+  let kind =
+    Arg.(
+      value
+      & opt (enum kinds) Lock.Park_mwait
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            (Printf.sprintf "Lock algorithm: one of %s."
+               (String.concat ", " (List.map fst kinds))))
+  in
+  let contenders =
+    Arg.(
+      value & opt int 16
+      & info [ "contenders" ] ~docv:"N" ~doc:"Threads contending for the lock.")
+  in
+  let cs =
+    Arg.(
+      value & opt int 400
+      & info [ "cs" ] ~docv:"CYCLES" ~doc:"Critical-section length in cycles.")
+  in
+  let total =
+    Arg.(
+      value & opt int 2000
+      & info [ "total" ] ~docv:"N" ~doc:"Total critical sections to run.")
+  in
+  let placement =
+    Arg.(
+      value
+      & opt (enum [ ("hot", `Hot); ("rr", `Rr) ]) `Rr
+      & info [ "placement" ] ~docv:"P"
+          ~doc:"Thread placement: hot (all on core 0) or rr (round-robin).")
+  in
+  let patience =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "patience" ] ~docv:"CYCLES"
+          ~doc:"Bound each mwait park with a retry deadline (default: park forever).")
+  in
+  let run kind n cs total placement patience =
+    let cores = 4 in
+    let sim = Sim.create () in
+    let params = { p with Params.monitor_capacity_per_core = 1_000_000 } in
+    let chip = Chip.create sim params ~cores in
+    let lock = Lock.create ?patience chip kind in
+    let remaining = ref total in
+    for i = 0 to n - 1 do
+      let core = match placement with `Hot -> 0 | `Rr -> i mod cores in
+      let th = Chip.add_thread chip ~core ~ptid:(i + 1) ~mode:Ptid.User () in
+      Chip.attach th (fun t ->
+          let continue_ = ref true in
+          while !continue_ do
+            Lock.acquire lock t;
+            if !remaining > 0 then begin
+              decr remaining;
+              Isa.exec t cs
+            end
+            else continue_ := false;
+            Lock.release lock t
+          done);
+      Chip.boot th
+    done;
+    Sim.run sim;
+    let st = Lock.stats lock in
+    let sum k =
+      let acc = ref 0.0 in
+      for c = 0 to cores - 1 do
+        acc := !acc +. Smt_core.work_done (Chip.exec_core chip c) k
+      done;
+      !acc
+    in
+    let useful = sum Smt_core.Useful
+    and poll = sum Smt_core.Poll
+    and overhead = sum Smt_core.Overhead in
+    let burn = useful +. poll +. overhead in
+    Printf.printf "%s: %d critical sections over %d contenders in %d cycles (%.0f cycles/acquire)\n"
+      (Lock.kind_name kind) total n (Sim.time sim)
+      (float_of_int (Sim.time sim) /. float_of_int (max 1 total));
+    Printf.printf "handoff (release->grant): %s\n"
+      (Format.asprintf "%a" Histogram.pp_summary st.Lock.handoff);
+    Printf.printf "contended %d/%d | parks %d | wakes %d\n" st.Lock.contended
+      st.Lock.acquires st.Lock.parks st.Lock.wakes;
+    Printf.printf "poll fraction %.3f of %.0f executed cycles\n"
+      (if burn <= 0.0 then 0.0 else poll /. burn)
+      burn;
+    Printf.printf "fairness: acquires max-min spread %d | mean FIFO distance %.2f\n"
+      (st.Lock.max_count - st.Lock.min_count)
+      st.Lock.fifo_distance_mean
+  in
+  Cmd.v
+    (Cmd.info "lock"
+       ~doc:
+         "One E-LOCK contention point: a lock algorithm under N contenders \
+          with a fixed critical section.")
+    Term.(const run $ kind $ contenders $ cs $ total $ placement $ patience)
 
 (* --- load --- *)
 
@@ -637,6 +743,7 @@ let () =
             wakeup_cmd;
             syscall_cmd;
             server_cmd;
+            lock_cmd;
             load_cmd;
             netstack_cmd;
             vm_cmd;

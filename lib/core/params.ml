@@ -14,6 +14,7 @@ type t = {
   monitor_wake_cycles : int;
   monitor_capacity_per_core : int;
   monitor_overflow_scan_cycles : int;
+  cas_cycles : int;
   start_stop_issue_cycles : int;
   rpull_rpush_cycles : int;
   tdt_cached_lookup_cycles : int;
@@ -53,6 +54,7 @@ let default =
     monitor_wake_cycles = 6;
     monitor_capacity_per_core = 1024;
     monitor_overflow_scan_cycles = 2;
+    cas_cycles = 24;
     start_stop_issue_cycles = 4;
     rpull_rpush_cycles = 2;
     tdt_cached_lookup_cycles = 1;

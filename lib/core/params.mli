@@ -42,6 +42,9 @@ type t = {
           slow-path scan (HyperPlane-style table). *)
   monitor_overflow_scan_cycles : int;
       (** Added per-write cost once the fast table overflows. *)
+  cas_cycles : int;
+      (** Atomic read-modify-write (lock cmpxchg / lock xadd) on a
+          contended line, charged by [lib/sync]'s simulated atomics. *)
   (* --- proposed hardware: thread management ISA --- *)
   start_stop_issue_cycles : int;  (** Caller-side cost of start/stop. *)
   rpull_rpush_cycles : int;  (** Per-register remote access cost. *)

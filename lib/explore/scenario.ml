@@ -13,6 +13,7 @@ module Openloop = Sl_workload.Openloop
 module Dist = Sl_util.Dist
 module Server = Sl_dist.Server
 module Io_path = Sl_os.Io_path
+module Lock = Sl_sync.Lock
 
 type outcome = {
   pass : bool;
@@ -123,6 +124,55 @@ let io_hardened () =
         r.Io_path.missed_wakeups r.Io_path.mwait_timeouts );
   ]
 
+(* --- lock.contended: the hardened parking lock ---------------------------- *)
+
+(* Six hardware threads contend for one [Park_mwait] lock hardened with a
+   patience bound: a lost wake delivery costs one bounded [mwait_for]
+   timeout (the ["sync.park_retry"] site) instead of an infinite park, so
+   no watchdog is needed.  Crash-stops land only inside [acquire] (mid-
+   park or at the wake boundary), cold-restarting the body, which resumes
+   from durable per-thread progress and re-arms its monitor (the
+   ["sync.rearm"] site).  The oracles are termination before the horizon
+   and grant/increment conservation; the explorer is expected to find no
+   repro anywhere in this fault space. *)
+let lock_contended () =
+  let threads = 6 and quota = 10 in
+  let sim = Sim.create () in
+  let chip = Chip.create sim p ~cores:2 in
+  let lock = Lock.create ~patience:5_000 chip Lock.Park_mwait in
+  (* A fixed low address: [Memory] auto-grows on the first store. *)
+  let counter = 32 in
+  let memory = Chip.memory chip in
+  let progress = Array.make threads 0 in
+  for i = 0 to threads - 1 do
+    let th =
+      Chip.add_thread chip ~core:(i mod 2) ~ptid:(i + 1) ~mode:Ptid.User ()
+    in
+    Chip.attach th (fun t ->
+        while progress.(i) < quota do
+          Lock.acquire lock t;
+          let v = Isa.load t counter in
+          Isa.exec t 300;
+          Isa.store t counter (Int64.add v 1L);
+          progress.(i) <- progress.(i) + 1;
+          Lock.release lock t;
+          Isa.exec t 200
+        done);
+    Chip.boot th
+  done;
+  Sim.run ~until:50_000_000 sim;
+  let total = threads * quota in
+  let counted = Int64.to_int (Memory.read memory counter) in
+  let st = Lock.stats lock in
+  [
+    ( counted = total,
+      Printf.sprintf "wedged: %d of %d increments before the horizon" counted
+        total );
+    ( st.Lock.acquires = total,
+      Printf.sprintf "conservation: %d grants for %d increments"
+        st.Lock.acquires total );
+  ]
+
 (* --- boot.replica: the seeded regression ---------------------------------- *)
 
 type replica_worker = { bell : Memory.addr; mutable job : int option }
@@ -217,6 +267,12 @@ let all =
         ];
       cycles_dims = ("mwait.spurious_delay", 100, 20_000) :: crash_cycles_dims;
       run = guard io_hardened;
+    };
+    {
+      name = "lock.contended";
+      prob_dims = [ "mwait.lost"; "mwait.spurious"; "crash.park"; "crash.wake" ];
+      cycles_dims = ("mwait.spurious_delay", 100, 20_000) :: crash_cycles_dims;
+      run = guard lock_contended;
     };
     {
       name = "boot.replica";

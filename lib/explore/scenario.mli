@@ -40,6 +40,11 @@ val all : t list
     - ["io.hardened"]: the failure-hardened NIC RX path
       ({!Sl_os.Io_path.run_mwait_hardened}); oracle is exact request
       accounting (processed + ring-dropped + DMA-dropped = offered).
+    - ["lock.contended"]: six threads contending for a patience-bounded
+      [Sl_sync.Lock.Park_mwait] lock; oracles are termination before the
+      horizon and grant/increment conservation.  Expected repro-free:
+      patience turns lost wakes into bounded retries and cold restarts
+      resume from durable progress.
     - ["boot.replica"]: a deliberate replica of the pre-PR-6
       publish-before-arm boot-window race, with no crash requeue — the
       seeded regression the explorer is expected to find and shrink. *)

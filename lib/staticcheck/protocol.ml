@@ -7,6 +7,13 @@ let monitor_fns = [ "Isa.monitor" ]
 let park_fns = [ "Isa.mwait"; "Isa.mwait_for" ]
 let publish_fns = [ "Mailbox.send"; "Queue.push"; "Queue.add" ]
 
+(* Waiter-list publish primitives: the atomic RMWs a lock waiter uses to
+   make itself visible to a releaser (MCS tail swap, ticket draw).  In a
+   body that parks, these must happen only after the waiter's monitor is
+   armed — a grant landed in the publish-to-arm window is a wake the
+   waiter then sleeps through. *)
+let lock_publish_fns = [ "Atomics.exchange"; "Atomics.fetch_add"; "Atomics.rmw" ]
+
 (* The doorbell carrier: a record with a field of this type is a worker
    some third party can ring. *)
 let doorbell_type = "Memory.addr"
@@ -63,6 +70,24 @@ let builds_worker e =
           fields
       | _ -> false)
     e
+
+(* A park call in this body, outside nested lambdas (a park inside a
+   callback belongs to the callback's own flow). *)
+let rec parks_directly e =
+  match e.exp_desc with
+  | Texp_function _ -> false
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+    when Spath.matches_any park_fns p <> None -> true
+  | _ ->
+    let found = ref false in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr = (fun _ ce -> if parks_directly ce then found := true);
+      }
+    in
+    Tast_iterator.default_iterator.expr it e;
+    !found
 
 let mentions_tainted st e =
   expr_contains
@@ -163,6 +188,7 @@ type ctx = {
   file : string;
   summaries : (Ident.t * arg_key list) list;
   mutable binding : string;  (* enclosing top-level binding *)
+  mutable parker : bool;  (* the enclosing binding's body parks *)
   mutable found : Site.t list;
 }
 
@@ -327,6 +353,14 @@ and walk_apply ctx st e fn args =
            "%s parks with no dominating Isa.monitor arm on this thread; a \
             wakeup raced here is lost forever"
            (Spath.name p))
+  | Some p when Spath.matches_any lock_publish_fns p <> None ->
+    if ctx.parker && not st.armed_any then
+      report ctx ~rule:"lock-arm-before-publish" ~loc:e.exp_loc
+        (Printf.sprintf
+           "%s publishes this waiter before any monitor arm, in a body that \
+            parks; a grant landed in the publish-to-arm window is a wake the \
+            waiter sleeps through forever (arm the wait word first)"
+           (Spath.name p))
   | Some p when Spath.matches_any publish_fns p <> None ->
     if
       (not st.armed_any)
@@ -384,10 +418,13 @@ let rec check_structure ctx str =
                (match vb.vb_pat.pat_desc with
                | Tpat_var (id, _) -> Ident.name id
                | _ -> "-"));
+            let _, body = collect_params 0 [] vb.vb_expr in
+            ctx.parker <- parks_directly body;
             ignore (walk ctx initial vb.vb_expr))
           vbs
       | Tstr_eval (e, _) ->
         ctx.binding <- "-";
+        ctx.parker <- parks_directly e;
         ignore (walk ctx initial e)
       | Tstr_module mb -> check_module ctx mb.mb_expr
       | Tstr_recmodule mbs -> List.iter (fun mb -> check_module ctx mb.mb_expr) mbs
@@ -403,6 +440,6 @@ and check_module ctx me =
   | _ -> ()
 
 let check ~file str =
-  let ctx = { file; summaries = []; binding = "-"; found = [] } in
+  let ctx = { file; summaries = []; binding = "-"; parker = false; found = [] } in
   let found = check_structure ctx str in
   List.sort_uniq Site.compare found

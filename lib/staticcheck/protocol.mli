@@ -22,6 +22,16 @@
       field) with no monitor arm dominating the hand-out.  Values that
       arrived through a mailbox/queue receive are not fresh: their
       sender owned the obligation, and the wakeup latch covers
-      re-registration after first park. *)
+      re-registration after first park.
+    - [lock-arm-before-publish] — a waiter-list publish RMW
+      ([Atomics.exchange]/[Atomics.fetch_add]/[Atomics.rmw] — an MCS
+      tail swap or a ticket draw) with no monitor arm dominating it,
+      inside a body that parks directly.  Once the RMW commits, a
+      releaser may grant this waiter at any instant; if the grant lands
+      in the publish-to-arm window the store is never latched and the
+      park below sleeps through its own wakeup.  The rule is scoped to
+      bodies whose own text parks (not through nested lambdas or
+      callees), so pure spin loops and split join/wait helpers stay
+      silent. *)
 
 val check : file:string -> Typedtree.structure -> Site.t list

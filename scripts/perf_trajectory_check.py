@@ -12,10 +12,18 @@ engine regression shows up here even when it hides inside CI noise.
 
 Experiments absent from the latest file are only checked if it covers
 them (some PRs commit a subset); experiments the latest file covers are
-checked against every historical file that also has them.  Experiments
-whose latest wall time is under MIN_WALL_S are shown but never gated:
-events/s on a sub-millisecond run is clock-granularity noise (e10's
-committed history spans 38x with a byte-identical workload).
+checked against every historical file that also has them AND ran the
+same workload.  The simulator is deterministic, so the recorded event
+count fingerprints the workload exactly: an engine change never moves
+it, growing an experiment (e.g. adding a scenario to the r1 chaos
+suite) always does.  Historical entries with a different event count
+are displayed (marked ×) but excluded from the best — events/s across
+different event mixes is not a regression signal.  Entries missing an
+event count (pre-pr6 files) are compared unconditionally, as before.
+Experiments whose latest wall time is under MIN_WALL_S are shown but
+never gated: events/s on a sub-millisecond run is clock-granularity
+noise (e10's committed history spans 38x with a byte-identical
+workload).
 
 Also renders the thread-scaling microbench series (scaling:* kernels
 from every committed MICRO_pr<N>.json) as a second, display-only table:
@@ -56,7 +64,8 @@ def load_trajectory(repo):
             doc = json.load(f)
         recs = {rec["id"]: events_per_s(rec) for rec in doc.get("experiments", [])}
         walls = {rec["id"]: float(rec.get("wall_s", 0.0)) for rec in doc.get("experiments", [])}
-        trajectory.append((pr, recs, walls))
+        counts = {rec["id"]: int(rec["events"]) for rec in doc.get("experiments", []) if rec.get("events")}
+        trajectory.append((pr, recs, walls, counts))
     return trajectory
 
 
@@ -102,29 +111,51 @@ def main():
     trajectory = load_trajectory(repo)
     if len(trajectory) < 2:
         sys.exit("need at least two BENCH_pr*.json files to check a trajectory")
-    latest_pr, latest, latest_walls = trajectory[-1]
+    latest_pr, latest, latest_walls, latest_counts = trajectory[-1]
     history = trajectory[:-1]
 
-    header = ["experiment"] + [f"pr{pr}" for pr, _, _ in trajectory] + ["best", "latest/best", "status"]
+    def comparable(exp_id, counts):
+        # Same recorded event count = same workload (the sim is
+        # deterministic); either side missing a count = legacy file,
+        # compared unconditionally.
+        if exp_id not in latest_counts or exp_id not in counts:
+            return True
+        return counts[exp_id] == latest_counts[exp_id]
+
+    header = ["experiment"] + [f"pr{pr}" for pr, _, _, _ in trajectory] + ["best", "latest/best", "status"]
     rows = []
     failed = False
+    workload_changed = False
     for exp_id in sorted(latest, key=lambda e: (len(e), e)):
         cur = latest[exp_id]
-        best_hist = max((recs.get(exp_id, 0.0) for _, recs, _ in history), default=0.0)
+        best_hist = max(
+            (recs.get(exp_id, 0.0) for _, recs, _, counts in history
+             if comparable(exp_id, counts)),
+            default=0.0)
+        any_hist = max((recs.get(exp_id, 0.0) for _, recs, _, _ in history), default=0.0)
         best = max(best_hist, cur)
         if latest_walls.get(exp_id, 0.0) < MIN_WALL_S:
             status = "noise (run < 1ms, not gated)"
         elif best_hist > 0 and cur < (1.0 - MAX_REGRESSION) * best_hist:
             status = f"FAIL (<{100 * (1 - MAX_REGRESSION):.0f}% of best)"
             failed = True
+        elif best_hist == 0.0 and any_hist > 0.0:
+            status = "workload changed (new baseline)"
         else:
             status = "ok"
         ratio = f"{cur / best:.2f}" if best > 0 else "—"
-        rows.append(
-            [exp_id]
-            + [fmt(recs.get(exp_id, 0.0)) for _, recs, _ in trajectory]
-            + [fmt(best), ratio, status]
-        )
+
+        def cell(pr, recs, counts):
+            v = fmt(recs.get(exp_id, 0.0))
+            if recs.get(exp_id) and (pr, recs) != (latest_pr, latest) and not comparable(exp_id, counts):
+                nonlocal_mark[0] = True
+                return v + " ×"
+            return v
+
+        nonlocal_mark = [False]
+        cells = [cell(pr, recs, counts) for pr, recs, _, counts in trajectory]
+        workload_changed = workload_changed or nonlocal_mark[0]
+        rows.append([exp_id] + cells + [fmt(best), ratio, status])
 
     lines = ["| " + " | ".join(header) + " |",
              "|" + "|".join("---" for _ in header) + "|"]
@@ -134,6 +165,9 @@ def main():
 
     print(f"Perf trajectory (events/s), latest = pr{latest_pr}:")
     print(table)
+    if workload_changed:
+        print("(× = different event count than the latest file: the workload "
+              "changed, so the entry is shown but not compared)")
     micro = load_micro_trajectory(repo)
     mtable = micro_table(micro) if micro else None
     if mtable:

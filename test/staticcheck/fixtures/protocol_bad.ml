@@ -41,3 +41,19 @@ let boot_race_pool free attach =
 let park_unarmed th =
   let _ = Isa.mwait th in
   ()
+
+module Atomics = struct
+  let exchange (_ : Isa.thread) (_ : Memory.addr) (_ : Memory.addr) = 0L
+end
+
+(* lock-arm-before-publish (seeded): the waiter swaps itself into the
+   queue tail before its monitor is armed.  A release that picks this
+   qnode inside the window stores a grant the hardware never latches —
+   the mwait below sleeps through it.  Note the arm still dominates the
+   park, so park-before-arm stays silent; only the publish-order rule
+   catches the race. *)
+let mcs_join_unarmed th tail qnode =
+  let _pred = Atomics.exchange th tail qnode in
+  Isa.monitor th qnode;
+  let _ = Isa.mwait th in
+  ()

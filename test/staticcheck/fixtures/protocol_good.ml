@@ -50,3 +50,22 @@ let call client addr =
 let requeue inbox free =
   let (w : worker) = Mailbox.recv inbox in
   Mailbox.send free w
+
+module Atomics = struct
+  let exchange (_ : Isa.thread) (_ : Memory.addr) (_ : Memory.addr) = 0L
+end
+
+(* The fixed join order (Lock.mcs_acquire's shape): arm first, then
+   publish — a grant can now land at any point after the swap and the
+   armed monitor latches it. *)
+let mcs_join_armed th tail qnode =
+  Isa.monitor th qnode;
+  let _pred = Atomics.exchange th tail qnode in
+  let _ = Isa.mwait th in
+  ()
+
+(* A pure spinner never parks, so publish order is free: the rule is
+   scoped to bodies that park directly (TAS/ticket fast paths). *)
+let mcs_join_spin th tail qnode =
+  let _pred = Atomics.exchange th tail qnode in
+  ()

@@ -37,6 +37,7 @@ let test_protocol_flags_seeded_races () =
     [
       ("register-before-arm", "boot_race_pool");
       ("park-before-arm", "park_unarmed");
+      ("lock-arm-before-publish", "mcs_join_unarmed");
     ]
     (findings Sc.Protocol.check "protocol_bad.ml")
 
